@@ -1,0 +1,63 @@
+// Reproduces the appendix result-cardinality tables: match counts of
+// Q1-Q6 per selectivity class and scale factor. The paper's shape: counts
+// grow by orders of magnitude from high to low selectivity, and roughly
+// 10x from SF 10 to SF 100; Q4-Q6 produce the largest result sets.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace gradoop;        // NOLINT
+using namespace gradoop::bench;  // NOLINT
+
+int main() {
+  std::printf("Appendix — result cardinalities per query\n");
+  std::printf("paper SF 10 -> sf=%.2f, SF 100 -> sf=%.2f\n\n", MiniSf10(),
+              MiniSf100());
+
+  BenchHarness harness;
+  const ldbc::Selectivity kLevels[] = {ldbc::Selectivity::kHigh,
+                                       ldbc::Selectivity::kMedium,
+                                       ldbc::Selectivity::kLow};
+  const double kSfs[] = {MiniSf10(), MiniSf100()};
+
+  // One engine at a time: collect per scale factor, print afterwards.
+  uint64_t operational[3][2][3];
+  uint64_t analytical[3][2];
+  for (int s = 0; s < 2; ++s) {
+    const double sf = kSfs[s];
+    for (int q = 0; q < 3; ++q) {
+      for (int l = 0; l < 3; ++l) {
+        const std::string query =
+            PaperQuery(q, harness.FirstName(sf, kLevels[l]));
+        operational[q][s][l] = harness.Run(sf, 16, query).matches;
+      }
+    }
+    for (int q = 3; q < 6; ++q) {
+      analytical[q - 3][s] = harness.Run(sf, 16, PaperQuery(q, "")).matches;
+    }
+  }
+
+  std::printf("Operational queries (parameterized firstName):\n");
+  std::printf("%-8s %-7s %12s %12s %12s\n", "query", "scale", "high",
+              "medium", "low");
+  for (int q = 0; q < 3; ++q) {
+    for (int s = 0; s < 2; ++s) {
+      std::printf("%-8s %-7s", QueryLabel(q), SfLabel(kSfs[s]));
+      for (int l = 0; l < 3; ++l) {
+        std::printf(" %12llu",
+                    static_cast<unsigned long long>(operational[q][s][l]));
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf("\nAnalytical queries:\n");
+  std::printf("%-8s %-7s %14s\n", "query", "scale", "cardinality");
+  for (int q = 3; q < 6; ++q) {
+    for (int s = 0; s < 2; ++s) {
+      std::printf("%-8s %-7s %14llu\n", QueryLabel(q), SfLabel(kSfs[s]),
+                  static_cast<unsigned long long>(analytical[q - 3][s]));
+    }
+  }
+  return 0;
+}

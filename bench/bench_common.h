@@ -1,0 +1,150 @@
+#ifndef GRADOOP_BENCH_BENCH_COMMON_H_
+#define GRADOOP_BENCH_BENCH_COMMON_H_
+
+// Shared harness for the paper-reproduction benchmarks. Scale-factor
+// mapping (see DESIGN.md): the paper's LDBC SF 10 corresponds to our
+// miniature sf = 1.0 and SF 100 to sf = 10.0, preserving the 10x ratio.
+// "Workers" is the simulated cluster size of the dataflow cost model
+// (1..16, as in the paper); runtimes reported as `sim [s]` are simulated
+// distributed execution times under that model, wall-clock is the real
+// local multi-threaded execution.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/timer.h"
+#include "ldbc/ldbc_generator.h"
+#include "ldbc/queries.h"
+#include "query/cypher_engine.h"
+
+namespace gradoop::bench {
+
+// The miniature stand-ins for the paper's scale factors.
+inline double MiniSf10() {
+  const char* env = std::getenv("GRADOOP_BENCH_SF");
+  return env != nullptr ? std::atof(env) : 1.0;
+}
+inline double MiniSf100() { return 10.0 * MiniSf10(); }
+
+inline const char* SfLabel(double sf) {
+  return sf >= MiniSf100() ? "SF100*" : "SF10*";
+}
+
+struct RunResult {
+  uint64_t matches = 0;
+  double simulated_sec = 0.0;
+  double wall_sec = 0.0;
+  uint64_t network_bytes = 0;
+  uint64_t spilled_bytes = 0;
+  uint64_t records = 0;
+};
+
+// Engine cache for the current (scale factor, worker count). Only ONE
+// engine is held at a time — a full engine at the larger scale factor is
+// hundreds of MB (graph + label index + statistics), and the benchmark
+// grids would otherwise accumulate ten of them. Benchmarks iterate with
+// (sf, workers) as the OUTER loops so eviction stays cheap.
+class BenchHarness {
+ public:
+  query::CypherEngine& Engine(double sf, int workers) {
+    const auto key = std::make_pair(sf, workers);
+    if (engine_ == nullptr || engine_key_ != key) {
+      engine_.reset();  // free the previous engine before building anew
+      dataflow::ClusterConfig cluster;
+      cluster.num_workers = workers;
+      auto ctx = dataflow::MakeContext(cluster);
+      const ldbc::LdbcElements& elements = Elements(sf);
+      epgm::GraphHead head(0, "SocialNetwork");
+      auto graph = epgm::LogicalGraph::FromVectors(
+          std::move(ctx), head, elements.vertices, elements.edges);
+      engine_ = std::make_unique<query::CypherEngine>(std::move(graph));
+      engine_key_ = key;
+    }
+    return *engine_;
+  }
+
+  // Generated elements at scale factor `sf` (generated once, shared by
+  // all worker configurations and selectivity lookups).
+  const ldbc::LdbcElements& Elements(double sf) {
+    auto it = elements_.find(sf);
+    if (it == elements_.end()) {
+      ldbc::LdbcConfig config;
+      config.scale_factor = sf;
+      it = elements_
+               .emplace(sf, ldbc::LdbcGenerator(config).GenerateElements())
+               .first;
+    }
+    return it->second;
+  }
+
+  // firstName realizing `level` at scale factor `sf`.
+  const std::string& FirstName(double sf, ldbc::Selectivity level) {
+    auto key = std::make_pair(sf, static_cast<int>(level));
+    auto it = names_.find(key);
+    if (it == names_.end()) {
+      it = names_.emplace(key, ldbc::PickFirstName(Elements(sf), level))
+               .first;
+    }
+    return it->second;
+  }
+
+  // Runs `query`, measuring the simulated distributed time of exactly
+  // this query's dataflow (the engine's tracker is reset first).
+  RunResult Run(double sf, int workers, const std::string& query) {
+    query::CypherEngine& engine = Engine(sf, workers);
+    auto& tracker = engine.graph().context()->tracker();
+    tracker.Reset();
+    Timer timer;
+    auto count = engine.Count(query);
+    RunResult result;
+    result.wall_sec = timer.ElapsedSeconds();
+    if (!count.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   count.status().ToString().c_str());
+      std::exit(1);
+    }
+    result.matches = count.value();
+    result.simulated_sec = tracker.SimulatedSeconds();
+    result.network_bytes = tracker.NetworkBytes();
+    result.spilled_bytes = tracker.SpilledBytes();
+    result.records = tracker.TotalRecords();
+    return result;
+  }
+
+ private:
+  std::unique_ptr<query::CypherEngine> engine_;
+  std::pair<double, int> engine_key_{-1.0, -1};
+  std::map<double, ldbc::LdbcElements> elements_;
+  std::map<std::pair<double, int>, std::string> names_;
+};
+
+inline const char* QueryLabel(int index) {
+  static const char* kLabels[] = {"Query 1", "Query 2", "Query 3",
+                                  "Query 4", "Query 5", "Query 6"};
+  return kLabels[index];
+}
+
+// Queries 1..6 with a given firstName parameter (ignored by Q4-Q6).
+inline std::string PaperQuery(int index, const std::string& first_name) {
+  switch (index) {
+    case 0:
+      return ldbc::Query1(first_name);
+    case 1:
+      return ldbc::Query2(first_name);
+    case 2:
+      return ldbc::Query3(first_name);
+    case 3:
+      return ldbc::Query4();
+    case 4:
+      return ldbc::Query5();
+    default:
+      return ldbc::Query6();
+  }
+}
+
+}  // namespace gradoop::bench
+
+#endif  // GRADOOP_BENCH_BENCH_COMMON_H_

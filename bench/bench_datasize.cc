@@ -1,0 +1,44 @@
+// Reproduces Figure 4: runtime growth with data volume on the full
+// 16-worker cluster. The paper reports near-linear scaling from SF 10 to
+// SF 100 (10x data -> ~10x runtime, e.g. Q6: 42s -> 411s).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace gradoop;        // NOLINT
+using namespace gradoop::bench;  // NOLINT
+
+int main() {
+  std::printf(
+      "Figure 4 — data size increase (16 workers), simulated seconds\n");
+  std::printf("paper SF 10 -> sf=%.2f, SF 100 -> sf=%.2f\n\n", MiniSf10(),
+              MiniSf100());
+  std::printf("%-8s  %10s  %10s  %8s\n", "query", "SF10*", "SF100*",
+              "ratio");
+
+  BenchHarness harness;
+  // One engine at a time: run all queries at SF10*, then all at SF100*
+  // (Q1-Q3 use the low-selectivity parameter, as in the figure).
+  RunResult small[6], big[6];
+  for (int q = 0; q < 6; ++q) {
+    small[q] = harness.Run(
+        MiniSf10(), 16,
+        PaperQuery(q, harness.FirstName(MiniSf10(), ldbc::Selectivity::kLow)));
+  }
+  for (int q = 0; q < 6; ++q) {
+    big[q] = harness.Run(
+        MiniSf100(), 16,
+        PaperQuery(q,
+                   harness.FirstName(MiniSf100(), ldbc::Selectivity::kLow)));
+  }
+  for (int q = 0; q < 6; ++q) {
+    std::printf("%-8s  %10.2f  %10.2f  %7.1fx\n", QueryLabel(q),
+                small[q].simulated_sec, big[q].simulated_sec,
+                big[q].simulated_sec /
+                    std::max(small[q].simulated_sec, 1e-9));
+  }
+  std::printf(
+      "\nExpectation (paper): runtime increases roughly linearly with the "
+      "10x data volume.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation for the §3.2 greedy cost-based planner: statistics-driven
+// bushy plans versus a textual-order left-deep baseline. Reports total
+// records processed (intermediate-result volume) and simulated runtime;
+// the greedy planner's whole purpose is to minimize the former.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace gradoop;        // NOLINT
+using namespace gradoop::bench;  // NOLINT
+
+namespace {
+
+RunResult RunWithMode(query::CypherEngine* engine, const std::string& query,
+                      query::PlannerOptions::Mode mode) {
+  engine->planner_options().mode = mode;
+  auto& tracker = engine->graph().context()->tracker();
+  tracker.Reset();
+  auto count = engine->Count(query);
+  RunResult r;
+  if (!count.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 count.status().ToString().c_str());
+    std::exit(1);
+  }
+  r.matches = count.value();
+  r.simulated_sec = tracker.SimulatedSeconds();
+  r.records = tracker.TotalRecords();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const double sf = MiniSf10();
+  std::printf(
+      "Planner ablation — greedy (paper, §3.2) vs left-deep textual order vs exhaustive DP "
+      "(sf=%.2f, 16 workers)\n\n",
+      sf);
+
+  BenchHarness harness;
+  query::CypherEngine& engine = harness.Engine(sf, 16);
+  const std::string name = harness.FirstName(sf, ldbc::Selectivity::kHigh);
+
+  std::printf("%-8s %14s %14s %14s %11s %11s %11s %9s\n", "query",
+              "records:greedy", "records:left", "records:dp", "sim:greedy",
+              "sim:left", "sim:dp", "matches");
+  for (int q = 0; q < 6; ++q) {
+    const std::string query = PaperQuery(q, name);
+    const RunResult greedy = RunWithMode(
+        &engine, query, query::PlannerOptions::Mode::kGreedy);
+    const RunResult left = RunWithMode(
+        &engine, query, query::PlannerOptions::Mode::kLeftDeep);
+    const RunResult dp = RunWithMode(
+        &engine, query, query::PlannerOptions::Mode::kDynamicProgramming);
+    if (greedy.matches != left.matches || greedy.matches != dp.matches) {
+      std::fprintf(stderr, "plan mismatch on %s\n", QueryLabel(q));
+      return 1;
+    }
+    std::printf("%-8s %14llu %14llu %14llu %11.2f %11.2f %11.2f %9llu\n",
+                QueryLabel(q),
+                static_cast<unsigned long long>(greedy.records),
+                static_cast<unsigned long long>(left.records),
+                static_cast<unsigned long long>(dp.records),
+                greedy.simulated_sec, left.simulated_sec, dp.simulated_sec,
+                static_cast<unsigned long long>(greedy.matches));
+  }
+  engine.planner_options().mode = query::PlannerOptions::Mode::kGreedy;
+  std::printf(
+      "\nExpectation: greedy processes at most as many records as the "
+      "left-deep plan, markedly fewer on selective queries; exhaustive DP "
+      "matches or beats greedy on estimated cost (its occasional "
+      "actual-records loss shows the estimates, not the search, are the "
+      "binding constraint).\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Reproduces Table 4 and Figure 3: query runtimes and relative speedups
+// over 1..16 simulated workers, for the operational queries Q1-Q3 at
+// three predicate selectivities (both scale factors) and the analytical
+// queries Q4-Q6 (SF10* for all worker counts, SF100* at 16 workers —
+// exactly the cells the paper reports).
+//
+// Execution iterates (sf, workers) in the outer loops so that only one
+// engine lives at a time (see BenchHarness), collecting all cells before
+// printing the table.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+using namespace gradoop;        // NOLINT
+using namespace gradoop::bench;  // NOLINT
+
+namespace {
+
+const int kWorkerSteps[] = {1, 2, 4, 8, 16};
+const ldbc::Selectivity kLevels[] = {ldbc::Selectivity::kLow,
+                                     ldbc::Selectivity::kMedium,
+                                     ldbc::Selectivity::kHigh};
+
+// cell key: (query 0..5, selectivity 0..2 or -1, sf, workers)
+using CellKey = std::tuple<int, int, double, int>;
+
+}  // namespace
+
+int main() {
+  const double sf10 = MiniSf10();
+  const double sf100 = MiniSf100();
+
+  // Collect the work list.
+  std::vector<CellKey> cells;
+  for (double sf : {sf10, sf100}) {
+    for (int workers : kWorkerSteps) {
+      for (int q = 0; q < 3; ++q) {
+        for (int level = 0; level < 3; ++level) {
+          cells.emplace_back(q, level, sf, workers);
+        }
+      }
+      for (int q = 3; q < 6; ++q) {
+        // Analytical queries: full worker sweep at SF10*, 16 workers at
+        // SF100* (the paper's populated cells).
+        if (sf == sf10 || workers == 16) cells.emplace_back(q, -1, sf, workers);
+      }
+    }
+  }
+
+  BenchHarness harness;
+  std::map<CellKey, RunResult> results;
+  for (const CellKey& cell : cells) {
+    const auto [q, level, sf, workers] = cell;
+    const std::string query =
+        level >= 0
+            ? PaperQuery(q, harness.FirstName(sf, kLevels[level]))
+            : PaperQuery(q, "");
+    results[cell] = harness.Run(sf, workers, query);
+  }
+
+  std::printf(
+      "Table 4 / Figure 3 — query runtimes in simulated seconds (speedup) "
+      "over workers\n");
+  std::printf("paper SF 10 -> sf=%.2f, SF 100 -> sf=%.2f (miniature)\n\n",
+              sf10, sf100);
+  std::printf("%-8s %-8s %-7s  %14s  %14s  %14s  %14s  %14s\n", "query",
+              "select.", "scale", "1 worker", "2 workers", "4 workers",
+              "8 workers", "16 workers");
+
+  auto print_row = [&](int q, int level, double sf) {
+    std::printf("%-8s %-8s %-7s", QueryLabel(q),
+                level >= 0 ? ldbc::SelectivityName(kLevels[level]) : "-",
+                SfLabel(sf));
+    double base = -1.0;
+    for (int workers : kWorkerSteps) {
+      auto it = results.find(CellKey(q, level, sf, workers));
+      if (it == results.end()) {
+        std::printf("  %14s", "-");
+        continue;
+      }
+      const double sec = it->second.simulated_sec;
+      if (base < 0) base = sec;
+      std::printf("  %7.2f (%4.1f)", sec, base / std::max(sec, 1e-9));
+    }
+    std::printf("\n");
+  };
+
+  for (int q = 0; q < 3; ++q) {
+    for (int level = 0; level < 3; ++level) {
+      print_row(q, level, sf10);
+      print_row(q, level, sf100);
+    }
+    std::printf("\n");
+  }
+  for (int q = 3; q < 6; ++q) {
+    print_row(q, -1, sf10);
+    print_row(q, -1, sf100);
+    std::printf("\n");
+  }
+  return 0;
+}

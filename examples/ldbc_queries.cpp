@@ -1,0 +1,72 @@
+// Runs the paper's six LDBC evaluation queries (Appendix) on a generated
+// LDBC-SNB-shaped social network and reports match counts, wall-clock
+// times and the simulated distributed runtimes.
+//
+//   ./build/examples/ldbc_queries [scale_factor]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/timer.h"
+#include "ldbc/ldbc_generator.h"
+#include "ldbc/queries.h"
+#include "query/cypher_engine.h"
+
+using namespace gradoop;  // NOLINT: example brevity
+
+int main(int argc, char** argv) {
+  const double sf = argc > 1 ? std::atof(argv[1]) : 0.25;
+
+  dataflow::ClusterConfig cluster;
+  cluster.num_workers = 16;  // the paper's full cluster
+  auto ctx = dataflow::MakeContext(cluster);
+
+  ldbc::LdbcConfig config;
+  config.scale_factor = sf;
+  ldbc::LdbcGenerator generator(config);
+  std::cout << "Generating LDBC-shaped graph at scale factor " << sf
+            << "...\n";
+  auto graph = generator.Generate(ctx);
+  std::cout << "  |V| = " << graph.vertices().Count()
+            << ", |E| = " << graph.edges().Count() << "\n\n";
+
+  query::CypherEngine engine(graph);
+  const auto elements = generator.GenerateElements();
+  const std::string name =
+      ldbc::PickFirstName(elements, ldbc::Selectivity::kMedium);
+  std::cout << "Parameterized firstName (medium selectivity): '" << name
+            << "'\n\n";
+
+  struct NamedQuery {
+    const char* label;
+    std::string text;
+  };
+  const NamedQuery queries[] = {
+      {"Q1 all messages of a person", ldbc::Query1(name)},
+      {"Q2 posts to a person's comments", ldbc::Query2(name)},
+      {"Q3 friends that replied to a post", ldbc::Query3(name)},
+      {"Q4 person profile", ldbc::Query4()},
+      {"Q5 close friends", ldbc::Query5()},
+      {"Q6 recommendation", ldbc::Query6()},
+  };
+
+  std::printf("%-36s %12s %10s %14s\n", "query", "matches", "wall [s]",
+              "simulated [s]");
+  for (const NamedQuery& q : queries) {
+    ctx->tracker().Reset();
+    Timer timer;
+    auto count = engine.Count(q.text);
+    if (!count.ok()) {
+      std::cerr << q.label << " failed: " << count.status() << "\n";
+      return 1;
+    }
+    std::printf("%-36s %12llu %10.2f %14.2f\n", q.label,
+                static_cast<unsigned long long>(count.value()),
+                timer.ElapsedSeconds(), ctx->tracker().SimulatedSeconds());
+  }
+
+  std::cout << "\nPlan for Q3:\n";
+  auto plan = engine.Explain(ldbc::Query3(name));
+  std::cout << (plan.ok() ? plan.value() : plan.status().ToString());
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Quickstart: build the paper's Figure 1 social network, run the Section
+// 2.3 example query and inspect the resulting graph collection.
+//
+//   ./build/examples/quickstart
+#include <iostream>
+
+#include "epgm/logical_graph.h"
+#include "query/cypher_engine.h"
+
+namespace {
+
+using namespace gradoop;  // NOLINT: example brevity
+using epgm::Edge;
+using epgm::GraphHead;
+using epgm::Properties;
+using epgm::Vertex;
+
+epgm::LogicalGraph Figure1Graph(dataflow::ExecutionContextPtr ctx) {
+  std::vector<Vertex> vertices;
+  vertices.emplace_back(10, "Person",
+                        Properties{{"name", "Alice"}, {"gender", "female"}});
+  vertices.emplace_back(20, "Person",
+                        Properties{{"name", "Eve"},
+                                   {"gender", "female"},
+                                   {"yob", int64_t{1984}}});
+  vertices.emplace_back(30, "Person",
+                        Properties{{"name", "Bob"}, {"gender", "male"}});
+  vertices.emplace_back(40, "University", Properties{{"name", "Uni Leipzig"}});
+  vertices.emplace_back(50, "City", Properties{{"name", "Leipzig"}});
+  std::vector<Edge> edges;
+  edges.emplace_back(1, "studyAt", 10, 40,
+                     Properties{{"classYear", int64_t{2015}}});
+  edges.emplace_back(2, "studyAt", 30, 40,
+                     Properties{{"classYear", int64_t{2014}}});
+  edges.emplace_back(3, "studyAt", 20, 40,
+                     Properties{{"classYear", int64_t{2015}}});
+  edges.emplace_back(4, "isLocatedIn", 40, 50);
+  edges.emplace_back(5, "knows", 10, 20);
+  edges.emplace_back(6, "knows", 20, 10);
+  edges.emplace_back(7, "knows", 20, 30);
+  edges.emplace_back(8, "knows", 30, 20);
+  return epgm::LogicalGraph::FromVectors(std::move(ctx),
+                                         GraphHead(100, "Community"),
+                                         std::move(vertices), std::move(edges));
+}
+
+}  // namespace
+
+int main() {
+  // A simulated 4-worker cluster; the engine runs multi-threaded locally.
+  dataflow::ClusterConfig cluster;
+  cluster.num_workers = 4;
+  auto ctx = dataflow::MakeContext(cluster);
+
+  query::CypherEngine engine(Figure1Graph(ctx));
+
+  // The paper's Section 2.3 query: pairs of persons studying at Uni
+  // Leipzig with different genders, knowing each other within at most
+  // three friendship hops.
+  const std::string query =
+      "MATCH (p1:Person)-[s:studyAt]->(u:University), "
+      "      (p2:Person)-[:studyAt]->(u), "
+      "      (p1)-[e:knows*1..3]->(p2) "
+      "WHERE p1.gender <> p2.gender "
+      "  AND u.name = 'Uni Leipzig' "
+      "  AND s.classYear > 2014 "
+      "RETURN p1.name, p2.name";
+
+  std::cout << "Query:\n" << query << "\n\n";
+
+  auto plan = engine.Explain(query);
+  if (!plan.ok()) {
+    std::cerr << "planning failed: " << plan.status() << "\n";
+    return 1;
+  }
+  std::cout << "Execution plan:\n" << plan.value() << "\n";
+
+  // Execute with the paper's default operator semantics: homomorphic
+  // vertices, isomorphic edges — g.cypher(q, HOMO, ISO).
+  auto matches = engine.Match(query, query::MorphismSetting::Neo4j());
+  if (!matches.ok()) {
+    std::cerr << "execution failed: " << matches.status() << "\n";
+    return 1;
+  }
+
+  std::cout << "Found " << matches.value().NumGraphs()
+            << " matching subgraphs:\n";
+  for (const GraphHead& head : matches.value().heads().Collect()) {
+    std::cout << "  graph " << head.id << ": p1.name="
+              << head.properties.Get("p1.name").ToString()
+              << " p2.name=" << head.properties.Get("p2.name").ToString()
+              << "\n";
+  }
+
+  const auto& tracker = ctx->tracker();
+  std::cout << "\nSimulated cluster execution: " << tracker.NumStages()
+            << " dataflow stages, " << tracker.NetworkBytes()
+            << " bytes shuffled, " << tracker.SimulatedSeconds()
+            << "s simulated time\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+#ifndef GRADOOP_COMMON_RESULT_H_
+#define GRADOOP_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace gradoop {
+
+// A value-or-error holder, the return type of fallible functions that produce
+// a value (e.g. the Cypher parser). Either holds a T (status is OK) or a
+// non-OK Status.
+//
+//   Result<Query> r = Parse(text);
+//   if (!r.ok()) return r.status();
+//   Use(r.value());
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or from an error status keeps call
+  // sites terse: `return query;` or `return Status::ParseError(...)`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "OK status requires a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Evaluates `expr` (a Result<T>), propagates its error, otherwise binds the
+// moved value to `lhs`.
+#define GRADOOP_ASSIGN_OR_RETURN(lhs, expr)                   \
+  auto GRADOOP_CONCAT_(_res_, __LINE__) = (expr);             \
+  if (!GRADOOP_CONCAT_(_res_, __LINE__).ok())                 \
+    return GRADOOP_CONCAT_(_res_, __LINE__).status();         \
+  lhs = std::move(GRADOOP_CONCAT_(_res_, __LINE__)).value()
+
+#define GRADOOP_CONCAT_(a, b) GRADOOP_CONCAT_IMPL_(a, b)
+#define GRADOOP_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace gradoop
+
+#endif  // GRADOOP_COMMON_RESULT_H_

@@ -1,0 +1,86 @@
+#ifndef GRADOOP_COMMON_STATUS_H_
+#define GRADOOP_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace gradoop {
+
+// Error category for a failed operation. Mirrors the small set of failure
+// modes that occur in the query pipeline; most call sites only distinguish
+// ok() from !ok() and surface the message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed (e.g. bad CSV row)
+  kParseError,        // Cypher text could not be parsed
+  kPlanError,         // no valid execution plan could be constructed
+  kExecutionError,    // a query operator failed at runtime
+  kNotFound,          // a referenced entity (variable, label, file) is missing
+  kUnsupported,       // syntactically valid but outside the implemented subset
+  kInternal,          // invariant violation; indicates a bug
+};
+
+// Returns a stable human-readable name, e.g. "ParseError".
+const char* StatusCodeName(StatusCode code);
+
+// Result of a fallible operation. The library does not use exceptions
+// (Google style); every fallible API returns Status or Result<T>.
+//
+// Usage:
+//   Status s = DoThing();
+//   if (!s.ok()) return s;
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status PlanError(std::string msg) {
+    return Status(StatusCode::kPlanError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Propagates a non-OK status to the caller.
+#define GRADOOP_RETURN_IF_ERROR(expr)            \
+  do {                                           \
+    ::gradoop::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+}  // namespace gradoop
+
+#endif  // GRADOOP_COMMON_STATUS_H_

@@ -1,0 +1,28 @@
+#ifndef GRADOOP_COMMON_STRINGS_H_
+#define GRADOOP_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gradoop {
+
+// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> SplitString(std::string_view text, char sep);
+
+// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+// ASCII case-insensitive equality (Cypher keywords are case-insensitive).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// Uppercases ASCII letters.
+std::string ToUpperAscii(std::string_view text);
+
+}  // namespace gradoop
+
+#endif  // GRADOOP_COMMON_STRINGS_H_

@@ -1,0 +1,27 @@
+#ifndef GRADOOP_COMMON_TIMER_H_
+#define GRADOOP_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace gradoop {
+
+// Wall-clock stopwatch for benchmark harnesses.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gradoop
+
+#endif  // GRADOOP_COMMON_TIMER_H_

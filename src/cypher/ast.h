@@ -1,0 +1,77 @@
+#ifndef GRADOOP_CYPHER_AST_H_
+#define GRADOOP_CYPHER_AST_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cypher/expression.h"
+#include "epgm/property_value.h"
+
+namespace gradoop::cypher {
+
+// Abstract syntax of the Cypher pattern-matching core (§2.3): a MATCH
+// clause with one or more pattern paths, an optional WHERE expression and
+// a RETURN clause.
+
+// Direction of a relationship pattern relative to its left node:
+// (a)-[e]->(b) outgoing, (a)<-[e]-(b) incoming, (a)-[e]-(b) undirected.
+enum class PatternDirection {
+  kOutgoing,
+  kIncoming,
+  kUndirected,
+};
+
+// (variable :LabelA|LabelB {key: literal, ...})
+struct NodePattern {
+  std::string variable;  // empty = anonymous; parser assigns a fresh name
+  std::vector<std::string> labels;  // alternation; empty = unlabeled
+  // Property map sugar; each entry is an equality predicate on the node.
+  std::vector<std::pair<std::string, epgm::PropertyValue>> properties;
+};
+
+// -[variable :typeA|typeB *lower..upper {key: literal}]->
+struct RelationshipPattern {
+  std::string variable;
+  std::vector<std::string> types;  // alternation; empty = untyped
+  PatternDirection direction = PatternDirection::kOutgoing;
+  std::vector<std::pair<std::string, epgm::PropertyValue>> properties;
+  // Variable-length bounds. A fixed-length edge has lower == upper == 1.
+  // `*l..u` sets [l, u]; `*` alone defaults to [1, kDefaultUpperBound].
+  int lower_bound = 1;
+  int upper_bound = 1;
+
+  bool IsVariableLength() const { return lower_bound != 1 || upper_bound != 1; }
+
+  static constexpr int kDefaultUpperBound = 10;
+};
+
+// A linear path: node (rel node)*.
+struct PatternPath {
+  NodePattern start;
+  std::vector<std::pair<RelationshipPattern, NodePattern>> steps;
+};
+
+// One RETURN item: `*`, `variable` or `variable.key` (optionally aliased).
+struct ReturnItem {
+  std::string variable;
+  std::string property_key;  // empty = whole element binding
+  std::string alias;         // empty = no alias
+
+  bool IsPropertyAccess() const { return !property_key.empty(); }
+};
+
+// A parsed query.
+struct CypherQuery {
+  std::vector<PatternPath> paths;
+  ExpressionPtr where;  // nullptr when absent
+  bool return_all = false;  // RETURN *
+  bool return_distinct = false;  // RETURN DISTINCT ...
+  std::vector<ReturnItem> return_items;
+  int64_t limit = -1;  // LIMIT n; -1 = unlimited
+};
+
+}  // namespace gradoop::cypher
+
+#endif  // GRADOOP_CYPHER_AST_H_

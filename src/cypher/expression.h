@@ -1,0 +1,131 @@
+#ifndef GRADOOP_CYPHER_EXPRESSION_H_
+#define GRADOOP_CYPHER_EXPRESSION_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "epgm/property_value.h"
+
+namespace gradoop::cypher {
+
+// Binary comparison operators of the WHERE clause.
+enum class ComparisonOp {
+  kEq,   // =
+  kNeq,  // <>
+  kLt,   // <
+  kLte,  // <=
+  kGt,   // >
+  kGte,  // >=
+};
+
+ComparisonOp NegateComparison(ComparisonOp op);
+const char* ComparisonOpName(ComparisonOp op);
+
+enum class ExprKind {
+  kLiteral,         // 'Uni Leipzig', 2014, true, NULL
+  kPropertyAccess,  // p1.gender
+  kComparison,      // lhs op rhs
+  kAnd,
+  kOr,
+  kXor,
+  kNot,
+};
+
+class Expression;
+// Expression trees are immutable and share subtrees freely (CNF rewriting
+// duplicates references, not nodes).
+using ExpressionPtr = std::shared_ptr<const Expression>;
+
+// A WHERE-clause expression. One node type with a kind discriminator keeps
+// the recursive-descent parser and the CNF rewriter compact.
+class Expression {
+ public:
+  static ExpressionPtr Literal(epgm::PropertyValue value);
+  static ExpressionPtr PropertyAccess(std::string variable, std::string key);
+  static ExpressionPtr Comparison(ComparisonOp op, ExpressionPtr lhs,
+                                  ExpressionPtr rhs);
+  static ExpressionPtr And(ExpressionPtr lhs, ExpressionPtr rhs);
+  static ExpressionPtr Or(ExpressionPtr lhs, ExpressionPtr rhs);
+  static ExpressionPtr Xor(ExpressionPtr lhs, ExpressionPtr rhs);
+  static ExpressionPtr Not(ExpressionPtr operand);
+
+  ExprKind kind() const { return kind_; }
+  const epgm::PropertyValue& literal() const { return literal_; }
+  const std::string& variable() const { return variable_; }
+  const std::string& property_key() const { return property_key_; }
+  ComparisonOp comparison_op() const { return op_; }
+  const ExpressionPtr& left() const { return left_; }
+  const ExpressionPtr& right() const { return right_; }
+
+  // Collects every `variable.key` pair referenced in the subtree. These
+  // drive embedding projection: only referenced properties are carried.
+  void CollectPropertyAccesses(
+      std::set<std::pair<std::string, std::string>>* out) const;
+  // Collects the set of query variables referenced.
+  void CollectVariables(std::set<std::string>* out) const;
+
+  // Cypher-style textual form, for debugging and plan explanation.
+  std::string ToString() const;
+
+ private:
+  Expression() = default;
+
+  ExprKind kind_ = ExprKind::kLiteral;
+  epgm::PropertyValue literal_;
+  std::string variable_;
+  std::string property_key_;
+  ComparisonOp op_ = ComparisonOp::kEq;
+  ExpressionPtr left_;
+  ExpressionPtr right_;
+};
+
+// Resolves `variable.key` to a property value during evaluation; returns a
+// null value when the binding or property is absent.
+using ValueResolver = std::function<epgm::PropertyValue(
+    const std::string& variable, const std::string& key)>;
+
+// Evaluates an expression subtree under Cypher's ternary logic: nullopt is
+// the SQL/Cypher NULL truth value (comparisons against missing properties
+// are NULL, AND/OR/NOT propagate it).
+std::optional<bool> EvaluateTernary(const Expression& expr,
+                                    const ValueResolver& resolver);
+
+// Top-level predicate evaluation: NULL collapses to false (a WHERE clause
+// keeps a row only when the predicate is definitely true).
+bool EvaluatePredicate(const Expression& expr, const ValueResolver& resolver);
+
+// A disjunction of atomic predicates; a conjunction of clauses is a CNF.
+struct CnfClause {
+  std::vector<ExpressionPtr> atoms;  // comparisons (negations folded away)
+
+  // Query variables referenced across all atoms.
+  std::set<std::string> Variables() const;
+  std::string ToString() const;
+};
+
+// Conjunctive normal form of a WHERE expression. Clauses touching a single
+// variable can be pushed into the leaf scans (element-centric selection,
+// §3.1); the rest run as SelectEmbeddings once all their variables are
+// bound.
+struct Cnf {
+  std::vector<CnfClause> clauses;
+
+  std::string ToString() const;
+};
+
+// Rewrites `expr` into CNF: negation normal form (NOT pushed into the
+// comparison operators, XOR expanded), then OR distributed over AND.
+Cnf ToCnf(const ExpressionPtr& expr);
+
+// Evaluates one CNF clause (disjunction) under ternary logic, collapsing
+// NULL to false.
+bool EvaluateClause(const CnfClause& clause, const ValueResolver& resolver);
+
+}  // namespace gradoop::cypher
+
+#endif  // GRADOOP_CYPHER_EXPRESSION_H_

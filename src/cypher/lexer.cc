@@ -1,0 +1,247 @@
+#include "cypher/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace gradoop::cypher {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof:
+      return "end of input";
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kInteger:
+      return "integer";
+    case TokenKind::kFloat:
+      return "float";
+    case TokenKind::kLeftParen:
+      return "'('";
+    case TokenKind::kRightParen:
+      return "')'";
+    case TokenKind::kLeftBracket:
+      return "'['";
+    case TokenKind::kRightBracket:
+      return "']'";
+    case TokenKind::kLeftBrace:
+      return "'{'";
+    case TokenKind::kRightBrace:
+      return "'}'";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kDotDot:
+      return "'..'";
+    case TokenKind::kPipe:
+      return "'|'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kDash:
+      return "'-'";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNeq:
+      return "'<>'";
+    case TokenKind::kLte:
+      return "'<='";
+    case TokenKind::kGte:
+      return "'>='";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& query) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = query.size();
+
+  auto push = [&](TokenKind kind, size_t offset, std::string text = "") {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.offset = offset;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = query[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments: // to end of line.
+    if (c == '/' && i + 1 < n && query[i + 1] == '/') {
+      while (i < n && query[i] != '\n') ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(query[j])) ++j;
+      push(TokenKind::kIdentifier, start, query.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < n && std::isdigit(static_cast<unsigned char>(query[j]))) ++j;
+      // A float needs `digit . digit`; `1..3` is integer followed by dotdot.
+      bool is_float = false;
+      if (j + 1 < n && query[j] == '.' &&
+          std::isdigit(static_cast<unsigned char>(query[j + 1]))) {
+        is_float = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(query[j]))) {
+          ++j;
+        }
+      }
+      Token t;
+      t.offset = start;
+      t.text = query.substr(i, j - i);
+      if (is_float) {
+        t.kind = TokenKind::kFloat;
+        t.float_value = std::strtod(t.text.c_str(), nullptr);
+      } else {
+        t.kind = TokenKind::kInteger;
+        t.int_value = std::strtoll(t.text.c_str(), nullptr, 10);
+      }
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      const char quote = c;
+      std::string value;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (query[j] == '\\' && j + 1 < n) {
+          const char esc = query[j + 1];
+          switch (esc) {
+            case 'n':
+              value += '\n';
+              break;
+            case 't':
+              value += '\t';
+              break;
+            default:
+              value += esc;
+          }
+          j += 2;
+          continue;
+        }
+        if (query[j] == quote) {
+          closed = true;
+          ++j;
+          break;
+        }
+        value += query[j];
+        ++j;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      push(TokenKind::kString, start, std::move(value));
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case '(':
+        push(TokenKind::kLeftParen, start);
+        break;
+      case ')':
+        push(TokenKind::kRightParen, start);
+        break;
+      case '[':
+        push(TokenKind::kLeftBracket, start);
+        break;
+      case ']':
+        push(TokenKind::kRightBracket, start);
+        break;
+      case '{':
+        push(TokenKind::kLeftBrace, start);
+        break;
+      case '}':
+        push(TokenKind::kRightBrace, start);
+        break;
+      case ':':
+        push(TokenKind::kColon, start);
+        break;
+      case ',':
+        push(TokenKind::kComma, start);
+        break;
+      case '|':
+        push(TokenKind::kPipe, start);
+        break;
+      case '*':
+        push(TokenKind::kStar, start);
+        break;
+      case '-':
+        push(TokenKind::kDash, start);
+        break;
+      case '=':
+        push(TokenKind::kEq, start);
+        break;
+      case '.':
+        if (i + 1 < n && query[i + 1] == '.') {
+          push(TokenKind::kDotDot, start);
+          ++i;
+        } else {
+          push(TokenKind::kDot, start);
+        }
+        break;
+      case '<':
+        // `<>` and `<=` are comparison operators; a bare `<` either starts
+        // the pattern arrow `<-[` or is the less-than operator (the parser
+        // disambiguates by context).
+        if (i + 1 < n && query[i + 1] == '>') {
+          push(TokenKind::kNeq, start);
+          ++i;
+        } else if (i + 1 < n && query[i + 1] == '=') {
+          push(TokenKind::kLte, start);
+          ++i;
+        } else {
+          push(TokenKind::kLt, start);
+        }
+        break;
+      case '>':
+        if (i + 1 < n && query[i + 1] == '=') {
+          push(TokenKind::kGte, start);
+          ++i;
+        } else {
+          push(TokenKind::kGt, start);
+        }
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(start));
+    }
+    ++i;
+  }
+  push(TokenKind::kEof, n);
+  return tokens;
+}
+
+}  // namespace gradoop::cypher

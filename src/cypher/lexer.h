@@ -1,0 +1,19 @@
+#ifndef GRADOOP_CYPHER_LEXER_H_
+#define GRADOOP_CYPHER_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "cypher/token.h"
+
+namespace gradoop::cypher {
+
+// Tokenizes a Cypher query. Keywords are not distinguished from
+// identifiers at this level; the parser matches them case-insensitively.
+// The returned stream always ends with a kEof token.
+Result<std::vector<Token>> Tokenize(const std::string& query);
+
+}  // namespace gradoop::cypher
+
+#endif  // GRADOOP_CYPHER_LEXER_H_

@@ -1,0 +1,29 @@
+#ifndef GRADOOP_CYPHER_PARSER_H_
+#define GRADOOP_CYPHER_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "cypher/ast.h"
+
+namespace gradoop::cypher {
+
+// Parses the Cypher pattern-matching subset implemented by the paper:
+//
+//   query      := MATCH path (',' path)* [WHERE expr] RETURN items
+//   path       := node (rel node)*
+//   node       := '(' [var] [':' label ('|' label)*] [props] ')'
+//   rel        := '-' '[' [var] [':' type ('|' type)*] ['*' [int] ['..' int]]
+//                 [props] ']' '->'   (and the <-[...]-, -[...]- variants)
+//   props      := '{' key ':' literal (',' key ':' literal)* '}'
+//   expr       := boolean combination (AND/OR/XOR/NOT) of comparisons
+//                 between `var.key` accesses and literals
+//   items      := '*' | item (',' item)*;  item := var['.' key] [AS alias]
+//
+// Keywords are case-insensitive. Anonymous pattern elements receive fresh
+// internal variable names (`  __v0`, `  __e1`, ...).
+Result<CypherQuery> ParseCypher(const std::string& query_text);
+
+}  // namespace gradoop::cypher
+
+#endif  // GRADOOP_CYPHER_PARSER_H_

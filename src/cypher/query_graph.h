@@ -1,0 +1,113 @@
+#ifndef GRADOOP_CYPHER_QUERY_GRAPH_H_
+#define GRADOOP_CYPHER_QUERY_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "cypher/ast.h"
+#include "cypher/expression.h"
+
+namespace gradoop::cypher {
+
+// A query vertex (Definition 2.2). `labels` is an alternation: the data
+// vertex's label must be one of them (empty = any label).
+struct QueryVertex {
+  int index = -1;
+  std::string variable;
+  std::vector<std::string> labels;
+
+  bool MatchesLabel(const std::string& label) const {
+    if (labels.empty()) return true;
+    for (const std::string& l : labels) {
+      if (l == label) return true;
+    }
+    return false;
+  }
+};
+
+// A query edge between two query vertices, possibly variable-length.
+struct QueryEdge {
+  int index = -1;
+  std::string variable;
+  std::vector<std::string> types;
+  int source = -1;  // index into QueryGraph::vertices()
+  int target = -1;
+  bool any_direction = false;  // undirected pattern: match either way
+  int lower_bound = 1;
+  int upper_bound = 1;
+
+  bool IsVariableLength() const {
+    return lower_bound != 1 || upper_bound != 1;
+  }
+
+  bool MatchesType(const std::string& label) const {
+    if (types.empty()) return true;
+    for (const std::string& t : types) {
+      if (t == label) return true;
+    }
+    return false;
+  }
+};
+
+// The query graph Q = (Vq, Eq, ...) derived from a parsed Cypher query,
+// with its predicates normalized to CNF and classified for pushdown.
+class QueryGraph {
+ public:
+  // Builds the query graph: merges repeated variables across paths,
+  // intersects label constraints, folds property-map sugar into equality
+  // predicates and normalizes the WHERE clause to CNF.
+  static Result<QueryGraph> Build(const CypherQuery& ast);
+
+  const std::vector<QueryVertex>& vertices() const { return vertices_; }
+  const std::vector<QueryEdge>& edges() const { return edges_; }
+
+  const QueryVertex* FindVertex(const std::string& variable) const;
+  const QueryEdge* FindEdge(const std::string& variable) const;
+
+  // CNF clauses that reference only `variable` (element-centric; evaluated
+  // during the leaf scans, §3.1).
+  std::vector<CnfClause> ElementPredicates(const std::string& variable) const;
+  // CNF clauses spanning several variables, paired with their variable
+  // sets; evaluated by SelectEmbeddings once all variables are bound.
+  const std::vector<CnfClause>& CrossPredicates() const {
+    return cross_predicates_;
+  }
+
+  // Property keys of `variable` that must be carried in embeddings
+  // (referenced by WHERE or RETURN).
+  std::set<std::string> NeededProperties(const std::string& variable) const;
+
+  // True when label constraints are contradictory (e.g. (a:X) and (a:Y)
+  // with disjoint alternations); such a query has no matches.
+  bool unsatisfiable() const { return unsatisfiable_; }
+
+  bool return_all() const { return return_all_; }
+  bool return_distinct() const { return return_distinct_; }
+  // -1 = unlimited.
+  int64_t limit() const { return limit_; }
+  const std::vector<ReturnItem>& return_items() const { return return_items_; }
+
+  // Human-readable summary for plan explanation.
+  std::string ToString() const;
+
+ private:
+  std::vector<QueryVertex> vertices_;
+  std::vector<QueryEdge> edges_;
+  std::map<std::string, int> vertex_by_variable_;
+  std::map<std::string, int> edge_by_variable_;
+  std::vector<CnfClause> element_predicates_;  // single-variable clauses
+  std::vector<CnfClause> cross_predicates_;
+  std::map<std::string, std::set<std::string>> needed_properties_;
+  bool unsatisfiable_ = false;
+  bool return_all_ = false;
+  bool return_distinct_ = false;
+  int64_t limit_ = -1;
+  std::vector<ReturnItem> return_items_;
+};
+
+}  // namespace gradoop::cypher
+
+#endif  // GRADOOP_CYPHER_QUERY_GRAPH_H_

@@ -1,0 +1,49 @@
+#ifndef GRADOOP_CYPHER_TOKEN_H_
+#define GRADOOP_CYPHER_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gradoop::cypher {
+
+enum class TokenKind {
+  kEof,
+  kIdentifier,   // p1, knows, firstName (also unquoted keywords — the
+                 // parser matches keywords case-insensitively)
+  kString,       // 'Uni Leipzig' or "Uni Leipzig"
+  kInteger,      // 2014
+  kFloat,        // 3.14
+  kLeftParen,    // (
+  kRightParen,   // )
+  kLeftBracket,  // [
+  kRightBracket,  // ]
+  kLeftBrace,    // {
+  kRightBrace,   // }
+  kColon,        // :
+  kComma,        // ,
+  kDot,          // .
+  kDotDot,       // ..
+  kPipe,         // |
+  kStar,         // *
+  kDash,         // -
+  kGt,           // >  (also closes `]->`)
+  kLt,           // <  (also opens `<-[`)
+  kEq,           // =
+  kNeq,          // <>
+  kLte,          // <=
+  kGte,          // >=
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;       // raw text (unescaped for strings)
+  int64_t int_value = 0;  // valid for kInteger
+  double float_value = 0.0;  // valid for kFloat
+  size_t offset = 0;      // byte offset in the query, for error messages
+};
+
+}  // namespace gradoop::cypher
+
+#endif  // GRADOOP_CYPHER_TOKEN_H_

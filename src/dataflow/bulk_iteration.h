@@ -1,0 +1,36 @@
+#ifndef GRADOOP_DATAFLOW_BULK_ITERATION_H_
+#define GRADOOP_DATAFLOW_BULK_ITERATION_H_
+
+#include <functional>
+
+#include "dataflow/dataset.h"
+
+namespace gradoop::dataflow {
+
+// Flink-style bulk iteration: repeatedly applies `body` to the working set
+// until `max_iterations` supersteps have run or the working set is empty.
+// `body(working, iteration)` returns the next working set. `collect` is
+// invoked after each superstep and may union results out of the loop (the
+// paper's ExpandEmbeddings emits valid paths once the lower bound is
+// reached, §3.1).
+template <typename T>
+Dataset<T> BulkIterate(
+    Dataset<T> initial, int max_iterations,
+    const std::function<Dataset<T>(const Dataset<T>&, int)>& body,
+    const std::function<void(const Dataset<T>&, int)>& collect) {
+  Dataset<T> working = std::move(initial);
+  for (int it = 1; it <= max_iterations; ++it) {
+    uint64_t n = 0;
+    for (int p = 0; p < working.num_partitions(); ++p) {
+      n += working.partition(p).size();
+    }
+    if (n == 0) break;  // no more valid paths: terminate early
+    working = body(working, it);
+    collect(working, it);
+  }
+  return working;
+}
+
+}  // namespace gradoop::dataflow
+
+#endif  // GRADOOP_DATAFLOW_BULK_ITERATION_H_

@@ -1,0 +1,112 @@
+#include "dataflow/cost_model.h"
+
+#include <algorithm>
+
+namespace gradoop::dataflow {
+
+void CostTracker::AddStage(const StageCost& cost) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stages_.push_back(cost);
+  simulated_sec_ += cost.TotalSeconds();
+}
+
+void CostTracker::AddNetworkBytes(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  network_bytes_ += bytes;
+}
+
+void CostTracker::AddSpilledBytes(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spilled_bytes_ += bytes;
+}
+
+void CostTracker::AddRecords(uint64_t records) {
+  std::lock_guard<std::mutex> lock(mu_);
+  total_records_ += records;
+}
+
+double CostTracker::SimulatedSeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return simulated_sec_;
+}
+
+uint64_t CostTracker::NetworkBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return network_bytes_;
+}
+
+uint64_t CostTracker::SpilledBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spilled_bytes_;
+}
+
+uint64_t CostTracker::TotalRecords() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_records_;
+}
+
+int CostTracker::NumStages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(stages_.size());
+}
+
+std::vector<StageCost> CostTracker::Stages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stages_;
+}
+
+void CostTracker::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stages_.clear();
+  simulated_sec_ = 0.0;
+  network_bytes_ = 0;
+  spilled_bytes_ = 0;
+  total_records_ = 0;
+}
+
+double ShuffleSeconds(const std::vector<uint64_t>& out_bytes,
+                      const std::vector<uint64_t>& in_bytes,
+                      const ClusterConfig& config) {
+  double worst = 0.0;
+  const size_t n = std::max(out_bytes.size(), in_bytes.size());
+  for (size_t w = 0; w < n; ++w) {
+    const double out = w < out_bytes.size()
+                           ? static_cast<double>(out_bytes[w])
+                           : 0.0;
+    const double in =
+        w < in_bytes.size() ? static_cast<double>(in_bytes[w]) : 0.0;
+    // Full-duplex NIC: send and receive overlap; the slower direction
+    // bounds the worker.
+    worst = std::max(worst, std::max(out, in) / config.network_bytes_per_sec);
+  }
+  return worst;
+}
+
+double SpillSeconds(const std::vector<uint64_t>& state_bytes,
+                    const std::vector<uint64_t>& state_records,
+                    const ClusterConfig& config, uint64_t* spilled_bytes) {
+  double worst = 0.0;
+  uint64_t total_spilled = 0;
+  for (size_t w = 0; w < state_bytes.size(); ++w) {
+    const uint64_t bytes = state_bytes[w];
+    if (bytes <= config.worker_memory_bytes) continue;
+    const uint64_t excess = bytes - config.worker_memory_bytes;
+    total_spilled += excess;
+    // One write plus one read pass over the spilled bytes...
+    double seconds =
+        2.0 * static_cast<double>(excess) / config.disk_bytes_per_sec;
+    // ...and serialization + deserialization of the spilled records
+    // (proportional share of the worker's state records).
+    if (w < state_records.size() && bytes > 0) {
+      const double spilled_records =
+          static_cast<double>(state_records[w]) *
+          (static_cast<double>(excess) / static_cast<double>(bytes));
+      seconds += 2.0 * spilled_records * config.seconds_per_record;
+    }
+    worst = std::max(worst, seconds);
+  }
+  if (spilled_bytes != nullptr) *spilled_bytes = total_spilled;
+  return worst;
+}
+
+}  // namespace gradoop::dataflow

@@ -1,0 +1,82 @@
+#ifndef GRADOOP_DATAFLOW_COST_MODEL_H_
+#define GRADOOP_DATAFLOW_COST_MODEL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dataflow/cluster_config.h"
+
+namespace gradoop::dataflow {
+
+// Cost of one dataflow stage under the simulated cluster model. Produced by
+// each dataset transformation and folded into the CostTracker.
+struct StageCost {
+  std::string label;            // operator name, for traces
+  double compute_sec = 0.0;     // max over workers of per-worker CPU time
+  double network_sec = 0.0;     // shuffle time (max per-worker in+out bytes)
+  double spill_sec = 0.0;       // disk penalty for memory overflow
+  double latency_sec = 0.0;     // fixed stage coordination latency
+
+  double TotalSeconds() const {
+    return compute_sec + network_sec + spill_sec + latency_sec;
+  }
+};
+
+// Aggregated simulated-execution statistics for one dataflow job.
+// Thread-safe: transformations running on the pool record stages
+// concurrently.
+class CostTracker {
+ public:
+  CostTracker() = default;
+
+  void AddStage(const StageCost& cost);
+
+  void AddNetworkBytes(uint64_t bytes);
+  void AddSpilledBytes(uint64_t bytes);
+  void AddRecords(uint64_t records);
+
+  // Total simulated wall-clock seconds across all recorded stages
+  // (stages execute back-to-back, as in a Flink batch job).
+  double SimulatedSeconds() const;
+  uint64_t NetworkBytes() const;
+  uint64_t SpilledBytes() const;
+  uint64_t TotalRecords() const;
+  int NumStages() const;
+
+  // Per-stage trace in execution order.
+  std::vector<StageCost> Stages() const;
+
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<StageCost> stages_;
+  double simulated_sec_ = 0.0;
+  uint64_t network_bytes_ = 0;
+  uint64_t spilled_bytes_ = 0;
+  uint64_t total_records_ = 0;
+};
+
+// Computes shuffle time for an all-to-all exchange. `out_bytes[w]` /
+// `in_bytes[w]` are the bytes worker w sends to / receives from *remote*
+// workers. Each worker's NIC is full-duplex; the stage finishes when the
+// slowest worker has both sent and received its share.
+double ShuffleSeconds(const std::vector<uint64_t>& out_bytes,
+                      const std::vector<uint64_t>& in_bytes,
+                      const ClusterConfig& config);
+
+// Computes the spill penalty for per-worker state. Bytes beyond the
+// worker memory budget pay one write and one read pass against the disk,
+// and — the dominant cost in Flink — each spilled record additionally
+// pays serialization + deserialization (2x the per-record CPU cost).
+// `state_records[w]` is the record count behind `state_bytes[w]`; the
+// spilled record share is assumed proportional to the spilled bytes.
+double SpillSeconds(const std::vector<uint64_t>& state_bytes,
+                    const std::vector<uint64_t>& state_records,
+                    const ClusterConfig& config, uint64_t* spilled_bytes);
+
+}  // namespace gradoop::dataflow
+
+#endif  // GRADOOP_DATAFLOW_COST_MODEL_H_

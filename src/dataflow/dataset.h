@@ -1,0 +1,487 @@
+#ifndef GRADOOP_DATAFLOW_DATASET_H_
+#define GRADOOP_DATAFLOW_DATASET_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "dataflow/execution_context.h"
+#include "dataflow/record_traits.h"
+
+namespace gradoop::dataflow {
+
+// Physical join strategy, mirroring Flink's optimizer choice between
+// repartitioning both inputs and broadcasting the build side.
+enum class JoinStrategy {
+  kRepartition,  // hash-partition both sides on the join key
+  kBroadcast,    // replicate the (small) right side to every worker
+};
+
+// A distributed dataset: `num_workers` partitions, partition i owned by
+// simulated worker i. Transformations execute eagerly on the host thread
+// pool and charge the simulated cluster cost model of the shared
+// ExecutionContext (compute = max over workers, shuffle = bytes over the
+// simulated network, spills when per-worker state exceeds its memory
+// budget).
+//
+// Dataset values are cheap shared handles; transformations return new
+// datasets and never mutate their input.
+template <typename T>
+class Dataset {
+ public:
+  using Partitions = std::vector<std::vector<T>>;
+
+  Dataset() = default;
+
+  Dataset(ExecutionContextPtr ctx, std::shared_ptr<Partitions> partitions)
+      : ctx_(std::move(ctx)), partitions_(std::move(partitions)) {
+    assert(partitions_->size() ==
+           static_cast<size_t>(ctx_->num_workers()));
+  }
+
+  // Distributes `data` over the workers round-robin (the balanced layout
+  // a parallel source produces; contiguous chunks would concentrate
+  // whole label blocks of a generated file on single workers). Charges
+  // one read stage.
+  static Dataset FromVector(ExecutionContextPtr ctx, std::vector<T> data) {
+    const int p = ctx->num_workers();
+    auto parts = std::make_shared<Partitions>(p);
+    const size_t n = data.size();
+    for (int i = 0; i < p; ++i) (*parts)[i].reserve(n / p + 1);
+    for (size_t i = 0; i < n; ++i) {
+      (*parts)[i % p].push_back(std::move(data[i]));
+    }
+    Dataset ds(std::move(ctx), std::move(parts));
+    ds.ChargeNarrowStage("Source", ds.CountLocal(), ds.CountLocal());
+    return ds;
+  }
+
+  // Creates an empty dataset with the context's partition count.
+  static Dataset Empty(ExecutionContextPtr ctx) {
+    auto parts = std::make_shared<Partitions>(ctx->num_workers());
+    return Dataset(std::move(ctx), std::move(parts));
+  }
+
+  const ExecutionContextPtr& context() const { return ctx_; }
+  int num_partitions() const { return static_cast<int>(partitions_->size()); }
+  const std::vector<T>& partition(int i) const { return (*partitions_)[i]; }
+  bool valid() const { return ctx_ != nullptr; }
+
+  // Total number of records. Charges one aggregation stage (counting is a
+  // job in Flink, and the paper's reported runtimes include the count).
+  uint64_t Count() const {
+    const uint64_t n = CountLocal();
+    ChargeNarrowStage("Count", n, 0);
+    return n;
+  }
+
+  // Gathers all records to the driver (test/sink use only). The gather
+  // moves every remote partition over the network.
+  std::vector<T> Collect() const {
+    std::vector<T> out;
+    std::vector<uint64_t> out_bytes(num_partitions(), 0);
+    for (int i = 0; i < num_partitions(); ++i) {
+      for (const T& rec : (*partitions_)[i]) {
+        if (i != 0) out_bytes[i] += RecordBytes(rec);
+        out.push_back(rec);
+      }
+    }
+    std::vector<uint64_t> in_bytes(num_partitions(), 0);
+    for (int i = 1; i < num_partitions(); ++i) in_bytes[0] += out_bytes[i];
+    StageCost cost;
+    cost.label = "Collect";
+    cost.network_sec = ShuffleSeconds(out_bytes, in_bytes, ctx_->config());
+    cost.latency_sec = ctx_->config().stage_latency_sec;
+    ctx_->tracker().AddStage(cost);
+    uint64_t total = 0;
+    for (uint64_t b : out_bytes) total += b;
+    ctx_->tracker().AddNetworkBytes(total);
+    return out;
+  }
+
+  // Element-wise transformation (narrow, no shuffle).
+  template <typename F>
+  auto Map(F fn, const char* label = "Map") const {
+    using U = std::decay_t<std::invoke_result_t<F, const T&>>;
+    auto out = std::make_shared<typename Dataset<U>::Partitions>(
+        num_partitions());
+    std::vector<uint64_t> in_counts(num_partitions(), 0);
+    RunPerPartition([&](int p) {
+      const auto& src = (*partitions_)[p];
+      auto& dst = (*out)[p];
+      dst.reserve(src.size());
+      for (const T& rec : src) dst.push_back(fn(rec));
+      in_counts[p] = src.size();
+    });
+    ChargePerPartition(label, in_counts, in_counts);
+    return Dataset<U>(ctx_, std::move(out));
+  }
+
+  // One-to-many transformation; `fn(record, &out)` may emit zero or more
+  // records. This is the paper's FlatMap used to fuse
+  // Select -> Project -> Transform into a single stage (§3.1).
+  template <typename U, typename F>
+  Dataset<U> FlatMap(F fn, const char* label = "FlatMap") const {
+    auto out = std::make_shared<typename Dataset<U>::Partitions>(
+        num_partitions());
+    std::vector<uint64_t> in_counts(num_partitions(), 0);
+    std::vector<uint64_t> out_counts(num_partitions(), 0);
+    RunPerPartition([&](int p) {
+      const auto& src = (*partitions_)[p];
+      auto& dst = (*out)[p];
+      for (const T& rec : src) fn(rec, &dst);
+      in_counts[p] = src.size();
+      out_counts[p] = dst.size();
+    });
+    ChargePerPartition(label, in_counts, out_counts);
+    return Dataset<U>(ctx_, std::move(out));
+  }
+
+  // Partition-wise transformation (narrow): `fn(partition_index, records,
+  // &out)` sees one whole partition. Used when outputs need
+  // partition-deterministic identifiers.
+  template <typename U, typename F>
+  Dataset<U> MapPartition(F fn, const char* label = "MapPartition") const {
+    auto out = std::make_shared<typename Dataset<U>::Partitions>(
+        num_partitions());
+    std::vector<uint64_t> in_counts(num_partitions(), 0);
+    std::vector<uint64_t> out_counts(num_partitions(), 0);
+    RunPerPartition([&](int p) {
+      const auto& src = (*partitions_)[p];
+      fn(p, src, &(*out)[p]);
+      in_counts[p] = src.size();
+      out_counts[p] = (*out)[p].size();
+    });
+    ChargePerPartition(label, in_counts, out_counts);
+    return Dataset<U>(ctx_, std::move(out));
+  }
+
+  // Keeps records satisfying `pred` (narrow).
+  template <typename P>
+  Dataset<T> Filter(P pred, const char* label = "Filter") const {
+    auto out = std::make_shared<Partitions>(num_partitions());
+    std::vector<uint64_t> in_counts(num_partitions(), 0);
+    std::vector<uint64_t> out_counts(num_partitions(), 0);
+    RunPerPartition([&](int p) {
+      const auto& src = (*partitions_)[p];
+      auto& dst = (*out)[p];
+      for (const T& rec : src) {
+        if (pred(rec)) dst.push_back(rec);
+      }
+      in_counts[p] = src.size();
+      out_counts[p] = dst.size();
+    });
+    ChargePerPartition(label, in_counts, out_counts);
+    return Dataset<T>(ctx_, std::move(out));
+  }
+
+  // Partition-wise concatenation (narrow; Flink's union is not a shuffle).
+  Dataset<T> Union(const Dataset<T>& other) const {
+    assert(num_partitions() == other.num_partitions());
+    auto out = std::make_shared<Partitions>(num_partitions());
+    for (int p = 0; p < num_partitions(); ++p) {
+      auto& dst = (*out)[p];
+      dst = (*partitions_)[p];
+      dst.insert(dst.end(), other.partition(p).begin(),
+                 other.partition(p).end());
+    }
+    // Union is free in Flink (pure stream merge) — no stage charged.
+    return Dataset<T>(ctx_, std::move(out));
+  }
+
+  // Hash-partitions records so that equal keys land on the same worker.
+  // `key(rec)` must return an unsigned integral or hashable key.
+  template <typename KeyFn>
+  Dataset<T> RepartitionByKey(KeyFn key,
+                              const char* label = "Repartition") const {
+    auto out = std::make_shared<Partitions>(num_partitions());
+    ShuffleInto(key, *partitions_, out.get(), label);
+    return Dataset<T>(ctx_, std::move(out));
+  }
+
+  // Removes records with duplicate keys (shuffle + per-partition dedup).
+  template <typename KeyFn>
+  Dataset<T> Distinct(KeyFn key, const char* label = "Distinct") const {
+    Dataset<T> shuffled = RepartitionByKey(key, label);
+    using K = std::decay_t<std::invoke_result_t<KeyFn, const T&>>;
+    auto out = std::make_shared<Partitions>(num_partitions());
+    std::vector<uint64_t> in_counts(num_partitions(), 0);
+    std::vector<uint64_t> out_counts(num_partitions(), 0);
+    RunPerPartition([&](int p) {
+      const auto& src = shuffled.partition(p);
+      auto& dst = (*out)[p];
+      std::unordered_map<K, bool> seen;
+      seen.reserve(src.size());
+      for (const T& rec : src) {
+        if (seen.emplace(key(rec), true).second) dst.push_back(rec);
+      }
+      in_counts[p] = src.size();
+      out_counts[p] = dst.size();
+    });
+    ChargePerPartition("DistinctLocal", in_counts, out_counts);
+    return Dataset<T>(ctx_, std::move(out));
+  }
+
+  // Groups by key and folds each group with `reducer(acc, rec)`; the
+  // accumulator is initialized from `init(rec)` on the group's first
+  // record. Returns (key, accumulator) pairs.
+  template <typename KeyFn, typename Init, typename Reducer>
+  auto ReduceByKey(KeyFn key, Init init, Reducer reducer,
+                   const char* label = "ReduceByKey") const {
+    using K = std::decay_t<std::invoke_result_t<KeyFn, const T&>>;
+    using A = std::decay_t<std::invoke_result_t<Init, const T&>>;
+    Dataset<T> shuffled = RepartitionByKey(key, label);
+    using OutT = std::pair<K, A>;
+    auto out =
+        std::make_shared<typename Dataset<OutT>::Partitions>(num_partitions());
+    std::vector<uint64_t> in_counts(num_partitions(), 0);
+    std::vector<uint64_t> out_counts(num_partitions(), 0);
+    RunPerPartition([&](int p) {
+      const auto& src = shuffled.partition(p);
+      std::unordered_map<K, A> groups;
+      for (const T& rec : src) {
+        auto it = groups.find(key(rec));
+        if (it == groups.end()) {
+          groups.emplace(key(rec), init(rec));
+        } else {
+          it->second = reducer(std::move(it->second), rec);
+        }
+      }
+      auto& dst = (*out)[p];
+      dst.reserve(groups.size());
+      for (auto& [k, acc] : groups) dst.emplace_back(k, std::move(acc));
+      in_counts[p] = src.size();
+      out_counts[p] = dst.size();
+    });
+    ChargePerPartition("ReduceLocal", in_counts, out_counts);
+    return Dataset<OutT>(ctx_, std::move(out));
+  }
+
+  // Equi-join with `right`; `joiner(l, r, &out)` may emit zero or more
+  // records, which implements Flink's FlatJoin — the paper uses it so that
+  // morphism-violating join results are dropped inside the join (§3.1).
+  //
+  // kRepartition hash-partitions both sides on the key; kBroadcast
+  // replicates the right side to all workers (right should be small). The
+  // right side is always the build side of the per-worker hash table.
+  template <typename Out, typename U, typename KeyL, typename KeyR,
+            typename Joiner>
+  Dataset<Out> HashJoin(const Dataset<U>& right, KeyL key_left, KeyR key_right,
+                        Joiner joiner,
+                        JoinStrategy strategy = JoinStrategy::kRepartition,
+                        const char* label = "Join") const {
+    using K = std::decay_t<std::invoke_result_t<KeyL, const T&>>;
+    static_assert(
+        std::is_same_v<K, std::decay_t<std::invoke_result_t<KeyR, const U&>>>,
+        "join key types must match");
+
+    const int p = num_partitions();
+    auto out = std::make_shared<typename Dataset<Out>::Partitions>(p);
+
+    // Phase 1: distribute both inputs.
+    typename Dataset<T>::Partitions left_parts;
+    typename Dataset<U>::Partitions right_parts;
+    if (strategy == JoinStrategy::kRepartition) {
+      left_parts.resize(p);
+      ShuffleInto(key_left, *partitions_, &left_parts, label);
+      right_parts.resize(p);
+      ShuffleIntoOther(key_right, right, &right_parts, label);
+    } else {
+      left_parts = *partitions_;  // stays in place
+      // Broadcast: every worker receives the full right side.
+      std::vector<U> all_right;
+      for (int i = 0; i < p; ++i) {
+        all_right.insert(all_right.end(), right.partition(i).begin(),
+                         right.partition(i).end());
+      }
+      right_parts.assign(p, all_right);
+      // Network: worker w sends its right-partition to the (p-1) others
+      // and receives everyone else's.
+      std::vector<uint64_t> out_bytes(p, 0), in_bytes(p, 0);
+      uint64_t total_bytes = 0;
+      for (int i = 0; i < p; ++i) {
+        uint64_t b = 0;
+        for (const U& rec : right.partition(i)) b += RecordBytes(rec);
+        out_bytes[i] = b * (p - 1);
+        total_bytes += b;
+      }
+      for (int i = 0; i < p; ++i) {
+        uint64_t own = 0;
+        for (const U& rec : right.partition(i)) own += RecordBytes(rec);
+        in_bytes[i] = total_bytes - own;
+      }
+      StageCost bc;
+      bc.label = std::string(label) + "/Broadcast";
+      bc.network_sec = ShuffleSeconds(out_bytes, in_bytes, ctx_->config());
+      bc.latency_sec = ctx_->config().stage_latency_sec;
+      ctx_->tracker().AddStage(bc);
+      uint64_t moved = 0;
+      for (uint64_t b : out_bytes) moved += b;
+      ctx_->tracker().AddNetworkBytes(moved);
+    }
+
+    // Phase 2: per-worker build + probe.
+    std::vector<uint64_t> work(p, 0);
+    std::vector<uint64_t> out_counts(p, 0);
+    std::vector<uint64_t> state_bytes(p, 0);
+    std::vector<uint64_t> state_records(p, 0);
+    RunPerPartition([&](int part) {
+      const auto& lsrc = left_parts[part];
+      const auto& rsrc = right_parts[part];
+      std::unordered_multimap<K, const U*> table;
+      table.reserve(rsrc.size());
+      uint64_t bytes = 0;
+      for (const U& rec : rsrc) {
+        table.emplace(key_right(rec), &rec);
+        bytes += RecordBytes(rec);
+      }
+      auto& dst = (*out)[part];
+      for (const T& lrec : lsrc) {
+        auto [it, end] = table.equal_range(key_left(lrec));
+        for (; it != end; ++it) joiner(lrec, *it->second, &dst);
+      }
+      work[part] = lsrc.size() + rsrc.size();
+      out_counts[part] = dst.size();
+      state_bytes[part] = bytes;
+      state_records[part] = rsrc.size();
+    });
+
+    // Compute + spill accounting for the build/probe stage.
+    const auto& cfg = ctx_->config();
+    StageCost cost;
+    cost.label = std::string(label) + "/BuildProbe";
+    uint64_t total_in = 0, total_out = 0;
+    double worst = 0.0;
+    for (int i = 0; i < p; ++i) {
+      worst = std::max(worst, static_cast<double>(work[i] + out_counts[i]) *
+                                  cfg.seconds_per_record);
+      total_in += work[i];
+      total_out += out_counts[i];
+    }
+    cost.compute_sec = worst;
+    uint64_t spilled = 0;
+    cost.spill_sec = SpillSeconds(state_bytes, state_records, cfg, &spilled);
+    cost.latency_sec = cfg.stage_latency_sec;
+    ctx_->tracker().AddStage(cost);
+    ctx_->tracker().AddRecords(total_in + total_out);
+    ctx_->tracker().AddSpilledBytes(spilled);
+    return Dataset<Out>(ctx_, std::move(out));
+  }
+
+ private:
+  template <typename>
+  friend class Dataset;
+
+  uint64_t CountLocal() const {
+    uint64_t n = 0;
+    for (const auto& part : *partitions_) n += part.size();
+    return n;
+  }
+
+  // Runs fn(p) for each partition index on the host pool.
+  void RunPerPartition(const std::function<void(int)>& fn) const {
+    ctx_->pool().RunAndWait(num_partitions(), fn);
+  }
+
+  // Charges a narrow stage where every worker processed `per worker` share
+  // of `in_records` uniformly (used when per-partition counts are equal or
+  // unknown).
+  void ChargeNarrowStage(const char* label, uint64_t in_records,
+                         uint64_t out_records) const {
+    const auto& cfg = ctx_->config();
+    StageCost cost;
+    cost.label = label;
+    const double per_worker =
+        static_cast<double>(in_records + out_records) / ctx_->num_workers();
+    cost.compute_sec = per_worker * cfg.seconds_per_record;
+    cost.latency_sec = cfg.stage_latency_sec;
+    ctx_->tracker().AddStage(cost);
+    ctx_->tracker().AddRecords(in_records);
+  }
+
+  // Charges a narrow stage with known per-partition record counts
+  // (simulated time = slowest worker, capturing skew).
+  void ChargePerPartition(const char* label,
+                          const std::vector<uint64_t>& in_counts,
+                          const std::vector<uint64_t>& out_counts) const {
+    const auto& cfg = ctx_->config();
+    StageCost cost;
+    cost.label = label;
+    double worst = 0.0;
+    uint64_t total = 0;
+    for (size_t i = 0; i < in_counts.size(); ++i) {
+      const uint64_t n = in_counts[i] + out_counts[i];
+      worst = std::max(worst, static_cast<double>(n) * cfg.seconds_per_record);
+      total += in_counts[i];
+    }
+    cost.compute_sec = worst;
+    cost.latency_sec = cfg.stage_latency_sec;
+    ctx_->tracker().AddStage(cost);
+    ctx_->tracker().AddRecords(total);
+  }
+
+  // Hash-shuffles `src` partitions into `dst` partitions by key, charging
+  // network time for records that change workers.
+  template <typename KeyFn, typename Rec>
+  void ShuffleInto(KeyFn key, const std::vector<std::vector<Rec>>& src,
+                   std::vector<std::vector<Rec>>* dst,
+                   const char* label) const {
+    const int p = num_partitions();
+    dst->assign(p, {});
+    std::vector<uint64_t> out_bytes(p, 0), in_bytes(p, 0);
+    std::vector<uint64_t> in_counts(p, 0);
+    uint64_t moved = 0;
+    using K = std::decay_t<std::invoke_result_t<KeyFn, const Rec&>>;
+    std::hash<K> hasher;
+    for (int i = 0; i < p; ++i) {
+      in_counts[i] = src[i].size();
+      for (const Rec& rec : src[i]) {
+        const int target = static_cast<int>(hasher(key(rec)) % p);
+        if (target != i) {
+          const uint64_t b = RecordBytes(rec);
+          out_bytes[i] += b;
+          in_bytes[target] += b;
+          moved += b;
+        }
+        (*dst)[target].push_back(rec);
+      }
+    }
+    const auto& cfg = ctx_->config();
+    StageCost cost;
+    cost.label = std::string(label) + "/Shuffle";
+    double worst = 0.0;
+    for (int i = 0; i < p; ++i) {
+      worst = std::max(worst,
+                       static_cast<double>(in_counts[i]) * cfg.seconds_per_record);
+    }
+    cost.compute_sec = worst;
+    cost.network_sec = ShuffleSeconds(out_bytes, in_bytes, cfg);
+    cost.latency_sec = cfg.stage_latency_sec;
+    ctx_->tracker().AddStage(cost);
+    ctx_->tracker().AddNetworkBytes(moved);
+    uint64_t total = 0;
+    for (uint64_t n : in_counts) total += n;
+    ctx_->tracker().AddRecords(total);
+  }
+
+  // Same as ShuffleInto but reads from another dataset's partitions.
+  template <typename KeyFn, typename U>
+  void ShuffleIntoOther(KeyFn key, const Dataset<U>& other,
+                        std::vector<std::vector<U>>* dst,
+                        const char* label) const {
+    ShuffleInto(key, *other.partitions_, dst, label);
+  }
+
+  ExecutionContextPtr ctx_;
+  std::shared_ptr<Partitions> partitions_;
+};
+
+}  // namespace gradoop::dataflow
+
+#endif  // GRADOOP_DATAFLOW_DATASET_H_

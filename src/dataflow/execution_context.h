@@ -1,0 +1,44 @@
+#ifndef GRADOOP_DATAFLOW_EXECUTION_CONTEXT_H_
+#define GRADOOP_DATAFLOW_EXECUTION_CONTEXT_H_
+
+#include <memory>
+
+#include "dataflow/cluster_config.h"
+#include "dataflow/cost_model.h"
+#include "dataflow/thread_pool.h"
+
+namespace gradoop::dataflow {
+
+// Shared runtime state of one dataflow "job": the simulated cluster shape,
+// the host thread pool that actually executes partitions, and the cost
+// tracker accumulating simulated distributed time. All datasets of a job
+// share one context (analogous to Flink's ExecutionEnvironment).
+class ExecutionContext {
+ public:
+  explicit ExecutionContext(ClusterConfig config = ClusterConfig())
+      : config_(config), pool_(config.host_threads) {}
+
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  const ClusterConfig& config() const { return config_; }
+  int num_workers() const { return config_.num_workers; }
+  CostTracker& tracker() { return tracker_; }
+  const CostTracker& tracker() const { return tracker_; }
+  ThreadPool& pool() { return pool_; }
+
+ private:
+  ClusterConfig config_;
+  CostTracker tracker_;
+  ThreadPool pool_;
+};
+
+using ExecutionContextPtr = std::shared_ptr<ExecutionContext>;
+
+inline ExecutionContextPtr MakeContext(ClusterConfig config = ClusterConfig()) {
+  return std::make_shared<ExecutionContext>(config);
+}
+
+}  // namespace gradoop::dataflow
+
+#endif  // GRADOOP_DATAFLOW_EXECUTION_CONTEXT_H_

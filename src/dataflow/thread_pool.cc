@@ -1,0 +1,66 @@
+#include "dataflow/thread_pool.h"
+
+#include <algorithm>
+
+namespace gradoop::dataflow {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 4;
+  }
+  threads_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::RunAndWait(int n, const std::function<void(int)>& task) {
+  if (n <= 0) return;
+  if (n == 1) {
+    task(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_ += n;
+    for (int i = 0; i < n; ++i) {
+      queue_.push([&task, i] { task(i); });
+    }
+  }
+  work_ready_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  batch_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      job = std::move(queue_.front());
+      queue_.pop();
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) batch_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace gradoop::dataflow

@@ -1,0 +1,45 @@
+#ifndef GRADOOP_DATAFLOW_THREAD_POOL_H_
+#define GRADOOP_DATAFLOW_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gradoop::dataflow {
+
+// Fixed-size worker pool used to execute dataset partitions in parallel on
+// the host machine. Real parallelism is an implementation detail; the
+// simulated cluster time never depends on it.
+class ThreadPool {
+ public:
+  // num_threads == 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  // Runs tasks(0..n-1) on the pool and blocks until all complete. Tasks
+  // must not themselves call RunAndWait on the same pool.
+  void RunAndWait(int n, const std::function<void(int)>& task);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  std::queue<std::function<void()>> queue_;
+  int pending_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace gradoop::dataflow
+
+#endif  // GRADOOP_DATAFLOW_THREAD_POOL_H_

@@ -1,0 +1,296 @@
+#include "epgm/csv_io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace gradoop::epgm {
+
+namespace {
+
+constexpr char kReserved[] = ";|=:,%\n";
+
+bool IsReserved(char c) {
+  for (const char* p = kReserved; *p; ++p) {
+    if (*p == c) return true;
+  }
+  return false;
+}
+
+std::string IdSetToString(const GradoopIdSet& ids) {
+  std::string out;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(ids[i]);
+  }
+  return out;
+}
+
+Result<GradoopIdSet> ParseIdSet(const std::string& text) {
+  GradoopIdSet ids;
+  if (text.empty()) return ids;
+  for (const std::string& part : SplitString(text, ',')) {
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(part.c_str(), &end, 10);
+    if (errno != 0 || end == part.c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad id: " + part);
+    }
+    ids.push_back(v);
+  }
+  return ids;
+}
+
+Result<GradoopId> ParseId(const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad id: " + text);
+  }
+  return static_cast<GradoopId>(v);
+}
+
+Result<std::vector<std::string>> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+}  // namespace
+
+std::string EscapeCsvField(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (IsReserved(c)) {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X",
+                    static_cast<unsigned char>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string UnescapeCsvField(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '%' && i + 2 < text.size()) {
+      const int hi = std::isxdigit(static_cast<unsigned char>(text[i + 1]))
+                         ? std::stoi(text.substr(i + 1, 2), nullptr, 16)
+                         : -1;
+      if (hi >= 0) {
+        out += static_cast<char>(hi);
+        i += 2;
+        continue;
+      }
+    }
+    out += text[i];
+  }
+  return out;
+}
+
+std::string EncodeProperties(const Properties& properties) {
+  std::string out;
+  bool first = true;
+  for (const auto& [key, value] : properties.entries()) {
+    if (value.is_id_list()) continue;  // path payloads are not persisted
+    if (!first) out += '|';
+    first = false;
+    out += EscapeCsvField(key);
+    out += '=';
+    out += value.TypeName();
+    out += ':';
+    out += EscapeCsvField(value.ToString());
+  }
+  return out;
+}
+
+Result<Properties> DecodeProperties(const std::string& text) {
+  Properties props;
+  if (text.empty()) return props;
+  for (const std::string& entry : SplitString(text, '|')) {
+    const size_t eq = entry.find('=');
+    const size_t colon = entry.find(':', eq == std::string::npos ? 0 : eq);
+    if (eq == std::string::npos || colon == std::string::npos || colon < eq) {
+      return Status::InvalidArgument("bad property entry: " + entry);
+    }
+    const std::string key = UnescapeCsvField(entry.substr(0, eq));
+    const std::string type = entry.substr(eq + 1, colon - eq - 1);
+    const std::string value = UnescapeCsvField(entry.substr(colon + 1));
+    GRADOOP_ASSIGN_OR_RETURN(PropertyValue pv,
+                             PropertyValue::ParseTyped(type, value));
+    props.Set(key, std::move(pv));
+  }
+  return props;
+}
+
+namespace {
+
+void WriteGraphHeads(std::ostream& out,
+                     const std::vector<GraphHead>& heads) {
+  for (const GraphHead& h : heads) {
+    out << h.id << ';' << EscapeCsvField(h.label) << ';'
+        << EncodeProperties(h.properties) << '\n';
+  }
+}
+
+void WriteVertices(std::ostream& out, const dataflow::Dataset<Vertex>& ds) {
+  for (int p = 0; p < ds.num_partitions(); ++p) {
+    for (const Vertex& v : ds.partition(p)) {
+      out << v.id << ';' << IdSetToString(v.graph_ids) << ';'
+          << EscapeCsvField(v.label) << ';' << EncodeProperties(v.properties)
+          << '\n';
+    }
+  }
+}
+
+void WriteEdges(std::ostream& out, const dataflow::Dataset<Edge>& ds) {
+  for (int p = 0; p < ds.num_partitions(); ++p) {
+    for (const Edge& e : ds.partition(p)) {
+      out << e.id << ';' << IdSetToString(e.graph_ids) << ';'
+          << EscapeCsvField(e.label) << ';' << e.source_id << ';'
+          << e.target_id << ';' << EncodeProperties(e.properties) << '\n';
+    }
+  }
+}
+
+Status WriteAll(const std::vector<GraphHead>& heads,
+                const dataflow::Dataset<Vertex>& vertices,
+                const dataflow::Dataset<Edge>& edges,
+                const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::InvalidArgument("cannot create " + dir);
+  {
+    std::ofstream out(dir + "/graphs.csv");
+    if (!out) return Status::InvalidArgument("cannot write graphs.csv");
+    WriteGraphHeads(out, heads);
+  }
+  {
+    std::ofstream out(dir + "/vertices.csv");
+    if (!out) return Status::InvalidArgument("cannot write vertices.csv");
+    WriteVertices(out, vertices);
+  }
+  {
+    std::ofstream out(dir + "/edges.csv");
+    if (!out) return Status::InvalidArgument("cannot write edges.csv");
+    WriteEdges(out, edges);
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<GraphHead>> ParseHeads(const std::string& path) {
+  GRADOOP_ASSIGN_OR_RETURN(std::vector<std::string> lines, ReadLines(path));
+  std::vector<GraphHead> heads;
+  for (const std::string& line : lines) {
+    const auto fields = SplitString(line, ';');
+    if (fields.size() != 3) {
+      return Status::InvalidArgument("bad graphs.csv row: " + line);
+    }
+    GRADOOP_ASSIGN_OR_RETURN(GradoopId id, ParseId(fields[0]));
+    GRADOOP_ASSIGN_OR_RETURN(Properties props, DecodeProperties(fields[2]));
+    heads.emplace_back(id, UnescapeCsvField(fields[1]), std::move(props));
+  }
+  return heads;
+}
+
+Result<std::vector<Vertex>> ParseVertices(const std::string& path) {
+  GRADOOP_ASSIGN_OR_RETURN(std::vector<std::string> lines, ReadLines(path));
+  std::vector<Vertex> vertices;
+  vertices.reserve(lines.size());
+  for (const std::string& line : lines) {
+    const auto fields = SplitString(line, ';');
+    if (fields.size() != 4) {
+      return Status::InvalidArgument("bad vertices.csv row: " + line);
+    }
+    GRADOOP_ASSIGN_OR_RETURN(GradoopId id, ParseId(fields[0]));
+    GRADOOP_ASSIGN_OR_RETURN(GradoopIdSet gids, ParseIdSet(fields[1]));
+    GRADOOP_ASSIGN_OR_RETURN(Properties props, DecodeProperties(fields[3]));
+    vertices.emplace_back(id, UnescapeCsvField(fields[2]), std::move(props),
+                          std::move(gids));
+  }
+  return vertices;
+}
+
+Result<std::vector<Edge>> ParseEdges(const std::string& path) {
+  GRADOOP_ASSIGN_OR_RETURN(std::vector<std::string> lines, ReadLines(path));
+  std::vector<Edge> edges;
+  edges.reserve(lines.size());
+  for (const std::string& line : lines) {
+    const auto fields = SplitString(line, ';');
+    if (fields.size() != 6) {
+      return Status::InvalidArgument("bad edges.csv row: " + line);
+    }
+    GRADOOP_ASSIGN_OR_RETURN(GradoopId id, ParseId(fields[0]));
+    GRADOOP_ASSIGN_OR_RETURN(GradoopIdSet gids, ParseIdSet(fields[1]));
+    GRADOOP_ASSIGN_OR_RETURN(GradoopId src, ParseId(fields[3]));
+    GRADOOP_ASSIGN_OR_RETURN(GradoopId dst, ParseId(fields[4]));
+    GRADOOP_ASSIGN_OR_RETURN(Properties props, DecodeProperties(fields[5]));
+    edges.emplace_back(id, UnescapeCsvField(fields[2]), src, dst,
+                       std::move(props), std::move(gids));
+  }
+  return edges;
+}
+
+}  // namespace
+
+Status WriteCsv(const LogicalGraph& graph, const std::string& dir) {
+  return WriteAll({graph.head()}, graph.vertices(), graph.edges(), dir);
+}
+
+Status WriteCsv(const GraphCollection& collection, const std::string& dir) {
+  std::vector<GraphHead> heads;
+  for (int p = 0; p < collection.heads().num_partitions(); ++p) {
+    for (const GraphHead& h : collection.heads().partition(p)) {
+      heads.push_back(h);
+    }
+  }
+  return WriteAll(heads, collection.vertices(), collection.edges(), dir);
+}
+
+Result<LogicalGraph> ReadCsvLogicalGraph(dataflow::ExecutionContextPtr ctx,
+                                         const std::string& dir) {
+  GRADOOP_ASSIGN_OR_RETURN(std::vector<GraphHead> heads,
+                           ParseHeads(dir + "/graphs.csv"));
+  if (heads.empty()) {
+    return Status::InvalidArgument("graphs.csv holds no graph head");
+  }
+  GRADOOP_ASSIGN_OR_RETURN(std::vector<Vertex> vertices,
+                           ParseVertices(dir + "/vertices.csv"));
+  GRADOOP_ASSIGN_OR_RETURN(std::vector<Edge> edges,
+                           ParseEdges(dir + "/edges.csv"));
+  return LogicalGraph::FromVectors(std::move(ctx), heads.front(),
+                                   std::move(vertices), std::move(edges));
+}
+
+Result<GraphCollection> ReadCsvGraphCollection(
+    dataflow::ExecutionContextPtr ctx, const std::string& dir) {
+  GRADOOP_ASSIGN_OR_RETURN(std::vector<GraphHead> heads,
+                           ParseHeads(dir + "/graphs.csv"));
+  GRADOOP_ASSIGN_OR_RETURN(std::vector<Vertex> vertices,
+                           ParseVertices(dir + "/vertices.csv"));
+  GRADOOP_ASSIGN_OR_RETURN(std::vector<Edge> edges,
+                           ParseEdges(dir + "/edges.csv"));
+  auto head_ds =
+      dataflow::Dataset<GraphHead>::FromVector(ctx, std::move(heads));
+  auto vertex_ds =
+      dataflow::Dataset<Vertex>::FromVector(ctx, std::move(vertices));
+  auto edge_ds = dataflow::Dataset<Edge>::FromVector(ctx, std::move(edges));
+  return GraphCollection(std::move(head_ds), std::move(vertex_ds),
+                         std::move(edge_ds));
+}
+
+}  // namespace gradoop::epgm

@@ -1,0 +1,39 @@
+#ifndef GRADOOP_EPGM_CSV_IO_H_
+#define GRADOOP_EPGM_CSV_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "epgm/logical_graph.h"
+
+namespace gradoop::epgm {
+
+// Gradoop-style CSV data source/sink. A graph directory contains
+//   graphs.csv    id;label;properties
+//   vertices.csv  id;graphs;label;properties
+//   edges.csv     id;graphs;label;source;target;properties
+// where `graphs` is a comma-separated id list and `properties` is a
+// |-separated list of key=type:value triples (type in {string, long,
+// double, boolean}). Reserved characters in string values are
+// percent-escaped.
+
+// Writes the graph / collection to `dir` (created if missing).
+Status WriteCsv(const LogicalGraph& graph, const std::string& dir);
+Status WriteCsv(const GraphCollection& collection, const std::string& dir);
+
+// Loads a logical graph. If graphs.csv holds several heads, the first is
+// used as the graph head (a collection read returns them all).
+Result<LogicalGraph> ReadCsvLogicalGraph(dataflow::ExecutionContextPtr ctx,
+                                         const std::string& dir);
+Result<GraphCollection> ReadCsvGraphCollection(
+    dataflow::ExecutionContextPtr ctx, const std::string& dir);
+
+// Row-level encoding, exposed for tests.
+std::string EncodeProperties(const Properties& properties);
+Result<Properties> DecodeProperties(const std::string& text);
+std::string EscapeCsvField(const std::string& text);
+std::string UnescapeCsvField(const std::string& text);
+
+}  // namespace gradoop::epgm
+
+#endif  // GRADOOP_EPGM_CSV_IO_H_

@@ -1,0 +1,81 @@
+#ifndef GRADOOP_EPGM_ELEMENTS_H_
+#define GRADOOP_EPGM_ELEMENTS_H_
+
+#include <string>
+#include <utility>
+
+#include "epgm/gradoop_id.h"
+#include "epgm/properties.h"
+
+namespace gradoop::epgm {
+
+// Data shared by all EPGM elements: identity, type label τ and properties.
+struct Element {
+  GradoopId id = kInvalidId;
+  std::string label;
+  Properties properties;
+
+  size_t SerializedSize() const {
+    return sizeof(GradoopId) + sizeof(uint32_t) + label.size() +
+           properties.SerializedSize();
+  }
+};
+
+// Header record of a logical graph (the set L of Definition 2.1 together
+// with its label and properties).
+struct GraphHead : Element {
+  GraphHead() = default;
+  GraphHead(GradoopId id_in, std::string label_in,
+            Properties properties_in = {}) {
+    id = id_in;
+    label = std::move(label_in);
+    properties = std::move(properties_in);
+  }
+};
+
+// A vertex; `graph_ids` records logical-graph membership (mapping l).
+struct Vertex : Element {
+  GradoopIdSet graph_ids;
+
+  Vertex() = default;
+  Vertex(GradoopId id_in, std::string label_in, Properties properties_in = {},
+         GradoopIdSet graph_ids_in = {}) {
+    id = id_in;
+    label = std::move(label_in);
+    properties = std::move(properties_in);
+    graph_ids = std::move(graph_ids_in);
+  }
+
+  size_t SerializedSize() const {
+    return Element::SerializedSize() + sizeof(uint32_t) +
+           graph_ids.size() * sizeof(GradoopId);
+  }
+};
+
+// A directed edge from `source_id` to `target_id` (mappings s and t).
+struct Edge : Element {
+  GradoopId source_id = kInvalidId;
+  GradoopId target_id = kInvalidId;
+  GradoopIdSet graph_ids;
+
+  Edge() = default;
+  Edge(GradoopId id_in, std::string label_in, GradoopId source,
+       GradoopId target, Properties properties_in = {},
+       GradoopIdSet graph_ids_in = {}) {
+    id = id_in;
+    label = std::move(label_in);
+    source_id = source;
+    target_id = target;
+    properties = std::move(properties_in);
+    graph_ids = std::move(graph_ids_in);
+  }
+
+  size_t SerializedSize() const {
+    return Element::SerializedSize() + 2 * sizeof(GradoopId) +
+           sizeof(uint32_t) + graph_ids.size() * sizeof(GradoopId);
+  }
+};
+
+}  // namespace gradoop::epgm
+
+#endif  // GRADOOP_EPGM_ELEMENTS_H_

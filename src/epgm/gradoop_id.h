@@ -1,0 +1,21 @@
+#ifndef GRADOOP_EPGM_GRADOOP_ID_H_
+#define GRADOOP_EPGM_GRADOOP_ID_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace gradoop::epgm {
+
+// Identifier of a graph, vertex or edge. Gradoop uses 12-byte ids; a 64-bit
+// integer is sufficient for our data sizes and keeps shuffle keys flat.
+using GradoopId = uint64_t;
+
+inline constexpr GradoopId kInvalidId = ~0ull;
+
+// Identifiers of the logical graphs an element belongs to (the mapping
+// l : V ∪ E → P(L) of Definition 2.1).
+using GradoopIdSet = std::vector<GradoopId>;
+
+}  // namespace gradoop::epgm
+
+#endif  // GRADOOP_EPGM_GRADOOP_ID_H_

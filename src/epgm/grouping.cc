@@ -1,0 +1,188 @@
+#include "epgm/grouping.h"
+
+#include <cstring>
+#include <map>
+#include <unordered_map>
+
+#include "dataflow/dataset.h"
+
+namespace gradoop::epgm {
+
+namespace dfl = ::gradoop::dataflow;
+
+namespace {
+
+// Serialized group key: label (optional) plus the listed property values.
+std::string GroupKeyOf(const Element& element, bool use_label,
+                       const std::vector<std::string>& keys) {
+  std::string out;
+  if (use_label) {
+    out += element.label;
+  }
+  out.push_back('\0');
+  for (const std::string& key : keys) {
+    element.properties.Get(key).EncodeTo(&out);
+    out.push_back('\0');
+  }
+  return out;
+}
+
+}  // namespace
+
+LogicalGraph GroupGraph(const LogicalGraph& graph,
+                        const GroupingConfig& config, GradoopId new_graph_id,
+                        GradoopId id_base) {
+  const bool v_label = config.group_vertices_by_label;
+  const std::vector<std::string> v_keys = config.vertex_group_keys;
+
+  // Phase 1: reduce vertices into groups. The accumulator keeps one
+  // representative (for label / grouped property values) and the count.
+  struct VertexGroup {
+    std::string label;
+    Properties grouped;
+    int64_t count = 0;
+
+    size_t SerializedSize() const {
+      return sizeof(uint32_t) + label.size() + grouped.SerializedSize() + 8;
+    }
+  };
+  auto vertex_groups = graph.vertices().ReduceByKey(
+      [v_label, v_keys](const Vertex& v) {
+        return GroupKeyOf(v, v_label, v_keys);
+      },
+      [v_label, v_keys](const Vertex& v) {
+        VertexGroup g;
+        if (v_label) g.label = v.label;
+        for (const std::string& key : v_keys) {
+          g.grouped.Set(key, v.properties.Get(key));
+        }
+        g.count = 1;
+        return g;
+      },
+      [](VertexGroup acc, const Vertex&) {
+        acc.count += 1;
+        return acc;
+      },
+      "GroupVertices");
+
+  // Assign deterministic super-vertex ids on the driver (the number of
+  // groups is tiny compared to the graph).
+  std::map<std::string, GradoopId> super_id_of;
+  std::vector<Vertex> super_vertex_rows;
+  {
+    auto rows = vertex_groups.Collect();
+    std::sort(rows.begin(), rows.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    GradoopId next = id_base;
+    for (const auto& [key, group] : rows) {
+      const GradoopId id = next++;
+      super_id_of.emplace(key, id);
+      Vertex v(id, group.label.empty() ? "Group" : group.label,
+               group.grouped, {new_graph_id});
+      v.properties.Set("count", group.count);
+      super_vertex_rows.push_back(std::move(v));
+    }
+  }
+  auto super_vertices = dfl::Dataset<Vertex>::FromVector(
+      graph.context(), super_vertex_rows);
+
+  // Phase 2: rewrite edges onto super-vertices. The vertex -> super-vertex
+  // mapping is a pure function of the vertex's group key, so endpoint
+  // resolution joins edges with the (id -> super id) pairs derived from
+  // the vertices.
+  auto vertex_mapping = graph.vertices().Map(
+      [v_label, v_keys, super_id_of](const Vertex& v) {
+        auto it = super_id_of.find(GroupKeyOf(v, v_label, v_keys));
+        return std::make_pair(v.id,
+                              it == super_id_of.end() ? kInvalidId
+                                                      : it->second);
+      },
+      "VertexToSuper");
+
+  using Rewritten = Edge;
+  auto edges_src = graph.edges().HashJoin<Rewritten>(
+      vertex_mapping, [](const Edge& e) { return e.source_id; },
+      [](const std::pair<GradoopId, GradoopId>& m) { return m.first; },
+      [](const Edge& e, const std::pair<GradoopId, GradoopId>& m,
+         std::vector<Rewritten>* out) {
+        Edge copy = e;
+        copy.source_id = m.second;
+        out->push_back(std::move(copy));
+      },
+      dfl::JoinStrategy::kRepartition, "RewriteSource");
+  auto edges_both = edges_src.HashJoin<Rewritten>(
+      vertex_mapping, [](const Edge& e) { return e.target_id; },
+      [](const std::pair<GradoopId, GradoopId>& m) { return m.first; },
+      [](const Edge& e, const std::pair<GradoopId, GradoopId>& m,
+         std::vector<Rewritten>* out) {
+        Edge copy = e;
+        copy.target_id = m.second;
+        out->push_back(std::move(copy));
+      },
+      dfl::JoinStrategy::kRepartition, "RewriteTarget");
+
+  // Phase 3: reduce parallel edges between the same groups.
+  const bool e_label = config.group_edges_by_label;
+  const std::vector<std::string> e_keys = config.edge_group_keys;
+  struct EdgeGroup {
+    GradoopId source = kInvalidId;
+    GradoopId target = kInvalidId;
+    std::string label;
+    Properties grouped;
+    int64_t count = 0;
+
+    size_t SerializedSize() const {
+      return 16 + sizeof(uint32_t) + label.size() +
+             grouped.SerializedSize() + 8;
+    }
+  };
+  auto edge_groups = edges_both.ReduceByKey(
+      [e_label, e_keys](const Edge& e) {
+        std::string key = GroupKeyOf(e, e_label, e_keys);
+        char buf[16];
+        std::memcpy(buf, &e.source_id, 8);
+        std::memcpy(buf + 8, &e.target_id, 8);
+        key.append(buf, 16);
+        return key;
+      },
+      [e_label, e_keys](const Edge& e) {
+        EdgeGroup g;
+        g.source = e.source_id;
+        g.target = e.target_id;
+        if (e_label) g.label = e.label;
+        for (const std::string& key : e_keys) {
+          g.grouped.Set(key, e.properties.Get(key));
+        }
+        g.count = 1;
+        return g;
+      },
+      [](EdgeGroup acc, const Edge&) {
+        acc.count += 1;
+        return acc;
+      },
+      "GroupEdges");
+
+  // Materialize super-edges with partition-deterministic ids.
+  auto super_edges = edge_groups.MapPartition<Edge>(
+      [new_graph_id, id_base](
+          int partition,
+          const std::vector<std::pair<std::string, EdgeGroup>>& in,
+          std::vector<Edge>* out) {
+        uint64_t seq = 0;
+        for (const auto& [key, group] : in) {
+          Edge e(id_base + (1ull << 32) +
+                     (static_cast<uint64_t>(partition) << 24) + seq++,
+                 group.label.empty() ? "Group" : group.label, group.source,
+                 group.target, group.grouped, {new_graph_id});
+          e.properties.Set("count", group.count);
+          out->push_back(std::move(e));
+        }
+      },
+      "MaterializeSuperEdges");
+
+  GraphHead head(new_graph_id, "Summary");
+  return LogicalGraph(head, std::move(super_vertices),
+                      std::move(super_edges));
+}
+
+}  // namespace gradoop::epgm

@@ -1,0 +1,41 @@
+#ifndef GRADOOP_EPGM_GROUPING_H_
+#define GRADOOP_EPGM_GROUPING_H_
+
+#include <string>
+#include <vector>
+
+#include "epgm/logical_graph.h"
+
+namespace gradoop::epgm {
+
+// Configuration of the structural grouping (graph summarization) operator
+// [14]: vertices with equal grouping keys collapse into one super-vertex,
+// edges between two groups collapse into one super-edge; both carry a
+// `count` property with the size of their group.
+struct GroupingConfig {
+  // Group vertices by type label.
+  bool group_vertices_by_label = true;
+  // Additional vertex property keys contributing to the group key; the
+  // grouped value is copied onto the super-vertex.
+  std::vector<std::string> vertex_group_keys;
+
+  // Group parallel super-edges by their type label.
+  bool group_edges_by_label = true;
+  // Additional edge property keys contributing to the edge group key.
+  std::vector<std::string> edge_group_keys;
+};
+
+// Summarizes `graph` under `config`. Super-vertices receive ids starting
+// at `id_base` (callers pick a range disjoint from the input id space).
+// Dangling edges (endpoint outside the vertex set) are dropped.
+//
+// Implemented as dataflow transformations: a ReduceByKey over the vertex
+// group keys, a membership join mapping endpoints to super-vertices, and
+// a ReduceByKey over the edge group keys.
+LogicalGraph GroupGraph(const LogicalGraph& graph,
+                        const GroupingConfig& config, GradoopId new_graph_id,
+                        GradoopId id_base);
+
+}  // namespace gradoop::epgm
+
+#endif  // GRADOOP_EPGM_GROUPING_H_

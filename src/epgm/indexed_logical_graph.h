@@ -1,0 +1,48 @@
+#ifndef GRADOOP_EPGM_INDEXED_LOGICAL_GRAPH_H_
+#define GRADOOP_EPGM_INDEXED_LOGICAL_GRAPH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "epgm/logical_graph.h"
+
+namespace gradoop::epgm {
+
+// Alternative graph layout that partitions vertices and edges by type label
+// and manages one dataset per label (§3.4). When a query element carries a
+// label predicate, the planner loads only that label's dataset instead of
+// filtering (and re-reading) the full element datasets.
+class IndexedLogicalGraph {
+ public:
+  IndexedLogicalGraph() = default;
+
+  // Splits the element datasets of `graph` label-wise, preserving each
+  // record's partition (a narrow, local re-bucketing — no shuffle).
+  static IndexedLogicalGraph Build(const LogicalGraph& graph);
+
+  const GraphHead& head() const { return head_; }
+  const dataflow::ExecutionContextPtr& context() const { return ctx_; }
+
+  // Dataset holding exactly the vertices/edges with `label`; an empty
+  // dataset when the label does not occur.
+  dataflow::Dataset<Vertex> VerticesByLabel(const std::string& label) const;
+  dataflow::Dataset<Edge> EdgesByLabel(const std::string& label) const;
+
+  // Union over all labels (used for unlabeled query elements).
+  dataflow::Dataset<Vertex> AllVertices() const;
+  dataflow::Dataset<Edge> AllEdges() const;
+
+  std::vector<std::string> VertexLabels() const;
+  std::vector<std::string> EdgeLabels() const;
+
+ private:
+  GraphHead head_;
+  dataflow::ExecutionContextPtr ctx_;
+  std::map<std::string, dataflow::Dataset<Vertex>> vertices_by_label_;
+  std::map<std::string, dataflow::Dataset<Edge>> edges_by_label_;
+};
+
+}  // namespace gradoop::epgm
+
+#endif  // GRADOOP_EPGM_INDEXED_LOGICAL_GRAPH_H_

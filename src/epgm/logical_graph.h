@@ -1,0 +1,79 @@
+#ifndef GRADOOP_EPGM_LOGICAL_GRAPH_H_
+#define GRADOOP_EPGM_LOGICAL_GRAPH_H_
+
+#include <utility>
+#include <vector>
+
+#include "dataflow/dataset.h"
+#include "epgm/elements.h"
+
+namespace gradoop::epgm {
+
+// A single property graph distributed over the cluster: one graph head and
+// the vertex/edge datasets (§2.4, Table 1). The EPGM operators and the
+// Cypher pattern-matching operator consume and produce this type.
+class LogicalGraph {
+ public:
+  LogicalGraph() = default;
+  LogicalGraph(GraphHead head, dataflow::Dataset<Vertex> vertices,
+               dataflow::Dataset<Edge> edges)
+      : head_(std::move(head)),
+        vertices_(std::move(vertices)),
+        edges_(std::move(edges)) {}
+
+  // Builds a distributed graph from driver-side element vectors.
+  static LogicalGraph FromVectors(dataflow::ExecutionContextPtr ctx,
+                                  GraphHead head, std::vector<Vertex> vertices,
+                                  std::vector<Edge> edges) {
+    auto vertex_ds =
+        dataflow::Dataset<Vertex>::FromVector(ctx, std::move(vertices));
+    auto edge_ds =
+        dataflow::Dataset<Edge>::FromVector(std::move(ctx), std::move(edges));
+    return LogicalGraph(std::move(head), std::move(vertex_ds),
+                        std::move(edge_ds));
+  }
+
+  const GraphHead& head() const { return head_; }
+  GraphHead& head() { return head_; }
+  const dataflow::Dataset<Vertex>& vertices() const { return vertices_; }
+  const dataflow::Dataset<Edge>& edges() const { return edges_; }
+  const dataflow::ExecutionContextPtr& context() const {
+    return vertices_.context();
+  }
+  bool valid() const { return vertices_.valid() && edges_.valid(); }
+
+ private:
+  GraphHead head_;
+  dataflow::Dataset<Vertex> vertices_;
+  dataflow::Dataset<Edge> edges_;
+};
+
+// A set of (possibly overlapping) logical graphs sharing one vertex/edge
+// universe; membership is recorded in each element's graph_ids (§2.1).
+class GraphCollection {
+ public:
+  GraphCollection() = default;
+  GraphCollection(dataflow::Dataset<GraphHead> heads,
+                  dataflow::Dataset<Vertex> vertices,
+                  dataflow::Dataset<Edge> edges)
+      : heads_(std::move(heads)),
+        vertices_(std::move(vertices)),
+        edges_(std::move(edges)) {}
+
+  const dataflow::Dataset<GraphHead>& heads() const { return heads_; }
+  const dataflow::Dataset<Vertex>& vertices() const { return vertices_; }
+  const dataflow::Dataset<Edge>& edges() const { return edges_; }
+  bool valid() const { return heads_.valid(); }
+
+  // Number of logical graphs in the collection.
+  uint64_t NumGraphs() const { return heads_.Count(); }
+
+ private:
+  dataflow::Dataset<GraphHead> heads_;
+  dataflow::Dataset<Vertex> vertices_;
+  dataflow::Dataset<Edge> edges_;
+};
+
+}  // namespace gradoop::epgm
+
+#endif  // GRADOOP_EPGM_LOGICAL_GRAPH_H_

@@ -1,0 +1,169 @@
+#include "epgm/operators.h"
+
+#include <unordered_set>
+
+#include "dataflow/dataset.h"
+
+namespace gradoop::epgm {
+
+namespace dfl = ::gradoop::dataflow;
+
+namespace {
+
+// Tags every element of `ds` with membership in graph `gid`.
+template <typename T>
+dfl::Dataset<T> AddGraphId(const dfl::Dataset<T>& ds, GradoopId gid) {
+  return ds.Map(
+      [gid](const T& e) {
+        T out = e;
+        out.graph_ids.push_back(gid);
+        return out;
+      },
+      "AddGraphId");
+}
+
+// Driver-side id set of a dataset of elements (used for broadcast-style
+// membership filters in the set operators).
+template <typename T>
+std::unordered_set<GradoopId> CollectIds(const dfl::Dataset<T>& ds) {
+  std::unordered_set<GradoopId> ids;
+  for (int p = 0; p < ds.num_partitions(); ++p) {
+    for (const T& e : ds.partition(p)) ids.insert(e.id);
+  }
+  return ids;
+}
+
+}  // namespace
+
+LogicalGraph Subgraph(const LogicalGraph& graph, const VertexPredicate& vp,
+                      const EdgePredicate& ep, GradoopId new_graph_id) {
+  auto vertices = graph.vertices().Filter(vp, "SubgraphVertices");
+  auto edges = graph.edges().Filter(ep, "SubgraphEdges");
+
+  // Verify: an edge survives only if both endpoints survived. Two
+  // distributed semi-joins against the retained vertex ids.
+  auto vertex_ids =
+      vertices.Map([](const Vertex& v) { return v.id; }, "VertexIds");
+  auto edges_src_ok = edges.HashJoin<Edge>(
+      vertex_ids, [](const Edge& e) { return e.source_id; },
+      [](const GradoopId& id) { return id; },
+      [](const Edge& e, const GradoopId&, std::vector<Edge>* out) {
+        out->push_back(e);
+      },
+      dfl::JoinStrategy::kRepartition, "VerifySource");
+  auto edges_ok = edges_src_ok.HashJoin<Edge>(
+      vertex_ids, [](const Edge& e) { return e.target_id; },
+      [](const GradoopId& id) { return id; },
+      [](const Edge& e, const GradoopId&, std::vector<Edge>* out) {
+        out->push_back(e);
+      },
+      dfl::JoinStrategy::kRepartition, "VerifyTarget");
+
+  GraphHead head(new_graph_id, graph.head().label, graph.head().properties);
+  return LogicalGraph(head, AddGraphId(vertices, new_graph_id),
+                      AddGraphId(edges_ok, new_graph_id));
+}
+
+LogicalGraph Transform(const LogicalGraph& graph, const HeadTransform& hf,
+                       const VertexTransform& vf, const EdgeTransform& ef) {
+  return LogicalGraph(hf(graph.head()),
+                      graph.vertices().Map(vf, "TransformVertices"),
+                      graph.edges().Map(ef, "TransformEdges"));
+}
+
+LogicalGraph Combine(const LogicalGraph& a, const LogicalGraph& b,
+                     GradoopId new_graph_id) {
+  auto vertices = a.vertices()
+                      .Union(b.vertices())
+                      .Distinct([](const Vertex& v) { return v.id; },
+                                "CombineVertices");
+  auto edges =
+      a.edges().Union(b.edges()).Distinct(
+          [](const Edge& e) { return e.id; }, "CombineEdges");
+  GraphHead head(new_graph_id, "Combination");
+  return LogicalGraph(head, AddGraphId(vertices, new_graph_id),
+                      AddGraphId(edges, new_graph_id));
+}
+
+LogicalGraph Overlap(const LogicalGraph& a, const LogicalGraph& b,
+                     GradoopId new_graph_id) {
+  auto b_vertex_ids =
+      b.vertices().Map([](const Vertex& v) { return v.id; }, "OverlapIdsV");
+  auto vertices = a.vertices().HashJoin<Vertex>(
+      b_vertex_ids, [](const Vertex& v) { return v.id; },
+      [](const GradoopId& id) { return id; },
+      [](const Vertex& v, const GradoopId&, std::vector<Vertex>* out) {
+        out->push_back(v);
+      },
+      dfl::JoinStrategy::kRepartition, "OverlapVertices");
+  auto b_edge_ids =
+      b.edges().Map([](const Edge& e) { return e.id; }, "OverlapIdsE");
+  auto edges = a.edges().HashJoin<Edge>(
+      b_edge_ids, [](const Edge& e) { return e.id; },
+      [](const GradoopId& id) { return id; },
+      [](const Edge& e, const GradoopId&, std::vector<Edge>* out) {
+        out->push_back(e);
+      },
+      dfl::JoinStrategy::kRepartition, "OverlapEdges");
+  GraphHead head(new_graph_id, "Overlap");
+  return LogicalGraph(head, AddGraphId(vertices, new_graph_id),
+                      AddGraphId(edges, new_graph_id));
+}
+
+LogicalGraph Exclusion(const LogicalGraph& a, const LogicalGraph& b,
+                       GradoopId new_graph_id) {
+  // Anti-join via a broadcast membership filter (the excluded side is
+  // typically small; Gradoop similarly broadcasts in set operators).
+  const auto excluded_v = CollectIds(b.vertices());
+  const auto excluded_e = CollectIds(b.edges());
+  auto vertices = a.vertices().Filter(
+      [excluded_v](const Vertex& v) { return !excluded_v.contains(v.id); },
+      "ExclusionVertices");
+  auto edges = a.edges().Filter(
+      [&vertices_ids = excluded_v, excluded_e](const Edge& e) {
+        return !excluded_e.contains(e.id) &&
+               !vertices_ids.contains(e.source_id) &&
+               !vertices_ids.contains(e.target_id);
+      },
+      "ExclusionEdges");
+  GraphHead head(new_graph_id, "Exclusion");
+  return LogicalGraph(head, AddGraphId(vertices, new_graph_id),
+                      AddGraphId(edges, new_graph_id));
+}
+
+LogicalGraph Aggregate(const LogicalGraph& graph,
+                       const std::string& property_key,
+                       const GraphAggregate& fn) {
+  GraphHead head = graph.head();
+  head.properties.Set(property_key, fn(graph));
+  return LogicalGraph(head, graph.vertices(), graph.edges());
+}
+
+PropertyValue VertexCountAggregate(const LogicalGraph& graph) {
+  return PropertyValue(static_cast<int64_t>(graph.vertices().Count()));
+}
+
+PropertyValue EdgeCountAggregate(const LogicalGraph& graph) {
+  return PropertyValue(static_cast<int64_t>(graph.edges().Count()));
+}
+
+GraphCollection Select(const GraphCollection& collection,
+                       const HeadPredicate& pred) {
+  auto heads = collection.heads().Filter(pred, "SelectHeads");
+  const auto kept = CollectIds(heads);
+  auto member_of = [kept](const GradoopIdSet& gids) {
+    for (GradoopId g : gids) {
+      if (kept.contains(g)) return true;
+    }
+    return false;
+  };
+  auto vertices = collection.vertices().Filter(
+      [member_of](const Vertex& v) { return member_of(v.graph_ids); },
+      "SelectVertices");
+  auto edges = collection.edges().Filter(
+      [member_of](const Edge& e) { return member_of(e.graph_ids); },
+      "SelectEdges");
+  return GraphCollection(heads, vertices, edges);
+}
+
+}  // namespace gradoop::epgm

@@ -1,0 +1,56 @@
+#ifndef GRADOOP_EPGM_OPERATORS_H_
+#define GRADOOP_EPGM_OPERATORS_H_
+
+#include <functional>
+#include <string>
+
+#include "epgm/logical_graph.h"
+
+namespace gradoop::epgm {
+
+// Analytical EPGM operators (§2.1, [12]). Each consumes and produces
+// logical graphs or collections, so they compose with the Cypher
+// pattern-matching operator into analytical programs.
+
+using VertexPredicate = std::function<bool(const Vertex&)>;
+using EdgePredicate = std::function<bool(const Edge&)>;
+using HeadPredicate = std::function<bool(const GraphHead&)>;
+using VertexTransform = std::function<Vertex(const Vertex&)>;
+using EdgeTransform = std::function<Edge(const Edge&)>;
+using HeadTransform = std::function<GraphHead(const GraphHead&)>;
+
+// Extracts the subgraph induced by the vertex and edge predicates. Edges
+// are additionally verified against the retained vertex set (both
+// endpoints must survive), implemented as two distributed joins.
+LogicalGraph Subgraph(const LogicalGraph& graph, const VertexPredicate& vp,
+                      const EdgePredicate& ep, GradoopId new_graph_id);
+
+// Applies element-wise transformation functions; structure is unchanged.
+LogicalGraph Transform(const LogicalGraph& graph, const HeadTransform& hf,
+                       const VertexTransform& vf, const EdgeTransform& ef);
+
+// Set operators on the element sets of two logical graphs.
+LogicalGraph Combine(const LogicalGraph& a, const LogicalGraph& b,
+                     GradoopId new_graph_id);
+LogicalGraph Overlap(const LogicalGraph& a, const LogicalGraph& b,
+                     GradoopId new_graph_id);
+LogicalGraph Exclusion(const LogicalGraph& a, const LogicalGraph& b,
+                       GradoopId new_graph_id);
+
+// Property-based aggregation: stores `fn`'s value under `property_key` on
+// the graph head. Provided aggregate helpers below.
+using GraphAggregate = std::function<PropertyValue(const LogicalGraph&)>;
+LogicalGraph Aggregate(const LogicalGraph& graph,
+                       const std::string& property_key,
+                       const GraphAggregate& fn);
+PropertyValue VertexCountAggregate(const LogicalGraph& graph);
+PropertyValue EdgeCountAggregate(const LogicalGraph& graph);
+
+// Selection on a collection: keeps logical graphs whose head satisfies the
+// predicate, and restricts the element datasets to the surviving graphs.
+GraphCollection Select(const GraphCollection& collection,
+                       const HeadPredicate& pred);
+
+}  // namespace gradoop::epgm
+
+#endif  // GRADOOP_EPGM_OPERATORS_H_

@@ -1,0 +1,51 @@
+#include "epgm/properties.h"
+
+namespace gradoop::epgm {
+
+namespace {
+const PropertyValue kNullValue;
+}  // namespace
+
+void Properties::Set(const std::string& key, PropertyValue value) {
+  for (auto& [k, v] : entries_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  entries_.emplace_back(key, std::move(value));
+}
+
+const PropertyValue& Properties::Get(const std::string& key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return v;
+  }
+  return kNullValue;
+}
+
+bool Properties::Has(const std::string& key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+bool Properties::Remove(const std::string& key) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->first == key) {
+      entries_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t Properties::SerializedSize() const {
+  size_t total = sizeof(uint32_t);
+  for (const auto& [k, v] : entries_) {
+    total += sizeof(uint32_t) + k.size() + v.SerializedSize();
+  }
+  return total;
+}
+
+}  // namespace gradoop::epgm

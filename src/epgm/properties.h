@@ -1,0 +1,50 @@
+#ifndef GRADOOP_EPGM_PROPERTIES_H_
+#define GRADOOP_EPGM_PROPERTIES_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "epgm/property_value.h"
+
+namespace gradoop::epgm {
+
+// Key -> value map attached to every graph element (the mapping κ of
+// Definition 2.1). Elements typically carry a handful of properties, so a
+// flat sorted-insertion vector beats a hash map on both size and speed.
+class Properties {
+ public:
+  Properties() = default;
+  Properties(std::initializer_list<std::pair<std::string, PropertyValue>> init) {
+    for (auto& [k, v] : init) Set(k, v);
+  }
+
+  // Sets or overwrites `key`.
+  void Set(const std::string& key, PropertyValue value);
+
+  // Returns the value for `key`, or null (κ returns ε for absent keys).
+  const PropertyValue& Get(const std::string& key) const;
+  bool Has(const std::string& key) const;
+  // Removes `key` if present; returns whether it was.
+  bool Remove(const std::string& key);
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  const std::vector<std::pair<std::string, PropertyValue>>& entries() const {
+    return entries_;
+  }
+
+  size_t SerializedSize() const;
+
+  bool operator==(const Properties& other) const {
+    return entries_ == other.entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, PropertyValue>> entries_;
+};
+
+}  // namespace gradoop::epgm
+
+#endif  // GRADOOP_EPGM_PROPERTIES_H_

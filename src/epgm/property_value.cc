@@ -1,0 +1,263 @@
+#include "epgm/property_value.h"
+
+#include <cmath>
+#include <cstring>
+#include <functional>
+
+namespace gradoop::epgm {
+
+namespace {
+
+void AppendUint32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void AppendUint64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+bool ReadBytes(const std::string& data, size_t* pos, void* dst, size_t n) {
+  if (*pos + n > data.size()) return false;
+  std::memcpy(dst, data.data() + *pos, n);
+  *pos += n;
+  return true;
+}
+
+}  // namespace
+
+bool PropertyValue::operator==(const PropertyValue& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    if (is_int() && other.is_int()) return int_value() == other.int_value();
+    return AsDouble() == other.AsDouble();
+  }
+  return value_ == other.value_;
+}
+
+std::optional<int> PropertyValue::Compare(const PropertyValue& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    if (is_int() && other.is_int()) {
+      const int64_t a = int_value(), b = other.int_value();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    const double a = AsDouble(), b = other.AsDouble();
+    if (std::isnan(a) || std::isnan(b)) return std::nullopt;
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (is_string() && other.is_string()) {
+    const int c = string_value().compare(other.string_value());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (is_bool() && other.is_bool()) {
+    return static_cast<int>(bool_value()) - static_cast<int>(other.bool_value());
+  }
+  return std::nullopt;  // nulls, lists, mixed types: incomparable
+}
+
+size_t PropertyValue::SerializedSize() const {
+  switch (type()) {
+    case Type::kNull:
+      return 1;
+    case Type::kBool:
+      return 2;
+    case Type::kInt64:
+    case Type::kDouble:
+      return 9;
+    case Type::kString:
+      return 1 + 4 + string_value().size();
+    case Type::kIdList:
+      return 1 + 4 + 8 * id_list_value().size();
+  }
+  return 1;
+}
+
+void PropertyValue::EncodeTo(std::string* out) const {
+  out->push_back(static_cast<char>(type()));
+  switch (type()) {
+    case Type::kNull:
+      break;
+    case Type::kBool:
+      out->push_back(bool_value() ? 1 : 0);
+      break;
+    case Type::kInt64:
+      AppendUint64(out, static_cast<uint64_t>(int_value()));
+      break;
+    case Type::kDouble: {
+      uint64_t bits;
+      const double d = double_value();
+      std::memcpy(&bits, &d, 8);
+      AppendUint64(out, bits);
+      break;
+    }
+    case Type::kString:
+      AppendUint32(out, static_cast<uint32_t>(string_value().size()));
+      out->append(string_value());
+      break;
+    case Type::kIdList:
+      AppendUint32(out, static_cast<uint32_t>(id_list_value().size()));
+      for (uint64_t id : id_list_value()) AppendUint64(out, id);
+      break;
+  }
+}
+
+Result<PropertyValue> PropertyValue::DecodeFrom(const std::string& data,
+                                                size_t* pos) {
+  uint8_t tag;
+  if (!ReadBytes(data, pos, &tag, 1)) {
+    return Status::InvalidArgument("truncated property value");
+  }
+  switch (static_cast<Type>(tag)) {
+    case Type::kNull:
+      return PropertyValue::Null();
+    case Type::kBool: {
+      uint8_t b;
+      if (!ReadBytes(data, pos, &b, 1)) {
+        return Status::InvalidArgument("truncated bool");
+      }
+      return PropertyValue(b != 0);
+    }
+    case Type::kInt64: {
+      uint64_t v;
+      if (!ReadBytes(data, pos, &v, 8)) {
+        return Status::InvalidArgument("truncated int64");
+      }
+      return PropertyValue(static_cast<int64_t>(v));
+    }
+    case Type::kDouble: {
+      uint64_t bits;
+      if (!ReadBytes(data, pos, &bits, 8)) {
+        return Status::InvalidArgument("truncated double");
+      }
+      double d;
+      std::memcpy(&d, &bits, 8);
+      return PropertyValue(d);
+    }
+    case Type::kString: {
+      uint32_t len;
+      if (!ReadBytes(data, pos, &len, 4) || *pos + len > data.size()) {
+        return Status::InvalidArgument("truncated string");
+      }
+      std::string s(data.data() + *pos, len);
+      *pos += len;
+      return PropertyValue(std::move(s));
+    }
+    case Type::kIdList: {
+      uint32_t len;
+      if (!ReadBytes(data, pos, &len, 4)) {
+        return Status::InvalidArgument("truncated id list");
+      }
+      std::vector<uint64_t> ids(len);
+      for (uint32_t i = 0; i < len; ++i) {
+        if (!ReadBytes(data, pos, &ids[i], 8)) {
+          return Status::InvalidArgument("truncated id list entry");
+        }
+      }
+      return PropertyValue(std::move(ids));
+    }
+  }
+  return Status::InvalidArgument("unknown property type tag");
+}
+
+std::string PropertyValue::ToString() const {
+  switch (type()) {
+    case Type::kNull:
+      return "NULL";
+    case Type::kBool:
+      return bool_value() ? "true" : "false";
+    case Type::kInt64:
+      return std::to_string(int_value());
+    case Type::kDouble: {
+      std::string s = std::to_string(double_value());
+      return s;
+    }
+    case Type::kString:
+      return string_value();
+    case Type::kIdList: {
+      std::string s = "[";
+      const auto& ids = id_list_value();
+      for (size_t i = 0; i < ids.size(); ++i) {
+        if (i > 0) s += ",";
+        s += std::to_string(ids[i]);
+      }
+      s += "]";
+      return s;
+    }
+  }
+  return "NULL";
+}
+
+Result<PropertyValue> PropertyValue::ParseTyped(const std::string& type_name,
+                                                const std::string& text) {
+  if (type_name == "string") return PropertyValue(text);
+  if (type_name == "long" || type_name == "int") {
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(text.c_str(), &end, 10);
+    if (errno != 0 || end == text.c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad long literal: " + text);
+    }
+    return PropertyValue(static_cast<int64_t>(v));
+  }
+  if (type_name == "double" || type_name == "float") {
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (errno != 0 || end == text.c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad double literal: " + text);
+    }
+    return PropertyValue(v);
+  }
+  if (type_name == "boolean" || type_name == "bool") {
+    if (text == "true") return PropertyValue(true);
+    if (text == "false") return PropertyValue(false);
+    return Status::InvalidArgument("bad boolean literal: " + text);
+  }
+  if (type_name == "null") return PropertyValue::Null();
+  return Status::InvalidArgument("unknown property type: " + type_name);
+}
+
+const char* PropertyValue::TypeName() const {
+  switch (type()) {
+    case Type::kNull:
+      return "null";
+    case Type::kBool:
+      return "boolean";
+    case Type::kInt64:
+      return "long";
+    case Type::kDouble:
+      return "double";
+    case Type::kString:
+      return "string";
+    case Type::kIdList:
+      return "idlist";
+  }
+  return "null";
+}
+
+size_t PropertyValue::Hash() const {
+  switch (type()) {
+    case Type::kNull:
+      return 0x9e3779b9;
+    case Type::kBool:
+      return bool_value() ? 1 : 2;
+    case Type::kInt64:
+      return std::hash<int64_t>{}(int_value());
+    case Type::kDouble:
+      return std::hash<double>{}(double_value());
+    case Type::kString:
+      return std::hash<std::string>{}(string_value());
+    case Type::kIdList: {
+      size_t h = 14695981039346656037ull;
+      for (uint64_t id : id_list_value()) {
+        h = (h ^ id) * 1099511628211ull;
+      }
+      return h;
+    }
+  }
+  return 0;
+}
+
+}  // namespace gradoop::epgm

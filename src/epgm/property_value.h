@@ -1,0 +1,107 @@
+#ifndef GRADOOP_EPGM_PROPERTY_VALUE_H_
+#define GRADOOP_EPGM_PROPERTY_VALUE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+
+namespace gradoop::epgm {
+
+// A property value bound to a property key (Definition 2.1: the set A).
+// Dynamically typed, as the property graph model is schema-free. The
+// supported types cover the LDBC data and the Cypher literal types.
+class PropertyValue {
+ public:
+  enum class Type : uint8_t {
+    kNull = 0,
+    kBool = 1,
+    kInt64 = 2,
+    kDouble = 3,
+    kString = 4,
+    kIdList = 5,  // list of graph-element ids (variable-length path `via`)
+  };
+
+  PropertyValue() : value_(std::monostate{}) {}
+  // Implicit construction from each supported type keeps property literals
+  // terse at call sites (properties.Set("yob", 1984)).
+  PropertyValue(bool v) : value_(v) {}                     // NOLINT
+  PropertyValue(int64_t v) : value_(v) {}                  // NOLINT
+  PropertyValue(int v) : value_(static_cast<int64_t>(v)) {}  // NOLINT
+  PropertyValue(double v) : value_(v) {}                   // NOLINT
+  PropertyValue(std::string v) : value_(std::move(v)) {}   // NOLINT
+  PropertyValue(const char* v) : value_(std::string(v)) {}  // NOLINT
+  PropertyValue(std::vector<uint64_t> v) : value_(std::move(v)) {}  // NOLINT
+
+  static PropertyValue Null() { return PropertyValue(); }
+
+  Type type() const { return static_cast<Type>(value_.index()); }
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_int() const { return type() == Type::kInt64; }
+  bool is_double() const { return type() == Type::kDouble; }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_id_list() const { return type() == Type::kIdList; }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  bool bool_value() const { return std::get<bool>(value_); }
+  int64_t int_value() const { return std::get<int64_t>(value_); }
+  double double_value() const { return std::get<double>(value_); }
+  const std::string& string_value() const {
+    return std::get<std::string>(value_);
+  }
+  const std::vector<uint64_t>& id_list_value() const {
+    return std::get<std::vector<uint64_t>>(value_);
+  }
+
+  // Numeric value widened to double (valid for int and double types).
+  double AsDouble() const {
+    return is_int() ? static_cast<double>(int_value()) : double_value();
+  }
+
+  // Exact equality: types must match, except int/double which compare
+  // numerically (Cypher semantics).
+  bool operator==(const PropertyValue& other) const;
+  bool operator!=(const PropertyValue& other) const {
+    return !(*this == other);
+  }
+
+  // Three-way comparison: <0, 0, >0. Returns nullopt when the values are
+  // incomparable (different non-numeric types, nulls, lists) — Cypher
+  // treats such comparisons as undefined and the enclosing predicate
+  // evaluates to false.
+  std::optional<int> Compare(const PropertyValue& other) const;
+
+  // Number of bytes in the binary wire encoding (type tag + payload).
+  size_t SerializedSize() const;
+
+  // Appends the binary encoding to `out`. DecodeFrom reads one value back,
+  // advancing *pos; returns an error on truncated/corrupt input.
+  void EncodeTo(std::string* out) const;
+  static Result<PropertyValue> DecodeFrom(const std::string& data,
+                                          size_t* pos);
+
+  // Display form used by CSV I/O and test output, e.g. `Alice`, `1984`,
+  // `true`. ParseTyped reverses it given the type name used in the CSV
+  // header (`string`, `long`, `double`, `boolean`).
+  std::string ToString() const;
+  static Result<PropertyValue> ParseTyped(const std::string& type_name,
+                                          const std::string& text);
+  // Name of this value's type in CSV metadata.
+  const char* TypeName() const;
+
+  // Stable hash for dataset Distinct/grouping keys.
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string,
+               std::vector<uint64_t>>
+      value_;
+};
+
+}  // namespace gradoop::epgm
+
+#endif  // GRADOOP_EPGM_PROPERTY_VALUE_H_

@@ -1,0 +1,323 @@
+#include "ldbc/ldbc_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/random.h"
+
+namespace gradoop::ldbc {
+
+namespace {
+
+constexpr const char* kBaseNames[] = {
+    "Jan",    "Alice",  "Bob",     "Eve",    "Carol",  "David",  "Frank",
+    "Grace",  "Heidi",  "Ivan",    "Judy",   "Ken",    "Laura",  "Mallory",
+    "Niaj",   "Olivia", "Peggy",   "Quentin","Rupert", "Sybil",  "Trent",
+    "Uma",    "Victor", "Walter",  "Xavier", "Yara",   "Zane",   "Anna",
+    "Bernd",  "Clara",  "Dieter",  "Emma",   "Felix",  "Gerda",  "Hans",
+    "Inge",   "Jonas",  "Karin",   "Lukas",  "Mia",    "Nils",   "Otto",
+    "Paula",  "Rolf",   "Sofia",   "Theo",   "Ulla",   "Vera",   "Wolf",
+    "Zoe",
+};
+constexpr int kNumBaseNames = sizeof(kBaseNames) / sizeof(kBaseNames[0]);
+
+constexpr const char* kLastNames[] = {
+    "Smith",   "Mueller", "Schmidt", "Meyer",  "Weber",  "Wagner",
+    "Becker",  "Hoffmann","Koch",    "Richter","Klein",  "Wolf",
+    "Neumann", "Schwarz", "Braun",   "Krueger","Hofmann","Lange",
+    "Werner",  "Krause",
+};
+constexpr int kNumLastNames = sizeof(kLastNames) / sizeof(kLastNames[0]);
+
+constexpr const char* kTagThemes[] = {
+    "music", "sports", "politics", "movies", "science", "travel",
+    "food",  "art",    "history",  "coding",
+};
+
+}  // namespace
+
+std::string FirstNameAt(int index) {
+  if (index < kNumBaseNames) return kBaseNames[index];
+  // Extend the dictionary deterministically beyond the base list.
+  return std::string(kBaseNames[index % kNumBaseNames]) + "_" +
+         std::to_string(index / kNumBaseNames);
+}
+
+const char* SelectivityName(Selectivity s) {
+  switch (s) {
+    case Selectivity::kHigh:
+      return "high";
+    case Selectivity::kMedium:
+      return "medium";
+    case Selectivity::kLow:
+      return "low";
+  }
+  return "?";
+}
+
+LdbcGenerator::LdbcGenerator(LdbcConfig config) : config_(config) {}
+
+LdbcElements LdbcGenerator::GenerateElements() const {
+  const LdbcConfig& cfg = config_;
+  Random rng(cfg.seed);
+  LdbcElements out;
+
+  const double sf = cfg.scale_factor;
+  const int num_persons = std::max(1, static_cast<int>(cfg.persons * sf));
+  const int num_posts = std::max(1, static_cast<int>(cfg.posts * sf));
+  const int num_comments = std::max(1, static_cast<int>(cfg.comments * sf));
+  const int num_forums = std::max(1, static_cast<int>(cfg.forums * sf));
+  const double dict_scale = std::sqrt(std::max(1.0, sf));
+  const int num_tags = std::max(1, static_cast<int>(cfg.tags * dict_scale));
+  const int num_cities =
+      std::max(1, static_cast<int>(cfg.cities * dict_scale));
+  const int num_unis =
+      std::max(1, static_cast<int>(cfg.universities * dict_scale));
+
+  uint64_t next_id = 1;
+  auto fresh_id = [&next_id] { return next_id++; };
+
+  // --- vertices ---------------------------------------------------------
+
+  std::vector<uint64_t> person_ids(num_persons);
+  for (int i = 0; i < num_persons; ++i) {
+    const uint64_t id = fresh_id();
+    person_ids[i] = id;
+    epgm::Properties props;
+    props.Set("firstName",
+              FirstNameAt(static_cast<int>(rng.NextZipf(
+                  cfg.first_name_dictionary, cfg.first_name_zipf))));
+    props.Set("lastName", kLastNames[rng.NextUint64(kNumLastNames)]);
+    props.Set("gender", rng.NextBool(0.5) ? "male" : "female");
+    props.Set("birthday",
+              static_cast<int64_t>(rng.NextInt64(19600101, 20051231)));
+    out.vertices.emplace_back(id, "Person", std::move(props));
+  }
+
+  std::vector<uint64_t> city_ids(num_cities);
+  for (int i = 0; i < num_cities; ++i) {
+    const uint64_t id = fresh_id();
+    city_ids[i] = id;
+    epgm::Properties props;
+    props.Set("name", i == 0 ? std::string("Leipzig")
+                             : "City_" + std::to_string(i));
+    out.vertices.emplace_back(id, "City", std::move(props));
+  }
+
+  std::vector<uint64_t> uni_ids(num_unis);
+  for (int i = 0; i < num_unis; ++i) {
+    const uint64_t id = fresh_id();
+    uni_ids[i] = id;
+    epgm::Properties props;
+    props.Set("name", i == 0 ? std::string("Uni Leipzig")
+                             : "Uni_" + std::to_string(i));
+    out.vertices.emplace_back(id, "University", std::move(props));
+  }
+
+  std::vector<uint64_t> tag_ids(num_tags);
+  for (int i = 0; i < num_tags; ++i) {
+    const uint64_t id = fresh_id();
+    tag_ids[i] = id;
+    epgm::Properties props;
+    props.Set("name", std::string(kTagThemes[i % 10]) + "_" +
+                          std::to_string(i / 10));
+    out.vertices.emplace_back(id, "Tag", std::move(props));
+  }
+
+  std::vector<uint64_t> forum_ids(num_forums);
+  for (int i = 0; i < num_forums; ++i) {
+    const uint64_t id = fresh_id();
+    forum_ids[i] = id;
+    epgm::Properties props;
+    props.Set("title", "Forum_" + std::to_string(i));
+    out.vertices.emplace_back(id, "Forum", std::move(props));
+  }
+
+  // Posts and comments; creationDate is an integer day stamp.
+  std::vector<uint64_t> post_ids(num_posts);
+  for (int i = 0; i < num_posts; ++i) {
+    const uint64_t id = fresh_id();
+    post_ids[i] = id;
+    epgm::Properties props;
+    props.Set("creationDate",
+              static_cast<int64_t>(rng.NextInt64(20100101, 20161231)));
+    props.Set("content", "post_" + std::to_string(i));
+    out.vertices.emplace_back(id, "Post", std::move(props));
+  }
+  std::vector<uint64_t> comment_ids(num_comments);
+  for (int i = 0; i < num_comments; ++i) {
+    const uint64_t id = fresh_id();
+    comment_ids[i] = id;
+    epgm::Properties props;
+    props.Set("creationDate",
+              static_cast<int64_t>(rng.NextInt64(20100101, 20161231)));
+    props.Set("content", "comment_" + std::to_string(i));
+    out.vertices.emplace_back(id, "Comment", std::move(props));
+  }
+
+  // --- edges ------------------------------------------------------------
+
+  auto add_edge = [&](const std::string& label, uint64_t src, uint64_t dst,
+                      epgm::Properties props = {}) {
+    out.edges.emplace_back(fresh_id(), label, src, dst, std::move(props));
+  };
+
+  // knows: power-law out-degree, Zipf-skewed popularity of targets. The
+  // out-adjacency feeds the reply-locality choice below.
+  std::unordered_map<uint64_t, std::vector<uint64_t>> knows_out;
+  for (int i = 0; i < num_persons; ++i) {
+    const uint64_t degree = rng.NextPowerLawDegree(
+        1, std::min<uint64_t>(cfg.knows_max_degree, num_persons - 1),
+        cfg.knows_alpha);
+    std::unordered_set<uint64_t> chosen;
+    for (uint64_t d = 0; d < degree; ++d) {
+      const int target = static_cast<int>(
+          rng.NextZipf(num_persons, cfg.popularity_zipf));
+      if (target == i) continue;
+      if (!chosen.insert(person_ids[target]).second) continue;
+      add_edge("knows", person_ids[i], person_ids[target]);
+      knows_out[person_ids[i]].push_back(person_ids[target]);
+    }
+  }
+
+  // hasCreator: messages point to their (Zipf-active) author. The
+  // activity ranking is shifted against the knows-popularity ranking —
+  // LDBC's degree and activity skews are not perfectly aligned, and a
+  // perfect alignment would square the hub effect (in-degree x message
+  // count) in every join over persons.
+  auto pick_person = [&] {
+    const uint64_t rank = rng.NextZipf(num_persons, cfg.popularity_zipf);
+    return person_ids[(rank + num_persons / 2) % num_persons];
+  };
+  std::unordered_map<uint64_t, uint64_t> author_of;  // message -> person
+  for (int i = 0; i < num_posts; ++i) {
+    const uint64_t author = pick_person();
+    author_of.emplace(post_ids[i], author);
+    add_edge("hasCreator", post_ids[i], author);
+  }
+
+  // Comments: each replies to a post (50%) or an earlier comment, forming
+  // acyclic reply trees rooted at posts. Reply locality: with high
+  // probability the commenter is a friend of the parent message's author
+  // (people reply within their social neighbourhood), which populates the
+  // friend-replied-to-post pattern of Query 3 exactly as LDBC does.
+  for (int i = 0; i < num_comments; ++i) {
+    uint64_t parent;
+    if (i == 0 || rng.NextBool(0.5)) {
+      parent = post_ids[rng.NextZipf(num_posts, cfg.popularity_zipf)];
+    } else {
+      parent = comment_ids[rng.NextUint64(i)];  // strictly earlier comment
+    }
+    add_edge("replyOf", comment_ids[i], parent);
+
+    uint64_t author = epgm::kInvalidId;
+    if (rng.NextBool(cfg.reply_locality)) {
+      const uint64_t parent_author = author_of.at(parent);
+      auto it = knows_out.find(parent_author);
+      if (it != knows_out.end() && !it->second.empty()) {
+        author = it->second[rng.NextUint64(it->second.size())];
+      }
+    }
+    if (author == epgm::kInvalidId) author = pick_person();
+    author_of.emplace(comment_ids[i], author);
+    add_edge("hasCreator", comment_ids[i], author);
+  }
+
+  // isLocatedIn: every person lives in a Zipf-skewed city.
+  for (int i = 0; i < num_persons; ++i) {
+    add_edge("isLocatedIn", person_ids[i],
+             city_ids[rng.NextZipf(num_cities, 1.0)]);
+  }
+
+  // hasInterest: 1..max_interests Zipf-skewed tags per person.
+  for (int i = 0; i < num_persons; ++i) {
+    const uint64_t count = 1 + rng.NextUint64(cfg.max_interests);
+    std::unordered_set<uint64_t> chosen;
+    for (uint64_t k = 0; k < count; ++k) {
+      const uint64_t tag = tag_ids[rng.NextZipf(num_tags, 1.0)];
+      if (chosen.insert(tag).second) {
+        add_edge("hasInterest", person_ids[i], tag);
+      }
+    }
+  }
+
+  // studyAt with classYear.
+  for (int i = 0; i < num_persons; ++i) {
+    if (!rng.NextBool(cfg.study_at_probability)) continue;
+    epgm::Properties props;
+    props.Set("classYear", static_cast<int64_t>(rng.NextInt64(2000, 2019)));
+    add_edge("studyAt", person_ids[i], uni_ids[rng.NextZipf(num_unis, 1.0)],
+             std::move(props));
+  }
+
+  // Forums: one moderator, power-law member count.
+  for (int i = 0; i < num_forums; ++i) {
+    add_edge("hasModerator", forum_ids[i], pick_person());
+    const uint64_t members = rng.NextPowerLawDegree(
+        2, std::min<uint64_t>(cfg.max_forum_members, num_persons), 1.8);
+    std::unordered_set<uint64_t> chosen;
+    for (uint64_t m = 0; m < members; ++m) {
+      const uint64_t person = pick_person();
+      if (chosen.insert(person).second) {
+        add_edge("hasMember", forum_ids[i], person);
+      }
+    }
+  }
+
+  return out;
+}
+
+epgm::LogicalGraph LdbcGenerator::Generate(
+    dataflow::ExecutionContextPtr ctx) const {
+  LdbcElements elements = GenerateElements();
+  epgm::GraphHead head(0, "SocialNetwork");
+  head.properties.Set("scaleFactor", config_.scale_factor);
+  return epgm::LogicalGraph::FromVectors(std::move(ctx), std::move(head),
+                                         std::move(elements.vertices),
+                                         std::move(elements.edges));
+}
+
+std::string PickFirstName(const LdbcElements& elements, Selectivity level) {
+  // Frequency table over the generated Person population.
+  std::map<std::string, int> freq;
+  for (const epgm::Vertex& v : elements.vertices) {
+    if (v.label != "Person") continue;
+    freq[v.properties.Get("firstName").string_value()]++;
+  }
+  std::vector<std::pair<int, std::string>> by_count;
+  for (const auto& [name, count] : freq) by_count.emplace_back(count, name);
+  std::sort(by_count.begin(), by_count.end());
+  if (by_count.empty()) return "Alice";
+  switch (level) {
+    case Selectivity::kHigh:
+      return by_count.front().second;  // rarest
+    case Selectivity::kMedium: {
+      // Geometric middle of the frequency range: Zipf counts span orders
+      // of magnitude, so the arithmetic median would be nearly as rare as
+      // `high` (the paper's medium sits between the extremes in log
+      // scale).
+      const double target = std::sqrt(
+          static_cast<double>(by_count.front().first) *
+          static_cast<double>(by_count.back().first));
+      const std::string* best = &by_count.front().second;
+      double best_delta = 1e300;
+      for (const auto& [count, name] : by_count) {
+        const double delta =
+            std::abs(std::log(static_cast<double>(count)) - std::log(target));
+        if (delta < best_delta) {
+          best_delta = delta;
+          best = &name;
+        }
+      }
+      return *best;
+    }
+    case Selectivity::kLow:
+      return by_count.back().second;  // most common
+  }
+  return by_count.back().second;
+}
+
+}  // namespace gradoop::ldbc

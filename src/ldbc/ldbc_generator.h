@@ -1,0 +1,98 @@
+#ifndef GRADOOP_LDBC_LDBC_GENERATOR_H_
+#define GRADOOP_LDBC_LDBC_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataflow/execution_context.h"
+#include "epgm/logical_graph.h"
+
+namespace gradoop::ldbc {
+
+// Parameters of the LDBC-SNB-shaped generator. The defaults at
+// scale_factor = 1.0 produce a miniature analogue of the paper's SF 10
+// data set (~16k vertices / ~60k edges); scale_factor = 10.0 plays the
+// role of SF 100, preserving the paper's 10x size ratio. The generator
+// reproduces the two structural properties the paper calls out: power-law
+// `knows` degrees and skewed property-value distributions (Zipf first
+// names, tags, forum sizes).
+struct LdbcConfig {
+  double scale_factor = 1.0;
+  uint64_t seed = 42;
+
+  // Base entity counts, scaled linearly by scale_factor.
+  int persons = 2000;
+  int posts = 6000;
+  int comments = 8000;
+  int forums = 100;
+  // Dictionary-sized entities (scaled sub-linearly: sqrt of scale).
+  int tags = 100;
+  int cities = 50;
+  int universities = 20;
+
+  // knows degree distribution: P(d) ~ d^-alpha on [1, max].
+  double knows_alpha = 2.2;
+  int knows_max_degree = 150;
+
+  // Zipf exponents for skewed choices.
+  double first_name_zipf = 1.15;
+  double popularity_zipf = 0.8;  // authorship / membership / interest skew
+
+  // Probability that a comment's author is a friend (knows-neighbour) of
+  // the parent message's author — reply locality, as in real networks.
+  double reply_locality = 0.5;
+
+  int first_name_dictionary = 200;
+  double study_at_probability = 0.8;
+  int max_interests = 10;
+  int max_forum_members = 60;
+};
+
+// Driver-side generated elements (before distribution).
+struct LdbcElements {
+  std::vector<epgm::Vertex> vertices;
+  std::vector<epgm::Edge> edges;
+};
+
+// Deterministic social-network generator covering every label and edge
+// type used by the paper's queries Q1-Q6: Person, City, University, Tag,
+// Forum, Post, Comment vertices; knows, hasCreator, replyOf, isLocatedIn,
+// hasInterest, studyAt, hasMember, hasModerator edges.
+class LdbcGenerator {
+ public:
+  explicit LdbcGenerator(LdbcConfig config = LdbcConfig());
+
+  // Generates all elements on the driver.
+  LdbcElements GenerateElements() const;
+
+  // Generates and distributes a logical graph over `ctx`.
+  epgm::LogicalGraph Generate(dataflow::ExecutionContextPtr ctx) const;
+
+  const LdbcConfig& config() const { return config_; }
+
+ private:
+  LdbcConfig config_;
+};
+
+// Selectivity classes of the paper's parameterized predicates (Appendix):
+// persons are filtered by firstName values ranging from highly uncommon to
+// very common.
+enum class Selectivity {
+  kHigh,    // rare name: few persons selected
+  kMedium,  // mid-frequency name
+  kLow,     // the most common name: many persons selected
+};
+
+const char* SelectivityName(Selectivity s);
+
+// Picks a firstName realizing the selectivity class against the actual
+// generated Person population.
+std::string PickFirstName(const LdbcElements& elements, Selectivity level);
+
+// The first-name dictionary entry at `index` (Zipf rank order).
+std::string FirstNameAt(int index);
+
+}  // namespace gradoop::ldbc
+
+#endif  // GRADOOP_LDBC_LDBC_GENERATOR_H_

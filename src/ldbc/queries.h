@@ -1,0 +1,69 @@
+#ifndef GRADOOP_LDBC_QUERIES_H_
+#define GRADOOP_LDBC_QUERIES_H_
+
+#include <string>
+
+namespace gradoop::ldbc {
+
+// The paper's six evaluation queries (Appendix), transcribed verbatim.
+// Q1-Q3 are operational (selectivity controlled by the firstName
+// parameter); Q4-Q6 are analytical.
+
+// Query 1 - All messages of a person.
+inline std::string Query1(const std::string& first_name) {
+  return "MATCH (person:Person)<-[:hasCreator]-(message:Comment|Post) "
+         "WHERE person.firstName = '" + first_name + "' "
+         "RETURN message.creationDate, message.content";
+}
+
+// Query 2 - Posts to a person's comments.
+inline std::string Query2(const std::string& first_name) {
+  return "MATCH (person:Person)<-[:hasCreator]-(message:Comment|Post), "
+         "(message)-[:replyOf*0..10]->(post:Post) "
+         "WHERE person.firstName = '" + first_name + "' "
+         "RETURN message.creationDate, message.content, "
+         "post.creationDate, post.content";
+}
+
+// Query 3 - Friends that replied to a post.
+inline std::string Query3(const std::string& first_name) {
+  return "MATCH (p1:Person)-[:knows]->(p2:Person), "
+         "(p2)<-[:hasCreator]-(comment:Comment), "
+         "(comment)-[:replyOf*1..10]->(post:Post), "
+         "(post)-[:hasCreator]->(p1) "
+         "WHERE p1.firstName = '" + first_name + "' "
+         "RETURN p1.firstName, p1.lastName, "
+         "p2.firstName, p2.lastName, post.content";
+}
+
+// Query 4 - Person profile.
+inline std::string Query4() {
+  return "MATCH (person:Person)-[:isLocatedIn]->(city:City), "
+         "(person)-[:hasInterest]->(tag:Tag), "
+         "(person)-[:studyAt]->(uni:University), "
+         "(person)<-[:hasMember|hasModerator]-(forum:Forum) "
+         "RETURN person.firstName, person.lastName, "
+         "city.name, tag.name, uni.name, forum.title";
+}
+
+// Query 5 - Close friends (knows triangle).
+inline std::string Query5() {
+  return "MATCH (p1:Person)-[:knows]->(p2:Person), "
+         "(p2)-[:knows]->(p3:Person), "
+         "(p1)-[:knows]->(p3) "
+         "RETURN p1.firstName, p1.lastName, "
+         "p2.firstName, p2.lastName, p3.firstName, p3.lastName";
+}
+
+// Query 6 - Recommendation (shared interests).
+inline std::string Query6() {
+  return "MATCH (p1:Person)-[:knows]->(p2:Person), "
+         "(p1)-[:hasInterest]->(t1:Tag), "
+         "(p2)-[:hasInterest]->(t1), "
+         "(p2)-[:hasInterest]->(t2:Tag) "
+         "RETURN p1.firstName, p1.lastName, t2.name";
+}
+
+}  // namespace gradoop::ldbc
+
+#endif  // GRADOOP_LDBC_QUERIES_H_

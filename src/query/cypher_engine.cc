@@ -1,0 +1,440 @@
+#include "query/cypher_engine.h"
+
+#include <cassert>
+
+#include "cypher/parser.h"
+
+namespace gradoop::query {
+
+namespace dfl = ::gradoop::dataflow;
+
+namespace {
+EmbeddingSet ApplyDistinct(const EmbeddingSet& input,
+                           const cypher::QueryGraph& qg);
+EmbeddingSet ApplyLimit(const EmbeddingSet& input, int64_t limit);
+}  // namespace
+
+CypherEngine::CypherEngine(epgm::LogicalGraph graph,
+                           PlannerOptions planner_options)
+    : graph_(std::move(graph)),
+      indexed_(epgm::IndexedLogicalGraph::Build(graph_)),
+      stats_(GraphStatistics::Compute(graph_)),
+      planner_options_(planner_options) {}
+
+Result<CypherMatchResult> CypherEngine::Execute(
+    const std::string& query, const MorphismSetting& semantics) {
+  GRADOOP_ASSIGN_OR_RETURN(cypher::CypherQuery ast,
+                           cypher::ParseCypher(query));
+  GRADOOP_ASSIGN_OR_RETURN(cypher::QueryGraph qg,
+                           cypher::QueryGraph::Build(ast));
+  if (qg.unsatisfiable()) {
+    // Contradictory label constraints: the match set is empty by
+    // construction; no plan is executed.
+    CypherMatchResult result{std::move(qg), nullptr,
+                             {dfl::Dataset<Embedding>::Empty(
+                                  graph_.vertices().context()),
+                              EmbeddingMetaData()}};
+    return result;
+  }
+  GRADOOP_ASSIGN_OR_RETURN(PlanNodePtr plan,
+                           PlanQuery(qg, stats_, planner_options_));
+  ScanCache scan_cache;
+  GRADOOP_ASSIGN_OR_RETURN(
+      EmbeddingSet embeddings,
+      ExecutePlan(plan, qg, indexed_, semantics,
+                  planner_options_.share_scan_results ? &scan_cache
+                                                      : nullptr));
+  if (qg.return_distinct()) embeddings = ApplyDistinct(embeddings, qg);
+  if (qg.limit() >= 0) embeddings = ApplyLimit(embeddings, qg.limit());
+  CypherMatchResult result{std::move(qg), std::move(plan),
+                           std::move(embeddings)};
+  return result;
+}
+
+Result<epgm::GraphCollection> CypherEngine::Match(
+    const std::string& query, const MorphismSetting& semantics) {
+  GRADOOP_ASSIGN_OR_RETURN(CypherMatchResult result,
+                           Execute(query, semantics));
+  return BuildMatchCollection(graph_, result.query_graph, result.embeddings);
+}
+
+Result<uint64_t> CypherEngine::Count(const std::string& query,
+                                     const MorphismSetting& semantics) {
+  GRADOOP_ASSIGN_OR_RETURN(CypherMatchResult result,
+                           Execute(query, semantics));
+  return result.embeddings.data.Count();
+}
+
+Result<std::string> CypherEngine::Explain(const std::string& query,
+                                          const MorphismSetting& semantics) {
+  (void)semantics;
+  GRADOOP_ASSIGN_OR_RETURN(cypher::CypherQuery ast,
+                           cypher::ParseCypher(query));
+  GRADOOP_ASSIGN_OR_RETURN(cypher::QueryGraph qg,
+                           cypher::QueryGraph::Build(ast));
+  if (qg.unsatisfiable()) return std::string("EmptyResult (unsatisfiable)\n");
+  GRADOOP_ASSIGN_OR_RETURN(PlanNodePtr plan,
+                           PlanQuery(qg, stats_, planner_options_));
+  return plan->ToString(qg);
+}
+
+namespace {
+
+// RETURN DISTINCT: deduplicates embeddings on the projected row — the
+// returned bindings/values for explicit items, or every variable binding
+// for `RETURN *`.
+std::string DistinctKeyOf(const Embedding& e, const EmbeddingMetaData& meta,
+                          const cypher::QueryGraph& qg) {
+  std::string key;
+  auto append_binding = [&](const std::string& var) {
+    const int c = meta.IdColumn(var);
+    if (c < 0) return;
+    if (e.IsPathEntry(c)) {
+      for (uint64_t id : e.PathAt(c)) {
+        key.append(reinterpret_cast<const char*>(&id), 8);
+      }
+      key.push_back('\1');
+    } else {
+      const uint64_t id = e.IdAt(c);
+      key.append(reinterpret_cast<const char*>(&id), 8);
+    }
+    key.push_back('\0');
+  };
+  if (qg.return_all()) {
+    for (const std::string& var : meta.Variables()) append_binding(var);
+    return key;
+  }
+  for (const cypher::ReturnItem& item : qg.return_items()) {
+    if (item.IsPropertyAccess()) {
+      const int c = meta.PropertyColumn(item.variable, item.property_key);
+      if (c >= 0) e.PropertyAt(c).EncodeTo(&key);
+      key.push_back('\0');
+    } else {
+      append_binding(item.variable);
+    }
+  }
+  return key;
+}
+
+EmbeddingSet ApplyDistinct(const EmbeddingSet& input,
+                           const cypher::QueryGraph& qg) {
+  const EmbeddingMetaData meta = input.meta;
+  auto data = input.data.Distinct(
+      [meta, &qg](const Embedding& e) { return DistinctKeyOf(e, meta, qg); },
+      "ReturnDistinct");
+  return {std::move(data), input.meta};
+}
+
+// LIMIT n: keeps the first n embeddings. Like Flink/Spark, the limit
+// gathers to the driver (result sets under a LIMIT are small by intent)
+// and redistributes the survivors.
+EmbeddingSet ApplyLimit(const EmbeddingSet& input, int64_t limit) {
+  std::vector<Embedding> rows = input.data.Collect();
+  if (static_cast<int64_t>(rows.size()) > limit) {
+    rows.resize(static_cast<size_t>(limit));
+  }
+  auto data = dfl::Dataset<Embedding>::FromVector(input.data.context(),
+                                                  std::move(rows));
+  return {std::move(data), input.meta};
+}
+
+// Selects the scan input for a label alternation from the indexed graph:
+// single-label predicates load exactly one per-label dataset (§3.4).
+dfl::Dataset<epgm::Vertex> VertexScanInput(
+    const epgm::IndexedLogicalGraph& graph,
+    const std::vector<std::string>& labels) {
+  if (labels.empty()) return graph.AllVertices();
+  dfl::Dataset<epgm::Vertex> out = graph.VerticesByLabel(labels.front());
+  for (size_t i = 1; i < labels.size(); ++i) {
+    out = out.Union(graph.VerticesByLabel(labels[i]));
+  }
+  return out;
+}
+
+dfl::Dataset<epgm::Edge> EdgeScanInput(const epgm::IndexedLogicalGraph& graph,
+                                       const std::vector<std::string>& types) {
+  if (types.empty()) return graph.AllEdges();
+  dfl::Dataset<epgm::Edge> out = graph.EdgesByLabel(types.front());
+  for (size_t i = 1; i < types.size(); ++i) {
+    out = out.Union(graph.EdgesByLabel(types[i]));
+  }
+  return out;
+}
+
+}  // namespace
+
+namespace {
+
+// Data signature of an edge scan: everything that shapes its rows except
+// the variable names.
+std::string EdgeScanSignature(const cypher::QueryGraph& query_graph,
+                              const cypher::QueryEdge& qe,
+                              const MorphismSetting& semantics,
+                              bool self_loop) {
+  std::string sig;
+  for (const std::string& t : qe.types) sig += t + "|";
+  sig += self_loop ? ";self;" : ";";
+  sig += qe.any_direction ? "any;" : "dir;";
+  sig += semantics.vertex == MatchSemantics::kIsomorphism ? "viso;" : "vhom;";
+  for (const auto& clause : query_graph.ElementPredicates(qe.variable)) {
+    sig += clause.ToString() + ";";
+  }
+  for (const std::string& key :
+       query_graph.NeededProperties(qe.variable)) {
+    sig += key + ",";
+  }
+  return sig;
+}
+
+}  // namespace
+
+Result<EmbeddingSet> ExecutePlan(const PlanNodePtr& plan,
+                                 const cypher::QueryGraph& query_graph,
+                                 const epgm::IndexedLogicalGraph& graph,
+                                 const MorphismSetting& semantics,
+                                 ScanCache* scan_cache) {
+  switch (plan->kind) {
+    case PlanNode::Kind::kScanVertices: {
+      const cypher::QueryVertex& qv =
+          query_graph.vertices()[plan->element_index];
+      return SelectAndProjectVertices(
+          VertexScanInput(graph, qv.labels), qv,
+          query_graph.ElementPredicates(qv.variable),
+          query_graph.NeededProperties(qv.variable));
+    }
+    case PlanNode::Kind::kScanEdges: {
+      const cypher::QueryEdge& qe = query_graph.edges()[plan->element_index];
+      const std::string& src = query_graph.vertices()[qe.source].variable;
+      const std::string& dst = query_graph.vertices()[qe.target].variable;
+      const bool self_loop = src == dst;
+      // Recurring-subquery reuse: an identical edge scan (same types,
+      // direction, predicates, projection — naming aside, but the
+      // predicate strings carry the variable name, so only true repeats
+      // of the same shape hit) executes once per query.
+      if (scan_cache != nullptr) {
+        // The predicate strings embed the edge variable; normalize by the
+        // scan's data signature only when the edge has no predicates
+        // (predicates on differently-named variables cannot coincide).
+        const std::string sig =
+            EdgeScanSignature(query_graph, qe, semantics, self_loop);
+        auto it = scan_cache->find(sig);
+        if (it != scan_cache->end()) {
+          return EmbeddingSet{
+              it->second,
+              EdgeScanMetaData(qe, src, dst,
+                               query_graph.NeededProperties(qe.variable))};
+        }
+        EmbeddingSet scanned = SelectAndProjectEdges(
+            EdgeScanInput(graph, qe.types), qe, src, dst,
+            query_graph.ElementPredicates(qe.variable),
+            query_graph.NeededProperties(qe.variable), semantics);
+        scan_cache->emplace(sig, scanned.data);
+        return scanned;
+      }
+      return SelectAndProjectEdges(
+          EdgeScanInput(graph, qe.types), qe, src, dst,
+          query_graph.ElementPredicates(qe.variable),
+          query_graph.NeededProperties(qe.variable), semantics);
+    }
+    case PlanNode::Kind::kJoin: {
+      GRADOOP_ASSIGN_OR_RETURN(
+          EmbeddingSet left,
+          ExecutePlan(plan->left, query_graph, graph, semantics, scan_cache));
+      GRADOOP_ASSIGN_OR_RETURN(
+          EmbeddingSet right,
+          ExecutePlan(plan->right, query_graph, graph, semantics,
+                      scan_cache));
+      return JoinEmbeddings(left, right, plan->join_variables, semantics,
+                            plan->join_strategy);
+    }
+    case PlanNode::Kind::kValueJoin: {
+      GRADOOP_ASSIGN_OR_RETURN(
+          EmbeddingSet left,
+          ExecutePlan(plan->left, query_graph, graph, semantics, scan_cache));
+      GRADOOP_ASSIGN_OR_RETURN(
+          EmbeddingSet right,
+          ExecutePlan(plan->right, query_graph, graph, semantics,
+                      scan_cache));
+      std::vector<PropertyRef> left_keys, right_keys;
+      for (const auto& [lhs, rhs] : plan->value_join_keys) {
+        left_keys.push_back({lhs->variable(), lhs->property_key()});
+        right_keys.push_back({rhs->variable(), rhs->property_key()});
+      }
+      return ValueJoinEmbeddings(left, right, left_keys, right_keys,
+                                 semantics, plan->join_strategy);
+    }
+    case PlanNode::Kind::kExpand: {
+      GRADOOP_ASSIGN_OR_RETURN(
+          EmbeddingSet input,
+          ExecutePlan(plan->left, query_graph, graph, semantics,
+                      scan_cache));
+      const cypher::QueryEdge& qe = query_graph.edges()[plan->element_index];
+      const std::string& src = query_graph.vertices()[qe.source].variable;
+      const std::string& dst = query_graph.vertices()[qe.target].variable;
+      const std::string& start = plan->expand_reverse ? dst : src;
+      const std::string& end = plan->expand_reverse ? src : dst;
+      return ExpandEmbeddings(input, EdgeScanInput(graph, qe.types), start,
+                              qe.variable, end, qe.lower_bound,
+                              qe.upper_bound, plan->expand_reverse,
+                              semantics);
+    }
+    case PlanNode::Kind::kFilter: {
+      GRADOOP_ASSIGN_OR_RETURN(
+          EmbeddingSet input,
+          ExecutePlan(plan->left, query_graph, graph, semantics,
+                      scan_cache));
+      return SelectEmbeddings(input, plan->clauses);
+    }
+  }
+  return Status::Internal("unknown plan node kind");
+}
+
+namespace {
+
+// Intermediate record when materializing the match collection.
+struct MatchedGraph {
+  epgm::GraphHead head;
+  std::vector<uint64_t> vertex_ids;
+  std::vector<uint64_t> edge_ids;
+
+  size_t SerializedSize() const {
+    return head.SerializedSize() + 2 * sizeof(uint32_t) +
+           8 * (vertex_ids.size() + edge_ids.size());
+  }
+};
+
+}  // namespace
+
+epgm::GraphCollection BuildMatchCollection(
+    const epgm::LogicalGraph& graph, const cypher::QueryGraph& query_graph,
+    const EmbeddingSet& embeddings) {
+  const EmbeddingMetaData meta = embeddings.meta;
+
+  // Variables whose bindings become head properties.
+  std::vector<cypher::ReturnItem> items;
+  if (query_graph.return_all()) {
+    for (const std::string& var : meta.Variables()) {
+      if (var.rfind("  __", 0) == 0) continue;  // anonymous elements
+      cypher::ReturnItem item;
+      item.variable = var;
+      items.push_back(std::move(item));
+    }
+  } else {
+    items = query_graph.return_items();
+  }
+
+  // New graph heads get ids disjoint from the data graph's id space:
+  // partition-deterministic (partition index in the top bits).
+  constexpr uint64_t kMatchIdBase = 1ull << 48;
+  auto matched = embeddings.data.MapPartition<MatchedGraph>(
+      [meta, items](int partition, const std::vector<Embedding>& in,
+                    std::vector<MatchedGraph>* out) {
+        out->reserve(in.size());
+        uint64_t seq = 0;
+        for (const Embedding& e : in) {
+          MatchedGraph m;
+          m.head.id = kMatchIdBase +
+                      (static_cast<uint64_t>(partition) << 32) + seq++;
+          m.head.label = "MatchResult";
+          for (const cypher::ReturnItem& item : items) {
+            const std::string name =
+                item.alias.empty()
+                    ? (item.IsPropertyAccess()
+                           ? item.variable + "." + item.property_key
+                           : item.variable)
+                    : item.alias;
+            if (item.IsPropertyAccess()) {
+              const int c =
+                  meta.PropertyColumn(item.variable, item.property_key);
+              m.head.properties.Set(name, c >= 0
+                                              ? e.PropertyAt(c)
+                                              : epgm::PropertyValue::Null());
+            } else {
+              const int c = meta.IdColumn(item.variable);
+              if (c < 0) continue;
+              if (e.IsPathEntry(c)) {
+                m.head.properties.Set(name, epgm::PropertyValue(e.PathAt(c)));
+              } else {
+                m.head.properties.Set(
+                    name,
+                    epgm::PropertyValue(static_cast<int64_t>(e.IdAt(c))));
+              }
+            }
+          }
+          for (int c : meta.VertexColumns()) m.vertex_ids.push_back(e.IdAt(c));
+          for (int c : meta.EdgeColumns()) m.edge_ids.push_back(e.IdAt(c));
+          for (int c : meta.PathColumns()) {
+            const std::vector<uint64_t> via = e.PathAt(c);
+            for (size_t i = 0; i < via.size(); ++i) {
+              // Alternating edge/vertex ids, starting with an edge.
+              (i % 2 == 0 ? m.edge_ids : m.vertex_ids).push_back(via[i]);
+            }
+          }
+          out->push_back(std::move(m));
+        }
+      },
+      "BuildMatchGraphs");
+
+  auto heads = matched.Map(
+      [](const MatchedGraph& m) { return m.head; }, "MatchHeads");
+
+  // Membership pairs (element id -> head id), grouped per element.
+  using IdPair = std::pair<uint64_t, uint64_t>;
+  auto vertex_pairs = matched.FlatMap<IdPair>(
+      [](const MatchedGraph& m, std::vector<IdPair>* out) {
+        for (uint64_t id : m.vertex_ids) out->emplace_back(id, m.head.id);
+      },
+      "VertexMembership");
+  auto edge_pairs = matched.FlatMap<IdPair>(
+      [](const MatchedGraph& m, std::vector<IdPair>* out) {
+        for (uint64_t id : m.edge_ids) out->emplace_back(id, m.head.id);
+      },
+      "EdgeMembership");
+
+  auto group = [](const IdPair& p) { return p.first; };
+  auto init = [](const IdPair& p) { return std::vector<uint64_t>{p.second}; };
+  auto fold = [](std::vector<uint64_t> acc, const IdPair& p) {
+    acc.push_back(p.second);
+    return acc;
+  };
+  auto vertex_groups =
+      vertex_pairs.ReduceByKey(group, init, fold, "GroupVertexMembership");
+  auto edge_groups =
+      edge_pairs.ReduceByKey(group, init, fold, "GroupEdgeMembership");
+
+  // Attach membership to the matched elements (elements that match no
+  // embedding do not appear in the result collection).
+  auto vertices = graph.vertices().HashJoin<epgm::Vertex>(
+      vertex_groups, [](const epgm::Vertex& v) { return v.id; },
+      [](const std::pair<uint64_t, std::vector<uint64_t>>& g) {
+        return g.first;
+      },
+      [](const epgm::Vertex& v,
+         const std::pair<uint64_t, std::vector<uint64_t>>& g,
+         std::vector<epgm::Vertex>* out) {
+        epgm::Vertex copy = v;
+        copy.graph_ids.insert(copy.graph_ids.end(), g.second.begin(),
+                              g.second.end());
+        out->push_back(std::move(copy));
+      },
+      dfl::JoinStrategy::kRepartition, "AttachVertexMembership");
+  auto edges = graph.edges().HashJoin<epgm::Edge>(
+      edge_groups, [](const epgm::Edge& e) { return e.id; },
+      [](const std::pair<uint64_t, std::vector<uint64_t>>& g) {
+        return g.first;
+      },
+      [](const epgm::Edge& e,
+         const std::pair<uint64_t, std::vector<uint64_t>>& g,
+         std::vector<epgm::Edge>* out) {
+        epgm::Edge copy = e;
+        copy.graph_ids.insert(copy.graph_ids.end(), g.second.begin(),
+                              g.second.end());
+        out->push_back(std::move(copy));
+      },
+      dfl::JoinStrategy::kRepartition, "AttachEdgeMembership");
+
+  return epgm::GraphCollection(std::move(heads), std::move(vertices),
+                               std::move(edges));
+}
+
+}  // namespace gradoop::query

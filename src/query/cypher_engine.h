@@ -1,0 +1,99 @@
+#ifndef GRADOOP_QUERY_CYPHER_ENGINE_H_
+#define GRADOOP_QUERY_CYPHER_ENGINE_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "cypher/query_graph.h"
+#include "epgm/indexed_logical_graph.h"
+#include "epgm/logical_graph.h"
+#include "query/graph_statistics.h"
+#include "query/match_semantics.h"
+#include "query/operators.h"
+#include "query/plan.h"
+#include "query/planner.h"
+
+namespace gradoop::query {
+
+// Everything produced by one query execution, for callers that need more
+// than the match collection (benchmarks, tests, EXPLAIN).
+struct CypherMatchResult {
+  cypher::QueryGraph query_graph;
+  PlanNodePtr plan;
+  EmbeddingSet embeddings;
+};
+
+// The Cypher pattern-matching operator of the EPGM (§3). Owns the indexed
+// graph representation and the pre-computed statistics; each call parses,
+// plans and executes one query. Mirrors the Java API
+// `g.cypher(query, vertexSemantics, edgeSemantics)`.
+//
+//   CypherEngine engine(graph);
+//   auto matches = engine.Match("MATCH (a:Person)-[:knows]->(b) RETURN *",
+//                               MorphismSetting::Neo4j());
+class CypherEngine {
+ public:
+  // Builds the label index (§3.4) and graph statistics (§3.2) once.
+  explicit CypherEngine(epgm::LogicalGraph graph,
+                        PlannerOptions planner_options = {});
+
+  const epgm::LogicalGraph& graph() const { return graph_; }
+  const epgm::IndexedLogicalGraph& indexed_graph() const { return indexed_; }
+  const GraphStatistics& statistics() const { return stats_; }
+  PlannerOptions& planner_options() { return planner_options_; }
+
+  // Parses, plans and executes `query`, returning the embeddings and the
+  // plan. The primary entry point for benchmarks and tests.
+  Result<CypherMatchResult> Execute(
+      const std::string& query,
+      const MorphismSetting& semantics = MorphismSetting::Neo4j());
+
+  // Full EPGM operator (Definition 2.4): each match becomes a new logical
+  // graph whose head carries the variable bindings as properties; matched
+  // vertices/edges record their membership.
+  Result<epgm::GraphCollection> Match(
+      const std::string& query,
+      const MorphismSetting& semantics = MorphismSetting::Neo4j());
+
+  // Number of matches (the paper's reported workload: find and count).
+  Result<uint64_t> Count(
+      const std::string& query,
+      const MorphismSetting& semantics = MorphismSetting::Neo4j());
+
+  // Plan rendering without execution.
+  Result<std::string> Explain(
+      const std::string& query,
+      const MorphismSetting& semantics = MorphismSetting::Neo4j());
+
+ private:
+  epgm::LogicalGraph graph_;
+  epgm::IndexedLogicalGraph indexed_;
+  GraphStatistics stats_;
+  PlannerOptions planner_options_;
+};
+
+// Cache of edge-scan results within one query execution, keyed by the
+// scan's data signature (types, direction, predicates, projection) —
+// variable names are excluded since the embedding rows do not depend on
+// them. Implements the paper's recurring-subquery reuse
+// (PlannerOptions::share_scan_results).
+using ScanCache = std::map<std::string, dataflow::Dataset<Embedding>>;
+
+// Plan executor, exposed for tests that construct plans manually: runs
+// `plan` over `graph`, producing the embedding set. `scan_cache` enables
+// edge-scan sharing when non-null.
+Result<EmbeddingSet> ExecutePlan(const PlanNodePtr& plan,
+                                 const cypher::QueryGraph& query_graph,
+                                 const epgm::IndexedLogicalGraph& graph,
+                                 const MorphismSetting& semantics,
+                                 ScanCache* scan_cache = nullptr);
+
+// Materializes a match collection from final embeddings (Definition 2.4).
+epgm::GraphCollection BuildMatchCollection(
+    const epgm::LogicalGraph& graph, const cypher::QueryGraph& query_graph,
+    const EmbeddingSet& embeddings);
+
+}  // namespace gradoop::query
+
+#endif  // GRADOOP_QUERY_CYPHER_ENGINE_H_

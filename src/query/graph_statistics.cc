@@ -1,0 +1,183 @@
+#include "query/graph_statistics.h"
+
+#include <fstream>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace gradoop::query {
+
+GraphStatistics GraphStatistics::Compute(const epgm::LogicalGraph& graph) {
+  GraphStatistics stats;
+  for (int p = 0; p < graph.vertices().num_partitions(); ++p) {
+    for (const epgm::Vertex& v : graph.vertices().partition(p)) {
+      ++stats.vertex_count_;
+      ++stats.vertex_label_count_[v.label];
+    }
+  }
+  std::unordered_set<epgm::GradoopId> sources, targets;
+  std::map<std::string, std::unordered_set<epgm::GradoopId>> sources_by_label,
+      targets_by_label;
+  for (int p = 0; p < graph.edges().num_partitions(); ++p) {
+    for (const epgm::Edge& e : graph.edges().partition(p)) {
+      ++stats.edge_count_;
+      ++stats.edge_label_count_[e.label];
+      sources.insert(e.source_id);
+      targets.insert(e.target_id);
+      sources_by_label[e.label].insert(e.source_id);
+      targets_by_label[e.label].insert(e.target_id);
+    }
+  }
+  stats.distinct_source_count_ = sources.size();
+  stats.distinct_target_count_ = targets.size();
+  for (const auto& [label, ids] : sources_by_label) {
+    stats.distinct_source_by_label_[label] = ids.size();
+  }
+  for (const auto& [label, ids] : targets_by_label) {
+    stats.distinct_target_by_label_[label] = ids.size();
+  }
+  return stats;
+}
+
+uint64_t GraphStatistics::VertexCountByLabel(const std::string& label) const {
+  auto it = vertex_label_count_.find(label);
+  return it == vertex_label_count_.end() ? 0 : it->second;
+}
+
+uint64_t GraphStatistics::EdgeCountByLabel(const std::string& label) const {
+  auto it = edge_label_count_.find(label);
+  return it == edge_label_count_.end() ? 0 : it->second;
+}
+
+uint64_t GraphStatistics::VertexCountByLabels(
+    const std::vector<std::string>& labels) const {
+  if (labels.empty()) return vertex_count_;
+  uint64_t total = 0;
+  for (const std::string& l : labels) total += VertexCountByLabel(l);
+  return total;
+}
+
+uint64_t GraphStatistics::EdgeCountByLabels(
+    const std::vector<std::string>& labels) const {
+  if (labels.empty()) return edge_count_;
+  uint64_t total = 0;
+  for (const std::string& l : labels) total += EdgeCountByLabel(l);
+  return total;
+}
+
+uint64_t GraphStatistics::DistinctSourceByLabel(
+    const std::string& label) const {
+  auto it = distinct_source_by_label_.find(label);
+  return it == distinct_source_by_label_.end() ? 0 : it->second;
+}
+
+uint64_t GraphStatistics::DistinctTargetByLabel(
+    const std::string& label) const {
+  auto it = distinct_target_by_label_.find(label);
+  return it == distinct_target_by_label_.end() ? 0 : it->second;
+}
+
+uint64_t GraphStatistics::DistinctSourceByLabels(
+    const std::vector<std::string>& labels) const {
+  if (labels.empty()) return distinct_source_count_;
+  uint64_t total = 0;
+  for (const std::string& l : labels) total += DistinctSourceByLabel(l);
+  return total;
+}
+
+uint64_t GraphStatistics::DistinctTargetByLabels(
+    const std::vector<std::string>& labels) const {
+  if (labels.empty()) return distinct_target_count_;
+  uint64_t total = 0;
+  for (const std::string& l : labels) total += DistinctTargetByLabel(l);
+  return total;
+}
+
+Status GraphStatistics::WriteToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot write " + path);
+  out << "vertex_count;" << vertex_count_ << "\n";
+  out << "edge_count;" << edge_count_ << "\n";
+  out << "distinct_source_count;" << distinct_source_count_ << "\n";
+  out << "distinct_target_count;" << distinct_target_count_ << "\n";
+  for (const auto& [label, count] : vertex_label_count_) {
+    out << "vertex_label;" << label << ";" << count << "\n";
+  }
+  for (const auto& [label, count] : edge_label_count_) {
+    out << "edge_label;" << label << ";" << count << "\n";
+  }
+  for (const auto& [label, count] : distinct_source_by_label_) {
+    out << "distinct_source;" << label << ";" << count << "\n";
+  }
+  for (const auto& [label, count] : distinct_target_by_label_) {
+    out << "distinct_target;" << label << ";" << count << "\n";
+  }
+  return Status::Ok();
+}
+
+Result<GraphStatistics> GraphStatistics::ReadFromFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  GraphStatistics stats;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto fields = SplitString(line, ';');
+    auto parse_count = [](const std::string& text) -> Result<uint64_t> {
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+      if (errno != 0 || end == text.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad count: " + text);
+      }
+      return static_cast<uint64_t>(v);
+    };
+    if (fields.size() == 2) {
+      GRADOOP_ASSIGN_OR_RETURN(uint64_t count, parse_count(fields[1]));
+      if (fields[0] == "vertex_count") {
+        stats.vertex_count_ = count;
+      } else if (fields[0] == "edge_count") {
+        stats.edge_count_ = count;
+      } else if (fields[0] == "distinct_source_count") {
+        stats.distinct_source_count_ = count;
+      } else if (fields[0] == "distinct_target_count") {
+        stats.distinct_target_count_ = count;
+      } else {
+        return Status::InvalidArgument("unknown statistics row: " + line);
+      }
+    } else if (fields.size() == 3) {
+      GRADOOP_ASSIGN_OR_RETURN(uint64_t count, parse_count(fields[2]));
+      if (fields[0] == "vertex_label") {
+        stats.vertex_label_count_[fields[1]] = count;
+      } else if (fields[0] == "edge_label") {
+        stats.edge_label_count_[fields[1]] = count;
+      } else if (fields[0] == "distinct_source") {
+        stats.distinct_source_by_label_[fields[1]] = count;
+      } else if (fields[0] == "distinct_target") {
+        stats.distinct_target_by_label_[fields[1]] = count;
+      } else {
+        return Status::InvalidArgument("unknown statistics row: " + line);
+      }
+    } else {
+      return Status::InvalidArgument("bad statistics row: " + line);
+    }
+  }
+  return stats;
+}
+
+std::string GraphStatistics::ToString() const {
+  std::string out = "GraphStatistics(|V|=" + std::to_string(vertex_count_) +
+                    ", |E|=" + std::to_string(edge_count_) + "\n vertices:";
+  for (const auto& [label, count] : vertex_label_count_) {
+    out += " " + label + "=" + std::to_string(count);
+  }
+  out += "\n edges:";
+  for (const auto& [label, count] : edge_label_count_) {
+    out += " " + label + "=" + std::to_string(count);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace gradoop::query

@@ -1,0 +1,34 @@
+#ifndef GRADOOP_QUERY_MATCH_SEMANTICS_H_
+#define GRADOOP_QUERY_MATCH_SEMANTICS_H_
+
+namespace gradoop::query {
+
+// Morphism semantics for one element class (§2.2). Isomorphism requires the
+// mapping to be injective (no data element bound to two query elements);
+// homomorphism allows reuse.
+enum class MatchSemantics {
+  kIsomorphism,
+  kHomomorphism,
+};
+
+// Per-operator morphism configuration. Neo4j fixes HOMO vertices / ISO
+// edges; Gradoop lets the caller choose both (§2.3), which is what the
+// operator signature `g.cypher(q, HOMO, ISO)` expresses.
+struct MorphismSetting {
+  MatchSemantics vertex = MatchSemantics::kHomomorphism;
+  MatchSemantics edge = MatchSemantics::kIsomorphism;
+
+  static MorphismSetting Neo4j() {
+    return {MatchSemantics::kHomomorphism, MatchSemantics::kIsomorphism};
+  }
+  static MorphismSetting FullIsomorphism() {
+    return {MatchSemantics::kIsomorphism, MatchSemantics::kIsomorphism};
+  }
+  static MorphismSetting FullHomomorphism() {
+    return {MatchSemantics::kHomomorphism, MatchSemantics::kHomomorphism};
+  }
+};
+
+}  // namespace gradoop::query
+
+#endif  // GRADOOP_QUERY_MATCH_SEMANTICS_H_

@@ -1,0 +1,198 @@
+#include "query/naive_matcher.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+namespace gradoop::query {
+
+namespace {
+
+using cypher::CnfClause;
+using cypher::QueryEdge;
+using cypher::QueryGraph;
+using cypher::QueryVertex;
+
+}  // namespace
+
+NaiveMatcher::NaiveMatcher(std::vector<epgm::Vertex> vertices,
+                           std::vector<epgm::Edge> edges)
+    : vertices_(std::move(vertices)), edges_(std::move(edges)) {
+  for (const epgm::Vertex& v : vertices_) vertex_by_id_.emplace(v.id, &v);
+  for (const epgm::Edge& e : edges_) {
+    out_edges_[e.source_id].push_back(&e);
+    in_edges_[e.target_id].push_back(&e);
+  }
+}
+
+std::vector<NaiveBinding> NaiveMatcher::FindMatches(
+    const QueryGraph& qg, const MorphismSetting& semantics) const {
+  std::vector<NaiveBinding> results;
+  if (qg.unsatisfiable()) return results;
+
+  const bool vertex_iso = semantics.vertex == MatchSemantics::kIsomorphism;
+  const bool edge_iso = semantics.edge == MatchSemantics::kIsomorphism;
+
+  std::vector<const QueryEdge*> fixed_edges;
+  std::vector<const QueryEdge*> var_edges;
+  for (const QueryEdge& e : qg.edges()) {
+    (e.IsVariableLength() ? var_edges : fixed_edges).push_back(&e);
+  }
+
+  // Mutable search state.
+  std::vector<uint64_t> vertex_binding(qg.vertices().size(), 0);
+  std::map<std::string, const epgm::Edge*> edge_binding;
+  std::map<std::string, std::vector<uint64_t>> path_binding;
+  std::set<uint64_t> used_edges;  // global edge-isomorphism constraint
+
+  auto element_preds_hold = [&](const std::string& var,
+                                const epgm::Properties& props) {
+    const auto resolver = [&](const std::string& v,
+                              const std::string& key) -> epgm::PropertyValue {
+      return v == var ? props.Get(key) : epgm::PropertyValue::Null();
+    };
+    for (const CnfClause& clause : qg.ElementPredicates(var)) {
+      if (!cypher::EvaluateClause(clause, resolver)) return false;
+    }
+    return true;
+  };
+
+  auto full_resolver = [&](const std::string& var,
+                           const std::string& key) -> epgm::PropertyValue {
+    if (const QueryVertex* qv = qg.FindVertex(var)) {
+      auto it = vertex_by_id_.find(vertex_binding[qv->index]);
+      return it == vertex_by_id_.end() ? epgm::PropertyValue::Null()
+                                       : it->second->properties.Get(key);
+    }
+    auto it = edge_binding.find(var);
+    if (it != edge_binding.end()) return it->second->properties.Get(key);
+    return epgm::PropertyValue::Null();
+  };
+
+  // Phase 3: assign variable-length paths one by one; record the binding
+  // once every element is bound and the cross predicates hold.
+  std::function<void(size_t)> assign_paths = [&](size_t path_idx) {
+    if (path_idx == var_edges.size()) {
+      for (const CnfClause& clause : qg.CrossPredicates()) {
+        if (!cypher::EvaluateClause(clause, full_resolver)) return;
+      }
+      NaiveBinding binding;
+      for (const QueryVertex& v : qg.vertices()) {
+        binding.elements[v.variable] = vertex_binding[v.index];
+      }
+      for (const auto& [var, edge] : edge_binding) {
+        binding.elements[var] = edge->id;
+      }
+      binding.paths = path_binding;
+      results.push_back(std::move(binding));
+      return;
+    }
+    const QueryEdge& qe = *var_edges[path_idx];
+    const uint64_t start = vertex_binding[qe.source];
+    const uint64_t goal = vertex_binding[qe.target];
+
+    // DFS mirroring the engine's ExpandEmbeddings hop rules. `via` holds
+    // the alternating edge/vertex ids walked so far WITHOUT the current
+    // end; `at` is the current end vertex.
+    std::vector<uint64_t> via;
+    std::function<void(uint64_t, int)> walk = [&](uint64_t at, int len) {
+      if (len >= qe.lower_bound && at == goal) {
+        path_binding[qe.variable] = via;
+        std::vector<uint64_t> added;
+        for (size_t i = 0; i < via.size(); i += 2) {
+          if (used_edges.insert(via[i]).second) added.push_back(via[i]);
+        }
+        assign_paths(path_idx + 1);
+        for (uint64_t id : added) used_edges.erase(id);
+        path_binding.erase(qe.variable);
+      }
+      if (len == qe.upper_bound) return;
+      auto it = out_edges_.find(at);
+      if (it == out_edges_.end()) return;
+      for (const epgm::Edge* e : it->second) {
+        if (!qe.MatchesType(e->label)) continue;
+        const uint64_t next = e->target_id;
+        if (edge_iso) {
+          bool dup = used_edges.contains(e->id);
+          for (size_t i = 0; !dup && i < via.size(); i += 2) {
+            dup = via[i] == e->id;
+          }
+          if (dup) continue;
+        }
+        if (vertex_iso) {
+          // Engine hop rules: no self-loop hop, no interior revisit, no
+          // return to the start unless it is the (bound) goal.
+          if (next == at) continue;
+          bool dup = false;
+          for (size_t i = 1; !dup && i < via.size(); i += 2) {
+            dup = via[i] == next;
+          }
+          if (dup) continue;
+          if (next != goal && next == start) continue;
+        }
+        if (len > 0) via.push_back(at);  // close the previous hop
+        via.push_back(e->id);
+        walk(next, len + 1);
+        via.pop_back();
+        if (len > 0) via.pop_back();
+      }
+    };
+    walk(start, 0);
+  };
+
+  // Phase 2: assign fixed-length edges.
+  std::function<void(size_t)> assign_edges = [&](size_t edge_pos) {
+    if (edge_pos == fixed_edges.size()) {
+      assign_paths(0);
+      return;
+    }
+    const QueryEdge& qe = *fixed_edges[edge_pos];
+    const uint64_t src = vertex_binding[qe.source];
+    const uint64_t dst = vertex_binding[qe.target];
+    for (const epgm::Edge& e : edges_) {
+      if (!qe.MatchesType(e.label)) continue;
+      const bool forward = e.source_id == src && e.target_id == dst;
+      const bool backward =
+          qe.any_direction && e.source_id == dst && e.target_id == src;
+      if (!forward && !backward) continue;
+      if (edge_iso && used_edges.contains(e.id)) continue;
+      if (!element_preds_hold(qe.variable, e.properties)) continue;
+      edge_binding[qe.variable] = &e;
+      used_edges.insert(e.id);
+      assign_edges(edge_pos + 1);
+      used_edges.erase(e.id);
+      edge_binding.erase(qe.variable);
+    }
+  };
+
+  // Phase 1: assign query vertices.
+  std::function<void(size_t)> assign_vertices = [&](size_t vertex_pos) {
+    if (vertex_pos == qg.vertices().size()) {
+      assign_edges(0);
+      return;
+    }
+    const QueryVertex& qv = qg.vertices()[vertex_pos];
+    for (const epgm::Vertex& v : vertices_) {
+      if (!qv.MatchesLabel(v.label)) continue;
+      if (vertex_iso) {
+        bool conflict = false;
+        for (size_t i = 0; i < vertex_pos && !conflict; ++i) {
+          conflict = vertex_binding[i] == v.id;
+        }
+        if (conflict) continue;
+      }
+      if (!element_preds_hold(qv.variable, v.properties)) continue;
+      vertex_binding[vertex_pos] = v.id;
+      assign_vertices(vertex_pos + 1);
+    }
+  };
+  assign_vertices(0);
+  return results;
+}
+
+uint64_t NaiveMatcher::CountMatches(const QueryGraph& qg,
+                                    const MorphismSetting& semantics) const {
+  return FindMatches(qg, semantics).size();
+}
+
+}  // namespace gradoop::query

@@ -1,0 +1,57 @@
+#ifndef GRADOOP_QUERY_NAIVE_MATCHER_H_
+#define GRADOOP_QUERY_NAIVE_MATCHER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "cypher/query_graph.h"
+#include "epgm/elements.h"
+#include "query/match_semantics.h"
+
+namespace gradoop::query {
+
+// One complete match: query variable -> data element id, and variable ->
+// via-id list for variable-length paths.
+struct NaiveBinding {
+  std::map<std::string, uint64_t> elements;
+  std::map<std::string, std::vector<uint64_t>> paths;
+
+  bool operator==(const NaiveBinding& other) const {
+    return elements == other.elements && paths == other.paths;
+  }
+  bool operator<(const NaiveBinding& other) const {
+    if (elements != other.elements) return elements < other.elements;
+    return paths < other.paths;
+  }
+};
+
+// Single-threaded backtracking matcher over driver-side element vectors.
+// Implements the same morphism semantics as the distributed engine and
+// serves as the correctness oracle in tests: every engine result on small
+// graphs is compared against this enumeration.
+class NaiveMatcher {
+ public:
+  NaiveMatcher(std::vector<epgm::Vertex> vertices,
+               std::vector<epgm::Edge> edges);
+
+  // Enumerates all embeddings of `query_graph` under `semantics`.
+  std::vector<NaiveBinding> FindMatches(
+      const cypher::QueryGraph& query_graph,
+      const MorphismSetting& semantics) const;
+
+  uint64_t CountMatches(const cypher::QueryGraph& query_graph,
+                        const MorphismSetting& semantics) const;
+
+ private:
+  std::vector<epgm::Vertex> vertices_;
+  std::vector<epgm::Edge> edges_;
+  std::map<uint64_t, const epgm::Vertex*> vertex_by_id_;
+  std::map<uint64_t, std::vector<const epgm::Edge*>> out_edges_;
+  std::map<uint64_t, std::vector<const epgm::Edge*>> in_edges_;
+};
+
+}  // namespace gradoop::query
+
+#endif  // GRADOOP_QUERY_NAIVE_MATCHER_H_

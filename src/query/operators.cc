@@ -1,0 +1,483 @@
+#include "query/operators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace gradoop::query {
+
+namespace dfl = ::gradoop::dataflow;
+
+namespace {
+
+// Resolver over a raw element during leaf scans: only the scanned
+// variable's properties are in scope.
+cypher::ValueResolver ElementResolver(std::string variable,
+                                      const epgm::Properties& properties) {
+  // `properties` refers to the element being scanned and outlives the
+  // resolver's use within one FlatMap call; the variable name is copied.
+  return [variable = std::move(variable), &properties](
+             const std::string& var,
+             const std::string& key) -> epgm::PropertyValue {
+    if (var != variable) return epgm::PropertyValue::Null();
+    return properties.Get(key);
+  };
+}
+
+bool EvaluateClauses(const std::vector<cypher::CnfClause>& clauses,
+                     const cypher::ValueResolver& resolver) {
+  for (const cypher::CnfClause& clause : clauses) {
+    if (!cypher::EvaluateClause(clause, resolver)) return false;
+  }
+  return true;
+}
+
+// Join key: concatenated 8-byte ids of the given columns.
+std::string JoinKeyOf(const Embedding& embedding,
+                      const std::vector<int>& columns) {
+  std::string key;
+  key.reserve(8 * columns.size());
+  for (int c : columns) {
+    const uint64_t id = embedding.IdAt(c);
+    char buf[8];
+    std::memcpy(buf, &id, 8);
+    key.append(buf, 8);
+  }
+  return key;
+}
+
+bool AllDistinct(std::vector<uint64_t>* ids) {
+  std::sort(ids->begin(), ids->end());
+  return std::adjacent_find(ids->begin(), ids->end()) == ids->end();
+}
+
+}  // namespace
+
+EmbeddingSet SelectAndProjectVertices(
+    const dataflow::Dataset<epgm::Vertex>& vertices,
+    const cypher::QueryVertex& query_vertex,
+    const std::vector<cypher::CnfClause>& predicates,
+    const std::set<std::string>& needed_properties) {
+  EmbeddingMetaData meta;
+  meta.AddIdColumn(query_vertex.variable, EntryType::kVertex);
+  std::vector<std::string> projected(needed_properties.begin(),
+                                     needed_properties.end());
+  for (const std::string& key : projected) {
+    meta.AddPropertyColumn(query_vertex.variable, key);
+  }
+  auto data = vertices.FlatMap<Embedding>(
+      [query_vertex, predicates, projected](const epgm::Vertex& v,
+                                            std::vector<Embedding>* out) {
+        if (!query_vertex.MatchesLabel(v.label)) return;
+        const auto resolver =
+            ElementResolver(query_vertex.variable, v.properties);
+        if (!EvaluateClauses(predicates, resolver)) return;
+        Embedding e;
+        e.AppendId(v.id);
+        for (const std::string& key : projected) {
+          e.AppendProperty(v.properties.Get(key));
+        }
+        out->push_back(std::move(e));
+      },
+      "SelectAndProjectVertices");
+  return {std::move(data), std::move(meta)};
+}
+
+EmbeddingSet SelectAndProjectEdges(
+    const dataflow::Dataset<epgm::Edge>& edges,
+    const cypher::QueryEdge& query_edge, const std::string& source_variable,
+    const std::string& target_variable,
+    const std::vector<cypher::CnfClause>& predicates,
+    const std::set<std::string>& needed_properties,
+    const MorphismSetting& semantics) {
+  assert(!query_edge.IsVariableLength());
+  const bool self_loop = source_variable == target_variable;
+  // Under vertex isomorphism a data self-loop cannot bind two distinct
+  // query vertices; the scan enforces it so that scan-only plans are
+  // already morphism-correct.
+  const bool drop_data_self_loops =
+      !self_loop && semantics.vertex == MatchSemantics::kIsomorphism;
+  EmbeddingMetaData meta = EdgeScanMetaData(query_edge, source_variable,
+                                            target_variable,
+                                            needed_properties);
+  std::vector<std::string> projected(needed_properties.begin(),
+                                     needed_properties.end());
+  const bool any_direction = query_edge.any_direction;
+  auto data = edges.FlatMap<Embedding>(
+      [query_edge, predicates, projected, self_loop, any_direction,
+       drop_data_self_loops](const epgm::Edge& edge,
+                             std::vector<Embedding>* out) {
+        if (!query_edge.MatchesType(edge.label)) return;
+        if (self_loop && edge.source_id != edge.target_id) return;
+        if (drop_data_self_loops && edge.source_id == edge.target_id) return;
+        const auto resolver =
+            ElementResolver(query_edge.variable, edge.properties);
+        if (!EvaluateClauses(predicates, resolver)) return;
+        auto emit = [&](uint64_t src, uint64_t dst) {
+          Embedding e;
+          e.AppendId(src);
+          e.AppendId(edge.id);
+          if (!self_loop) e.AppendId(dst);
+          for (const std::string& key : projected) {
+            e.AppendProperty(edge.properties.Get(key));
+          }
+          out->push_back(std::move(e));
+        };
+        emit(edge.source_id, edge.target_id);
+        // Undirected pattern: the edge also matches flipped (unless it is
+        // a data self-loop, which would duplicate).
+        if (any_direction && edge.source_id != edge.target_id) {
+          emit(edge.target_id, edge.source_id);
+        }
+      },
+      "SelectAndProjectEdges");
+  return {std::move(data), std::move(meta)};
+}
+
+EmbeddingMetaData EdgeScanMetaData(
+    const cypher::QueryEdge& query_edge, const std::string& source_variable,
+    const std::string& target_variable,
+    const std::set<std::string>& needed_properties) {
+  const bool self_loop = source_variable == target_variable;
+  EmbeddingMetaData meta;
+  meta.AddIdColumn(source_variable, EntryType::kVertex);
+  meta.AddIdColumn(query_edge.variable, EntryType::kEdge);
+  if (!self_loop) meta.AddIdColumn(target_variable, EntryType::kVertex);
+  for (const std::string& key : needed_properties) {
+    meta.AddPropertyColumn(query_edge.variable, key);
+  }
+  return meta;
+}
+
+bool SatisfiesMorphism(const Embedding& embedding,
+                       const EmbeddingMetaData& meta,
+                       const MorphismSetting& semantics) {
+  if (semantics.vertex == MatchSemantics::kIsomorphism) {
+    std::vector<uint64_t> ids;
+    for (int c : meta.VertexColumns()) ids.push_back(embedding.IdAt(c));
+    if (!AllDistinct(&ids)) return false;
+  }
+  if (semantics.edge == MatchSemantics::kIsomorphism) {
+    std::vector<uint64_t> ids;
+    for (int c : meta.EdgeColumns()) ids.push_back(embedding.IdAt(c));
+    for (int c : meta.PathColumns()) {
+      const std::vector<uint64_t> via = embedding.PathAt(c);
+      for (size_t i = 0; i < via.size(); i += 2) ids.push_back(via[i]);
+    }
+    if (!AllDistinct(&ids)) return false;
+  }
+  return true;
+}
+
+EmbeddingSet JoinEmbeddings(const EmbeddingSet& left,
+                            const EmbeddingSet& right,
+                            const std::vector<std::string>& join_variables,
+                            const MorphismSetting& semantics,
+                            dataflow::JoinStrategy strategy) {
+  std::vector<int> left_columns, right_columns;
+  left_columns.reserve(join_variables.size());
+  right_columns.reserve(join_variables.size());
+  for (const std::string& var : join_variables) {
+    const int lc = left.meta.IdColumn(var);
+    const int rc = right.meta.IdColumn(var);
+    assert(lc >= 0 && rc >= 0 && "join variable must be bound on both sides");
+    left_columns.push_back(lc);
+    right_columns.push_back(rc);
+  }
+  EmbeddingMetaData merged_meta =
+      EmbeddingMetaData::Merge(left.meta, right.meta);
+  auto data = left.data.HashJoin<Embedding>(
+      right.data,
+      [left_columns](const Embedding& e) { return JoinKeyOf(e, left_columns); },
+      [right_columns](const Embedding& e) {
+        return JoinKeyOf(e, right_columns);
+      },
+      [merged_meta, semantics](const Embedding& l, const Embedding& r,
+                               std::vector<Embedding>* out) {
+        Embedding merged = Embedding::Merge(l, r);
+        if (SatisfiesMorphism(merged, merged_meta, semantics)) {
+          out->push_back(std::move(merged));
+        }
+      },
+      strategy, "JoinEmbeddings");
+  return {std::move(data), std::move(merged_meta)};
+}
+
+namespace {
+
+// Value-join key: concatenated encodings of the key properties, or
+// nullopt when any key property is NULL (such rows never join).
+std::optional<std::string> ValueJoinKeyOf(
+    const Embedding& embedding, const EmbeddingMetaData& meta,
+    const std::vector<PropertyRef>& keys) {
+  std::string out;
+  for (const PropertyRef& ref : keys) {
+    const int c = meta.PropertyColumn(ref.variable, ref.key);
+    if (c < 0) return std::nullopt;
+    const epgm::PropertyValue value = embedding.PropertyAt(c);
+    if (value.is_null()) return std::nullopt;
+    // Normalize numerics so 2 and 2.0 join (Cypher equality semantics).
+    if (value.is_numeric()) {
+      epgm::PropertyValue(value.AsDouble()).EncodeTo(&out);
+    } else {
+      value.EncodeTo(&out);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+EmbeddingSet ValueJoinEmbeddings(const EmbeddingSet& left,
+                                 const EmbeddingSet& right,
+                                 const std::vector<PropertyRef>& left_keys,
+                                 const std::vector<PropertyRef>& right_keys,
+                                 const MorphismSetting& semantics,
+                                 dataflow::JoinStrategy strategy) {
+  assert(left_keys.size() == right_keys.size() && !left_keys.empty());
+  const EmbeddingMetaData left_meta = left.meta;
+  const EmbeddingMetaData right_meta = right.meta;
+  EmbeddingMetaData merged_meta =
+      EmbeddingMetaData::Merge(left_meta, right_meta);
+  // Rows with NULL keys are dropped before the join (they can never
+  // match), keeping the join key total.
+  auto left_data = left.data.Filter(
+      [left_meta, left_keys](const Embedding& e) {
+        return ValueJoinKeyOf(e, left_meta, left_keys).has_value();
+      },
+      "ValueJoinPruneLeft");
+  auto right_data = right.data.Filter(
+      [right_meta, right_keys](const Embedding& e) {
+        return ValueJoinKeyOf(e, right_meta, right_keys).has_value();
+      },
+      "ValueJoinPruneRight");
+  auto data = left_data.HashJoin<Embedding>(
+      right_data,
+      [left_meta, left_keys](const Embedding& e) {
+        return *ValueJoinKeyOf(e, left_meta, left_keys);
+      },
+      [right_meta, right_keys](const Embedding& e) {
+        return *ValueJoinKeyOf(e, right_meta, right_keys);
+      },
+      [merged_meta, semantics](const Embedding& l, const Embedding& r,
+                               std::vector<Embedding>* out) {
+        Embedding merged = Embedding::Merge(l, r);
+        if (SatisfiesMorphism(merged, merged_meta, semantics)) {
+          out->push_back(std::move(merged));
+        }
+      },
+      strategy, "ValueJoinEmbeddings");
+  return {std::move(data), std::move(merged_meta)};
+}
+
+EmbeddingSet SelectEmbeddings(const EmbeddingSet& input,
+                              const std::vector<cypher::CnfClause>& clauses) {
+  const EmbeddingMetaData meta = input.meta;
+  auto data = input.data.Filter(
+      [meta, clauses](const Embedding& e) {
+        return EvaluateClauses(clauses, meta.MakeResolver(e));
+      },
+      "SelectEmbeddings");
+  return {std::move(data), input.meta};
+}
+
+EmbeddingSet ProjectEmbeddings(
+    const EmbeddingSet& input,
+    const std::vector<std::pair<std::string, std::string>>& keep) {
+  const EmbeddingMetaData old_meta = input.meta;
+  EmbeddingMetaData new_meta;
+  // Id columns are preserved verbatim (ordered by column index).
+  std::vector<std::pair<int, std::string>> by_column;
+  for (const std::string& var : old_meta.Variables()) {
+    by_column.emplace_back(old_meta.IdColumn(var), var);
+  }
+  std::sort(by_column.begin(), by_column.end());
+  // Track duplicate columns for shared variables: the merged meta maps
+  // each variable to one column, so re-adding in column order is safe.
+  for (const auto& [column, var] : by_column) {
+    while (new_meta.id_column_count() < column) {
+      // Unreferenced duplicate column (shared join variable); keep the
+      // slot so physical indices stay aligned.
+      new_meta.AddIdColumn(
+          "  __dup" + std::to_string(new_meta.id_column_count()),
+          EntryType::kVertex);
+    }
+    new_meta.AddIdColumn(var, old_meta.TypeOf(var));
+  }
+  // Trailing duplicate columns also keep their slots: the meta's column
+  // count must match the embeddings' physical width or a later merge
+  // would rebase against the wrong offset.
+  while (new_meta.id_column_count() < old_meta.id_column_count()) {
+    new_meta.AddIdColumn(
+        "  __dup" + std::to_string(new_meta.id_column_count()),
+        EntryType::kVertex);
+  }
+
+  std::vector<int> kept_columns;
+  for (const auto& [var, key] : keep) {
+    const int c = old_meta.PropertyColumn(var, key);
+    if (c >= 0) {
+      kept_columns.push_back(c);
+      new_meta.AddPropertyColumn(var, key);
+    }
+  }
+  auto data = input.data.Map(
+      [kept_columns](const Embedding& e) {
+        Embedding out;
+        for (int c = 0; c < e.NumIdEntries(); ++c) {
+          if (e.IsPathEntry(c)) {
+            out.AppendPath(e.PathAt(c));
+          } else {
+            out.AppendId(e.IdAt(c));
+          }
+        }
+        for (int c : kept_columns) out.AppendProperty(e.PropertyAt(c));
+        return out;
+      },
+      "ProjectEmbeddings");
+  return {std::move(data), std::move(new_meta)};
+}
+
+namespace {
+
+// Working record of one in-flight variable-length expansion.
+struct ExpandState {
+  Embedding base;             // the input embedding, untouched
+  std::vector<uint64_t> via;  // alternating edge/vertex ids walked so far
+  uint64_t end = 0;           // current path end vertex
+
+  size_t SerializedSize() const {
+    return base.SerializedSize() + sizeof(uint32_t) + 8 * via.size() + 8;
+  }
+};
+
+}  // namespace
+
+EmbeddingSet ExpandEmbeddings(const EmbeddingSet& input,
+                              const dataflow::Dataset<epgm::Edge>& edges,
+                              const std::string& start_variable,
+                              const std::string& path_variable,
+                              const std::string& end_variable,
+                              int lower_bound, int upper_bound, bool reverse,
+                              const MorphismSetting& semantics) {
+  const int start_column = input.meta.IdColumn(start_variable);
+  assert(start_column >= 0 && "expansion start must be bound");
+  const int bound_end_column = input.meta.IdColumn(end_variable);
+  const bool end_bound = bound_end_column >= 0;
+
+  EmbeddingMetaData result_meta = input.meta;
+  result_meta.AddIdColumn(path_variable, EntryType::kPath);
+  if (!end_bound) result_meta.AddIdColumn(end_variable, EntryType::kVertex);
+
+  const EmbeddingMetaData base_meta = input.meta;
+  const std::vector<int> base_edge_columns = base_meta.EdgeColumns();
+  const std::vector<int> base_path_columns = base_meta.PathColumns();
+  const bool vertex_iso = semantics.vertex == MatchSemantics::kIsomorphism;
+  const bool edge_iso = semantics.edge == MatchSemantics::kIsomorphism;
+
+  // Builds the emitted embedding for a completed path of k >= 0 hops.
+  auto emit = [=](const ExpandState& state, std::vector<Embedding>* out) {
+    std::vector<uint64_t> via = state.via;
+    if (reverse) std::reverse(via.begin(), via.end());
+    if (end_bound && state.base.IdAt(bound_end_column) != state.end) return;
+    Embedding result = state.base;
+    result.AppendPath(via);
+    if (!end_bound) result.AppendId(state.end);
+    if (!SatisfiesMorphism(result, result_meta, semantics)) return;
+    out->push_back(std::move(result));
+  };
+
+  // Initial frontier: every input embedding positioned at its start
+  // binding with an empty path.
+  dataflow::Dataset<ExpandState> frontier = input.data.Map(
+      [start_column](const Embedding& e) {
+        ExpandState s;
+        s.base = e;
+        s.end = e.IdAt(start_column);
+        return s;
+      },
+      "ExpandInit");
+
+  std::vector<dataflow::Dataset<Embedding>> emitted;
+
+  if (lower_bound == 0) {
+    emitted.push_back(frontier.FlatMap<Embedding>(
+        [emit](const ExpandState& s, std::vector<Embedding>* out) {
+          emit(s, out);
+        },
+        "ExpandEmitZero"));
+  }
+
+  for (int k = 1; k <= upper_bound; ++k) {
+    uint64_t frontier_size = 0;
+    for (int p = 0; p < frontier.num_partitions(); ++p) {
+      frontier_size += frontier.partition(p).size();
+    }
+    if (frontier_size == 0) break;  // no more valid paths
+
+    // 1-hop expansion: join the frontier with the edge set on the current
+    // end vertex, enforcing morphism constraints on the grown path.
+    frontier = frontier.HashJoin<ExpandState>(
+        edges,
+        [](const ExpandState& s) { return s.end; },
+        [reverse](const epgm::Edge& e) {
+          return reverse ? e.target_id : e.source_id;
+        },
+        [=](const ExpandState& s, const epgm::Edge& e,
+            std::vector<ExpandState>* out) {
+          const uint64_t new_end = reverse ? e.source_id : e.target_id;
+          if (edge_iso) {
+            // The new edge must not repeat within the path nor collide
+            // with edges already bound in the base embedding.
+            for (size_t i = 0; i < s.via.size(); i += 2) {
+              if (s.via[i] == e.id) return;
+            }
+            if (s.base.ContainsIdAt(e.id, base_edge_columns)) return;
+            if (s.base.PathContains(e.id, base_path_columns, true)) return;
+          }
+          if (vertex_iso) {
+            // Path-local distinctness: the new end must not revisit an
+            // interior vertex, and must not return to the path's start —
+            // unless it is the bound end binding (cycle queries where the
+            // path's endpoints are the same query variable). Distinctness
+            // of the end against other vertex *columns* is enforced at
+            // emission by SatisfiesMorphism; path interiors are free, as
+            // they bind no query variable.
+            if (new_end == s.end) return;  // data self-loop revisits the end
+            for (size_t i = 1; i < s.via.size(); i += 2) {
+              if (s.via[i] == new_end) return;
+            }
+            const bool is_bound_end =
+                end_bound && s.base.IdAt(bound_end_column) == new_end;
+            if (!is_bound_end && new_end == s.base.IdAt(start_column)) {
+              return;
+            }
+          }
+          ExpandState next;
+          next.base = s.base;
+          next.via = s.via;
+          if (!next.via.empty()) {
+            // Close the previous hop with its intermediate vertex.
+            next.via.push_back(s.end);
+          }
+          next.via.push_back(e.id);
+          next.end = new_end;
+          out->push_back(std::move(next));
+        },
+        dataflow::JoinStrategy::kRepartition, "ExpandStep");
+
+    if (k >= lower_bound) {
+      emitted.push_back(frontier.FlatMap<Embedding>(
+          [emit](const ExpandState& s, std::vector<Embedding>* out) {
+            emit(s, out);
+          },
+          "ExpandEmit"));
+    }
+  }
+  dataflow::Dataset<Embedding> results =
+      dataflow::Dataset<Embedding>::Empty(input.data.context());
+  for (const auto& part : emitted) results = results.Union(part);
+  return {std::move(results), std::move(result_meta)};
+}
+
+}  // namespace gradoop::query

@@ -1,0 +1,130 @@
+#ifndef GRADOOP_QUERY_OPERATORS_H_
+#define GRADOOP_QUERY_OPERATORS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cypher/query_graph.h"
+#include "dataflow/dataset.h"
+#include "epgm/elements.h"
+#include "query/embedding.h"
+#include "query/embedding_meta_data.h"
+#include "query/match_semantics.h"
+
+namespace gradoop::query {
+
+// A distributed set of (partial) embeddings together with the meta data
+// describing its columns. Every physical query operator consumes and
+// produces this pair (§3.1).
+struct EmbeddingSet {
+  dataflow::Dataset<Embedding> data;
+  EmbeddingMetaData meta;
+};
+
+// SelectAndProjectVertices: filters `vertices` by the query vertex's label
+// alternation and its element-centric predicates, projects the needed
+// properties and transforms each survivor into a one-column embedding.
+// Executed as a single FlatMap (Select -> Project -> Transform fusion).
+EmbeddingSet SelectAndProjectVertices(
+    const dataflow::Dataset<epgm::Vertex>& vertices,
+    const cypher::QueryVertex& query_vertex,
+    const std::vector<cypher::CnfClause>& predicates,
+    const std::set<std::string>& needed_properties);
+
+// SelectAndProjectEdges: same for a fixed-length query edge; emits
+// three-column embeddings [source, edge, target] (plus projected edge
+// properties). When the query edge is a self-loop (source variable ==
+// target variable), only edges with source == target survive and the
+// embedding still carries all three columns.
+EmbeddingSet SelectAndProjectEdges(
+    const dataflow::Dataset<epgm::Edge>& edges,
+    const cypher::QueryEdge& query_edge, const std::string& source_variable,
+    const std::string& target_variable,
+    const std::vector<cypher::CnfClause>& predicates,
+    const std::set<std::string>& needed_properties,
+    const MorphismSetting& semantics = MorphismSetting::FullHomomorphism());
+
+// Column meta data produced by SelectAndProjectEdges for the given query
+// edge (exposed so scan-sharing can pair a cached dataset, whose rows are
+// independent of variable naming, with a freshly named meta).
+EmbeddingMetaData EdgeScanMetaData(const cypher::QueryEdge& query_edge,
+                                   const std::string& source_variable,
+                                   const std::string& target_variable,
+                                   const std::set<std::string>& needed_properties);
+
+// Checks the global morphism constraints on a merged embedding: under
+// vertex isomorphism all vertex bindings (distinct query variables) are
+// pairwise distinct; under edge isomorphism all edge bindings including
+// the edges inside variable-length paths are pairwise distinct.
+bool SatisfiesMorphism(const Embedding& embedding,
+                       const EmbeddingMetaData& meta,
+                       const MorphismSetting& semantics);
+
+// JoinEmbeddings: equi-join of two embedding sets on the shared
+// `join_variables`, implemented as a FlatJoin — the merged embedding is
+// emitted only if the morphism constraints hold (§3.1).
+EmbeddingSet JoinEmbeddings(const EmbeddingSet& left,
+                            const EmbeddingSet& right,
+                            const std::vector<std::string>& join_variables,
+                            const MorphismSetting& semantics,
+                            dataflow::JoinStrategy strategy =
+                                dataflow::JoinStrategy::kRepartition);
+
+// SelectEmbeddings: evaluates cross-variable CNF clauses on complete
+// (partial) embeddings.
+EmbeddingSet SelectEmbeddings(const EmbeddingSet& input,
+                              const std::vector<cypher::CnfClause>& clauses);
+
+// One side of a value-join key: a projected property of a bound
+// variable.
+struct PropertyRef {
+  std::string variable;
+  std::string key;
+};
+
+// ValueJoinEmbeddings: equi-join of two embedding sets on property VALUES
+// instead of identifiers — the extension operator §3.1 names ("to join
+// subqueries on property values"). `left_keys[i]` must equal
+// `right_keys[i]` value-wise for a pair to join; embeddings whose key
+// property is NULL never join (Cypher equality with NULL is NULL). The
+// merged embedding is checked against the morphism constraints like a
+// regular join.
+EmbeddingSet ValueJoinEmbeddings(const EmbeddingSet& left,
+                                 const EmbeddingSet& right,
+                                 const std::vector<PropertyRef>& left_keys,
+                                 const std::vector<PropertyRef>& right_keys,
+                                 const MorphismSetting& semantics,
+                                 dataflow::JoinStrategy strategy =
+                                     dataflow::JoinStrategy::kRepartition);
+
+// ProjectEmbeddings: keeps only the listed (variable, key) property
+// columns, rebuilding the property payload of each embedding.
+EmbeddingSet ProjectEmbeddings(
+    const EmbeddingSet& input,
+    const std::vector<std::pair<std::string, std::string>>& keep);
+
+// ExpandEmbeddings: evaluates a variable-length path expression by bulk
+// iteration (§3.1). Starting from the embeddings of `input` (whose
+// `start_variable` must be bound), repeatedly performs 1-hop expansions by
+// joining the frontier with `edges`, keeping only paths that satisfy the
+// morphism semantics, and unions an emission into the result once the
+// iteration count reaches `lower_bound`. Terminates at `upper_bound` or
+// when no valid path remains.
+//
+// `reverse` expands against edge direction (used when the plan binds the
+// path's target first). If `end_variable` is already bound in `input`, the
+// expansion closes a cycle: no new column is added and the path end must
+// equal the existing binding; otherwise a new vertex column is appended.
+// A `lower_bound` of 0 admits the empty path (end == start).
+EmbeddingSet ExpandEmbeddings(const EmbeddingSet& input,
+                              const dataflow::Dataset<epgm::Edge>& edges,
+                              const std::string& start_variable,
+                              const std::string& path_variable,
+                              const std::string& end_variable,
+                              int lower_bound, int upper_bound, bool reverse,
+                              const MorphismSetting& semantics);
+
+}  // namespace gradoop::query
+
+#endif  // GRADOOP_QUERY_OPERATORS_H_

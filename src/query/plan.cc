@@ -1,0 +1,103 @@
+#include "query/plan.h"
+
+#include <cstdio>
+
+namespace gradoop::query {
+
+namespace {
+
+std::string Indent(int n) { return std::string(2 * n, ' '); }
+
+std::string CardString(double card) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f", card);
+  return buf;
+}
+
+}  // namespace
+
+std::string PlanNode::ToString(const cypher::QueryGraph& query_graph,
+                               int indent) const {
+  std::string out = Indent(indent);
+  switch (kind) {
+    case Kind::kScanVertices: {
+      const auto& v = query_graph.vertices()[element_index];
+      out += "ScanVertices(" + v.variable;
+      if (!v.labels.empty()) {
+        out += ":";
+        for (size_t i = 0; i < v.labels.size(); ++i) {
+          if (i > 0) out += "|";
+          out += v.labels[i];
+        }
+      }
+      out += ") ~" + CardString(estimated_cardinality) + "\n";
+      return out;
+    }
+    case Kind::kScanEdges: {
+      const auto& e = query_graph.edges()[element_index];
+      out += "ScanEdges(" + e.variable;
+      if (!e.types.empty()) {
+        out += ":";
+        for (size_t i = 0; i < e.types.size(); ++i) {
+          if (i > 0) out += "|";
+          out += e.types[i];
+        }
+      }
+      out += ") ~" + CardString(estimated_cardinality) + "\n";
+      return out;
+    }
+    case Kind::kJoin: {
+      out += "JoinEmbeddings(on ";
+      if (join_variables.empty()) {
+        out += "<cartesian>";
+      } else {
+        for (size_t i = 0; i < join_variables.size(); ++i) {
+          if (i > 0) out += ",";
+          out += join_variables[i];
+        }
+      }
+      out += join_strategy == dataflow::JoinStrategy::kBroadcast
+                 ? ", broadcast"
+                 : ", repartition";
+      out += ") ~" + CardString(estimated_cardinality) + "\n";
+      out += left->ToString(query_graph, indent + 1);
+      out += right->ToString(query_graph, indent + 1);
+      return out;
+    }
+    case Kind::kValueJoin: {
+      out += "ValueJoinEmbeddings(on ";
+      for (size_t i = 0; i < value_join_keys.size(); ++i) {
+        if (i > 0) out += ",";
+        out += value_join_keys[i].first->ToString() + "=" +
+               value_join_keys[i].second->ToString();
+      }
+      out += ") ~" + CardString(estimated_cardinality) + "\n";
+      out += left->ToString(query_graph, indent + 1);
+      out += right->ToString(query_graph, indent + 1);
+      return out;
+    }
+    case Kind::kExpand: {
+      const auto& e = query_graph.edges()[element_index];
+      out += "ExpandEmbeddings(" + e.variable + "*" +
+             std::to_string(e.lower_bound) + ".." +
+             std::to_string(e.upper_bound) +
+             (expand_reverse ? ", reverse" : "") + ") ~" +
+             CardString(estimated_cardinality) + "\n";
+      out += left->ToString(query_graph, indent + 1);
+      return out;
+    }
+    case Kind::kFilter: {
+      out += "SelectEmbeddings(";
+      for (size_t i = 0; i < clauses.size(); ++i) {
+        if (i > 0) out += " AND ";
+        out += clauses[i].ToString();
+      }
+      out += ") ~" + CardString(estimated_cardinality) + "\n";
+      out += left->ToString(query_graph, indent + 1);
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace gradoop::query

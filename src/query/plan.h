@@ -1,0 +1,74 @@
+#ifndef GRADOOP_QUERY_PLAN_H_
+#define GRADOOP_QUERY_PLAN_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cypher/query_graph.h"
+#include "dataflow/dataset.h"
+
+namespace gradoop::query {
+
+struct PlanNode;
+using PlanNodePtr = std::shared_ptr<PlanNode>;
+
+// One operator of a physical query plan (Figure 2). The dataflow is
+// defined bottom-up: leaves are SelectAndProjectVertices/-Edges scans,
+// inner nodes join or expand embeddings, filters evaluate cross-variable
+// predicates as soon as all their variables are bound.
+struct PlanNode {
+  enum class Kind {
+    kScanVertices,  // leaf: SelectAndProjectVertices of one query vertex
+    kScanEdges,     // leaf: SelectAndProjectEdges of one fixed-length edge
+    kJoin,          // JoinEmbeddings(left, right) on join_variables
+    kValueJoin,     // ValueJoinEmbeddings on property-value equalities
+    kExpand,        // ExpandEmbeddings of a variable-length edge over left
+    kFilter,        // SelectEmbeddings with cross-variable clauses
+  };
+
+  Kind kind;
+  PlanNodePtr left;   // input (all non-leaf kinds)
+  PlanNodePtr right;  // second input (kJoin only)
+
+  // kScanVertices: index into QueryGraph::vertices().
+  // kScanEdges / kExpand: index into QueryGraph::edges().
+  int element_index = -1;
+
+  // kJoin: the shared variables joined on (may be empty: cartesian).
+  std::vector<std::string> join_variables;
+
+  // kValueJoin: equality atoms `left.var.key = right.var.key` driving the
+  // value join (first: the left side's access, second: the right side's).
+  std::vector<std::pair<cypher::ExpressionPtr, cypher::ExpressionPtr>>
+      value_join_keys;
+  // kJoin: physical strategy chosen from the estimated input sizes.
+  dataflow::JoinStrategy join_strategy = dataflow::JoinStrategy::kRepartition;
+
+  // kExpand: expand against edge direction (target side was bound first).
+  bool expand_reverse = false;
+
+  // kFilter: clauses to evaluate.
+  std::vector<cypher::CnfClause> clauses;
+
+  // Query variables bound after this operator.
+  std::set<std::string> bound_variables;
+
+  // Variables whose projected properties are available in the embeddings
+  // (i.e. whose SelectAndProject scan is part of this subtree). A
+  // cross-variable filter may only run once all its variables' properties
+  // are present, which can be later than their ids are bound.
+  std::set<std::string> property_variables;
+
+  // Planner's cardinality estimate for this operator's output.
+  double estimated_cardinality = 0.0;
+
+  // Indented operator-tree rendering (EXPLAIN output).
+  std::string ToString(const cypher::QueryGraph& query_graph,
+                       int indent = 0) const;
+};
+
+}  // namespace gradoop::query
+
+#endif  // GRADOOP_QUERY_PLAN_H_

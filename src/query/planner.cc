@@ -1,0 +1,635 @@
+#include "query/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <map>
+
+namespace gradoop::query {
+
+namespace {
+
+using cypher::CnfClause;
+using cypher::ComparisonOp;
+using cypher::ExprKind;
+using cypher::QueryEdge;
+using cypher::QueryGraph;
+using cypher::QueryVertex;
+
+double AtomSelectivity(const cypher::ExpressionPtr& atom,
+                       const PlannerOptions& options) {
+  if (atom->kind() != ExprKind::kComparison) return 0.5;
+  switch (atom->comparison_op()) {
+    case ComparisonOp::kEq:
+      return options.equality_selectivity;
+    case ComparisonOp::kNeq:
+      return options.inequality_selectivity;
+    default:
+      return options.range_selectivity;
+  }
+}
+
+double ClauseSelectivity(const CnfClause& clause,
+                         const PlannerOptions& options) {
+  // A disjunction passes when any atom passes.
+  double sel = 0.0;
+  for (const auto& atom : clause.atoms) sel += AtomSelectivity(atom, options);
+  return std::min(sel, 1.0);
+}
+
+double ClausesSelectivity(const std::vector<CnfClause>& clauses,
+                          const PlannerOptions& options) {
+  double sel = 1.0;
+  for (const CnfClause& clause : clauses) {
+    sel *= ClauseSelectivity(clause, options);
+  }
+  return sel;
+}
+
+// Domain size of a variable: the number of data elements it can bind.
+double VariableDomain(const QueryGraph& qg, const GraphStatistics& stats,
+                      const std::string& variable) {
+  if (const QueryVertex* v = qg.FindVertex(variable)) {
+    return std::max<double>(1.0,
+                            static_cast<double>(
+                                stats.VertexCountByLabels(v->labels)));
+  }
+  if (const QueryEdge* e = qg.FindEdge(variable)) {
+    return std::max<double>(
+        1.0, static_cast<double>(stats.EdgeCountByLabels(e->types)));
+  }
+  return 1.0;
+}
+
+// Estimated distinct values of `variable` within a plan of `cardinality`.
+double DistinctInPlan(double cardinality, double domain) {
+  return std::max(1.0, std::min(cardinality, domain));
+}
+
+class Planner {
+ public:
+  Planner(const QueryGraph& qg, const GraphStatistics& stats,
+          const PlannerOptions& options)
+      : qg_(qg), stats_(stats), options_(options) {}
+
+  Result<PlanNodePtr> Plan() {
+    BuildUnits();
+    for (const CnfClause& clause : qg_.CrossPredicates()) {
+      pending_filters_.push_back(clause);
+    }
+    if (options_.mode == PlannerOptions::Mode::kLeftDeep) {
+      return PlanLeftDeep();
+    }
+    if (options_.mode == PlannerOptions::Mode::kDynamicProgramming &&
+        units_.size() <= PlannerOptions::kDpUnitLimit) {
+      return PlanDynamicProgramming();
+    }
+    return PlanGreedy();
+  }
+
+ private:
+  // --- leaf construction ----------------------------------------------
+
+  void BuildUnits() {
+    // A query vertex needs its own scan when it carries constraints
+    // (labels, predicates, projected properties) or when no fixed-length
+    // edge scan binds it structurally.
+    std::vector<bool> covered(qg_.vertices().size(), false);
+    for (const QueryEdge& e : qg_.edges()) {
+      if (!e.IsVariableLength()) {
+        covered[e.source] = true;
+        covered[e.target] = true;
+      }
+    }
+    // Variable-length edges bind their end vertex during expansion, but
+    // the start must be bound elsewhere; ends also count as covered.
+    for (const QueryEdge& e : qg_.edges()) {
+      if (e.IsVariableLength()) covered[e.target] = true;
+    }
+    for (const QueryVertex& v : qg_.vertices()) {
+      const bool constrained = !v.labels.empty() ||
+                               !qg_.ElementPredicates(v.variable).empty() ||
+                               !qg_.NeededProperties(v.variable).empty();
+      if (constrained || !covered[v.index]) {
+        units_.push_back(MakeVertexScan(v.index));
+      }
+    }
+    for (const QueryEdge& e : qg_.edges()) {
+      if (e.IsVariableLength()) {
+        pending_expansions_.push_back(e.index);
+      } else {
+        units_.push_back(MakeEdgeScan(e.index));
+      }
+    }
+  }
+
+  PlanNodePtr MakeVertexScan(int vertex_index) {
+    const QueryVertex& v = qg_.vertices()[vertex_index];
+    auto node = std::make_shared<PlanNode>();
+    node->kind = PlanNode::Kind::kScanVertices;
+    node->element_index = vertex_index;
+    node->bound_variables = {v.variable};
+    node->property_variables = {v.variable};
+    const double base =
+        static_cast<double>(stats_.VertexCountByLabels(v.labels));
+    node->estimated_cardinality =
+        base *
+        ClausesSelectivity(qg_.ElementPredicates(v.variable), options_);
+    return node;
+  }
+
+  PlanNodePtr MakeEdgeScan(int edge_index) {
+    const QueryEdge& e = qg_.edges()[edge_index];
+    auto node = std::make_shared<PlanNode>();
+    node->kind = PlanNode::Kind::kScanEdges;
+    node->element_index = edge_index;
+    node->bound_variables = {e.variable, qg_.vertices()[e.source].variable,
+                             qg_.vertices()[e.target].variable};
+    node->property_variables = {e.variable};
+    double base = static_cast<double>(stats_.EdgeCountByLabels(e.types));
+    if (e.any_direction) base *= 2.0;
+    node->estimated_cardinality =
+        base * ClausesSelectivity(qg_.ElementPredicates(e.variable), options_);
+    return node;
+  }
+
+  // --- combination steps ------------------------------------------------
+
+  std::vector<std::string> SharedVariables(const PlanNode& a,
+                                           const PlanNode& b) const {
+    std::vector<std::string> shared;
+    for (const std::string& var : a.bound_variables) {
+      if (b.bound_variables.contains(var)) shared.push_back(var);
+    }
+    return shared;
+  }
+
+  double EstimateJoin(const PlanNode& a, const PlanNode& b,
+                      const std::vector<std::string>& shared) const {
+    double card = a.estimated_cardinality * b.estimated_cardinality;
+    for (const std::string& var : shared) {
+      const double domain = VariableDomain(qg_, stats_, var);
+      card /= std::max(DistinctInPlan(a.estimated_cardinality, domain),
+                       DistinctInPlan(b.estimated_cardinality, domain));
+    }
+    return card;
+  }
+
+  PlanNodePtr MakeJoin(PlanNodePtr a, PlanNodePtr b,
+                       std::vector<std::string> shared) const {
+    // The smaller side becomes the right (build/broadcast) side.
+    if (a->estimated_cardinality < b->estimated_cardinality) std::swap(a, b);
+    auto node = std::make_shared<PlanNode>();
+    node->kind = PlanNode::Kind::kJoin;
+    node->estimated_cardinality = EstimateJoin(*a, *b, shared);
+    node->left = a;
+    node->right = b;
+    node->join_variables = std::move(shared);
+    node->bound_variables = node->left->bound_variables;
+    node->bound_variables.insert(node->right->bound_variables.begin(),
+                                 node->right->bound_variables.end());
+    node->property_variables = node->left->property_variables;
+    node->property_variables.insert(node->right->property_variables.begin(),
+                                    node->right->property_variables.end());
+    if (options_.allow_broadcast &&
+        node->right->estimated_cardinality < options_.broadcast_threshold &&
+        node->right->estimated_cardinality <=
+            node->left->estimated_cardinality) {
+      node->join_strategy = dataflow::JoinStrategy::kBroadcast;
+    }
+    return node;
+  }
+
+  // Expansion applicability: the plan must bind the start (forward) or the
+  // end (reverse). Returns {applicable, reverse}.
+  std::pair<bool, bool> ExpansionFit(const PlanNode& plan,
+                                     const QueryEdge& e) const {
+    const std::string& src = qg_.vertices()[e.source].variable;
+    const std::string& dst = qg_.vertices()[e.target].variable;
+    if (plan.bound_variables.contains(src)) return {true, false};
+    if (plan.bound_variables.contains(dst)) return {true, true};
+    return {false, false};
+  }
+
+  double EstimateExpansion(const PlanNode& plan, const QueryEdge& e,
+                           bool reverse) const {
+    const double edge_count =
+        static_cast<double>(stats_.EdgeCountByLabels(e.types));
+    const double distinct = std::max<double>(
+        1.0, static_cast<double>(reverse
+                                     ? stats_.DistinctTargetByLabels(e.types)
+                                     : stats_.DistinctSourceByLabels(e.types)));
+    const double fanout = edge_count / distinct;
+    double paths = e.lower_bound == 0 ? 1.0 : 0.0;
+    for (int k = std::max(1, e.lower_bound); k <= e.upper_bound; ++k) {
+      paths += std::pow(fanout, k);
+    }
+    double card = plan.estimated_cardinality * paths;
+    // Closing a cycle: the free endpoint is already bound, so only paths
+    // hitting that exact vertex survive.
+    const std::string& src = qg_.vertices()[e.source].variable;
+    const std::string& dst = qg_.vertices()[e.target].variable;
+    const std::string& free_var = reverse ? src : dst;
+    if (plan.bound_variables.contains(free_var)) {
+      card /= VariableDomain(qg_, stats_, free_var);
+    }
+    return std::max(card, 1e-3);
+  }
+
+  PlanNodePtr MakeExpansion(PlanNodePtr plan, int edge_index,
+                            bool reverse) const {
+    const QueryEdge& e = qg_.edges()[edge_index];
+    auto node = std::make_shared<PlanNode>();
+    node->kind = PlanNode::Kind::kExpand;
+    node->element_index = edge_index;
+    node->expand_reverse = reverse;
+    node->estimated_cardinality = EstimateExpansion(*plan, e, reverse);
+    node->left = std::move(plan);
+    node->bound_variables = node->left->bound_variables;
+    node->property_variables = node->left->property_variables;
+    node->bound_variables.insert(e.variable);
+    node->bound_variables.insert(qg_.vertices()[e.source].variable);
+    node->bound_variables.insert(qg_.vertices()[e.target].variable);
+    return node;
+  }
+
+
+  // Looks for a pending single-atom equality clause `a.x = b.y` whose two
+  // property accesses live in different units; if found, value-joins those
+  // units (the §3.1 extension operator) and removes the clause. Returns
+  // nullptr when no such opportunity exists.
+  PlanNodePtr TryValueJoin(std::vector<PlanNodePtr>* units) {
+    for (auto it = pending_filters_.begin(); it != pending_filters_.end();
+         ++it) {
+      if (it->atoms.size() != 1) continue;
+      const cypher::ExpressionPtr& atom = it->atoms.front();
+      if (atom->kind() != cypher::ExprKind::kComparison ||
+          atom->comparison_op() != cypher::ComparisonOp::kEq) {
+        continue;
+      }
+      const cypher::ExpressionPtr& lhs = atom->left();
+      const cypher::ExpressionPtr& rhs = atom->right();
+      if (lhs->kind() != cypher::ExprKind::kPropertyAccess ||
+          rhs->kind() != cypher::ExprKind::kPropertyAccess) {
+        continue;
+      }
+      for (size_t i = 0; i < units->size(); ++i) {
+        for (size_t j = 0; j < units->size(); ++j) {
+          if (i == j) continue;
+          const PlanNode& a = *(*units)[i];
+          const PlanNode& b = *(*units)[j];
+          if (!a.property_variables.contains(lhs->variable()) ||
+              !b.property_variables.contains(rhs->variable())) {
+            continue;
+          }
+          // A value join does not enforce id equality: only disconnected
+          // units qualify (units sharing a variable take a regular join).
+          if (!SharedVariables(a, b).empty()) continue;
+          auto node = std::make_shared<PlanNode>();
+          node->kind = PlanNode::Kind::kValueJoin;
+          node->left = (*units)[i];
+          node->right = (*units)[j];
+          node->value_join_keys.emplace_back(lhs, rhs);
+          node->estimated_cardinality = a.estimated_cardinality *
+                                        b.estimated_cardinality *
+                                        options_.equality_selectivity;
+          node->bound_variables = a.bound_variables;
+          node->bound_variables.insert(b.bound_variables.begin(),
+                                       b.bound_variables.end());
+          node->property_variables = a.property_variables;
+          node->property_variables.insert(b.property_variables.begin(),
+                                          b.property_variables.end());
+          pending_filters_.erase(it);
+          const size_t hi = std::max(i, j), lo = std::min(i, j);
+          units->erase(units->begin() + hi);
+          units->erase(units->begin() + lo);
+          units->push_back(AttachFilters(std::move(node)));
+          return units->back();
+        }
+      }
+    }
+    return nullptr;
+  }
+
+  // Wraps `node` in a SelectEmbeddings for every pending cross-variable
+  // clause whose variables are now all bound.
+  PlanNodePtr AttachFilters(PlanNodePtr node) {
+    std::vector<CnfClause> ready;
+    for (auto it = pending_filters_.begin(); it != pending_filters_.end();) {
+      const auto vars = it->Variables();
+      // Every variable of the clause must be bound AND have its scan's
+      // property projection present (predicates read property columns).
+      const bool all_bound = std::all_of(
+          vars.begin(), vars.end(), [&](const std::string& v) {
+            return node->bound_variables.contains(v) &&
+                   node->property_variables.contains(v);
+          });
+      if (all_bound) {
+        ready.push_back(*it);
+        it = pending_filters_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (ready.empty()) return node;
+    auto filter = std::make_shared<PlanNode>();
+    filter->kind = PlanNode::Kind::kFilter;
+    filter->estimated_cardinality =
+        node->estimated_cardinality * ClausesSelectivity(ready, options_);
+    filter->clauses = std::move(ready);
+    filter->bound_variables = node->bound_variables;
+    filter->property_variables = node->property_variables;
+    filter->left = std::move(node);
+    return filter;
+  }
+
+
+  // --- dynamic programming (optimal bushy join order) --------------------
+
+  // Enumerates every bushy join tree over the scan units, keeping the
+  // cheapest plan per unit subset (classic DPsub). Connected splits are
+  // preferred; a cartesian split is admitted only when a subset has no
+  // connected split. Expansions, value joins and filters are applied
+  // after the join order is fixed.
+  Result<PlanNodePtr> PlanDynamicProgramming() {
+    // Units connect through shared variables; units that only connect via
+    // a pending variable-length expansion must NOT be cartesian-joined
+    // here (the expansion binds them cheaply later). So: optimal DP join
+    // order WITHIN each connected component, then the greedy combiner
+    // handles expansions, value joins and residual cartesians across the
+    // component trees.
+    const int n = static_cast<int>(units_.size());
+    if (n == 0) {
+      return Status::PlanError("query has no scannable elements");
+    }
+    // Union-find over units by shared variables.
+    std::vector<int> parent(n);
+    for (int i = 0; i < n; ++i) parent[i] = i;
+    std::function<int(int)> find = [&](int x) {
+      return parent[x] == x ? x : parent[x] = find(parent[x]);
+    };
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (!SharedVariables(*units_[i], *units_[j]).empty()) {
+          parent[find(i)] = find(j);
+        }
+      }
+    }
+    std::map<int, std::vector<int>> components;
+    for (int i = 0; i < n; ++i) components[find(i)].push_back(i);
+
+    std::vector<PlanNodePtr> component_trees;
+    for (const auto& [root, members] : components) {
+      GRADOOP_ASSIGN_OR_RETURN(PlanNodePtr tree, DpOverUnits(members));
+      component_trees.push_back(AttachFiltersRecursively(std::move(tree)));
+    }
+    units_ = std::move(component_trees);
+    // The greedy loop finishes the plan: expansions, value joins and (only
+    // if unavoidable) cartesian products between component trees.
+    return PlanGreedy();
+  }
+
+  // Classic DPsub over the given unit indices, minimizing TOTAL cost =
+  // the sum of all intermediate result sizes (the final cardinality alone
+  // is order-independent and cannot distinguish good from disastrous
+  // orders).
+  Result<PlanNodePtr> DpOverUnits(const std::vector<int>& members) {
+    const int k = static_cast<int>(members.size());
+    if (k == 1) return units_[members[0]];
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    std::vector<PlanNodePtr> best(1u << k);
+    std::vector<double> cost(1u << k, kInf);
+    for (int i = 0; i < k; ++i) {
+      best[1u << i] = units_[members[i]];
+      cost[1u << i] = units_[members[i]]->estimated_cardinality;
+    }
+    for (uint32_t mask = 1; mask < (1u << k); ++mask) {
+      if ((mask & (mask - 1)) == 0) continue;  // singleton
+      for (uint32_t sub = (mask - 1) & mask; sub != 0;
+           sub = (sub - 1) & mask) {
+        const uint32_t rest = mask ^ sub;
+        if (sub > rest) continue;  // each split once
+        if (!best[sub] || !best[rest]) continue;
+        const auto shared = SharedVariables(*best[sub], *best[rest]);
+        if (shared.empty()) continue;  // connected splits only
+        PlanNodePtr cand = MakeJoin(best[sub], best[rest], shared);
+        const double cand_cost =
+            cost[sub] + cost[rest] + cand->estimated_cardinality;
+        if (cand_cost < cost[mask]) {
+          cost[mask] = cand_cost;
+          best[mask] = std::move(cand);
+        }
+      }
+    }
+    if (!best[(1u << k) - 1]) {
+      return Status::PlanError("component has no connected join order");
+    }
+    return best[(1u << k) - 1];
+  }
+
+  // Wraps every node of a finished tree whose newly-bound variables
+  // satisfy pending cross predicates (post-pass used by the DP planner).
+  PlanNodePtr AttachFiltersRecursively(PlanNodePtr node) {
+    if (node->left) node->left = AttachFiltersRecursively(node->left);
+    if (node->right) node->right = AttachFiltersRecursively(node->right);
+    return AttachFilters(std::move(node));
+  }
+
+  // --- greedy search ----------------------------------------------------
+
+  Result<PlanNodePtr> PlanGreedy() {
+    if (units_.empty()) {
+      return Status::PlanError("query has no scannable elements");
+    }
+    while (units_.size() > 1 || !pending_expansions_.empty()) {
+      double best_cost = std::numeric_limits<double>::infinity();
+      int best_i = -1, best_j = -1;  // join candidate
+      int best_exp_unit = -1, best_exp_edge = -1;  // expansion candidate
+      bool best_exp_reverse = false;
+
+      for (size_t i = 0; i < units_.size(); ++i) {
+        for (size_t j = i + 1; j < units_.size(); ++j) {
+          const auto shared = SharedVariables(*units_[i], *units_[j]);
+          if (shared.empty()) continue;
+          const double cost = EstimateJoin(*units_[i], *units_[j], shared);
+          if (cost < best_cost) {
+            best_cost = cost;
+            best_i = static_cast<int>(i);
+            best_j = static_cast<int>(j);
+            best_exp_unit = -1;
+          }
+        }
+      }
+      for (size_t u = 0; u < units_.size(); ++u) {
+        for (size_t x = 0; x < pending_expansions_.size(); ++x) {
+          const QueryEdge& e = qg_.edges()[pending_expansions_[x]];
+          const auto [ok, reverse] = ExpansionFit(*units_[u], e);
+          if (!ok) continue;
+          const double cost = EstimateExpansion(*units_[u], e, reverse);
+          if (cost < best_cost) {
+            best_cost = cost;
+            best_i = best_j = -1;
+            best_exp_unit = static_cast<int>(u);
+            best_exp_edge = static_cast<int>(x);
+            best_exp_reverse = reverse;
+          }
+        }
+      }
+
+      if (best_i >= 0) {
+        PlanNodePtr joined = AttachFilters(
+            MakeJoin(units_[best_i], units_[best_j],
+                     SharedVariables(*units_[best_i], *units_[best_j])));
+        units_.erase(units_.begin() + best_j);
+        units_.erase(units_.begin() + best_i);
+        units_.push_back(std::move(joined));
+        continue;
+      }
+      if (best_exp_unit >= 0) {
+        PlanNodePtr expanded = AttachFilters(
+            MakeExpansion(units_[best_exp_unit],
+                          pending_expansions_[best_exp_edge],
+                          best_exp_reverse));
+        units_.erase(units_.begin() + best_exp_unit);
+        pending_expansions_.erase(pending_expansions_.begin() +
+                                  best_exp_edge);
+        units_.push_back(std::move(expanded));
+        continue;
+      }
+      // No connected combination exists. Prefer a value join on a
+      // pending property equality over a raw cartesian product.
+      if (TryValueJoin(&units_) != nullptr) continue;
+      if (units_.size() < 2) {
+        return Status::PlanError(
+            "variable-length path with no bound endpoint");
+      }
+      std::sort(units_.begin(), units_.end(),
+                [](const PlanNodePtr& a, const PlanNodePtr& b) {
+                  return a->estimated_cardinality < b->estimated_cardinality;
+                });
+      PlanNodePtr joined =
+          AttachFilters(MakeJoin(units_[0], units_[1], {}));
+      units_.erase(units_.begin(), units_.begin() + 2);
+      units_.push_back(std::move(joined));
+    }
+    if (!pending_filters_.empty()) {
+      return Status::PlanError("unapplied cross predicates remain");
+    }
+    return units_.front();
+  }
+
+  // --- left-deep baseline ------------------------------------------------
+
+  Result<PlanNodePtr> PlanLeftDeep() {
+    if (units_.empty()) {
+      return Status::PlanError("query has no scannable elements");
+    }
+    // Textual order: fold units left to right, preferring the first unit
+    // that connects to the current plan; apply expansions as soon as an
+    // endpoint is bound.
+    PlanNodePtr current = units_.front();
+    units_.erase(units_.begin());
+    current = AttachFilters(current);
+    while (!units_.empty() || !pending_expansions_.empty()) {
+      // Expansions first (textual order puts them where they appear).
+      bool advanced = false;
+      for (size_t x = 0; x < pending_expansions_.size(); ++x) {
+        const QueryEdge& e = qg_.edges()[pending_expansions_[x]];
+        const auto [ok, reverse] = ExpansionFit(*current, e);
+        if (ok) {
+          current = AttachFilters(
+              MakeExpansion(current, pending_expansions_[x], reverse));
+          pending_expansions_.erase(pending_expansions_.begin() + x);
+          advanced = true;
+          break;
+        }
+      }
+      if (advanced) continue;
+      // First connecting unit in textual order; else cartesian with the
+      // next unit.
+      size_t pick = 0;
+      std::vector<std::string> shared;
+      for (size_t i = 0; i < units_.size(); ++i) {
+        shared = SharedVariables(*current, *units_[i]);
+        if (!shared.empty()) {
+          pick = i;
+          break;
+        }
+      }
+      if (units_.empty()) {
+        return Status::PlanError(
+            "variable-length path with no bound endpoint");
+      }
+      if (shared.empty()) {
+        // Try a value join of `current` with some unit before falling
+        // back to a cartesian product.
+        std::vector<PlanNodePtr> pool;
+        pool.push_back(current);
+        pool.insert(pool.end(), units_.begin(), units_.end());
+        if (TryValueJoin(&pool) != nullptr) {
+          current = pool.back();
+          pool.pop_back();
+          units_.assign(pool.begin(), pool.end());
+          continue;
+        }
+      }
+      // Left-deep: keep `current` on the left regardless of size.
+      auto node = std::make_shared<PlanNode>();
+      node->kind = PlanNode::Kind::kJoin;
+      node->left = current;
+      node->right = units_[pick];
+      node->join_variables = shared;
+      node->estimated_cardinality =
+          EstimateJoin(*node->left, *node->right, shared);
+      node->bound_variables = node->left->bound_variables;
+      node->bound_variables.insert(node->right->bound_variables.begin(),
+                                   node->right->bound_variables.end());
+      node->property_variables = node->left->property_variables;
+      node->property_variables.insert(
+          node->right->property_variables.begin(),
+          node->right->property_variables.end());
+      units_.erase(units_.begin() + pick);
+      current = AttachFilters(node);
+    }
+    if (!pending_filters_.empty()) {
+      return Status::PlanError("unapplied cross predicates remain");
+    }
+    return current;
+  }
+
+  const QueryGraph& qg_;
+  const GraphStatistics& stats_;
+  const PlannerOptions& options_;
+  std::vector<PlanNodePtr> units_;
+  std::vector<int> pending_expansions_;
+  std::vector<CnfClause> pending_filters_;
+};
+
+}  // namespace
+
+double EstimateScanCardinality(const cypher::QueryGraph& query_graph,
+                               const GraphStatistics& stats,
+                               const PlannerOptions& options,
+                               const std::string& variable, bool is_vertex) {
+  if (is_vertex) {
+    const QueryVertex* v = query_graph.FindVertex(variable);
+    if (v == nullptr) return 0.0;
+    return static_cast<double>(stats.VertexCountByLabels(v->labels)) *
+           ClausesSelectivity(query_graph.ElementPredicates(variable),
+                              options);
+  }
+  const QueryEdge* e = query_graph.FindEdge(variable);
+  if (e == nullptr) return 0.0;
+  return static_cast<double>(stats.EdgeCountByLabels(e->types)) *
+         ClausesSelectivity(query_graph.ElementPredicates(variable), options);
+}
+
+Result<PlanNodePtr> PlanQuery(const cypher::QueryGraph& query_graph,
+                              const GraphStatistics& stats,
+                              const PlannerOptions& options) {
+  Planner planner(query_graph, stats, options);
+  return planner.Plan();
+}
+
+}  // namespace gradoop::query

@@ -1,0 +1,179 @@
+// Tests for the EPGM operator contract (Definition 2.4): CypherMatch
+// returns a graph collection whose heads carry the variable bindings and
+// whose elements record their membership in the match graphs.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "epgm/csv_io.h"
+#include "epgm/operators.h"
+#include "query/cypher_engine.h"
+
+namespace gradoop::query {
+namespace {
+
+using epgm::Edge;
+using epgm::GraphHead;
+using epgm::LogicalGraph;
+using epgm::Properties;
+using epgm::PropertyValue;
+using epgm::Vertex;
+
+LogicalGraph TriangleGraph(dataflow::ExecutionContextPtr ctx) {
+  std::vector<Vertex> vertices = {
+      Vertex(1, "Person", {{"name", "Alice"}}),
+      Vertex(2, "Person", {{"name", "Bob"}}),
+      Vertex(3, "Person", {{"name", "Carol"}}),
+  };
+  std::vector<Edge> edges = {
+      Edge(10, "knows", 1, 2),
+      Edge(11, "knows", 2, 3),
+      Edge(12, "knows", 1, 3),
+  };
+  return LogicalGraph::FromVectors(std::move(ctx), GraphHead(0, "G"),
+                                   std::move(vertices), std::move(edges));
+}
+
+TEST(MatchCollectionTest, OneGraphPerEmbedding) {
+  CypherEngine engine(TriangleGraph(dataflow::MakeContext()));
+  auto matches = engine.Match(
+      "MATCH (a:Person)-[e:knows]->(b:Person) RETURN a.name, b.name");
+  ASSERT_TRUE(matches.ok()) << matches.status();
+  EXPECT_EQ(matches.value().NumGraphs(), 3u);
+}
+
+TEST(MatchCollectionTest, HeadsCarryBindings) {
+  CypherEngine engine(TriangleGraph(dataflow::MakeContext()));
+  auto matches = engine.Match(
+      "MATCH (a:Person)-[e:knows]->(b:Person) "
+      "WHERE a.name = 'Alice' RETURN a.name, b.name");
+  ASSERT_TRUE(matches.ok());
+  auto heads = matches.value().heads().Collect();
+  ASSERT_EQ(heads.size(), 2u);
+  std::set<std::string> b_names;
+  for (const GraphHead& h : heads) {
+    EXPECT_EQ(h.label, "MatchResult");
+    EXPECT_EQ(h.properties.Get("a.name"), PropertyValue("Alice"));
+    b_names.insert(h.properties.Get("b.name").string_value());
+  }
+  EXPECT_EQ(b_names, (std::set<std::string>{"Bob", "Carol"}));
+}
+
+TEST(MatchCollectionTest, ReturnStarStoresElementIds) {
+  CypherEngine engine(TriangleGraph(dataflow::MakeContext()));
+  auto matches = engine.Match(
+      "MATCH (a:Person)-[e:knows]->(b:Person) "
+      "WHERE a.name = 'Alice' RETURN *");
+  ASSERT_TRUE(matches.ok());
+  auto heads = matches.value().heads().Collect();
+  ASSERT_EQ(heads.size(), 2u);
+  for (const GraphHead& h : heads) {
+    EXPECT_EQ(h.properties.Get("a"), PropertyValue(int64_t{1}));
+    EXPECT_FALSE(h.properties.Get("e").is_null());
+    EXPECT_FALSE(h.properties.Get("b").is_null());
+  }
+}
+
+TEST(MatchCollectionTest, ElementsRecordMembership) {
+  CypherEngine engine(TriangleGraph(dataflow::MakeContext()));
+  auto matches = engine.Match(
+      "MATCH (a:Person)-[e:knows]->(b:Person) "
+      "WHERE a.name = 'Alice' RETURN *");
+  ASSERT_TRUE(matches.ok());
+  std::set<uint64_t> head_ids;
+  for (const GraphHead& h : matches.value().heads().Collect()) {
+    head_ids.insert(h.id);
+  }
+  auto vertices = matches.value().vertices().Collect();
+  // Matched vertices: 1 (twice), 2, 3 — deduplicated with merged
+  // membership.
+  ASSERT_EQ(vertices.size(), 3u);
+  for (const Vertex& v : vertices) {
+    bool in_match = false;
+    for (uint64_t g : v.graph_ids) in_match |= head_ids.contains(g);
+    EXPECT_TRUE(in_match) << "vertex " << v.id;
+  }
+  // Vertex 1 (Alice) participates in both matches.
+  for (const Vertex& v : vertices) {
+    if (v.id == 1) {
+      int n = 0;
+      for (uint64_t g : v.graph_ids) n += head_ids.contains(g) ? 1 : 0;
+      EXPECT_EQ(n, 2);
+    }
+  }
+  auto edges = matches.value().edges().Collect();
+  ASSERT_EQ(edges.size(), 2u);  // edges 10 and 12
+}
+
+TEST(MatchCollectionTest, UnmatchedElementsExcluded) {
+  CypherEngine engine(TriangleGraph(dataflow::MakeContext()));
+  auto matches = engine.Match(
+      "MATCH (a:Person {name: 'Bob'})-[e:knows]->(b:Person) RETURN *");
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches.value().NumGraphs(), 1u);
+  auto vertices = matches.value().vertices().Collect();
+  std::set<uint64_t> ids;
+  for (const Vertex& v : vertices) ids.insert(v.id);
+  EXPECT_EQ(ids, (std::set<uint64_t>{2, 3}));  // Alice not in any match
+}
+
+TEST(MatchCollectionTest, PathMembershipIncludesInteriorElements) {
+  // A 3-chain matched by a variable-length path: interior vertex and both
+  // edges must join the match graph.
+  auto ctx = dataflow::MakeContext();
+  auto g = LogicalGraph::FromVectors(
+      ctx, GraphHead(0, "G"),
+      {Vertex(1, "P", {{"name", "a"}}), Vertex(2, "P"), Vertex(3, "P")},
+      {Edge(10, "knows", 1, 2), Edge(11, "knows", 2, 3)});
+  CypherEngine engine(g);
+  auto matches = engine.Match(
+      "MATCH (a:P {name: 'a'})-[e:knows*2..2]->(b:P) RETURN *");
+  ASSERT_TRUE(matches.ok()) << matches.status();
+  ASSERT_EQ(matches.value().NumGraphs(), 1u);
+  std::set<uint64_t> vertex_ids, edge_ids;
+  for (const Vertex& v : matches.value().vertices().Collect()) {
+    vertex_ids.insert(v.id);
+  }
+  for (const Edge& e : matches.value().edges().Collect()) {
+    edge_ids.insert(e.id);
+  }
+  EXPECT_EQ(vertex_ids, (std::set<uint64_t>{1, 2, 3}));
+  EXPECT_EQ(edge_ids, (std::set<uint64_t>{10, 11}));
+  // The path binding is stored as an id list on the head.
+  auto heads = matches.value().heads().Collect();
+  ASSERT_EQ(heads.size(), 1u);
+  EXPECT_EQ(heads[0].properties.Get("e"),
+            PropertyValue(std::vector<uint64_t>{10, 2, 11}));
+}
+
+TEST(MatchCollectionTest, CollectionComposesWithEpgmOperators) {
+  // Definition 2.4 + §2.1: pattern-matching output feeds other EPGM
+  // operators. Select match graphs by a head property.
+  CypherEngine engine(TriangleGraph(dataflow::MakeContext()));
+  auto matches = engine.Match(
+      "MATCH (a:Person)-[e:knows]->(b:Person) RETURN a.name, b.name");
+  ASSERT_TRUE(matches.ok());
+  auto selected = epgm::Select(matches.value(), [](const GraphHead& h) {
+    return h.properties.Get("a.name") == PropertyValue("Alice");
+  });
+  EXPECT_EQ(selected.NumGraphs(), 2u);
+}
+
+TEST(MatchCollectionTest, CollectionRoundTripsThroughCsv) {
+  CypherEngine engine(TriangleGraph(dataflow::MakeContext()));
+  auto matches = engine.Match(
+      "MATCH (a:Person)-[e:knows]->(b:Person) RETURN a.name");
+  ASSERT_TRUE(matches.ok());
+  const std::string dir = "/tmp/gradoop_collection_csv";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(epgm::WriteCsv(matches.value(), dir).ok());
+  auto loaded =
+      epgm::ReadCsvGraphCollection(dataflow::MakeContext(), dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded.value().NumGraphs(), 3u);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace gradoop::query

@@ -1,0 +1,105 @@
+// Error handling and edge cases of the top-level engine.
+#include <gtest/gtest.h>
+
+#include "epgm/logical_graph.h"
+#include "query/cypher_engine.h"
+
+namespace gradoop::query {
+namespace {
+
+using epgm::Edge;
+using epgm::GraphHead;
+using epgm::LogicalGraph;
+using epgm::Vertex;
+
+LogicalGraph TinyGraph(dataflow::ExecutionContextPtr ctx) {
+  return LogicalGraph::FromVectors(
+      std::move(ctx), GraphHead(0, "G"),
+      {Vertex(1, "Person", {{"name", "Alice"}}), Vertex(2, "Person")},
+      {Edge(10, "knows", 1, 2)});
+}
+
+class EngineErrorsTest : public ::testing::Test {
+ protected:
+  EngineErrorsTest() : engine_(TinyGraph(dataflow::MakeContext())) {}
+  CypherEngine engine_;
+};
+
+TEST_F(EngineErrorsTest, ParseErrorPropagates) {
+  auto r = engine_.Count("MATCH (p:Person RETURN *");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(EngineErrorsTest, UnsupportedFeaturePropagates) {
+  auto r = engine_.Count(
+      "MATCH (a)-[e:knows*1..3]->(b) WHERE e.weight = 1 RETURN *");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(EngineErrorsTest, UnsatisfiableLabelsReturnEmpty) {
+  auto r = engine_.Count(
+      "MATCH (m:Comment)-[:x]->(a), (m:Post)-[:y]->(b) RETURN *");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value(), 0u);
+}
+
+TEST_F(EngineErrorsTest, UnknownLabelMatchesNothing) {
+  auto r = engine_.Count("MATCH (x:Ghost) RETURN *");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 0u);
+}
+
+TEST_F(EngineErrorsTest, UnknownEdgeTypeMatchesNothing) {
+  auto r = engine_.Count("MATCH (a)-[e:ghost]->(b) RETURN *");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 0u);
+}
+
+TEST_F(EngineErrorsTest, PredicateOnMissingPropertyFiltersAll) {
+  auto r = engine_.Count("MATCH (p:Person) WHERE p.ghost = 1 RETURN *");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 0u);
+}
+
+TEST_F(EngineErrorsTest, MatchOnEmptyResultIsEmptyCollection) {
+  auto matches = engine_.Match("MATCH (x:Ghost) RETURN *");
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches.value().NumGraphs(), 0u);
+  EXPECT_EQ(matches.value().vertices().Count(), 0u);
+}
+
+TEST_F(EngineErrorsTest, EmptyGraph) {
+  CypherEngine empty(LogicalGraph::FromVectors(dataflow::MakeContext(),
+                                               GraphHead(0, "E"), {}, {}));
+  auto r = empty.Count("MATCH (a:Person)-[e:knows]->(b) RETURN *");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value(), 0u);
+}
+
+TEST_F(EngineErrorsTest, VariableLengthWithUnboundedEndpointsStillPlans) {
+  // Both endpoints unconstrained: the planner must introduce a vertex
+  // scan for the start.
+  auto r = engine_.Count("MATCH (a)-[e:knows*1..2]->(b) RETURN *");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value(), 1u);
+}
+
+TEST_F(EngineErrorsTest, ExplainDoesNotExecute) {
+  auto before = engine_.graph().context()->tracker().NumStages();
+  auto r = engine_.Explain("MATCH (p:Person)-[:knows]->(q) RETURN *");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(engine_.graph().context()->tracker().NumStages(), before);
+}
+
+TEST_F(EngineErrorsTest, RepeatedExecutionIsStable) {
+  for (int i = 0; i < 5; ++i) {
+    auto r = engine_.Count("MATCH (a:Person)-[e:knows]->(b:Person) RETURN *");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace gradoop::query

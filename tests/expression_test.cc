@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "cypher/expression.h"
+
+namespace gradoop::cypher {
+namespace {
+
+using epgm::PropertyValue;
+
+// Resolver backed by a flat (var, key) -> value table.
+ValueResolver TableResolver(
+    std::map<std::pair<std::string, std::string>, PropertyValue> table) {
+  return [table = std::move(table)](const std::string& var,
+                                    const std::string& key) {
+    auto it = table.find({var, key});
+    return it == table.end() ? PropertyValue::Null() : it->second;
+  };
+}
+
+ExpressionPtr Cmp(ComparisonOp op, const std::string& var,
+                  const std::string& key, PropertyValue lit) {
+  return Expression::Comparison(op, Expression::PropertyAccess(var, key),
+                                Expression::Literal(std::move(lit)));
+}
+
+TEST(ExpressionTest, ComparisonOperators) {
+  const auto resolver =
+      TableResolver({{{"a", "x"}, PropertyValue(int64_t{5})}});
+  EXPECT_TRUE(EvaluatePredicate(*Cmp(ComparisonOp::kEq, "a", "x", 5), resolver));
+  EXPECT_FALSE(EvaluatePredicate(*Cmp(ComparisonOp::kEq, "a", "x", 6), resolver));
+  EXPECT_TRUE(EvaluatePredicate(*Cmp(ComparisonOp::kNeq, "a", "x", 6), resolver));
+  EXPECT_TRUE(EvaluatePredicate(*Cmp(ComparisonOp::kLt, "a", "x", 6), resolver));
+  EXPECT_TRUE(EvaluatePredicate(*Cmp(ComparisonOp::kLte, "a", "x", 5), resolver));
+  EXPECT_TRUE(EvaluatePredicate(*Cmp(ComparisonOp::kGt, "a", "x", 4), resolver));
+  EXPECT_TRUE(EvaluatePredicate(*Cmp(ComparisonOp::kGte, "a", "x", 5), resolver));
+  EXPECT_FALSE(EvaluatePredicate(*Cmp(ComparisonOp::kGt, "a", "x", 5), resolver));
+}
+
+TEST(ExpressionTest, StringComparison) {
+  const auto resolver = TableResolver({{{"u", "name"}, PropertyValue("Uni Leipzig")}});
+  EXPECT_TRUE(EvaluatePredicate(
+      *Cmp(ComparisonOp::kEq, "u", "name", "Uni Leipzig"), resolver));
+  EXPECT_TRUE(EvaluatePredicate(
+      *Cmp(ComparisonOp::kLt, "u", "name", "Zeppelin"), resolver));
+}
+
+TEST(ExpressionTest, PropertyToPropertyComparison) {
+  const auto resolver = TableResolver({
+      {{"p1", "gender"}, PropertyValue("female")},
+      {{"p2", "gender"}, PropertyValue("male")},
+  });
+  auto e = Expression::Comparison(ComparisonOp::kNeq,
+                                  Expression::PropertyAccess("p1", "gender"),
+                                  Expression::PropertyAccess("p2", "gender"));
+  EXPECT_TRUE(EvaluatePredicate(*e, resolver));
+}
+
+TEST(ExpressionTest, MissingPropertyIsNullAndFiltersOut) {
+  const auto resolver = TableResolver({});
+  EXPECT_FALSE(EvaluatePredicate(*Cmp(ComparisonOp::kEq, "a", "x", 1), resolver));
+  // NOT(NULL) is still NULL: the row is filtered, not admitted.
+  auto e = Expression::Not(Cmp(ComparisonOp::kEq, "a", "x", 1));
+  EXPECT_FALSE(EvaluatePredicate(*e, resolver));
+  EXPECT_EQ(EvaluateTernary(*e, resolver), std::nullopt);
+}
+
+TEST(ExpressionTest, TernaryAndOr) {
+  const auto resolver =
+      TableResolver({{{"a", "x"}, PropertyValue(int64_t{1})}});
+  auto t = Cmp(ComparisonOp::kEq, "a", "x", 1);       // true
+  auto f = Cmp(ComparisonOp::kEq, "a", "x", 2);       // false
+  auto n = Cmp(ComparisonOp::kEq, "a", "missing", 1);  // null
+
+  EXPECT_EQ(EvaluateTernary(*Expression::And(t, n), resolver), std::nullopt);
+  EXPECT_EQ(EvaluateTernary(*Expression::And(f, n), resolver),
+            std::optional<bool>(false));  // false AND null = false
+  EXPECT_EQ(EvaluateTernary(*Expression::Or(t, n), resolver),
+            std::optional<bool>(true));  // true OR null = true
+  EXPECT_EQ(EvaluateTernary(*Expression::Or(f, n), resolver), std::nullopt);
+  EXPECT_EQ(EvaluateTernary(*Expression::Xor(t, n), resolver), std::nullopt);
+  EXPECT_EQ(EvaluateTernary(*Expression::Xor(t, f), resolver),
+            std::optional<bool>(true));
+}
+
+TEST(ExpressionTest, IncomparableTypesYieldNull) {
+  const auto resolver = TableResolver({{{"a", "x"}, PropertyValue("str")}});
+  EXPECT_EQ(EvaluateTernary(*Cmp(ComparisonOp::kLt, "a", "x", 5), resolver),
+            std::nullopt);
+  // Equality across types is defined (false), not null.
+  EXPECT_EQ(EvaluateTernary(*Cmp(ComparisonOp::kEq, "a", "x", 5), resolver),
+            std::optional<bool>(false));
+}
+
+TEST(ExpressionTest, CollectPropertyAccessesAndVariables) {
+  auto e = Expression::And(
+      Cmp(ComparisonOp::kEq, "a", "x", 1),
+      Expression::Comparison(ComparisonOp::kNeq,
+                             Expression::PropertyAccess("b", "y"),
+                             Expression::PropertyAccess("a", "z")));
+  std::set<std::pair<std::string, std::string>> accesses;
+  e->CollectPropertyAccesses(&accesses);
+  EXPECT_EQ(accesses.size(), 3u);
+  std::set<std::string> vars;
+  e->CollectVariables(&vars);
+  EXPECT_EQ(vars, (std::set<std::string>{"a", "b"}));
+}
+
+TEST(ExpressionTest, ToStringRoundsTrip) {
+  auto e = Expression::And(Cmp(ComparisonOp::kGt, "s", "classYear", 2014),
+                           Cmp(ComparisonOp::kEq, "u", "name", "X"));
+  EXPECT_EQ(e->ToString(), "(s.classYear > 2014 AND u.name = 'X')");
+}
+
+// --- CNF -------------------------------------------------------------------
+
+TEST(CnfTest, SingleComparisonIsOneClause) {
+  Cnf cnf = ToCnf(Cmp(ComparisonOp::kEq, "a", "x", 1));
+  ASSERT_EQ(cnf.clauses.size(), 1u);
+  EXPECT_EQ(cnf.clauses[0].atoms.size(), 1u);
+}
+
+TEST(CnfTest, AndSplitsClauses) {
+  Cnf cnf = ToCnf(Expression::And(Cmp(ComparisonOp::kEq, "a", "x", 1),
+                                  Cmp(ComparisonOp::kEq, "b", "y", 2)));
+  EXPECT_EQ(cnf.clauses.size(), 2u);
+}
+
+TEST(CnfTest, OrStaysOneClause) {
+  Cnf cnf = ToCnf(Expression::Or(Cmp(ComparisonOp::kEq, "a", "x", 1),
+                                 Cmp(ComparisonOp::kEq, "a", "x", 2)));
+  ASSERT_EQ(cnf.clauses.size(), 1u);
+  EXPECT_EQ(cnf.clauses[0].atoms.size(), 2u);
+}
+
+TEST(CnfTest, OrOverAndDistributes) {
+  // (a AND b) OR c  ==  (a OR c) AND (b OR c)
+  Cnf cnf = ToCnf(Expression::Or(
+      Expression::And(Cmp(ComparisonOp::kEq, "a", "x", 1),
+                      Cmp(ComparisonOp::kEq, "b", "y", 2)),
+      Cmp(ComparisonOp::kEq, "c", "z", 3)));
+  ASSERT_EQ(cnf.clauses.size(), 2u);
+  EXPECT_EQ(cnf.clauses[0].atoms.size(), 2u);
+  EXPECT_EQ(cnf.clauses[1].atoms.size(), 2u);
+}
+
+TEST(CnfTest, NotPushesIntoComparison) {
+  Cnf cnf = ToCnf(Expression::Not(Cmp(ComparisonOp::kLt, "a", "x", 5)));
+  ASSERT_EQ(cnf.clauses.size(), 1u);
+  EXPECT_EQ(cnf.clauses[0].atoms[0]->comparison_op(), ComparisonOp::kGte);
+}
+
+TEST(CnfTest, DeMorgan) {
+  // NOT (a OR b) == NOT a AND NOT b
+  Cnf cnf = ToCnf(Expression::Not(
+      Expression::Or(Cmp(ComparisonOp::kEq, "a", "x", 1),
+                     Cmp(ComparisonOp::kEq, "b", "y", 2))));
+  ASSERT_EQ(cnf.clauses.size(), 2u);
+  EXPECT_EQ(cnf.clauses[0].atoms[0]->comparison_op(), ComparisonOp::kNeq);
+}
+
+TEST(CnfTest, XorExpands) {
+  Cnf cnf = ToCnf(Expression::Xor(Cmp(ComparisonOp::kEq, "a", "x", 1),
+                                  Cmp(ComparisonOp::kEq, "b", "y", 2)));
+  EXPECT_EQ(cnf.clauses.size(), 2u);
+}
+
+TEST(CnfTest, NullExpressionIsEmpty) {
+  EXPECT_TRUE(ToCnf(nullptr).clauses.empty());
+}
+
+TEST(CnfTest, CnfPreservesSemantics) {
+  // Randomized check: CNF evaluation == direct ternary evaluation
+  // (collapsed to bool) across all 3^3 input combinations.
+  const PropertyValue vals[] = {PropertyValue(int64_t{1}),
+                                PropertyValue(int64_t{0}), PropertyValue()};
+  auto expr = Expression::Or(
+      Expression::And(Cmp(ComparisonOp::kEq, "a", "x", 1),
+                      Expression::Not(Cmp(ComparisonOp::kEq, "b", "y", 1))),
+      Expression::Xor(Cmp(ComparisonOp::kEq, "c", "z", 1),
+                      Cmp(ComparisonOp::kEq, "a", "x", 1)));
+  Cnf cnf = ToCnf(expr);
+  for (const auto& va : vals) {
+    for (const auto& vb : vals) {
+      for (const auto& vc : vals) {
+        const auto resolver = TableResolver(
+            {{{"a", "x"}, va}, {{"b", "y"}, vb}, {{"c", "z"}, vc}});
+        bool cnf_result = true;
+        for (const CnfClause& clause : cnf.clauses) {
+          cnf_result = cnf_result && EvaluateClause(clause, resolver);
+        }
+        EXPECT_EQ(cnf_result, EvaluatePredicate(*expr, resolver))
+            << "inputs: " << va.ToString() << "," << vb.ToString() << ","
+            << vc.ToString();
+      }
+    }
+  }
+}
+
+TEST(CnfTest, ClauseVariables) {
+  Cnf cnf = ToCnf(Expression::Or(Cmp(ComparisonOp::kEq, "a", "x", 1),
+                                 Cmp(ComparisonOp::kEq, "b", "y", 2)));
+  EXPECT_EQ(cnf.clauses[0].Variables(), (std::set<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace gradoop::cypher

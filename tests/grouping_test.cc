@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "epgm/grouping.h"
+#include "ldbc/ldbc_generator.h"
+
+namespace gradoop::epgm {
+namespace {
+
+dataflow::ExecutionContextPtr Ctx() { return dataflow::MakeContext(); }
+
+LogicalGraph SocialGraph(dataflow::ExecutionContextPtr ctx) {
+  std::vector<Vertex> vertices = {
+      Vertex(1, "Person", {{"city", "Leipzig"}}),
+      Vertex(2, "Person", {{"city", "Leipzig"}}),
+      Vertex(3, "Person", {{"city", "Dresden"}}),
+      Vertex(4, "Tag", {}),
+      Vertex(5, "Tag", {}),
+  };
+  std::vector<Edge> edges = {
+      Edge(10, "knows", 1, 2),   Edge(11, "knows", 2, 1),
+      Edge(12, "knows", 1, 3),   Edge(13, "likes", 1, 4),
+      Edge(14, "likes", 2, 4),   Edge(15, "likes", 3, 5),
+  };
+  return LogicalGraph::FromVectors(std::move(ctx), GraphHead(0, "G"),
+                                   std::move(vertices), std::move(edges));
+}
+
+std::map<std::string, int64_t> VertexCounts(const LogicalGraph& g) {
+  std::map<std::string, int64_t> out;
+  for (const Vertex& v : g.vertices().Collect()) {
+    out[v.label] = v.properties.Get("count").int_value();
+  }
+  return out;
+}
+
+TEST(GroupingTest, GroupByLabel) {
+  auto grouped = GroupGraph(SocialGraph(Ctx()), GroupingConfig{}, 500, 1000);
+  const auto counts = VertexCounts(grouped);
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts.at("Person"), 3);
+  EXPECT_EQ(counts.at("Tag"), 2);
+
+  // Super-edges: Person->Person knows (3), Person->Tag likes (3).
+  auto edges = grouped.edges().Collect();
+  ASSERT_EQ(edges.size(), 2u);
+  std::map<std::string, int64_t> edge_counts;
+  for (const Edge& e : edges) {
+    edge_counts[e.label] = e.properties.Get("count").int_value();
+  }
+  EXPECT_EQ(edge_counts.at("knows"), 3);
+  EXPECT_EQ(edge_counts.at("likes"), 3);
+}
+
+TEST(GroupingTest, GroupByLabelAndProperty) {
+  GroupingConfig config;
+  config.vertex_group_keys = {"city"};
+  auto grouped = GroupGraph(SocialGraph(Ctx()), config, 500, 1000);
+  // Persons split by city (Leipzig: 2, Dresden: 1); Tags have no city
+  // (grouped under the null value).
+  auto vertices = grouped.vertices().Collect();
+  ASSERT_EQ(vertices.size(), 3u);
+  int64_t leipzig = 0, dresden = 0;
+  for (const Vertex& v : vertices) {
+    if (v.properties.Get("city") == PropertyValue("Leipzig")) {
+      leipzig = v.properties.Get("count").int_value();
+    } else if (v.properties.Get("city") == PropertyValue("Dresden")) {
+      dresden = v.properties.Get("count").int_value();
+    }
+  }
+  EXPECT_EQ(leipzig, 2);
+  EXPECT_EQ(dresden, 1);
+}
+
+TEST(GroupingTest, SuperEdgeEndpointsReferenceSuperVertices) {
+  auto grouped = GroupGraph(SocialGraph(Ctx()), GroupingConfig{}, 500, 1000);
+  std::map<uint64_t, std::string> super_label;
+  for (const Vertex& v : grouped.vertices().Collect()) {
+    super_label[v.id] = v.label;
+    EXPECT_GE(v.id, 1000u);  // ids from the requested base
+  }
+  for (const Edge& e : grouped.edges().Collect()) {
+    ASSERT_TRUE(super_label.contains(e.source_id));
+    ASSERT_TRUE(super_label.contains(e.target_id));
+    if (e.label == "knows") {
+      EXPECT_EQ(super_label.at(e.source_id), "Person");
+      EXPECT_EQ(super_label.at(e.target_id), "Person");
+    }
+    if (e.label == "likes") {
+      EXPECT_EQ(super_label.at(e.source_id), "Person");
+      EXPECT_EQ(super_label.at(e.target_id), "Tag");
+    }
+  }
+}
+
+TEST(GroupingTest, CountsArePreserved) {
+  // Total vertex/edge counts of the summary equal the input sizes.
+  auto ctx = Ctx();
+  ldbc::LdbcConfig cfg;
+  cfg.scale_factor = 0.05;
+  auto graph = ldbc::LdbcGenerator(cfg).Generate(ctx);
+  const uint64_t v_in = graph.vertices().Count();
+  const uint64_t e_in = graph.edges().Count();
+
+  auto grouped = GroupGraph(graph, GroupingConfig{}, 500, 1ull << 40);
+  int64_t v_total = 0, e_total = 0;
+  for (const Vertex& v : grouped.vertices().Collect()) {
+    v_total += v.properties.Get("count").int_value();
+  }
+  for (const Edge& e : grouped.edges().Collect()) {
+    e_total += e.properties.Get("count").int_value();
+  }
+  EXPECT_EQ(static_cast<uint64_t>(v_total), v_in);
+  EXPECT_EQ(static_cast<uint64_t>(e_total), e_in);
+  // One super-vertex per label.
+  EXPECT_EQ(grouped.vertices().Count(), 7u);
+}
+
+TEST(GroupingTest, EdgePropertyGrouping) {
+  auto ctx = Ctx();
+  std::vector<Vertex> vertices = {Vertex(1, "P"), Vertex(2, "P")};
+  std::vector<Edge> edges = {
+      Edge(10, "studyAt", 1, 2, {{"classYear", int64_t{2014}}}),
+      Edge(11, "studyAt", 1, 2, {{"classYear", int64_t{2014}}}),
+      Edge(12, "studyAt", 1, 2, {{"classYear", int64_t{2015}}}),
+  };
+  auto g = LogicalGraph::FromVectors(ctx, GraphHead(0, "G"),
+                                     std::move(vertices), std::move(edges));
+  GroupingConfig config;
+  config.edge_group_keys = {"classYear"};
+  auto grouped = GroupGraph(g, config, 500, 1000);
+  auto super_edges = grouped.edges().Collect();
+  ASSERT_EQ(super_edges.size(), 2u);  // split by classYear
+  int64_t total = 0;
+  for (const Edge& e : super_edges) {
+    total += e.properties.Get("count").int_value();
+  }
+  EXPECT_EQ(total, 3);
+}
+
+}  // namespace
+}  // namespace gradoop::epgm

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "ldbc/ldbc_generator.h"
+#include "ldbc/queries.h"
+#include "query/cypher_engine.h"
+
+namespace gradoop::ldbc {
+namespace {
+
+LdbcConfig SmallConfig() {
+  LdbcConfig cfg;
+  cfg.scale_factor = 0.05;  // ~100 persons: fast tests
+  return cfg;
+}
+
+TEST(LdbcGeneratorTest, Deterministic) {
+  LdbcGenerator gen(SmallConfig());
+  auto a = gen.GenerateElements();
+  auto b = gen.GenerateElements();
+  ASSERT_EQ(a.vertices.size(), b.vertices.size());
+  ASSERT_EQ(a.edges.size(), b.edges.size());
+  for (size_t i = 0; i < a.vertices.size(); ++i) {
+    EXPECT_EQ(a.vertices[i].id, b.vertices[i].id);
+    EXPECT_EQ(a.vertices[i].label, b.vertices[i].label);
+    EXPECT_EQ(a.vertices[i].properties, b.vertices[i].properties);
+  }
+}
+
+TEST(LdbcGeneratorTest, CoversAllLabels) {
+  auto elements = LdbcGenerator(SmallConfig()).GenerateElements();
+  std::set<std::string> vertex_labels, edge_labels;
+  for (const auto& v : elements.vertices) vertex_labels.insert(v.label);
+  for (const auto& e : elements.edges) edge_labels.insert(e.label);
+  EXPECT_EQ(vertex_labels,
+            (std::set<std::string>{"Person", "City", "University", "Tag",
+                                   "Forum", "Post", "Comment"}));
+  EXPECT_EQ(edge_labels,
+            (std::set<std::string>{"knows", "hasCreator", "replyOf",
+                                   "isLocatedIn", "hasInterest", "studyAt",
+                                   "hasMember", "hasModerator"}));
+}
+
+TEST(LdbcGeneratorTest, UniqueIds) {
+  auto elements = LdbcGenerator(SmallConfig()).GenerateElements();
+  std::set<uint64_t> ids;
+  for (const auto& v : elements.vertices) {
+    EXPECT_TRUE(ids.insert(v.id).second);
+  }
+  for (const auto& e : elements.edges) {
+    EXPECT_TRUE(ids.insert(e.id).second);
+  }
+}
+
+TEST(LdbcGeneratorTest, EdgeEndpointsRespectSchema) {
+  auto elements = LdbcGenerator(SmallConfig()).GenerateElements();
+  std::map<uint64_t, std::string> label_of;
+  for (const auto& v : elements.vertices) label_of[v.id] = v.label;
+  const std::map<std::string, std::pair<std::set<std::string>,
+                                        std::set<std::string>>>
+      schema = {
+          {"knows", {{"Person"}, {"Person"}}},
+          {"hasCreator", {{"Post", "Comment"}, {"Person"}}},
+          {"replyOf", {{"Comment"}, {"Post", "Comment"}}},
+          {"isLocatedIn", {{"Person"}, {"City"}}},
+          {"hasInterest", {{"Person"}, {"Tag"}}},
+          {"studyAt", {{"Person"}, {"University"}}},
+          {"hasMember", {{"Forum"}, {"Person"}}},
+          {"hasModerator", {{"Forum"}, {"Person"}}},
+      };
+  for (const auto& e : elements.edges) {
+    const auto& [src_labels, dst_labels] = schema.at(e.label);
+    EXPECT_TRUE(src_labels.contains(label_of.at(e.source_id)))
+        << e.label << " source is " << label_of.at(e.source_id);
+    EXPECT_TRUE(dst_labels.contains(label_of.at(e.target_id)))
+        << e.label << " target is " << label_of.at(e.target_id);
+  }
+}
+
+TEST(LdbcGeneratorTest, ReplyTreesAreAcyclic) {
+  auto elements = LdbcGenerator(SmallConfig()).GenerateElements();
+  // replyOf from a comment always points to a post or an earlier comment
+  // (smaller creation index = smaller id within comments).
+  std::map<uint64_t, std::string> label_of;
+  for (const auto& v : elements.vertices) label_of[v.id] = v.label;
+  for (const auto& e : elements.edges) {
+    if (e.label != "replyOf") continue;
+    if (label_of.at(e.target_id) == "Comment") {
+      EXPECT_LT(e.target_id, e.source_id);
+    }
+  }
+}
+
+TEST(LdbcGeneratorTest, ScaleFactorScalesCounts) {
+  LdbcConfig small = SmallConfig();
+  LdbcConfig large = SmallConfig();
+  large.scale_factor = 0.1;
+  auto a = LdbcGenerator(small).GenerateElements();
+  auto b = LdbcGenerator(large).GenerateElements();
+  EXPECT_GT(b.vertices.size(), 1.5 * a.vertices.size());
+  EXPECT_GT(b.edges.size(), 1.5 * a.edges.size());
+}
+
+TEST(LdbcGeneratorTest, FirstNamesAreZipfSkewed) {
+  auto elements = LdbcGenerator(SmallConfig()).GenerateElements();
+  std::map<std::string, int> freq;
+  int persons = 0;
+  for (const auto& v : elements.vertices) {
+    if (v.label != "Person") continue;
+    ++persons;
+    freq[v.properties.Get("firstName").string_value()]++;
+  }
+  int max_freq = 0;
+  for (const auto& [name, count] : freq) max_freq = std::max(max_freq, count);
+  // The most common name covers a large share; the dictionary is wide.
+  EXPECT_GT(max_freq, persons / 20);
+  EXPECT_GT(freq.size(), 5u);
+}
+
+TEST(LdbcGeneratorTest, SelectivityOrdering) {
+  auto elements = LdbcGenerator(SmallConfig()).GenerateElements();
+  std::map<std::string, int> freq;
+  for (const auto& v : elements.vertices) {
+    if (v.label != "Person") continue;
+    freq[v.properties.Get("firstName").string_value()]++;
+  }
+  const int high = freq.at(PickFirstName(elements, Selectivity::kHigh));
+  const int medium = freq.at(PickFirstName(elements, Selectivity::kMedium));
+  const int low = freq.at(PickFirstName(elements, Selectivity::kLow));
+  EXPECT_LE(high, medium);
+  EXPECT_LE(medium, low);
+  EXPECT_LT(high, low);
+}
+
+TEST(LdbcGeneratorTest, KnowsDegreesAreSkewed) {
+  auto elements = LdbcGenerator(SmallConfig()).GenerateElements();
+  std::map<uint64_t, int> out_degree;
+  for (const auto& e : elements.edges) {
+    if (e.label == "knows") out_degree[e.source_id]++;
+  }
+  int max_deg = 0, total = 0;
+  for (const auto& [id, d] : out_degree) {
+    max_deg = std::max(max_deg, d);
+    total += d;
+  }
+  const double avg = static_cast<double>(total) / out_degree.size();
+  EXPECT_GT(max_deg, 4 * avg);  // heavy tail
+}
+
+TEST(LdbcQueriesTest, AllSixQueriesRunOnGeneratedData) {
+  auto graph = LdbcGenerator(SmallConfig()).Generate(dataflow::MakeContext());
+  query::CypherEngine engine(graph);
+  auto elements = LdbcGenerator(SmallConfig()).GenerateElements();
+  const std::string name = PickFirstName(elements, Selectivity::kLow);
+  const std::string queries[] = {Query1(name), Query2(name), Query3(name),
+                                 Query4(),     Query5(),     Query6()};
+  uint64_t counts[6];
+  for (int i = 0; i < 6; ++i) {
+    auto count = engine.Count(queries[i]);
+    ASSERT_TRUE(count.ok()) << "Q" << (i + 1) << ": " << count.status();
+    counts[i] = count.value();
+  }
+  // Structural sanity: Q1 selects messages of low-selectivity persons
+  // (non-empty); Q2 extends Q1 with reply paths, Q5/Q6 are analytical
+  // and much larger than zero on a social graph.
+  EXPECT_GT(counts[0], 0u);
+  EXPECT_GT(counts[1], 0u);
+  EXPECT_GT(counts[4], 0u);
+  EXPECT_GT(counts[5], 0u);
+}
+
+TEST(LdbcQueriesTest, SelectivityControlsCardinality) {
+  auto gen = LdbcGenerator(SmallConfig());
+  auto graph = gen.Generate(dataflow::MakeContext());
+  query::CypherEngine engine(graph);
+  auto elements = gen.GenerateElements();
+  uint64_t counts[3];
+  const Selectivity levels[] = {Selectivity::kHigh, Selectivity::kMedium,
+                                Selectivity::kLow};
+  for (int i = 0; i < 3; ++i) {
+    auto count = engine.Count(Query1(PickFirstName(elements, levels[i])));
+    ASSERT_TRUE(count.ok());
+    counts[i] = count.value();
+  }
+  EXPECT_LE(counts[0], counts[1]);
+  EXPECT_LE(counts[1], counts[2]);
+  EXPECT_LT(counts[0], counts[2]);
+}
+
+}  // namespace
+}  // namespace gradoop::ldbc

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "cypher/lexer.h"
+
+namespace gradoop::cypher {
+namespace {
+
+std::vector<TokenKind> Kinds(const std::string& text) {
+  auto tokens = Tokenize(text);
+  EXPECT_TRUE(tokens.ok()) << tokens.status();
+  std::vector<TokenKind> kinds;
+  for (const Token& t : tokens.value()) kinds.push_back(t.kind);
+  return kinds;
+}
+
+TEST(LexerTest, EmptyInput) {
+  EXPECT_EQ(Kinds(""), (std::vector<TokenKind>{TokenKind::kEof}));
+  EXPECT_EQ(Kinds("   \t\n"), (std::vector<TokenKind>{TokenKind::kEof}));
+}
+
+TEST(LexerTest, Identifiers) {
+  auto tokens = Tokenize("MATCH p1 _x classYear");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens.value().size(), 5u);
+  EXPECT_EQ(tokens.value()[0].text, "MATCH");
+  EXPECT_EQ(tokens.value()[1].text, "p1");
+  EXPECT_EQ(tokens.value()[2].text, "_x");
+  EXPECT_EQ(tokens.value()[3].text, "classYear");
+}
+
+TEST(LexerTest, NumbersIntAndFloat) {
+  auto tokens = Tokenize("2014 3.14");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].kind, TokenKind::kInteger);
+  EXPECT_EQ(tokens.value()[0].int_value, 2014);
+  EXPECT_EQ(tokens.value()[1].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ(tokens.value()[1].float_value, 3.14);
+}
+
+TEST(LexerTest, RangeIsNotAFloat) {
+  // `1..3` must lex as integer, dotdot, integer (variable-length bounds).
+  EXPECT_EQ(Kinds("1..3"),
+            (std::vector<TokenKind>{TokenKind::kInteger, TokenKind::kDotDot,
+                                    TokenKind::kInteger, TokenKind::kEof}));
+}
+
+TEST(LexerTest, StringsBothQuotes) {
+  auto tokens = Tokenize("'Uni Leipzig' \"Bob\"");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens.value()[0].text, "Uni Leipzig");
+  EXPECT_EQ(tokens.value()[1].text, "Bob");
+}
+
+TEST(LexerTest, StringEscapes) {
+  auto tokens = Tokenize(R"('a\'b\n\t\\')");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].text, "a'b\n\t\\");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, PatternPunctuation) {
+  EXPECT_EQ(
+      Kinds("(p1:Person)-[s:studyAt]->(u)"),
+      (std::vector<TokenKind>{
+          TokenKind::kLeftParen, TokenKind::kIdentifier, TokenKind::kColon,
+          TokenKind::kIdentifier, TokenKind::kRightParen, TokenKind::kDash,
+          TokenKind::kLeftBracket, TokenKind::kIdentifier, TokenKind::kColon,
+          TokenKind::kIdentifier, TokenKind::kRightBracket, TokenKind::kDash,
+          TokenKind::kGt, TokenKind::kLeftParen, TokenKind::kIdentifier,
+          TokenKind::kRightParen, TokenKind::kEof}));
+}
+
+TEST(LexerTest, IncomingArrow) {
+  EXPECT_EQ(Kinds("<-["),
+            (std::vector<TokenKind>{TokenKind::kLt, TokenKind::kDash,
+                                    TokenKind::kLeftBracket, TokenKind::kEof}));
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  EXPECT_EQ(Kinds("= <> < <= > >="),
+            (std::vector<TokenKind>{TokenKind::kEq, TokenKind::kNeq,
+                                    TokenKind::kLt, TokenKind::kLte,
+                                    TokenKind::kGt, TokenKind::kGte,
+                                    TokenKind::kEof}));
+}
+
+TEST(LexerTest, VariableLengthSyntax) {
+  EXPECT_EQ(Kinds("*1..3"),
+            (std::vector<TokenKind>{TokenKind::kStar, TokenKind::kInteger,
+                                    TokenKind::kDotDot, TokenKind::kInteger,
+                                    TokenKind::kEof}));
+}
+
+TEST(LexerTest, AlternationPipe) {
+  EXPECT_EQ(Kinds("Comment|Post"),
+            (std::vector<TokenKind>{TokenKind::kIdentifier, TokenKind::kPipe,
+                                    TokenKind::kIdentifier, TokenKind::kEof}));
+}
+
+TEST(LexerTest, LineComments) {
+  EXPECT_EQ(Kinds("MATCH // this is ignored\n RETURN"),
+            (std::vector<TokenKind>{TokenKind::kIdentifier,
+                                    TokenKind::kIdentifier, TokenKind::kEof}));
+}
+
+TEST(LexerTest, RejectsUnknownCharacter) {
+  EXPECT_FALSE(Tokenize("MATCH ~ RETURN").ok());
+  EXPECT_FALSE(Tokenize("a ? b").ok());
+}
+
+TEST(LexerTest, OffsetsPointIntoInput) {
+  auto tokens = Tokenize("ab cd");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].offset, 0u);
+  EXPECT_EQ(tokens.value()[1].offset, 3u);
+}
+
+}  // namespace
+}  // namespace gradoop::cypher

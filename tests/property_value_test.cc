@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "epgm/properties.h"
+#include "epgm/property_value.h"
+
+namespace gradoop::epgm {
+namespace {
+
+TEST(PropertyValueTest, DefaultIsNull) {
+  PropertyValue v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), PropertyValue::Type::kNull);
+}
+
+TEST(PropertyValueTest, TypedConstruction) {
+  EXPECT_TRUE(PropertyValue(true).is_bool());
+  EXPECT_TRUE(PropertyValue(int64_t{42}).is_int());
+  EXPECT_TRUE(PropertyValue(7).is_int());  // int promotes to int64
+  EXPECT_TRUE(PropertyValue(3.5).is_double());
+  EXPECT_TRUE(PropertyValue("abc").is_string());
+  EXPECT_TRUE(PropertyValue(std::string("abc")).is_string());
+  EXPECT_TRUE(PropertyValue(std::vector<uint64_t>{1, 2}).is_id_list());
+}
+
+TEST(PropertyValueTest, Accessors) {
+  EXPECT_EQ(PropertyValue(int64_t{42}).int_value(), 42);
+  EXPECT_DOUBLE_EQ(PropertyValue(2.5).double_value(), 2.5);
+  EXPECT_EQ(PropertyValue("Alice").string_value(), "Alice");
+  EXPECT_TRUE(PropertyValue(true).bool_value());
+  EXPECT_EQ(PropertyValue(std::vector<uint64_t>{5, 20, 7}).id_list_value(),
+            (std::vector<uint64_t>{5, 20, 7}));
+}
+
+TEST(PropertyValueTest, NumericEqualityCrossesTypes) {
+  EXPECT_EQ(PropertyValue(int64_t{2}), PropertyValue(2.0));
+  EXPECT_NE(PropertyValue(int64_t{2}), PropertyValue(2.5));
+  EXPECT_NE(PropertyValue(int64_t{2}), PropertyValue("2"));
+}
+
+TEST(PropertyValueTest, CompareNumeric) {
+  EXPECT_EQ(PropertyValue(int64_t{1}).Compare(PropertyValue(int64_t{2})), -1);
+  EXPECT_EQ(PropertyValue(int64_t{2}).Compare(PropertyValue(int64_t{2})), 0);
+  EXPECT_EQ(PropertyValue(3.5).Compare(PropertyValue(int64_t{3})), 1);
+}
+
+TEST(PropertyValueTest, CompareStrings) {
+  EXPECT_EQ(PropertyValue("Alice").Compare(PropertyValue("Bob")), -1);
+  EXPECT_EQ(PropertyValue("Bob").Compare(PropertyValue("Bob")), 0);
+}
+
+TEST(PropertyValueTest, IncomparableTypesReturnNullopt) {
+  EXPECT_FALSE(PropertyValue("x").Compare(PropertyValue(int64_t{1})));
+  EXPECT_FALSE(PropertyValue().Compare(PropertyValue(int64_t{1})));
+  EXPECT_FALSE(PropertyValue(std::vector<uint64_t>{1})
+                   .Compare(PropertyValue(std::vector<uint64_t>{1})));
+}
+
+TEST(PropertyValueTest, EncodeDecodeRoundTrip) {
+  const std::vector<PropertyValue> values = {
+      PropertyValue::Null(),
+      PropertyValue(true),
+      PropertyValue(false),
+      PropertyValue(int64_t{-12345}),
+      PropertyValue(int64_t{1} << 60),
+      PropertyValue(3.14159),
+      PropertyValue(""),
+      PropertyValue("Uni Leipzig"),
+      PropertyValue(std::vector<uint64_t>{}),
+      PropertyValue(std::vector<uint64_t>{5, 20, 7}),
+  };
+  std::string buffer;
+  for (const PropertyValue& v : values) v.EncodeTo(&buffer);
+  size_t pos = 0;
+  for (const PropertyValue& v : values) {
+    auto decoded = PropertyValue::DecodeFrom(buffer, &pos);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(decoded.value(), v);
+  }
+  EXPECT_EQ(pos, buffer.size());
+}
+
+TEST(PropertyValueTest, SerializedSizeMatchesEncoding) {
+  for (const PropertyValue& v :
+       {PropertyValue::Null(), PropertyValue(true), PropertyValue(int64_t{7}),
+        PropertyValue(1.5), PropertyValue("hello"),
+        PropertyValue(std::vector<uint64_t>{1, 2, 3})}) {
+    std::string buffer;
+    v.EncodeTo(&buffer);
+    EXPECT_EQ(buffer.size(), v.SerializedSize());
+  }
+}
+
+TEST(PropertyValueTest, DecodeRejectsTruncation) {
+  PropertyValue v("hello world");
+  std::string buffer;
+  v.EncodeTo(&buffer);
+  buffer.resize(buffer.size() - 3);
+  size_t pos = 0;
+  EXPECT_FALSE(PropertyValue::DecodeFrom(buffer, &pos).ok());
+}
+
+TEST(PropertyValueTest, ParseTyped) {
+  auto s = PropertyValue::ParseTyped("string", "Alice");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value(), PropertyValue("Alice"));
+
+  auto l = PropertyValue::ParseTyped("long", "-42");
+  ASSERT_TRUE(l.ok());
+  EXPECT_EQ(l.value(), PropertyValue(int64_t{-42}));
+
+  auto d = PropertyValue::ParseTyped("double", "2.5");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value(), PropertyValue(2.5));
+
+  auto b = PropertyValue::ParseTyped("boolean", "true");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value(), PropertyValue(true));
+
+  EXPECT_FALSE(PropertyValue::ParseTyped("long", "abc").ok());
+  EXPECT_FALSE(PropertyValue::ParseTyped("boolean", "yes").ok());
+  EXPECT_FALSE(PropertyValue::ParseTyped("blob", "x").ok());
+}
+
+TEST(PropertyValueTest, ToStringForms) {
+  EXPECT_EQ(PropertyValue::Null().ToString(), "NULL");
+  EXPECT_EQ(PropertyValue(true).ToString(), "true");
+  EXPECT_EQ(PropertyValue(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(PropertyValue("x").ToString(), "x");
+  EXPECT_EQ(PropertyValue(std::vector<uint64_t>{1, 2}).ToString(), "[1,2]");
+}
+
+TEST(PropertyValueTest, HashDistinguishesValues) {
+  EXPECT_NE(PropertyValue("a").Hash(), PropertyValue("b").Hash());
+  EXPECT_EQ(PropertyValue("a").Hash(), PropertyValue("a").Hash());
+  EXPECT_NE(PropertyValue(int64_t{1}).Hash(), PropertyValue(int64_t{2}).Hash());
+}
+
+// --- Properties --------------------------------------------------------
+
+TEST(PropertiesTest, SetGetHas) {
+  Properties p;
+  EXPECT_TRUE(p.empty());
+  p.Set("name", "Alice");
+  p.Set("age", int64_t{30});
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_TRUE(p.Has("name"));
+  EXPECT_EQ(p.Get("name"), PropertyValue("Alice"));
+  EXPECT_EQ(p.Get("age"), PropertyValue(int64_t{30}));
+}
+
+TEST(PropertiesTest, MissingKeyIsNull) {
+  Properties p;
+  EXPECT_FALSE(p.Has("ghost"));
+  EXPECT_TRUE(p.Get("ghost").is_null());  // κ returns ε
+}
+
+TEST(PropertiesTest, SetOverwrites) {
+  Properties p;
+  p.Set("k", int64_t{1});
+  p.Set("k", int64_t{2});
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.Get("k"), PropertyValue(int64_t{2}));
+}
+
+TEST(PropertiesTest, Remove) {
+  Properties p{{"a", 1}, {"b", 2}};
+  EXPECT_TRUE(p.Remove("a"));
+  EXPECT_FALSE(p.Remove("a"));
+  EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(PropertiesTest, InitializerList) {
+  Properties p{{"name", "Bob"}, {"yob", int64_t{1984}}};
+  EXPECT_EQ(p.Get("name"), PropertyValue("Bob"));
+  EXPECT_EQ(p.Get("yob"), PropertyValue(int64_t{1984}));
+}
+
+TEST(PropertiesTest, SerializedSizeGrowsWithContent) {
+  Properties small{{"a", 1}};
+  Properties large{{"a", 1}, {"long_key_name", "a rather long value"}};
+  EXPECT_GT(large.SerializedSize(), small.SerializedSize());
+}
+
+}  // namespace
+}  // namespace gradoop::epgm

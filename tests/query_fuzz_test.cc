@@ -1,0 +1,175 @@
+// Query fuzzing: randomly generated (but valid) Cypher patterns are run
+// through the full engine and compared against the naive backtracking
+// matcher. Complements oracle_test's hand-picked query shapes with
+// breadth.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "cypher/parser.h"
+#include "query/cypher_engine.h"
+#include "query/naive_matcher.h"
+
+namespace gradoop::query {
+namespace {
+
+using epgm::Edge;
+using epgm::GraphHead;
+using epgm::LogicalGraph;
+using epgm::Properties;
+using epgm::Vertex;
+
+struct SmallGraph {
+  std::vector<Vertex> vertices;
+  std::vector<Edge> edges;
+};
+
+SmallGraph MakeGraph(uint64_t seed) {
+  Random rng(seed);
+  SmallGraph g;
+  const int n = 8 + static_cast<int>(rng.NextUint64(4));
+  for (int i = 0; i < n; ++i) {
+    Properties props;
+    props.Set("x", static_cast<int64_t>(rng.NextUint64(3)));
+    g.vertices.emplace_back(i + 1,
+                            rng.NextBool(0.6) ? "Person" : "Tag",
+                            std::move(props));
+  }
+  const int m = 14 + static_cast<int>(rng.NextUint64(8));
+  for (int i = 0; i < m; ++i) {
+    Properties props;
+    props.Set("w", static_cast<int64_t>(rng.NextUint64(3)));
+    g.edges.emplace_back(1000 + i,
+                         rng.NextBool(0.5) ? "knows" : "likes",
+                         1 + rng.NextUint64(n), 1 + rng.NextUint64(n),
+                         std::move(props));
+  }
+  return g;
+}
+
+// Emits a random syntactically valid query over variables a..d.
+std::string MakeQuery(Random* rng) {
+  const int num_vertices = 2 + static_cast<int>(rng->NextUint64(3));
+  const char* vars[] = {"a", "b", "c", "d"};
+  const char* vertex_labels[] = {"", ":Person", ":Tag", ":Person|Tag"};
+  const char* edge_types[] = {"", ":knows", ":likes", ":knows|likes"};
+
+  std::vector<std::string> paths;
+  const int num_edges = 1 + static_cast<int>(rng->NextUint64(3));
+  int var_length_budget = 1;  // at most one expansion per query (runtime)
+  for (int e = 0; e < num_edges; ++e) {
+    const int src = static_cast<int>(rng->NextUint64(num_vertices));
+    int dst = static_cast<int>(rng->NextUint64(num_vertices));
+    std::string rel;
+    const bool var_length =
+        var_length_budget > 0 && rng->NextBool(0.25);
+    std::string edge_var = "e" + std::to_string(e);
+    if (var_length) {
+      --var_length_budget;
+      const int lower = static_cast<int>(rng->NextUint64(2));  // 0 or 1
+      const int upper = lower + 1 + static_cast<int>(rng->NextUint64(2));
+      rel = "-[" + edge_var + ":knows*" + std::to_string(lower) + ".." +
+            std::to_string(upper) + "]->";
+    } else {
+      const char* type = edge_types[rng->NextUint64(4)];
+      switch (rng->NextUint64(3)) {
+        case 0:
+          rel = "-[" + edge_var + type + "]->";
+          break;
+        case 1:
+          rel = "<-[" + edge_var + type + "]-";
+          break;
+        default:
+          rel = "-[" + edge_var + type + "]-";
+          break;
+      }
+    }
+    std::string path = std::string("(") + vars[src] +
+                       vertex_labels[rng->NextUint64(4)] + ")" + rel + "(" +
+                       vars[dst] + ")";
+    paths.push_back(std::move(path));
+  }
+
+  std::string query = "MATCH ";
+  for (size_t i = 0; i < paths.size(); ++i) {
+    if (i > 0) query += ", ";
+    query += paths[i];
+  }
+
+  // Random predicate on fixed elements.
+  if (rng->NextBool(0.6)) {
+    const char* ops[] = {"=", "<>", "<", "<=", ">", ">="};
+    const std::string lhs =
+        std::string(vars[rng->NextUint64(num_vertices)]) + ".x";
+    const std::string op = ops[rng->NextUint64(6)];
+    const std::string rhs =
+        rng->NextBool(0.5)
+            ? std::to_string(rng->NextUint64(3))
+            : std::string(vars[rng->NextUint64(num_vertices)]) + ".x";
+    query += " WHERE " + lhs + " " + op + " " + rhs;
+  }
+  query += " RETURN *";
+  return query;
+}
+
+NaiveBinding ToBinding(const Embedding& e, const EmbeddingMetaData& meta) {
+  NaiveBinding b;
+  for (const std::string& var : meta.Variables()) {
+    const int c = meta.IdColumn(var);
+    if (e.IsPathEntry(c)) {
+      b.paths[var] = e.PathAt(c);
+    } else {
+      b.elements[var] = e.IdAt(c);
+    }
+  }
+  return b;
+}
+
+class QueryFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QueryFuzzTest, RandomQueriesMatchOracle) {
+  const uint64_t seed = GetParam();
+  SmallGraph g = MakeGraph(seed);
+  auto graph = LogicalGraph::FromVectors(dataflow::MakeContext(),
+                                         GraphHead(0, "G"), g.vertices,
+                                         g.edges);
+  CypherEngine engine(graph);
+  NaiveMatcher oracle(g.vertices, g.edges);
+  Random rng(seed * 7919 + 13);
+
+  int executed = 0;
+  for (int i = 0; i < 40; ++i) {
+    const std::string query = MakeQuery(&rng);
+    const MorphismSetting semantics = rng.NextBool(0.5)
+                                          ? MorphismSetting::Neo4j()
+                                          : MorphismSetting::FullIsomorphism();
+    auto result = engine.Execute(query, semantics);
+    if (!result.ok()) {
+      // The generator can produce patterns outside the supported subset
+      // (e.g. an undirected edge colliding with a variable-length rule);
+      // those must fail cleanly, never crash.
+      continue;
+    }
+    ++executed;
+    auto expected =
+        oracle.FindMatches(result.value().query_graph, semantics);
+    std::vector<NaiveBinding> actual;
+    for (const Embedding& e : result.value().embeddings.data.Collect()) {
+      actual.push_back(ToBinding(e, result.value().embeddings.meta));
+    }
+    std::sort(actual.begin(), actual.end());
+    std::sort(expected.begin(), expected.end());
+    ASSERT_EQ(actual, expected) << "query: " << query << " seed=" << seed;
+  }
+  // The generator must not degenerate into all-unsupported queries.
+  EXPECT_GT(executed, 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace gradoop::query

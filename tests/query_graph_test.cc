@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "cypher/parser.h"
+#include "cypher/query_graph.h"
+
+namespace gradoop::cypher {
+namespace {
+
+QueryGraph MustBuild(const std::string& text) {
+  auto ast = ParseCypher(text);
+  EXPECT_TRUE(ast.ok()) << ast.status();
+  auto qg = QueryGraph::Build(ast.value());
+  EXPECT_TRUE(qg.ok()) << qg.status();
+  return qg.ok() ? std::move(qg).value() : QueryGraph{};
+}
+
+Status BuildError(const std::string& text) {
+  auto ast = ParseCypher(text);
+  if (!ast.ok()) return ast.status();
+  auto qg = QueryGraph::Build(ast.value());
+  return qg.ok() ? Status::Ok() : qg.status();
+}
+
+TEST(QueryGraphTest, SimpleChain) {
+  QueryGraph qg = MustBuild("MATCH (a:Person)-[e:knows]->(b:Person) RETURN *");
+  ASSERT_EQ(qg.vertices().size(), 2u);
+  ASSERT_EQ(qg.edges().size(), 1u);
+  const QueryEdge& e = qg.edges()[0];
+  EXPECT_EQ(qg.vertices()[e.source].variable, "a");
+  EXPECT_EQ(qg.vertices()[e.target].variable, "b");
+  EXPECT_FALSE(e.IsVariableLength());
+}
+
+TEST(QueryGraphTest, IncomingEdgeFlipsSourceTarget) {
+  QueryGraph qg =
+      MustBuild("MATCH (p:Person)<-[:hasCreator]-(m:Comment) RETURN *");
+  const QueryEdge& e = qg.edges()[0];
+  EXPECT_EQ(qg.vertices()[e.source].variable, "m");
+  EXPECT_EQ(qg.vertices()[e.target].variable, "p");
+}
+
+TEST(QueryGraphTest, SharedVariablesMergeAcrossPaths) {
+  QueryGraph qg = MustBuild(
+      "MATCH (p1:Person)-[:knows]->(p2:Person), "
+      "(p2)<-[:hasCreator]-(c:Comment) RETURN *");
+  EXPECT_EQ(qg.vertices().size(), 3u);  // p1, p2, c — p2 merged
+  EXPECT_EQ(qg.edges().size(), 2u);
+}
+
+TEST(QueryGraphTest, LabelIntersectionOnMerge) {
+  QueryGraph qg = MustBuild(
+      "MATCH (m:Comment|Post)-[:x]->(a), (m:Post)-[:y]->(b) RETURN *");
+  const QueryVertex* m = qg.FindVertex("m");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->labels, (std::vector<std::string>{"Post"}));
+  EXPECT_FALSE(qg.unsatisfiable());
+}
+
+TEST(QueryGraphTest, ContradictoryLabelsAreUnsatisfiable) {
+  QueryGraph qg =
+      MustBuild("MATCH (m:Comment)-[:x]->(a), (m:Post)-[:y]->(b) RETURN *");
+  EXPECT_TRUE(qg.unsatisfiable());
+}
+
+TEST(QueryGraphTest, PropertyMapBecomesElementPredicate) {
+  QueryGraph qg = MustBuild("MATCH (p:Person {name: 'Alice'}) RETURN *");
+  const auto preds = qg.ElementPredicates("p");
+  ASSERT_EQ(preds.size(), 1u);
+  EXPECT_EQ(preds[0].ToString(), "(p.name = 'Alice')");
+}
+
+TEST(QueryGraphTest, PredicateClassification) {
+  QueryGraph qg = MustBuild(
+      "MATCH (a:X)-[e:r]->(b:Y) "
+      "WHERE a.v = 1 AND a.w > 2 AND a.p <> b.p RETURN *");
+  EXPECT_EQ(qg.ElementPredicates("a").size(), 2u);
+  EXPECT_EQ(qg.ElementPredicates("b").size(), 0u);
+  ASSERT_EQ(qg.CrossPredicates().size(), 1u);
+  EXPECT_EQ(qg.CrossPredicates()[0].Variables(),
+            (std::set<std::string>{"a", "b"}));
+}
+
+TEST(QueryGraphTest, DisjunctionSpanningVariablesIsCross) {
+  QueryGraph qg = MustBuild(
+      "MATCH (a)-[e]->(b) WHERE a.x = 1 OR b.y = 2 RETURN *");
+  EXPECT_TRUE(qg.ElementPredicates("a").empty());
+  EXPECT_EQ(qg.CrossPredicates().size(), 1u);
+}
+
+TEST(QueryGraphTest, NeededPropertiesFromWhereAndReturn) {
+  QueryGraph qg = MustBuild(
+      "MATCH (p:Person)-[s:studyAt]->(u) "
+      "WHERE s.classYear > 2014 RETURN p.name, u.name");
+  EXPECT_EQ(qg.NeededProperties("p"), (std::set<std::string>{"name"}));
+  EXPECT_EQ(qg.NeededProperties("s"), (std::set<std::string>{"classYear"}));
+  EXPECT_EQ(qg.NeededProperties("u"), (std::set<std::string>{"name"}));
+}
+
+TEST(QueryGraphTest, VariableLengthBoundsPreserved) {
+  QueryGraph qg = MustBuild("MATCH (a)-[e:knows*2..5]->(b) RETURN *");
+  const QueryEdge& e = qg.edges()[0];
+  EXPECT_TRUE(e.IsVariableLength());
+  EXPECT_EQ(e.lower_bound, 2);
+  EXPECT_EQ(e.upper_bound, 5);
+}
+
+TEST(QueryGraphTest, SelfLoopEdge) {
+  QueryGraph qg = MustBuild("MATCH (a:Person)-[e:likes]->(a) RETURN *");
+  EXPECT_EQ(qg.vertices().size(), 1u);
+  const QueryEdge& e = qg.edges()[0];
+  EXPECT_EQ(e.source, e.target);
+}
+
+TEST(QueryGraphTest, MatchesLabelAlternation) {
+  QueryVertex v;
+  v.labels = {"Comment", "Post"};
+  EXPECT_TRUE(v.MatchesLabel("Comment"));
+  EXPECT_TRUE(v.MatchesLabel("Post"));
+  EXPECT_FALSE(v.MatchesLabel("Person"));
+  QueryVertex unlabeled;
+  EXPECT_TRUE(unlabeled.MatchesLabel("Anything"));
+}
+
+TEST(QueryGraphErrorTest, EdgeVariableReuse) {
+  EXPECT_EQ(BuildError("MATCH (a)-[e]->(b), (c)-[e]->(d) RETURN *").code(),
+            StatusCode::kParseError);
+}
+
+TEST(QueryGraphErrorTest, VertexEdgeVariableClash) {
+  EXPECT_EQ(BuildError("MATCH (x)-[e]->(b), (c)-[x]->(d) RETURN *").code(),
+            StatusCode::kParseError);
+}
+
+TEST(QueryGraphErrorTest, UnboundPredicateVariable) {
+  EXPECT_EQ(BuildError("MATCH (a) WHERE ghost.x = 1 RETURN *").code(),
+            StatusCode::kParseError);
+}
+
+TEST(QueryGraphErrorTest, UnboundReturnVariable) {
+  EXPECT_EQ(BuildError("MATCH (a) RETURN ghost.x").code(),
+            StatusCode::kParseError);
+}
+
+TEST(QueryGraphErrorTest, PredicateOnVariableLengthEdge) {
+  EXPECT_EQ(
+      BuildError("MATCH (a)-[e:knows*1..3]->(b) WHERE e.x = 1 RETURN *")
+          .code(),
+      StatusCode::kUnsupported);
+}
+
+TEST(QueryGraphErrorTest, UndirectedVariableLength) {
+  EXPECT_EQ(BuildError("MATCH (a)-[e:knows*1..3]-(b) RETURN *").code(),
+            StatusCode::kUnsupported);
+}
+
+TEST(QueryGraphTest, ToStringMentionsStructure) {
+  QueryGraph qg = MustBuild("MATCH (a:Person)-[e:knows*1..3]->(b) RETURN *");
+  const std::string s = qg.ToString();
+  EXPECT_NE(s.find("a:Person"), std::string::npos);
+  EXPECT_NE(s.find("*1..3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gradoop::cypher

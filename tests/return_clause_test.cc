@@ -1,0 +1,117 @@
+// Tests for the RETURN-clause modifiers DISTINCT and LIMIT.
+#include <gtest/gtest.h>
+
+#include "epgm/logical_graph.h"
+#include "query/cypher_engine.h"
+
+namespace gradoop::query {
+namespace {
+
+using epgm::Edge;
+using epgm::GraphHead;
+using epgm::LogicalGraph;
+using epgm::Properties;
+using epgm::PropertyValue;
+using epgm::Vertex;
+
+LogicalGraph FanGraph(dataflow::ExecutionContextPtr ctx) {
+  // Two Alices and one Bob, each liking the same two tags.
+  std::vector<Vertex> vertices = {
+      Vertex(1, "Person", {{"name", "Alice"}}),
+      Vertex(2, "Person", {{"name", "Alice"}}),
+      Vertex(3, "Person", {{"name", "Bob"}}),
+      Vertex(10, "Tag", {{"name", "music"}}),
+      Vertex(11, "Tag", {{"name", "sports"}}),
+  };
+  std::vector<Edge> edges = {
+      Edge(100, "likes", 1, 10), Edge(101, "likes", 1, 11),
+      Edge(102, "likes", 2, 10), Edge(103, "likes", 2, 11),
+      Edge(104, "likes", 3, 10), Edge(105, "likes", 3, 11),
+  };
+  return LogicalGraph::FromVectors(std::move(ctx), GraphHead(0, "G"),
+                                   std::move(vertices), std::move(edges));
+}
+
+class ReturnClauseTest : public ::testing::Test {
+ protected:
+  ReturnClauseTest() : engine_(FanGraph(dataflow::MakeContext())) {}
+  CypherEngine engine_;
+};
+
+TEST_F(ReturnClauseTest, DistinctOnPropertyProjection) {
+  // 6 (person, tag) pairs but only 2 distinct person names x 2 tags = 4
+  // distinct (p.name, t.name) rows... and RETURN DISTINCT p.name alone
+  // gives 2 rows.
+  auto all = engine_.Count(
+      "MATCH (p:Person)-[:likes]->(t:Tag) RETURN p.name");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value(), 6u);
+
+  auto distinct_pairs = engine_.Count(
+      "MATCH (p:Person)-[:likes]->(t:Tag) RETURN DISTINCT p.name, t.name");
+  ASSERT_TRUE(distinct_pairs.ok()) << distinct_pairs.status();
+  EXPECT_EQ(distinct_pairs.value(), 4u);
+
+  auto distinct_names = engine_.Count(
+      "MATCH (p:Person)-[:likes]->(t:Tag) RETURN DISTINCT p.name");
+  ASSERT_TRUE(distinct_names.ok());
+  EXPECT_EQ(distinct_names.value(), 2u);
+}
+
+TEST_F(ReturnClauseTest, DistinctOnBindings) {
+  // DISTINCT over a variable binding deduplicates by element id: the same
+  // person appears once regardless of how many tags they like.
+  auto r = engine_.Count(
+      "MATCH (p:Person)-[:likes]->(t:Tag) RETURN DISTINCT p");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 3u);
+}
+
+TEST_F(ReturnClauseTest, DistinctStarKeepsAllBindings) {
+  // RETURN DISTINCT * deduplicates whole embeddings; all 6 differ by the
+  // edge binding.
+  auto r = engine_.Count(
+      "MATCH (p:Person)-[e:likes]->(t:Tag) RETURN DISTINCT *");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 6u);
+}
+
+TEST_F(ReturnClauseTest, LimitTruncates) {
+  auto r = engine_.Count(
+      "MATCH (p:Person)-[:likes]->(t:Tag) RETURN p.name LIMIT 4");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value(), 4u);
+
+  auto zero = engine_.Count(
+      "MATCH (p:Person)-[:likes]->(t:Tag) RETURN p.name LIMIT 0");
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(zero.value(), 0u);
+
+  auto large = engine_.Count(
+      "MATCH (p:Person)-[:likes]->(t:Tag) RETURN p.name LIMIT 100");
+  ASSERT_TRUE(large.ok());
+  EXPECT_EQ(large.value(), 6u);  // limit beyond the result set is a no-op
+}
+
+TEST_F(ReturnClauseTest, DistinctWithLimitComposes) {
+  auto r = engine_.Count(
+      "MATCH (p:Person)-[:likes]->(t:Tag) "
+      "RETURN DISTINCT p.name, t.name LIMIT 3");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 3u);  // distinct first (4 rows), then limit
+}
+
+TEST_F(ReturnClauseTest, DistinctCollectionHasOneGraphPerRow) {
+  auto matches = engine_.Match(
+      "MATCH (p:Person)-[:likes]->(t:Tag) RETURN DISTINCT p.name");
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches.value().NumGraphs(), 2u);
+}
+
+TEST_F(ReturnClauseTest, LimitParseErrors) {
+  EXPECT_FALSE(engine_.Count("MATCH (p) RETURN p LIMIT").ok());
+  EXPECT_FALSE(engine_.Count("MATCH (p) RETURN p LIMIT x").ok());
+}
+
+}  // namespace
+}  // namespace gradoop::query

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "query/graph_statistics.h"
+
+namespace gradoop::query {
+namespace {
+
+using epgm::Edge;
+using epgm::GraphHead;
+using epgm::LogicalGraph;
+using epgm::Vertex;
+
+LogicalGraph StatsGraph(dataflow::ExecutionContextPtr ctx) {
+  std::vector<Vertex> vertices = {
+      Vertex(1, "Person"), Vertex(2, "Person"), Vertex(3, "Person"),
+      Vertex(4, "City"),
+  };
+  std::vector<Edge> edges = {
+      Edge(10, "knows", 1, 2),  Edge(11, "knows", 1, 3),
+      Edge(12, "knows", 2, 3),  Edge(13, "livesIn", 1, 4),
+      Edge(14, "livesIn", 2, 4),
+  };
+  return LogicalGraph::FromVectors(std::move(ctx), GraphHead(0, "G"),
+                                   std::move(vertices), std::move(edges));
+}
+
+TEST(StatisticsTest, TotalCounts) {
+  auto stats = GraphStatistics::Compute(StatsGraph(dataflow::MakeContext()));
+  EXPECT_EQ(stats.vertex_count(), 4u);
+  EXPECT_EQ(stats.edge_count(), 5u);
+}
+
+TEST(StatisticsTest, LabelDistributions) {
+  auto stats = GraphStatistics::Compute(StatsGraph(dataflow::MakeContext()));
+  EXPECT_EQ(stats.VertexCountByLabel("Person"), 3u);
+  EXPECT_EQ(stats.VertexCountByLabel("City"), 1u);
+  EXPECT_EQ(stats.VertexCountByLabel("Ghost"), 0u);
+  EXPECT_EQ(stats.EdgeCountByLabel("knows"), 3u);
+  EXPECT_EQ(stats.EdgeCountByLabel("livesIn"), 2u);
+}
+
+TEST(StatisticsTest, LabelAlternationSums) {
+  auto stats = GraphStatistics::Compute(StatsGraph(dataflow::MakeContext()));
+  EXPECT_EQ(stats.VertexCountByLabels({"Person", "City"}), 4u);
+  EXPECT_EQ(stats.VertexCountByLabels({}), 4u);  // empty = all
+  EXPECT_EQ(stats.EdgeCountByLabels({"knows", "livesIn"}), 5u);
+}
+
+TEST(StatisticsTest, DistinctSourceTarget) {
+  auto stats = GraphStatistics::Compute(StatsGraph(dataflow::MakeContext()));
+  // Sources overall: {1,2} for knows, {1,2} for livesIn -> {1,2}.
+  EXPECT_EQ(stats.distinct_source_count(), 2u);
+  // Targets overall: {2,3,4}.
+  EXPECT_EQ(stats.distinct_target_count(), 3u);
+  EXPECT_EQ(stats.DistinctSourceByLabel("knows"), 2u);
+  EXPECT_EQ(stats.DistinctTargetByLabel("knows"), 2u);  // {2,3}
+  EXPECT_EQ(stats.DistinctSourceByLabel("livesIn"), 2u);
+  EXPECT_EQ(stats.DistinctTargetByLabel("livesIn"), 1u);  // {4}
+  EXPECT_EQ(stats.DistinctTargetByLabels({"knows", "livesIn"}), 3u);
+}
+
+TEST(StatisticsTest, EmptyGraph) {
+  auto g = LogicalGraph::FromVectors(dataflow::MakeContext(),
+                                     GraphHead(0, "E"), {}, {});
+  auto stats = GraphStatistics::Compute(g);
+  EXPECT_EQ(stats.vertex_count(), 0u);
+  EXPECT_EQ(stats.edge_count(), 0u);
+  EXPECT_EQ(stats.VertexCountByLabels({}), 0u);
+}
+
+TEST(StatisticsTest, FileRoundTrip) {
+  auto stats = GraphStatistics::Compute(StatsGraph(dataflow::MakeContext()));
+  const std::string path = "/tmp/gradoop_stats_test.csv";
+  ASSERT_TRUE(stats.WriteToFile(path).ok());
+  auto loaded = GraphStatistics::ReadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded.value().vertex_count(), stats.vertex_count());
+  EXPECT_EQ(loaded.value().edge_count(), stats.edge_count());
+  EXPECT_EQ(loaded.value().VertexCountByLabel("Person"),
+            stats.VertexCountByLabel("Person"));
+  EXPECT_EQ(loaded.value().DistinctTargetByLabel("livesIn"),
+            stats.DistinctTargetByLabel("livesIn"));
+  EXPECT_EQ(loaded.value().distinct_source_count(),
+            stats.distinct_source_count());
+  std::remove(path.c_str());
+}
+
+TEST(StatisticsTest, ReadMissingFileFails) {
+  EXPECT_FALSE(
+      GraphStatistics::ReadFromFile("/tmp/no_such_stats_file").ok());
+}
+
+TEST(StatisticsTest, ToStringListsLabels) {
+  auto stats = GraphStatistics::Compute(StatsGraph(dataflow::MakeContext()));
+  const std::string s = stats.ToString();
+  EXPECT_NE(s.find("Person=3"), std::string::npos);
+  EXPECT_NE(s.find("knows=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gradoop::query
