@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_datasize.dir/bench_datasize.cc.o"
+  "CMakeFiles/bench_datasize.dir/bench_datasize.cc.o.d"
+  "bench_datasize"
+  "bench_datasize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_datasize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

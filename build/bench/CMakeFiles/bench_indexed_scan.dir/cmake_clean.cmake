@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_indexed_scan.dir/bench_indexed_scan.cc.o"
+  "CMakeFiles/bench_indexed_scan.dir/bench_indexed_scan.cc.o.d"
+  "bench_indexed_scan"
+  "bench_indexed_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_indexed_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

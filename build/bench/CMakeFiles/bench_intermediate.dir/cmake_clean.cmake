@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intermediate.dir/bench_intermediate.cc.o"
+  "CMakeFiles/bench_intermediate.dir/bench_intermediate.cc.o.d"
+  "bench_intermediate"
+  "bench_intermediate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intermediate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_join_strategy.dir/bench_join_strategy.cc.o"
+  "CMakeFiles/bench_join_strategy.dir/bench_join_strategy.cc.o.d"
+  "bench_join_strategy"
+  "bench_join_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_join_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_scan_sharing.cc" "bench/CMakeFiles/bench_scan_sharing.dir/bench_scan_sharing.cc.o" "gcc" "bench/CMakeFiles/bench_scan_sharing.dir/bench_scan_sharing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/gradoop_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/ldbc/CMakeFiles/gradoop_ldbc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cypher/CMakeFiles/gradoop_cypher.dir/DependInfo.cmake"
+  "/root/repo/build/src/epgm/CMakeFiles/gradoop_epgm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/gradoop_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gradoop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

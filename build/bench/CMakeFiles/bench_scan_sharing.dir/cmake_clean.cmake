@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scan_sharing.dir/bench_scan_sharing.cc.o"
+  "CMakeFiles/bench_scan_sharing.dir/bench_scan_sharing.cc.o.d"
+  "bench_scan_sharing"
+  "bench_scan_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scan_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

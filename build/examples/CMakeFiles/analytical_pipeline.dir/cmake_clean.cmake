@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytical_pipeline.dir/analytical_pipeline.cpp.o"
+  "CMakeFiles/analytical_pipeline.dir/analytical_pipeline.cpp.o.d"
+  "analytical_pipeline"
+  "analytical_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytical_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

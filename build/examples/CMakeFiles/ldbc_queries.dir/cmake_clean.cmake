@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldbc_queries.dir/ldbc_queries.cpp.o"
+  "CMakeFiles/ldbc_queries.dir/ldbc_queries.cpp.o.d"
+  "ldbc_queries"
+  "ldbc_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldbc_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

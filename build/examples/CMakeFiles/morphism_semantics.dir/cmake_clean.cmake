@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morphism_semantics.dir/morphism_semantics.cpp.o"
+  "CMakeFiles/morphism_semantics.dir/morphism_semantics.cpp.o.d"
+  "morphism_semantics"
+  "morphism_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morphism_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gradoop_common.dir/random.cc.o"
+  "CMakeFiles/gradoop_common.dir/random.cc.o.d"
+  "CMakeFiles/gradoop_common.dir/status.cc.o"
+  "CMakeFiles/gradoop_common.dir/status.cc.o.d"
+  "CMakeFiles/gradoop_common.dir/strings.cc.o"
+  "CMakeFiles/gradoop_common.dir/strings.cc.o.d"
+  "libgradoop_common.a"
+  "libgradoop_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gradoop_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

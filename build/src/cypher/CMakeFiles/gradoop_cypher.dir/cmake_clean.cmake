@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gradoop_cypher.dir/expression.cc.o"
+  "CMakeFiles/gradoop_cypher.dir/expression.cc.o.d"
+  "CMakeFiles/gradoop_cypher.dir/lexer.cc.o"
+  "CMakeFiles/gradoop_cypher.dir/lexer.cc.o.d"
+  "CMakeFiles/gradoop_cypher.dir/parser.cc.o"
+  "CMakeFiles/gradoop_cypher.dir/parser.cc.o.d"
+  "CMakeFiles/gradoop_cypher.dir/query_graph.cc.o"
+  "CMakeFiles/gradoop_cypher.dir/query_graph.cc.o.d"
+  "libgradoop_cypher.a"
+  "libgradoop_cypher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gradoop_cypher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gradoop_dataflow.dir/cost_model.cc.o"
+  "CMakeFiles/gradoop_dataflow.dir/cost_model.cc.o.d"
+  "CMakeFiles/gradoop_dataflow.dir/thread_pool.cc.o"
+  "CMakeFiles/gradoop_dataflow.dir/thread_pool.cc.o.d"
+  "libgradoop_dataflow.a"
+  "libgradoop_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gradoop_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/epgm/csv_io.cc" "src/epgm/CMakeFiles/gradoop_epgm.dir/csv_io.cc.o" "gcc" "src/epgm/CMakeFiles/gradoop_epgm.dir/csv_io.cc.o.d"
+  "/root/repo/src/epgm/grouping.cc" "src/epgm/CMakeFiles/gradoop_epgm.dir/grouping.cc.o" "gcc" "src/epgm/CMakeFiles/gradoop_epgm.dir/grouping.cc.o.d"
+  "/root/repo/src/epgm/indexed_logical_graph.cc" "src/epgm/CMakeFiles/gradoop_epgm.dir/indexed_logical_graph.cc.o" "gcc" "src/epgm/CMakeFiles/gradoop_epgm.dir/indexed_logical_graph.cc.o.d"
+  "/root/repo/src/epgm/operators.cc" "src/epgm/CMakeFiles/gradoop_epgm.dir/operators.cc.o" "gcc" "src/epgm/CMakeFiles/gradoop_epgm.dir/operators.cc.o.d"
+  "/root/repo/src/epgm/properties.cc" "src/epgm/CMakeFiles/gradoop_epgm.dir/properties.cc.o" "gcc" "src/epgm/CMakeFiles/gradoop_epgm.dir/properties.cc.o.d"
+  "/root/repo/src/epgm/property_value.cc" "src/epgm/CMakeFiles/gradoop_epgm.dir/property_value.cc.o" "gcc" "src/epgm/CMakeFiles/gradoop_epgm.dir/property_value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gradoop_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/gradoop_dataflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gradoop_epgm.dir/csv_io.cc.o"
+  "CMakeFiles/gradoop_epgm.dir/csv_io.cc.o.d"
+  "CMakeFiles/gradoop_epgm.dir/grouping.cc.o"
+  "CMakeFiles/gradoop_epgm.dir/grouping.cc.o.d"
+  "CMakeFiles/gradoop_epgm.dir/indexed_logical_graph.cc.o"
+  "CMakeFiles/gradoop_epgm.dir/indexed_logical_graph.cc.o.d"
+  "CMakeFiles/gradoop_epgm.dir/operators.cc.o"
+  "CMakeFiles/gradoop_epgm.dir/operators.cc.o.d"
+  "CMakeFiles/gradoop_epgm.dir/properties.cc.o"
+  "CMakeFiles/gradoop_epgm.dir/properties.cc.o.d"
+  "CMakeFiles/gradoop_epgm.dir/property_value.cc.o"
+  "CMakeFiles/gradoop_epgm.dir/property_value.cc.o.d"
+  "libgradoop_epgm.a"
+  "libgradoop_epgm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gradoop_epgm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gradoop_epgm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gradoop_ldbc.dir/ldbc_generator.cc.o"
+  "CMakeFiles/gradoop_ldbc.dir/ldbc_generator.cc.o.d"
+  "libgradoop_ldbc.a"
+  "libgradoop_ldbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gradoop_ldbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/cypher_engine.cc" "src/query/CMakeFiles/gradoop_query.dir/cypher_engine.cc.o" "gcc" "src/query/CMakeFiles/gradoop_query.dir/cypher_engine.cc.o.d"
+  "/root/repo/src/query/embedding.cc" "src/query/CMakeFiles/gradoop_query.dir/embedding.cc.o" "gcc" "src/query/CMakeFiles/gradoop_query.dir/embedding.cc.o.d"
+  "/root/repo/src/query/embedding_meta_data.cc" "src/query/CMakeFiles/gradoop_query.dir/embedding_meta_data.cc.o" "gcc" "src/query/CMakeFiles/gradoop_query.dir/embedding_meta_data.cc.o.d"
+  "/root/repo/src/query/graph_statistics.cc" "src/query/CMakeFiles/gradoop_query.dir/graph_statistics.cc.o" "gcc" "src/query/CMakeFiles/gradoop_query.dir/graph_statistics.cc.o.d"
+  "/root/repo/src/query/naive_matcher.cc" "src/query/CMakeFiles/gradoop_query.dir/naive_matcher.cc.o" "gcc" "src/query/CMakeFiles/gradoop_query.dir/naive_matcher.cc.o.d"
+  "/root/repo/src/query/operators.cc" "src/query/CMakeFiles/gradoop_query.dir/operators.cc.o" "gcc" "src/query/CMakeFiles/gradoop_query.dir/operators.cc.o.d"
+  "/root/repo/src/query/plan.cc" "src/query/CMakeFiles/gradoop_query.dir/plan.cc.o" "gcc" "src/query/CMakeFiles/gradoop_query.dir/plan.cc.o.d"
+  "/root/repo/src/query/planner.cc" "src/query/CMakeFiles/gradoop_query.dir/planner.cc.o" "gcc" "src/query/CMakeFiles/gradoop_query.dir/planner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gradoop_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/gradoop_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/epgm/CMakeFiles/gradoop_epgm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cypher/CMakeFiles/gradoop_cypher.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gradoop_query.dir/cypher_engine.cc.o"
+  "CMakeFiles/gradoop_query.dir/cypher_engine.cc.o.d"
+  "CMakeFiles/gradoop_query.dir/embedding.cc.o"
+  "CMakeFiles/gradoop_query.dir/embedding.cc.o.d"
+  "CMakeFiles/gradoop_query.dir/embedding_meta_data.cc.o"
+  "CMakeFiles/gradoop_query.dir/embedding_meta_data.cc.o.d"
+  "CMakeFiles/gradoop_query.dir/graph_statistics.cc.o"
+  "CMakeFiles/gradoop_query.dir/graph_statistics.cc.o.d"
+  "CMakeFiles/gradoop_query.dir/naive_matcher.cc.o"
+  "CMakeFiles/gradoop_query.dir/naive_matcher.cc.o.d"
+  "CMakeFiles/gradoop_query.dir/operators.cc.o"
+  "CMakeFiles/gradoop_query.dir/operators.cc.o.d"
+  "CMakeFiles/gradoop_query.dir/plan.cc.o"
+  "CMakeFiles/gradoop_query.dir/plan.cc.o.d"
+  "CMakeFiles/gradoop_query.dir/planner.cc.o"
+  "CMakeFiles/gradoop_query.dir/planner.cc.o.d"
+  "libgradoop_query.a"
+  "libgradoop_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gradoop_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_errors_test.dir/engine_errors_test.cc.o"
+  "CMakeFiles/engine_errors_test.dir/engine_errors_test.cc.o.d"
+  "engine_errors_test"
+  "engine_errors_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_errors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epgm_test.dir/epgm_test.cc.o"
+  "CMakeFiles/epgm_test.dir/epgm_test.cc.o.d"
+  "epgm_test"
+  "epgm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epgm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

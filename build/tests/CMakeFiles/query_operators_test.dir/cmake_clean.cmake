@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_operators_test.dir/query_operators_test.cc.o"
+  "CMakeFiles/query_operators_test.dir/query_operators_test.cc.o.d"
+  "query_operators_test"
+  "query_operators_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_operators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/return_clause_test.dir/return_clause_test.cc.o"
+  "CMakeFiles/return_clause_test.dir/return_clause_test.cc.o.d"
+  "return_clause_test"
+  "return_clause_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/return_clause_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
