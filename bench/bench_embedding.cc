@@ -4,6 +4,7 @@
 // operations that dominate shuffle-heavy query execution.
 #include <benchmark/benchmark.h>
 
+#include <utility>
 #include <vector>
 
 #include "epgm/property_value.h"
@@ -57,8 +58,13 @@ E MakeSample(int columns) {
   E e;
   for (int i = 0; i < columns; ++i) e.AppendId(1000 + i);
   e.AppendPath({5, 20, 7, 30, 9});
-  e.AppendProperty(PropertyValue("Alice"));
-  e.AppendProperty(PropertyValue(int64_t{2014}));
+  // Named locals instead of temporaries: inlining the PropertyValue
+  // temporaries into push_back trips GCC 12's -Wmaybe-uninitialized on the
+  // std::variant member (a known false positive).
+  PropertyValue name("Alice");
+  PropertyValue year(int64_t{2014});
+  e.AppendProperty(std::move(name));
+  e.AppendProperty(std::move(year));
   return e;
 }
 

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Full static-analysis + sanitizer gate. Configures three build trees:
+#
+#   build-check/plain  RelWithDebInfo, -Werror         (warning-clean gate)
+#   build-check/asan   Debug, ASan + UBSan             (memory & UB gate)
+#   build-check/tsan   Debug, TSan                     (data-race gate)
+#
+# builds each, runs the full ctest suite in each, and fails on any
+# warning, test failure, or sanitizer report. Run from anywhere:
+#
+#   ci/check.sh            # everything
+#   ci/check.sh plain      # just one tree (plain|asan|tsan)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+OUT="${ROOT}/build-check"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+ONLY="${1:-all}"
+
+case "${ONLY}" in
+  all|plain|asan|tsan|tidy) ;;
+  *)
+    echo "usage: ci/check.sh [all|plain|asan|tsan|tidy]" >&2
+    echo "unknown tree '${ONLY}'" >&2
+    exit 2
+    ;;
+esac
+
+# Abort on the first sanitizer report and exit non-zero so ctest sees it.
+export ASAN_OPTIONS="halt_on_error=1:abort_on_error=1:detect_leaks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+
+run_tree() {
+  local name="$1"; shift
+  echo "=== [${name}] configure ==="
+  cmake -B "${OUT}/${name}" -S "${ROOT}" "$@" >/dev/null
+  echo "=== [${name}] build ==="
+  cmake --build "${OUT}/${name}" -j "${JOBS}"
+  echo "=== [${name}] test ==="
+  ctest --test-dir "${OUT}/${name}" --output-on-failure -j "${JOBS}"
+}
+
+if [[ "${ONLY}" == "all" || "${ONLY}" == "plain" ]]; then
+  run_tree plain \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DGRADOOP_WERROR=ON
+fi
+
+if [[ "${ONLY}" == "all" || "${ONLY}" == "asan" ]]; then
+  run_tree asan \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DGRADOOP_ASAN=ON -DGRADOOP_UBSAN=ON
+fi
+
+if [[ "${ONLY}" == "all" || "${ONLY}" == "tsan" ]]; then
+  run_tree tsan \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DGRADOOP_TSAN=ON
+fi
+
+# Optional lint stage: the sanitizer gates above are mandatory, clang-tidy
+# runs only where the toolchain provides it.
+if [[ "${ONLY}" == "all" || "${ONLY}" == "tidy" ]]; then
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    echo "=== [tidy] clang-tidy ==="
+    cmake -B "${OUT}/plain" -S "${ROOT}" \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    run-clang-tidy -quiet -p "${OUT}/plain" "${ROOT}/src/"
+  else
+    echo "=== [tidy] clang-tidy not found, skipping lint stage ==="
+  fi
+fi
+
+echo "=== all checks passed ==="

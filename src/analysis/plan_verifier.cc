@@ -1,0 +1,636 @@
+#include "analysis/plan_verifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "analysis/type_check.h"
+
+namespace gradoop::analysis {
+
+namespace {
+
+using cypher::QueryEdge;
+using cypher::QueryVertex;
+using query::EmbeddingMetaData;
+using query::EntryType;
+using query::PlanNode;
+using query::PlanNodePtr;
+
+const char* EntryTypeName(EntryType type) {
+  switch (type) {
+    case EntryType::kVertex:
+      return "vertex";
+    case EntryType::kEdge:
+      return "edge";
+    case EntryType::kPath:
+      return "path";
+  }
+  return "?";
+}
+
+// All verifier diagnostics name the offending operator; callers add the
+// variable / index detail.
+Status Violation(PlanNode::Kind kind, const std::string& detail) {
+  return Status::Internal(std::string("PlanVerifier: ") + PlanKindName(kind) +
+                          ": " + detail);
+}
+
+std::set<std::string> UnionOf(const std::set<std::string>& a,
+                              const std::set<std::string>& b) {
+  std::set<std::string> out = a;
+  out.insert(b.begin(), b.end());
+  return out;
+}
+
+std::string JoinNames(const std::set<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out.empty() ? "<none>" : out;
+}
+
+// The bottom-up verification pass. Carries the query graph and options;
+// each Check* method validates one operator kind and returns the column
+// layout its subtree produces (meta simulation only runs in exhaustive
+// mode — cheap mode passes empty metas through and skips column checks).
+class Pass {
+ public:
+  Pass(const cypher::QueryGraph& qg, VerifyOptions options)
+      : qg_(qg), options_(options) {}
+
+  Result<EmbeddingMetaData> VerifyNode(const PlanNodePtr& node, int depth) {
+    if (node == nullptr) {
+      return Status::Internal("PlanVerifier: null plan node");
+    }
+    if (depth > kMaxDepth) {
+      return Status::Internal(
+          "PlanVerifier: plan tree exceeds maximum depth (cycle?)");
+    }
+    GRADOOP_RETURN_IF_ERROR(CheckCommon(*node));
+    switch (node->kind) {
+      case PlanNode::Kind::kScanVertices:
+        return CheckScanVertices(*node);
+      case PlanNode::Kind::kScanEdges:
+        return CheckScanEdges(*node);
+      case PlanNode::Kind::kJoin:
+        return CheckJoin(*node, depth);
+      case PlanNode::Kind::kValueJoin:
+        return CheckValueJoin(*node, depth);
+      case PlanNode::Kind::kExpand:
+        return CheckExpand(*node, depth);
+      case PlanNode::Kind::kFilter:
+        return CheckFilter(*node, depth);
+    }
+    return Status::Internal("PlanVerifier: unknown plan node kind");
+  }
+
+ private:
+  // Generous bound: real plans are O(query elements) deep; a cycle in a
+  // corrupted tree must not hang the verifier.
+  static constexpr int kMaxDepth = 4096;
+
+  // --- invariants shared by every operator ----------------------------
+
+  Status CheckCommon(const PlanNode& node) const {
+    if (!std::isfinite(node.estimated_cardinality) ||
+        node.estimated_cardinality < 0.0) {
+      return Violation(node.kind, "estimated cardinality is not a finite "
+                                  "non-negative number");
+    }
+    if (node.bound_variables.empty()) {
+      return Violation(node.kind, "operator binds no variables");
+    }
+    for (const std::string& var : node.bound_variables) {
+      if (qg_.FindVertex(var) == nullptr && qg_.FindEdge(var) == nullptr) {
+        return Violation(node.kind, "bound variable `" + var +
+                                        "` names no query element");
+      }
+    }
+    for (const std::string& var : node.property_variables) {
+      if (!node.bound_variables.contains(var)) {
+        return Violation(node.kind,
+                         "property variable `" + var + "` is not bound");
+      }
+    }
+    return Status::Ok();
+  }
+
+  // Exhaustive-mode validation of a simulated meta data object: every
+  // column index in range, no dangling or overlapping id/property
+  // columns, and the variable set consistent with the node's
+  // bound_variables bookkeeping.
+  Status CheckMeta(const PlanNode& node, const EmbeddingMetaData& meta) const {
+    std::set<int> id_columns;
+    for (const std::string& var : meta.Variables()) {
+      const int c = meta.IdColumn(var);
+      if (c < 0 || c >= meta.id_column_count()) {
+        return Violation(node.kind,
+                         "variable `" + var + "` maps to id column " +
+                             std::to_string(c) + ", outside [0, " +
+                             std::to_string(meta.id_column_count()) + ")");
+      }
+      if (!id_columns.insert(c).second) {
+        return Violation(node.kind, "two variables overlap on id column " +
+                                        std::to_string(c) + " (`" + var +
+                                        "` collides)");
+      }
+    }
+    std::set<int> property_columns;
+    for (const std::string& var : meta.Variables()) {
+      for (const std::string& key : qg_.NeededProperties(var)) {
+        const int c = meta.PropertyColumn(var, key);
+        if (c < 0) continue;  // not projected in this subtree
+        if (c >= meta.property_column_count()) {
+          return Violation(node.kind, "property " + var + "." + key +
+                                          " maps to dangling column " +
+                                          std::to_string(c) + ", outside [0, " +
+                                          std::to_string(
+                                              meta.property_column_count()) +
+                                          ")");
+        }
+        if (!property_columns.insert(c).second) {
+          return Violation(node.kind,
+                           "two properties overlap on column " +
+                               std::to_string(c) + " (" + var + "." + key +
+                               " collides)");
+        }
+      }
+    }
+    for (const std::string& var : node.bound_variables) {
+      if (!meta.HasVariable(var)) {
+        return Violation(node.kind, "bound variable `" + var +
+                                        "` has no embedding column");
+      }
+    }
+    for (const std::string& var : meta.Variables()) {
+      if (!node.bound_variables.contains(var)) {
+        return Violation(node.kind, "embedding column for `" + var +
+                                        "` is not in bound_variables");
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status CheckLeafShape(const PlanNode& node) const {
+    if (node.left != nullptr || node.right != nullptr) {
+      return Violation(node.kind, "scan operator must be a leaf");
+    }
+    return Status::Ok();
+  }
+
+  Status CheckBoundSet(const PlanNode& node,
+                       const std::set<std::string>& expected) const {
+    if (node.bound_variables != expected) {
+      return Violation(node.kind,
+                       "bound_variables {" + JoinNames(node.bound_variables) +
+                           "} do not match the operator's bindings {" +
+                           JoinNames(expected) + "}");
+    }
+    return Status::Ok();
+  }
+
+  Status CheckPropertySet(const PlanNode& node,
+                          const std::set<std::string>& expected) const {
+    if (node.property_variables != expected) {
+      return Violation(
+          node.kind,
+          "property_variables {" + JoinNames(node.property_variables) +
+              "} do not match the subtree's scans {" + JoinNames(expected) +
+              "}");
+    }
+    return Status::Ok();
+  }
+
+  // --- leaves ----------------------------------------------------------
+
+  Result<EmbeddingMetaData> CheckScanVertices(const PlanNode& node) const {
+    GRADOOP_RETURN_IF_ERROR(CheckLeafShape(node));
+    const int n = static_cast<int>(qg_.vertices().size());
+    if (node.element_index < 0 || node.element_index >= n) {
+      return Violation(node.kind,
+                       "element_index " + std::to_string(node.element_index) +
+                           " outside query vertices [0, " + std::to_string(n) +
+                           ")");
+    }
+    const QueryVertex& v = qg_.vertices()[node.element_index];
+    GRADOOP_RETURN_IF_ERROR(CheckBoundSet(node, {v.variable}));
+    GRADOOP_RETURN_IF_ERROR(CheckPropertySet(node, {v.variable}));
+    EmbeddingMetaData meta;
+    if (!options_.exhaustive) return meta;
+    meta.AddIdColumn(v.variable, EntryType::kVertex);
+    for (const std::string& key : qg_.NeededProperties(v.variable)) {
+      meta.AddPropertyColumn(v.variable, key);
+    }
+    GRADOOP_RETURN_IF_ERROR(CheckMeta(node, meta));
+    return meta;
+  }
+
+  Result<EmbeddingMetaData> CheckScanEdges(const PlanNode& node) const {
+    GRADOOP_RETURN_IF_ERROR(CheckLeafShape(node));
+    const int n = static_cast<int>(qg_.edges().size());
+    if (node.element_index < 0 || node.element_index >= n) {
+      return Violation(node.kind,
+                       "element_index " + std::to_string(node.element_index) +
+                           " outside query edges [0, " + std::to_string(n) +
+                           ")");
+    }
+    const QueryEdge& e = qg_.edges()[node.element_index];
+    if (e.IsVariableLength()) {
+      return Violation(node.kind, "variable-length edge `" + e.variable +
+                                      "` must be expanded, not scanned");
+    }
+    const std::string& src = qg_.vertices()[e.source].variable;
+    const std::string& dst = qg_.vertices()[e.target].variable;
+    GRADOOP_RETURN_IF_ERROR(CheckBoundSet(node, {src, e.variable, dst}));
+    GRADOOP_RETURN_IF_ERROR(CheckPropertySet(node, {e.variable}));
+    EmbeddingMetaData meta;
+    if (!options_.exhaustive) return meta;
+    // Mirrors EdgeScanMetaData (pinned by plan_verifier_test).
+    meta.AddIdColumn(src, EntryType::kVertex);
+    meta.AddIdColumn(e.variable, EntryType::kEdge);
+    if (src != dst) meta.AddIdColumn(dst, EntryType::kVertex);
+    for (const std::string& key : qg_.NeededProperties(e.variable)) {
+      meta.AddPropertyColumn(e.variable, key);
+    }
+    GRADOOP_RETURN_IF_ERROR(CheckMeta(node, meta));
+    return meta;
+  }
+
+  // --- inner operators -------------------------------------------------
+
+  Result<EmbeddingMetaData> CheckJoin(const PlanNode& node, int depth) {
+    if (node.left == nullptr || node.right == nullptr) {
+      return Violation(node.kind, "join needs two inputs");
+    }
+    GRADOOP_ASSIGN_OR_RETURN(EmbeddingMetaData left,
+                             VerifyNode(node.left, depth + 1));
+    GRADOOP_ASSIGN_OR_RETURN(EmbeddingMetaData right,
+                             VerifyNode(node.right, depth + 1));
+
+    // The join variables must be exactly the variables shared by the two
+    // inputs: a missing shared variable would silently drop the id
+    // equality the query demands; an extra one is unbound on a side.
+    std::set<std::string> join_vars(node.join_variables.begin(),
+                                    node.join_variables.end());
+    if (join_vars.size() != node.join_variables.size()) {
+      return Violation(node.kind, "duplicate join variable");
+    }
+    std::set<std::string> shared;
+    for (const std::string& var : node.left->bound_variables) {
+      if (node.right->bound_variables.contains(var)) shared.insert(var);
+    }
+    if (join_vars != shared) {
+      return Violation(node.kind,
+                       "join variables {" + JoinNames(join_vars) +
+                           "} do not match the inputs' shared variables {" +
+                           JoinNames(shared) + "}");
+    }
+    for (const std::string& var : node.join_variables) {
+      // A variable-length edge variable is bound as a PATH column, which
+      // has no joinable 8-byte identifier.
+      const QueryEdge* qe = qg_.FindEdge(var);
+      if (qe != nullptr && qe->IsVariableLength()) {
+        return Violation(node.kind, "join variable `" + var +
+                                        "` is a path binding");
+      }
+      if (options_.exhaustive) {
+        const int lc = left.IdColumn(var);
+        const int rc = right.IdColumn(var);
+        if (lc < 0 || rc < 0) {
+          return Violation(node.kind,
+                           "join variable `" + var +
+                               "` lacks an id column on the " +
+                               (lc < 0 ? "left" : "right") + " input");
+        }
+        if (left.TypeOf(var) != right.TypeOf(var)) {
+          return Violation(node.kind,
+                           "join variable `" + var + "` is a " +
+                               EntryTypeName(left.TypeOf(var)) +
+                               " on the left but a " +
+                               EntryTypeName(right.TypeOf(var)) +
+                               " on the right");
+        }
+        if (left.TypeOf(var) == EntryType::kPath) {
+          return Violation(node.kind, "join variable `" + var +
+                                          "` is a path binding");
+        }
+      }
+    }
+    GRADOOP_RETURN_IF_ERROR(CheckBoundSet(
+        node, UnionOf(node.left->bound_variables,
+                      node.right->bound_variables)));
+    GRADOOP_RETURN_IF_ERROR(CheckPropertySet(
+        node, UnionOf(node.left->property_variables,
+                      node.right->property_variables)));
+    if (!options_.exhaustive) return EmbeddingMetaData();
+    EmbeddingMetaData merged = EmbeddingMetaData::Merge(left, right);
+    GRADOOP_RETURN_IF_ERROR(CheckMerge(node, left, right, merged));
+    GRADOOP_RETURN_IF_ERROR(CheckMeta(node, merged));
+    return merged;
+  }
+
+  Result<EmbeddingMetaData> CheckValueJoin(const PlanNode& node, int depth) {
+    if (node.left == nullptr || node.right == nullptr) {
+      return Violation(node.kind, "value join needs two inputs");
+    }
+    GRADOOP_ASSIGN_OR_RETURN(EmbeddingMetaData left,
+                             VerifyNode(node.left, depth + 1));
+    GRADOOP_ASSIGN_OR_RETURN(EmbeddingMetaData right,
+                             VerifyNode(node.right, depth + 1));
+    if (node.value_join_keys.empty()) {
+      return Violation(node.kind, "value join has no key equalities");
+    }
+    // A value join enforces no id equality, so its inputs must be
+    // disconnected: a shared variable would end up bound twice without
+    // the bindings being reconciled.
+    for (const std::string& var : node.left->bound_variables) {
+      if (node.right->bound_variables.contains(var)) {
+        return Violation(node.kind, "inputs share variable `" + var +
+                                        "` (requires an id join)");
+      }
+    }
+    for (const auto& [lhs, rhs] : node.value_join_keys) {
+      for (const auto& side : {lhs, rhs}) {
+        if (side == nullptr ||
+            side->kind() != cypher::ExprKind::kPropertyAccess) {
+          return Violation(node.kind,
+                           "value-join key is not a property access");
+        }
+      }
+      if (!node.left->bound_variables.contains(lhs->variable())) {
+        return Violation(node.kind, "left key variable `" + lhs->variable() +
+                                        "` is not bound on the left input");
+      }
+      if (!node.right->bound_variables.contains(rhs->variable())) {
+        return Violation(node.kind, "right key variable `" + rhs->variable() +
+                                        "` is not bound on the right input");
+      }
+      if (options_.exhaustive) {
+        if (left.PropertyColumn(lhs->variable(), lhs->property_key()) < 0) {
+          return Violation(node.kind, "left key " + lhs->ToString() +
+                                          " resolves to no projected "
+                                          "property column");
+        }
+        if (right.PropertyColumn(rhs->variable(), rhs->property_key()) < 0) {
+          return Violation(node.kind, "right key " + rhs->ToString() +
+                                          " resolves to no projected "
+                                          "property column");
+        }
+      }
+    }
+    GRADOOP_RETURN_IF_ERROR(CheckBoundSet(
+        node, UnionOf(node.left->bound_variables,
+                      node.right->bound_variables)));
+    GRADOOP_RETURN_IF_ERROR(CheckPropertySet(
+        node, UnionOf(node.left->property_variables,
+                      node.right->property_variables)));
+    if (!options_.exhaustive) return EmbeddingMetaData();
+    EmbeddingMetaData merged = EmbeddingMetaData::Merge(left, right);
+    GRADOOP_RETURN_IF_ERROR(CheckMerge(node, left, right, merged));
+    GRADOOP_RETURN_IF_ERROR(CheckMeta(node, merged));
+    return merged;
+  }
+
+  // Merge consistency: column counts add up and the left-hand layout is
+  // preserved verbatim (right columns shift by the left counts).
+  Status CheckMerge(const PlanNode& node, const EmbeddingMetaData& left,
+                    const EmbeddingMetaData& right,
+                    const EmbeddingMetaData& merged) const {
+    if (merged.id_column_count() !=
+        left.id_column_count() + right.id_column_count()) {
+      return Violation(node.kind, "merged id column count " +
+                                      std::to_string(merged.id_column_count()) +
+                                      " != left " +
+                                      std::to_string(left.id_column_count()) +
+                                      " + right " +
+                                      std::to_string(right.id_column_count()));
+    }
+    if (merged.property_column_count() !=
+        left.property_column_count() + right.property_column_count()) {
+      return Violation(node.kind, "merged property column count deviates "
+                                  "from the sum of its inputs");
+    }
+    for (const std::string& var : left.Variables()) {
+      if (merged.IdColumn(var) != left.IdColumn(var)) {
+        return Violation(node.kind, "merge moved left variable `" + var +
+                                        "` to a different column");
+      }
+    }
+    for (const std::string& var : right.Variables()) {
+      const int expected = left.HasVariable(var)
+                               ? left.IdColumn(var)
+                               : right.IdColumn(var) + left.id_column_count();
+      if (merged.IdColumn(var) != expected) {
+        return Violation(node.kind, "merge rebased right variable `" + var +
+                                        "` to column " +
+                                        std::to_string(merged.IdColumn(var)) +
+                                        ", expected " +
+                                        std::to_string(expected));
+      }
+    }
+    return Status::Ok();
+  }
+
+  Result<EmbeddingMetaData> CheckExpand(const PlanNode& node, int depth) {
+    if (node.left == nullptr || node.right != nullptr) {
+      return Violation(node.kind, "expand takes exactly one input");
+    }
+    const int n = static_cast<int>(qg_.edges().size());
+    if (node.element_index < 0 || node.element_index >= n) {
+      return Violation(node.kind,
+                       "element_index " + std::to_string(node.element_index) +
+                           " outside query edges [0, " + std::to_string(n) +
+                           ")");
+    }
+    const QueryEdge& e = qg_.edges()[node.element_index];
+    if (!e.IsVariableLength()) {
+      return Violation(node.kind, "fixed-length edge `" + e.variable +
+                                      "` must be scanned, not expanded");
+    }
+    if (e.lower_bound < 0 || e.upper_bound < e.lower_bound) {
+      return Violation(node.kind,
+                       "path bounds *" + std::to_string(e.lower_bound) +
+                           ".." + std::to_string(e.upper_bound) +
+                           " are not 0 <= lower <= upper");
+    }
+    GRADOOP_ASSIGN_OR_RETURN(EmbeddingMetaData input,
+                             VerifyNode(node.left, depth + 1));
+    const std::string& src = qg_.vertices()[e.source].variable;
+    const std::string& dst = qg_.vertices()[e.target].variable;
+    const std::string& start = node.expand_reverse ? dst : src;
+    const std::string& end = node.expand_reverse ? src : dst;
+    if (!node.left->bound_variables.contains(start)) {
+      return Violation(node.kind, "expansion start `" + start +
+                                      "` is not bound by the input");
+    }
+    if (node.left->bound_variables.contains(e.variable)) {
+      return Violation(node.kind, "path variable `" + e.variable +
+                                      "` is already bound by the input");
+    }
+    GRADOOP_RETURN_IF_ERROR(CheckBoundSet(
+        node, UnionOf(node.left->bound_variables, {e.variable, src, dst})));
+    GRADOOP_RETURN_IF_ERROR(
+        CheckPropertySet(node, node.left->property_variables));
+    if (!options_.exhaustive) return EmbeddingMetaData();
+    const int start_column = input.IdColumn(start);
+    if (start_column < 0) {
+      return Violation(node.kind, "expansion start `" + start +
+                                      "` has no id column");
+    }
+    if (input.TypeOf(start) != EntryType::kVertex) {
+      return Violation(node.kind,
+                       "expansion start `" + start + "` is bound as a " +
+                           EntryTypeName(input.TypeOf(start)) +
+                           ", expected a vertex");
+    }
+    EmbeddingMetaData meta = input;
+    meta.AddIdColumn(e.variable, EntryType::kPath);
+    if (!input.HasVariable(end)) {
+      meta.AddIdColumn(end, EntryType::kVertex);
+    }
+    GRADOOP_RETURN_IF_ERROR(CheckMeta(node, meta));
+    return meta;
+  }
+
+  Result<EmbeddingMetaData> CheckFilter(const PlanNode& node, int depth) {
+    if (node.left == nullptr || node.right != nullptr) {
+      return Violation(node.kind, "filter takes exactly one input");
+    }
+    if (node.clauses.empty()) {
+      return Violation(node.kind, "filter has no clauses");
+    }
+    GRADOOP_ASSIGN_OR_RETURN(EmbeddingMetaData input,
+                             VerifyNode(node.left, depth + 1));
+    for (const cypher::CnfClause& clause : node.clauses) {
+      for (const std::string& var : clause.Variables()) {
+        if (!node.left->bound_variables.contains(var)) {
+          return Violation(node.kind, "clause " + clause.ToString() +
+                                          " references unbound variable `" +
+                                          var + "`");
+        }
+        if (!node.left->property_variables.contains(var)) {
+          return Violation(node.kind,
+                           "clause " + clause.ToString() + " reads `" + var +
+                               "` before its scan's properties are present");
+        }
+      }
+      if (!options_.exhaustive) continue;
+      GRADOOP_RETURN_IF_ERROR(CheckClause(clause));
+      std::set<std::pair<std::string, std::string>> accesses;
+      for (const cypher::ExpressionPtr& atom : clause.atoms) {
+        atom->CollectPropertyAccesses(&accesses);
+      }
+      for (const auto& [var, key] : accesses) {
+        if (input.PropertyColumn(var, key) < 0) {
+          return Violation(node.kind, "property " + var + "." + key +
+                                          " is not projected in the subtree");
+        }
+      }
+    }
+    GRADOOP_RETURN_IF_ERROR(CheckBoundSet(node, node.left->bound_variables));
+    GRADOOP_RETURN_IF_ERROR(
+        CheckPropertySet(node, node.left->property_variables));
+    return input;
+  }
+
+  const cypher::QueryGraph& qg_;
+  VerifyOptions options_;
+};
+
+}  // namespace
+
+const char* PlanKindName(query::PlanNode::Kind kind) {
+  switch (kind) {
+    case PlanNode::Kind::kScanVertices:
+      return "ScanVertices";
+    case PlanNode::Kind::kScanEdges:
+      return "ScanEdges";
+    case PlanNode::Kind::kJoin:
+      return "JoinEmbeddings";
+    case PlanNode::Kind::kValueJoin:
+      return "ValueJoinEmbeddings";
+    case PlanNode::Kind::kExpand:
+      return "ExpandEmbeddings";
+    case PlanNode::Kind::kFilter:
+      return "SelectEmbeddings";
+  }
+  return "UnknownOperator";
+}
+
+PlanVerifier::PlanVerifier(const cypher::QueryGraph& query_graph,
+                           VerifyOptions options)
+    : query_graph_(query_graph), options_(options) {}
+
+Status PlanVerifier::CheckQueryPredicates() const {
+  // Element predicates execute inside the leaf scans (§3.1), so the plan
+  // walk never sees them; a zero-variable clause (`WHERE 1 < 'a'`) is
+  // replicated into every element's predicate list, which only makes the
+  // re-check idempotent.
+  for (const QueryVertex& v : query_graph_.vertices()) {
+    for (const cypher::CnfClause& clause :
+         query_graph_.ElementPredicates(v.variable)) {
+      GRADOOP_RETURN_IF_ERROR(CheckClause(clause));
+    }
+  }
+  for (const QueryEdge& e : query_graph_.edges()) {
+    for (const cypher::CnfClause& clause :
+         query_graph_.ElementPredicates(e.variable)) {
+      GRADOOP_RETURN_IF_ERROR(CheckClause(clause));
+    }
+  }
+  for (const cypher::CnfClause& clause : query_graph_.CrossPredicates()) {
+    GRADOOP_RETURN_IF_ERROR(CheckClause(clause));
+  }
+  return Status::Ok();
+}
+
+Status PlanVerifier::Verify(const query::PlanNodePtr& plan) const {
+  if (options_.exhaustive) {
+    GRADOOP_RETURN_IF_ERROR(CheckQueryPredicates());
+  }
+  Pass pass(query_graph_, options_);
+  auto result = pass.VerifyNode(plan, 0);
+  return result.ok() ? Status::Ok() : result.status();
+}
+
+Status PlanVerifier::VerifyComplete(const query::PlanNodePtr& plan) const {
+  GRADOOP_RETURN_IF_ERROR(Verify(plan));
+  for (const QueryVertex& v : query_graph_.vertices()) {
+    if (!plan->bound_variables.contains(v.variable)) {
+      return Status::Internal(
+          "PlanVerifier: final plan leaves query vertex `" + v.variable +
+          "` unbound");
+    }
+  }
+  for (const QueryEdge& e : query_graph_.edges()) {
+    if (!plan->bound_variables.contains(e.variable)) {
+      return Status::Internal("PlanVerifier: final plan leaves query edge `" +
+                              e.variable + "` unbound");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<query::EmbeddingMetaData> PlanVerifier::SimulateMetaData(
+    const query::PlanNodePtr& plan) const {
+  Pass pass(query_graph_, VerifyOptions::Exhaustive());
+  return pass.VerifyNode(plan, 0);
+}
+
+Status VerifyPlan(const cypher::QueryGraph& query_graph,
+                  const query::PlanNodePtr& plan, VerifyOptions options) {
+  return PlanVerifier(query_graph, options).VerifyComplete(plan);
+}
+
+Status VerifyCandidatePlan(const cypher::QueryGraph& query_graph,
+                           const query::PlanNodePtr& plan,
+                           VerifyOptions options) {
+  return PlanVerifier(query_graph, options).Verify(plan);
+}
+
+}  // namespace gradoop::analysis

@@ -1,0 +1,105 @@
+#ifndef GRADOOP_ANALYSIS_PLAN_VERIFIER_H_
+#define GRADOOP_ANALYSIS_PLAN_VERIFIER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "cypher/query_graph.h"
+#include "query/embedding_meta_data.h"
+#include "query/plan.h"
+
+namespace gradoop::analysis {
+
+// Verification depth. Cheap checks are structural (node shape, index
+// ranges, bound-variable bookkeeping) and run on every query in release
+// builds; exhaustive checks additionally simulate the embedding column
+// layout of every operator and statically type-check all predicates.
+struct VerifyOptions {
+  bool exhaustive = true;
+
+  static VerifyOptions Cheap() { return {.exhaustive = false}; }
+  static VerifyOptions Exhaustive() { return {.exhaustive = true}; }
+  // Engine default: exhaustive in debug builds, cheap in release.
+  static VerifyOptions Default() {
+#ifdef NDEBUG
+    return Cheap();
+#else
+    return Exhaustive();
+#endif
+  }
+};
+
+// Static checker for physical query plans (§3.3 column bookkeeping and the
+// relational soundness the planner must uphold). Walks a PlanNode tree
+// bottom-up, simulating the EmbeddingMetaData every operator would produce
+// at execution time, and rejects the first violated invariant with a
+// Status naming the offending node and variable.
+//
+// Invariants checked per node:
+//  - operator arity: scans are leaves, joins have two inputs, expand and
+//    filter exactly one;
+//  - element_index in range for the QueryGraph (vertex scans index
+//    vertices(), edge scans / expansions index edges());
+//  - fixed-length edges are scanned, variable-length edges expanded;
+//  - bound_variables equals the union of the children's bound variables
+//    plus exactly what the operator binds, and every bound variable names
+//    a query element;
+//  - join variables are bound on both inputs with matching EntryType (and
+//    are never path bindings, which have no joinable identifier);
+//  - value-join keys are property accesses resolvable to projected
+//    property columns of the respective side, over disjoint inputs;
+//  - expansions start from a bound vertex variable and bind a fresh path
+//    variable; bounds satisfy 0 <= lower <= upper;
+//  - filter clauses reference only bound variables whose referenced
+//    properties are projected in the subtree;
+//  - cardinality estimates are finite and non-negative;
+//  - [exhaustive] the simulated EmbeddingMetaData stays consistent under
+//    EmbeddingMetaData::Merge: column indices in range, no dangling or
+//    overlapping id/property columns, variables typed consistently;
+//  - [exhaustive] every predicate type-checks (see type_check.h) — the
+//    query graph's element predicates too, which execute inside the leaf
+//    scans and never appear as plan nodes.
+class PlanVerifier {
+ public:
+  explicit PlanVerifier(const cypher::QueryGraph& query_graph,
+                        VerifyOptions options = {});
+
+  // Verifies the subtree rooted at `plan`. Partial plans (planner
+  // candidates) are accepted as long as their invariants hold.
+  Status Verify(const query::PlanNodePtr& plan) const;
+
+  // Verify() plus completeness: the root must bind every vertex and edge
+  // variable of the query graph. Run on the final plan before execution.
+  Status VerifyComplete(const query::PlanNodePtr& plan) const;
+
+  // Simulates the column layout `plan` produces at execution time,
+  // mirroring the query operators' meta data construction (exposed for
+  // tests, which pin it against the operators' actual output).
+  Result<query::EmbeddingMetaData> SimulateMetaData(
+      const query::PlanNodePtr& plan) const;
+
+ private:
+  // Type-checks the query graph's own predicates: element predicates
+  // (evaluated inside the leaf scans, so no plan node ever carries them)
+  // and cross predicates. Exhaustive mode only.
+  Status CheckQueryPredicates() const;
+
+  const cypher::QueryGraph& query_graph_;
+  VerifyOptions options_;
+};
+
+// Convenience wrappers used by the engine and the planner.
+Status VerifyPlan(const cypher::QueryGraph& query_graph,
+                  const query::PlanNodePtr& plan,
+                  VerifyOptions options = VerifyOptions::Default());
+Status VerifyCandidatePlan(const cypher::QueryGraph& query_graph,
+                           const query::PlanNodePtr& plan,
+                           VerifyOptions options = VerifyOptions::Default());
+
+// Stable operator name for diagnostics ("ScanVertices", "JoinEmbeddings",
+// ...).
+const char* PlanKindName(query::PlanNode::Kind kind);
+
+}  // namespace gradoop::analysis
+
+#endif  // GRADOOP_ANALYSIS_PLAN_VERIFIER_H_

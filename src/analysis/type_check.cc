@@ -1,0 +1,180 @@
+#include "analysis/type_check.h"
+
+#include <string>
+#include <vector>
+
+namespace gradoop::analysis {
+
+namespace {
+
+using cypher::ComparisonOp;
+using cypher::ExprKind;
+using cypher::Expression;
+using cypher::ExpressionPtr;
+
+StaticType LiteralType(const epgm::PropertyValue& value) {
+  switch (value.type()) {
+    case epgm::PropertyValue::Type::kNull:
+      return StaticType::kNull;
+    case epgm::PropertyValue::Type::kBool:
+      return StaticType::kBoolean;
+    case epgm::PropertyValue::Type::kInt64:
+      return StaticType::kInteger;
+    case epgm::PropertyValue::Type::kDouble:
+      return StaticType::kFloat;
+    case epgm::PropertyValue::Type::kString:
+      return StaticType::kString;
+    case epgm::PropertyValue::Type::kIdList:
+      return StaticType::kIdList;
+  }
+  return StaticType::kValue;
+}
+
+bool IsNumeric(StaticType t) {
+  return t == StaticType::kInteger || t == StaticType::kFloat;
+}
+
+// Either side statically unknown or NULL: the comparison has a defined
+// (possibly NULL) runtime result, so it type-checks.
+bool Unconstrained(StaticType t) {
+  return t == StaticType::kValue || t == StaticType::kNull;
+}
+
+bool IsEquality(ComparisonOp op) {
+  return op == ComparisonOp::kEq || op == ComparisonOp::kNeq;
+}
+
+Status IllTyped(const Expression& expr, const std::string& detail) {
+  return Status::PlanError("ill-typed predicate `" + expr.ToString() +
+                           "`: " + detail);
+}
+
+Result<StaticType> CheckComparison(const Expression& expr) {
+  // EvaluateValue only handles literals and property accesses; anything
+  // else (a nested comparison or logical) is not a value.
+  for (const ExpressionPtr& side : {expr.left(), expr.right()}) {
+    if (side == nullptr) {
+      // expr.ToString() would dereference the missing operand.
+      return Status::PlanError(
+          "ill-typed predicate: comparison is missing an operand");
+    }
+    if (side->kind() != ExprKind::kLiteral &&
+        side->kind() != ExprKind::kPropertyAccess) {
+      return IllTyped(expr, "operand `" + side->ToString() +
+                                "` is not a value (literal or property "
+                                "access)");
+    }
+  }
+  GRADOOP_ASSIGN_OR_RETURN(StaticType lhs, CheckExpression(expr.left()));
+  GRADOOP_ASSIGN_OR_RETURN(StaticType rhs, CheckExpression(expr.right()));
+  const bool equality = IsEquality(expr.comparison_op());
+  // Booleans and id lists carry no ordering (PropertyValue::Compare
+  // returns nullopt), so an ordering with one on either side is NULL for
+  // every possible value of the other side — reject it even when that
+  // other side is statically unknown.
+  const bool unorderable =
+      lhs == StaticType::kBoolean || rhs == StaticType::kBoolean ||
+      lhs == StaticType::kIdList || rhs == StaticType::kIdList;
+  if (!equality && unorderable) {
+    return IllTyped(expr, std::string("cannot order ") + StaticTypeName(lhs) +
+                              " against " + StaticTypeName(rhs));
+  }
+  if (Unconstrained(lhs) || Unconstrained(rhs)) return StaticType::kBoolean;
+  if (unorderable) {
+    // Only = and <> are meaningful, and only between equal types.
+    if (lhs != rhs) {
+      return IllTyped(expr, std::string(StaticTypeName(lhs)) + " and " +
+                                StaticTypeName(rhs) + " only support = "
+                                "and <> between equal types");
+    }
+    return StaticType::kBoolean;
+  }
+  const bool comparable =
+      lhs == rhs || (IsNumeric(lhs) && IsNumeric(rhs));
+  if (!comparable && !equality) {
+    return IllTyped(expr, std::string("cannot order ") +
+                              StaticTypeName(lhs) + " against " +
+                              StaticTypeName(rhs));
+  }
+  return StaticType::kBoolean;
+}
+
+}  // namespace
+
+const char* StaticTypeName(StaticType type) {
+  switch (type) {
+    case StaticType::kNull:
+      return "null";
+    case StaticType::kBoolean:
+      return "boolean";
+    case StaticType::kInteger:
+      return "integer";
+    case StaticType::kFloat:
+      return "float";
+    case StaticType::kString:
+      return "string";
+    case StaticType::kIdList:
+      return "id-list";
+    case StaticType::kValue:
+      return "value";
+  }
+  return "?";
+}
+
+Result<StaticType> CheckExpression(const cypher::ExpressionPtr& expr) {
+  if (expr == nullptr) {
+    return Status::PlanError("ill-typed predicate: null expression node");
+  }
+  switch (expr->kind()) {
+    case ExprKind::kLiteral:
+      return LiteralType(expr->literal());
+    case ExprKind::kPropertyAccess:
+      if (expr->variable().empty() || expr->property_key().empty()) {
+        return IllTyped(*expr, "property access needs a variable and a key");
+      }
+      return StaticType::kValue;
+    case ExprKind::kComparison:
+      return CheckComparison(*expr);
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+    case ExprKind::kXor:
+    case ExprKind::kNot: {
+      // NOT is unary: only the left operand exists.
+      std::vector<ExpressionPtr> operands = {expr->left()};
+      if (expr->kind() != ExprKind::kNot) operands.push_back(expr->right());
+      for (const ExpressionPtr& side : operands) {
+        if (side == nullptr) {
+          return Status::PlanError(
+              "ill-typed predicate: logical operator is missing an operand");
+        }
+        GRADOOP_ASSIGN_OR_RETURN(StaticType t, CheckExpression(side));
+        if (t != StaticType::kBoolean && t != StaticType::kNull &&
+            t != StaticType::kValue) {
+          return IllTyped(*expr, "logical operand `" + side->ToString() +
+                                     "` has type " + StaticTypeName(t) +
+                                     ", expected boolean");
+        }
+      }
+      return StaticType::kBoolean;
+    }
+  }
+  return Status::PlanError("ill-typed predicate: unknown expression kind");
+}
+
+Status CheckClause(const cypher::CnfClause& clause) {
+  if (clause.atoms.empty()) {
+    return Status::PlanError("ill-typed predicate: CNF clause has no atoms");
+  }
+  for (const cypher::ExpressionPtr& atom : clause.atoms) {
+    GRADOOP_ASSIGN_OR_RETURN(StaticType t, CheckExpression(atom));
+    if (t != StaticType::kBoolean && t != StaticType::kNull &&
+        t != StaticType::kValue) {
+      return Status::PlanError(
+          "ill-typed predicate `" + atom->ToString() + "`: atom has type " +
+          StaticTypeName(t) + ", expected boolean");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace gradoop::analysis

@@ -1,0 +1,53 @@
+#ifndef GRADOOP_ANALYSIS_TYPE_CHECK_H_
+#define GRADOOP_ANALYSIS_TYPE_CHECK_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "cypher/expression.h"
+
+namespace gradoop::analysis {
+
+// Static type of an expression subtree. The property graph model is
+// schema-free, so a property access types as kValue (any value, possibly
+// NULL) until a declared property column narrows it; literals carry their
+// value type; predicates are kBoolean.
+enum class StaticType {
+  kNull,     // the NULL literal
+  kBoolean,  // comparison / logical result, boolean literal
+  kInteger,
+  kFloat,
+  kString,
+  kIdList,   // variable-length path `via` list
+  kValue,    // statically unknown value (schema-free property access)
+};
+
+const char* StaticTypeName(StaticType type);
+
+// Folds an expression tree bottom-up and returns its static type, or a
+// PlanError when the tree is ill-typed. Rules (mirroring what
+// EvaluateTernary / EvaluateValue can actually execute):
+//
+//  - comparison operands must be value-producing (literal or property
+//    access); a comparison/logical operand would hit the evaluator's
+//    assert and is rejected here;
+//  - ordering comparisons (< <= > >=) require operands whose types can
+//    compare: numeric with numeric, string with string; boolean and
+//    id-list values only support = and <>; mismatched concrete literal
+//    types (e.g. 1 < 'a') are rejected as statically never-true;
+//  - logical operands (AND/OR/XOR/NOT and the atoms of a CNF clause) must
+//    be boolean-typed: a predicate position holding a non-boolean,
+//    non-NULL literal (e.g. WHERE 42) is statically always-NULL and
+//    rejected.
+//
+// NULL operands stay legal everywhere: Cypher's ternary logic gives them
+// a defined (NULL) result, and predicates over them simply fail at
+// runtime rather than being type errors.
+Result<StaticType> CheckExpression(const cypher::ExpressionPtr& expr);
+
+// Checks every atom of a CNF clause in predicate position.
+Status CheckClause(const cypher::CnfClause& clause);
+
+}  // namespace gradoop::analysis
+
+#endif  // GRADOOP_ANALYSIS_TYPE_CHECK_H_

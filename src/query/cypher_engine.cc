@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "analysis/plan_verifier.h"
 #include "cypher/parser.h"
 
 namespace gradoop::query {
@@ -38,6 +39,10 @@ Result<CypherMatchResult> CypherEngine::Execute(
   }
   GRADOOP_ASSIGN_OR_RETURN(PlanNodePtr plan,
                            PlanQuery(qg, stats_, planner_options_));
+  // Invariant gate before anything runs: cheap structural checks always,
+  // full column-layout simulation and predicate type checking in debug
+  // builds. A failure here is a planner bug, not a user error.
+  GRADOOP_RETURN_IF_ERROR(analysis::VerifyPlan(qg, plan));
   ScanCache scan_cache;
   GRADOOP_ASSIGN_OR_RETURN(
       EmbeddingSet embeddings,

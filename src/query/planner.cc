@@ -6,6 +6,8 @@
 #include <limits>
 #include <map>
 
+#include "analysis/plan_verifier.h"
+
 namespace gradoop::query {
 
 namespace {
@@ -75,6 +77,9 @@ class Planner {
 
   Result<PlanNodePtr> Plan() {
     BuildUnits();
+    for (const PlanNodePtr& unit : units_) {
+      GRADOOP_RETURN_IF_ERROR(VerifyCandidate(unit));
+    }
     for (const CnfClause& clause : qg_.CrossPredicates()) {
       pending_filters_.push_back(clause);
     }
@@ -89,6 +94,15 @@ class Planner {
   }
 
  private:
+  // Static invariant gate run on every partial plan the search produces.
+  // A violation is a planner bug: surfacing it at the combination step
+  // pinpoints the construction that broke the bookkeeping.
+  Status VerifyCandidate(const PlanNodePtr& node) const {
+    if (!options_.verify_candidates) return Status::Ok();
+    return analysis::VerifyCandidatePlan(
+        qg_, node, analysis::VerifyOptions::Exhaustive());
+  }
+
   // --- leaf construction ----------------------------------------------
 
   void BuildUnits() {
@@ -383,6 +397,7 @@ class Planner {
     for (const auto& [root, members] : components) {
       GRADOOP_ASSIGN_OR_RETURN(PlanNodePtr tree, DpOverUnits(members));
       component_trees.push_back(AttachFiltersRecursively(std::move(tree)));
+      GRADOOP_RETURN_IF_ERROR(VerifyCandidate(component_trees.back()));
     }
     units_ = std::move(component_trees);
     // The greedy loop finishes the plan: expansions, value joins and (only
@@ -484,6 +499,7 @@ class Planner {
         units_.erase(units_.begin() + best_j);
         units_.erase(units_.begin() + best_i);
         units_.push_back(std::move(joined));
+        GRADOOP_RETURN_IF_ERROR(VerifyCandidate(units_.back()));
         continue;
       }
       if (best_exp_unit >= 0) {
@@ -495,11 +511,15 @@ class Planner {
         pending_expansions_.erase(pending_expansions_.begin() +
                                   best_exp_edge);
         units_.push_back(std::move(expanded));
+        GRADOOP_RETURN_IF_ERROR(VerifyCandidate(units_.back()));
         continue;
       }
       // No connected combination exists. Prefer a value join on a
       // pending property equality over a raw cartesian product.
-      if (TryValueJoin(&units_) != nullptr) continue;
+      if (PlanNodePtr vj = TryValueJoin(&units_); vj != nullptr) {
+        GRADOOP_RETURN_IF_ERROR(VerifyCandidate(vj));
+        continue;
+      }
       if (units_.size() < 2) {
         return Status::PlanError(
             "variable-length path with no bound endpoint");
@@ -512,6 +532,7 @@ class Planner {
           AttachFilters(MakeJoin(units_[0], units_[1], {}));
       units_.erase(units_.begin(), units_.begin() + 2);
       units_.push_back(std::move(joined));
+      GRADOOP_RETURN_IF_ERROR(VerifyCandidate(units_.back()));
     }
     if (!pending_filters_.empty()) {
       return Status::PlanError("unapplied cross predicates remain");
@@ -531,6 +552,7 @@ class Planner {
     PlanNodePtr current = units_.front();
     units_.erase(units_.begin());
     current = AttachFilters(current);
+    GRADOOP_RETURN_IF_ERROR(VerifyCandidate(current));
     while (!units_.empty() || !pending_expansions_.empty()) {
       // Expansions first (textual order puts them where they appear).
       bool advanced = false;
@@ -540,6 +562,7 @@ class Planner {
         if (ok) {
           current = AttachFilters(
               MakeExpansion(current, pending_expansions_[x], reverse));
+          GRADOOP_RETURN_IF_ERROR(VerifyCandidate(current));
           pending_expansions_.erase(pending_expansions_.begin() + x);
           advanced = true;
           break;
@@ -571,6 +594,7 @@ class Planner {
           current = pool.back();
           pool.pop_back();
           units_.assign(pool.begin(), pool.end());
+          GRADOOP_RETURN_IF_ERROR(VerifyCandidate(current));
           continue;
         }
       }
@@ -591,6 +615,7 @@ class Planner {
           node->right->property_variables.end());
       units_.erase(units_.begin() + pick);
       current = AttachFilters(node);
+      GRADOOP_RETURN_IF_ERROR(VerifyCandidate(current));
     }
     if (!pending_filters_.empty()) {
       return Status::PlanError("unapplied cross predicates remain");

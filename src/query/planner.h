@@ -38,6 +38,16 @@ struct PlannerOptions {
   double equality_selectivity = 0.05;
   double range_selectivity = 0.25;
   double inequality_selectivity = 0.9;
+
+  // Run analysis::PlanVerifier over every combined partial plan during the
+  // search (defaults on in debug builds). Catches bookkeeping bugs at the
+  // combination step that introduces them instead of at execution time;
+  // the final plan is verified by the engine regardless.
+#ifdef NDEBUG
+  bool verify_candidates = false;
+#else
+  bool verify_candidates = true;
+#endif
 };
 
 // Builds a physical plan for `query_graph` over a graph described by

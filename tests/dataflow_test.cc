@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <numeric>
 
 #include "dataflow/bulk_iteration.h"
@@ -37,6 +39,47 @@ TEST(ThreadPoolTest, SequentialBatches) {
     total += std::accumulate(parts.begin(), parts.end(), 0);
   }
   EXPECT_EQ(total, 80);
+}
+
+TEST(ThreadPoolTest, StressManyBatchesUnderContention) {
+  // Hammers the queue / pending / batch_done handshake: many short wide
+  // batches so workers constantly race on batch boundaries. Run under
+  // TSan by ci/check.sh.
+  ThreadPool pool(8);
+  std::atomic<uint64_t> sum{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.RunAndWait(64, [&](int i) {
+      sum.fetch_add(static_cast<uint64_t>(i), std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(sum.load(), 200ull * (63 * 64 / 2));
+}
+
+TEST(DatasetTest, WideShufflePipelineUnderContention) {
+  // Shuffle + join + reduce with many partitions: per-partition output
+  // slots are written concurrently by the pool, so TSan covers the
+  // dataset transformation paths end to end.
+  ClusterConfig cfg;
+  cfg.num_workers = 16;
+  auto ctx = MakeContext(cfg);
+  std::vector<int> data(2000);
+  std::iota(data.begin(), data.end(), 0);
+  auto ds = Dataset<int>::FromVector(ctx, std::move(data));
+  auto key = [](const int& v) { return static_cast<uint64_t>(v % 31); };
+  auto joined = ds.HashJoin<int>(
+      ds, key, key,
+      [](const int& l, const int& r, std::vector<int>* out) {
+        out->push_back(l + r);
+      });
+  // 2000 = 31*64 + 16: sixteen key classes of 65 values, fifteen of 64.
+  EXPECT_EQ(joined.Count(), 16ull * 65 * 65 + 15ull * 64 * 64);
+  auto reduced = ds.ReduceByKey(
+      key, [](const int&) { return uint64_t{1}; },
+      [](uint64_t acc, const int&) { return acc + 1; });
+  uint64_t total = 0;
+  for (const auto& [k, n] : reduced.Collect()) total += n;
+  EXPECT_EQ(total, 2000u);
+  EXPECT_EQ(ds.Distinct(key).Count(), 31u);
 }
 
 TEST(DatasetTest, FromVectorPartitionsEverything) {

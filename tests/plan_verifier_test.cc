@@ -1,0 +1,393 @@
+#include "analysis/plan_verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/type_check.h"
+#include "cypher/parser.h"
+#include "ldbc/ldbc_generator.h"
+#include "ldbc/queries.h"
+#include "query/cypher_engine.h"
+#include "query/operators.h"
+#include "query/planner.h"
+
+namespace gradoop::analysis {
+namespace {
+
+using cypher::Expression;
+using cypher::QueryGraph;
+using query::PlanNode;
+using query::PlanNodePtr;
+
+QueryGraph QG(const std::string& text) {
+  auto ast = cypher::ParseCypher(text);
+  EXPECT_TRUE(ast.ok()) << ast.status();
+  auto qg = QueryGraph::Build(ast.value());
+  EXPECT_TRUE(qg.ok()) << qg.status();
+  return std::move(qg).value();
+}
+
+query::GraphStatistics LdbcStats() {
+  ldbc::LdbcConfig cfg;
+  cfg.scale_factor = 0.05;
+  auto graph = ldbc::LdbcGenerator(cfg).Generate(dataflow::MakeContext());
+  return query::GraphStatistics::Compute(graph);
+}
+
+PlanNodePtr PlanFor(const QueryGraph& qg,
+                    const query::PlannerOptions& options = {}) {
+  auto plan = query::PlanQuery(qg, LdbcStats(), options);
+  EXPECT_TRUE(plan.ok()) << plan.status();
+  return plan.value();
+}
+
+// First node of `kind` in preorder; the tests mutate it to corrupt a
+// specific invariant.
+PlanNodePtr FindNodePtr(const PlanNodePtr& plan, PlanNode::Kind kind) {
+  if (plan == nullptr) return nullptr;
+  if (plan->kind == kind) return plan;
+  if (PlanNodePtr n = FindNodePtr(plan->left, kind)) return n;
+  return FindNodePtr(plan->right, kind);
+}
+
+PlanNode* FindNode(const PlanNodePtr& plan, PlanNode::Kind kind) {
+  return FindNodePtr(plan, kind).get();
+}
+
+// --- planner output is accepted --------------------------------------
+
+TEST(PlanVerifierTest, AcceptsAllSixLdbcPlansInEveryPlannerMode) {
+  auto stats = LdbcStats();
+  for (const auto mode : {query::PlannerOptions::Mode::kGreedy,
+                          query::PlannerOptions::Mode::kLeftDeep,
+                          query::PlannerOptions::Mode::kDynamicProgramming}) {
+    query::PlannerOptions options;
+    options.mode = mode;
+    for (const std::string& q :
+         {ldbc::Query1("X"), ldbc::Query2("X"), ldbc::Query3("X"),
+          ldbc::Query4(), ldbc::Query5(), ldbc::Query6()}) {
+      auto qg = QG(q);
+      auto plan = query::PlanQuery(qg, stats, options);
+      ASSERT_TRUE(plan.ok()) << q << " -> " << plan.status();
+      const Status s =
+          VerifyPlan(qg, plan.value(), VerifyOptions::Exhaustive());
+      EXPECT_TRUE(s.ok()) << q << " -> " << s;
+    }
+  }
+}
+
+TEST(PlanVerifierTest, AcceptsValueJoinPlans) {
+  auto qg = QG(
+      "MATCH (p:Person), (q:Person) WHERE p.firstName = q.lastName RETURN *");
+  auto plan = PlanFor(qg);
+  ASSERT_NE(FindNode(plan, PlanNode::Kind::kValueJoin), nullptr);
+  EXPECT_TRUE(VerifyPlan(qg, plan, VerifyOptions::Exhaustive()).ok());
+}
+
+TEST(PlanVerifierTest, RejectsIllTypedScanPredicate) {
+  // A single-variable clause executes inside the leaf scan and never
+  // appears as a plan node; exhaustive verification must still type-check
+  // it through the query graph.
+  auto qg = QG("MATCH (a:Person) WHERE a.firstName < true RETURN *");
+  query::PlannerOptions options;
+  options.verify_candidates = false;  // reach VerifyPlan with a full plan
+  auto plan = PlanFor(qg, options);
+  EXPECT_TRUE(VerifyPlan(qg, plan, VerifyOptions::Cheap()).ok());
+  const Status s = VerifyPlan(qg, plan, VerifyOptions::Exhaustive());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kPlanError);
+  EXPECT_NE(s.message().find("cannot order"), std::string::npos) << s;
+}
+
+// --- one corrupted plan per invariant ---------------------------------
+
+TEST(PlanVerifierTest, RejectsOutOfRangeVertexScanIndex) {
+  auto qg = QG("MATCH (p:Person) RETURN *");
+  auto plan = PlanFor(qg);
+  PlanNode* scan = FindNode(plan, PlanNode::Kind::kScanVertices);
+  ASSERT_NE(scan, nullptr);
+  scan->element_index = 7;
+  const Status s = VerifyCandidatePlan(qg, plan, VerifyOptions::Cheap());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_NE(s.message().find("element_index 7"), std::string::npos) << s;
+}
+
+TEST(PlanVerifierTest, RejectsOutOfRangeExpandIndex) {
+  auto qg = QG("MATCH (a:Person)-[e:knows*1..3]->(b:Person) RETURN *");
+  auto plan = PlanFor(qg);
+  PlanNode* expand = FindNode(plan, PlanNode::Kind::kExpand);
+  ASSERT_NE(expand, nullptr);
+  expand->element_index = 5;
+  const Status s = VerifyCandidatePlan(qg, plan, VerifyOptions::Cheap());
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("outside query edges"), std::string::npos) << s;
+}
+
+TEST(PlanVerifierTest, RejectsUnboundJoinVariable) {
+  auto qg = QG("MATCH (p:Person)-[:knows]->(q:Person) RETURN *");
+  auto plan = PlanFor(qg);
+  PlanNode* join = FindNode(plan, PlanNode::Kind::kJoin);
+  ASSERT_NE(join, nullptr);
+  // {p, q} are query variables, but no join of this plan shares both
+  // between its two inputs.
+  join->join_variables.assign({"p", "q"});
+  const Status s = VerifyCandidatePlan(qg, plan, VerifyOptions::Cheap());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_NE(s.message().find("shared variables"), std::string::npos) << s;
+}
+
+TEST(PlanVerifierTest, RejectsDroppedJoinVariable) {
+  auto qg = QG("MATCH (p:Person)-[:knows]->(q:Person) RETURN *");
+  auto plan = PlanFor(qg);
+  PlanNode* join = FindNode(plan, PlanNode::Kind::kJoin);
+  ASSERT_NE(join, nullptr);
+  // Forgetting the shared variable silently drops an id equality.
+  join->join_variables.clear();
+  EXPECT_FALSE(VerifyCandidatePlan(qg, plan, VerifyOptions::Cheap()).ok());
+}
+
+TEST(PlanVerifierTest, RejectsCorruptedBoundVariables) {
+  auto qg = QG("MATCH (p:Person)-[:knows]->(q:Person) RETURN *");
+  auto plan = PlanFor(qg);
+  plan->bound_variables.insert("ghost");
+  const Status s = VerifyCandidatePlan(qg, plan, VerifyOptions::Cheap());
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("ghost"), std::string::npos) << s;
+}
+
+TEST(PlanVerifierTest, RejectsDanglingFilterPropertyColumn) {
+  auto qg = QG(
+      "MATCH (a:Person)-[:knows]->(b:Person) "
+      "WHERE a.firstName <> b.firstName RETURN *");
+  auto plan = PlanFor(qg);
+  PlanNode* filter = FindNode(plan, PlanNode::Kind::kFilter);
+  ASSERT_NE(filter, nullptr);
+  // The clause reads a property the scans never projected: its column
+  // does not exist in any embedding of the subtree.
+  cypher::CnfClause dangling;
+  dangling.atoms.push_back(Expression::Comparison(
+      cypher::ComparisonOp::kEq, Expression::PropertyAccess("a", "bogus"),
+      Expression::Literal(epgm::PropertyValue(int64_t{1}))));
+  filter->clauses.push_back(dangling);
+  const Status s = VerifyCandidatePlan(qg, plan, VerifyOptions::Exhaustive());
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("a.bogus"), std::string::npos) << s;
+}
+
+TEST(PlanVerifierTest, RejectsDanglingValueJoinKey) {
+  auto qg = QG(
+      "MATCH (p:Person), (q:Person) WHERE p.firstName = q.lastName RETURN *");
+  auto plan = PlanFor(qg);
+  PlanNode* vj = FindNode(plan, PlanNode::Kind::kValueJoin);
+  ASSERT_NE(vj, nullptr);
+  vj->value_join_keys[0].first = Expression::PropertyAccess("p", "nope");
+  const Status s = VerifyCandidatePlan(qg, plan, VerifyOptions::Exhaustive());
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("no projected"), std::string::npos) << s;
+}
+
+TEST(PlanVerifierTest, RejectsFilterOnUnboundVariable) {
+  auto qg = QG(
+      "MATCH (a:Person)-[:knows]->(b:Person) "
+      "WHERE a.firstName <> b.firstName RETURN *");
+  auto plan = PlanFor(qg);
+  PlanNode* filter = FindNode(plan, PlanNode::Kind::kFilter);
+  ASSERT_NE(filter, nullptr);
+  // Push the cross filter below the join that binds `b`: find the scan of
+  // `a` and hang the filter's clauses off a fresh filter node above it.
+  PlanNode* scan = FindNode(plan, PlanNode::Kind::kScanVertices);
+  ASSERT_NE(scan, nullptr);
+  auto misplaced = std::make_shared<PlanNode>(*scan);
+  auto wrapper = std::make_shared<PlanNode>();
+  wrapper->kind = PlanNode::Kind::kFilter;
+  wrapper->left = misplaced;
+  wrapper->clauses = filter->clauses;
+  wrapper->bound_variables = misplaced->bound_variables;
+  wrapper->property_variables = misplaced->property_variables;
+  wrapper->estimated_cardinality = misplaced->estimated_cardinality;
+  const Status s =
+      VerifyCandidatePlan(qg, wrapper, VerifyOptions::Cheap());
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("unbound variable"), std::string::npos) << s;
+}
+
+TEST(PlanVerifierTest, RejectsIllTypedPredicate) {
+  auto qg = QG("MATCH (p:Person) WHERE p.firstName = 'X' RETURN *");
+  auto plan = PlanFor(qg);
+  // Wrap the plan in a filter whose clause cannot type: ordering an
+  // integer against a string is statically never satisfiable.
+  auto filter = std::make_shared<PlanNode>();
+  filter->kind = PlanNode::Kind::kFilter;
+  filter->left = plan;
+  filter->bound_variables = plan->bound_variables;
+  filter->property_variables = plan->property_variables;
+  filter->estimated_cardinality = plan->estimated_cardinality;
+  cypher::CnfClause clause;
+  clause.atoms.push_back(Expression::Comparison(
+      cypher::ComparisonOp::kLt,
+      Expression::Literal(epgm::PropertyValue(int64_t{1})),
+      Expression::Literal(epgm::PropertyValue("a"))));
+  filter->clauses.push_back(clause);
+  const Status s =
+      VerifyCandidatePlan(qg, filter, VerifyOptions::Exhaustive());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kPlanError);
+  EXPECT_NE(s.message().find("ill-typed"), std::string::npos) << s;
+}
+
+TEST(PlanVerifierTest, RejectsIncompletePlanOnlyAtTheRoot) {
+  auto qg = QG("MATCH (p:Person)-[:knows]->(q:Person) RETURN *");
+  auto plan = PlanFor(qg);
+  // A lone scan is a fine candidate but not a complete plan: it leaves
+  // the edge and the other vertex unbound.
+  PlanNodePtr scan = FindNodePtr(plan, PlanNode::Kind::kScanVertices);
+  ASSERT_NE(scan, nullptr);
+  EXPECT_TRUE(
+      VerifyCandidatePlan(qg, scan, VerifyOptions::Exhaustive()).ok());
+  const Status s = VerifyPlan(qg, scan, VerifyOptions::Exhaustive());
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("unbound"), std::string::npos) << s;
+}
+
+// --- expression type checker ------------------------------------------
+
+TEST(TypeCheckTest, AcceptsSchemaFreePropertyComparisons) {
+  // A property access is statically unknown: everything may compare.
+  auto cmp = Expression::Comparison(
+      cypher::ComparisonOp::kLt, Expression::PropertyAccess("a", "x"),
+      Expression::Literal(epgm::PropertyValue(int64_t{3})));
+  auto t = CheckExpression(cmp);
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t.value(), StaticType::kBoolean);
+}
+
+TEST(TypeCheckTest, AcceptsNullOperands) {
+  auto cmp = Expression::Comparison(
+      cypher::ComparisonOp::kEq, Expression::Literal(epgm::PropertyValue()),
+      Expression::Literal(epgm::PropertyValue("a")));
+  EXPECT_TRUE(CheckExpression(cmp).ok());
+}
+
+TEST(TypeCheckTest, RejectsOrderingMismatchedLiteralTypes) {
+  auto cmp = Expression::Comparison(
+      cypher::ComparisonOp::kGte,
+      Expression::Literal(epgm::PropertyValue(int64_t{1})),
+      Expression::Literal(epgm::PropertyValue("a")));
+  const auto t = CheckExpression(cmp);
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kPlanError);
+  EXPECT_NE(t.status().message().find("cannot order"), std::string::npos);
+}
+
+TEST(TypeCheckTest, RejectsOrderingBooleans) {
+  auto cmp = Expression::Comparison(
+      cypher::ComparisonOp::kLt,
+      Expression::Literal(epgm::PropertyValue(true)),
+      Expression::Literal(epgm::PropertyValue(false)));
+  EXPECT_FALSE(CheckExpression(cmp).ok());
+}
+
+TEST(TypeCheckTest, RejectsOrderingAgainstBooleanWithUnknownSide) {
+  // A property access is statically unknown, but nothing orders against a
+  // boolean, so `a.x < true` is NULL for every value of a.x.
+  auto cmp = Expression::Comparison(
+      cypher::ComparisonOp::kLt, Expression::PropertyAccess("a", "x"),
+      Expression::Literal(epgm::PropertyValue(true)));
+  const auto t = CheckExpression(cmp);
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().message().find("cannot order"), std::string::npos);
+  // Equality stays legal: `a.x = true` has a well-defined runtime result.
+  auto eq = Expression::Comparison(
+      cypher::ComparisonOp::kEq, Expression::PropertyAccess("a", "x"),
+      Expression::Literal(epgm::PropertyValue(true)));
+  EXPECT_TRUE(CheckExpression(eq).ok());
+}
+
+TEST(TypeCheckTest, RejectsComparisonOfNonValueOperand) {
+  // The evaluator asserts on this shape (EvaluateValue only handles
+  // literals and property accesses); the checker must reject it first.
+  auto inner = Expression::Comparison(
+      cypher::ComparisonOp::kEq, Expression::PropertyAccess("a", "x"),
+      Expression::Literal(epgm::PropertyValue(int64_t{1})));
+  auto outer = Expression::Comparison(
+      cypher::ComparisonOp::kEq, inner,
+      Expression::Literal(epgm::PropertyValue(true)));
+  const auto t = CheckExpression(outer);
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().message().find("not a value"), std::string::npos);
+}
+
+TEST(TypeCheckTest, RejectsNonBooleanPredicatePosition) {
+  // WHERE 42 — a bare non-boolean literal in predicate position.
+  cypher::CnfClause clause;
+  clause.atoms.push_back(
+      Expression::Literal(epgm::PropertyValue(int64_t{42})));
+  EXPECT_FALSE(CheckClause(clause).ok());
+}
+
+TEST(TypeCheckTest, AcceptsLogicalOverComparisons) {
+  auto lhs = Expression::Comparison(
+      cypher::ComparisonOp::kEq, Expression::PropertyAccess("a", "x"),
+      Expression::Literal(epgm::PropertyValue(int64_t{1})));
+  auto rhs = Expression::Comparison(
+      cypher::ComparisonOp::kNeq, Expression::PropertyAccess("b", "y"),
+      Expression::Literal(epgm::PropertyValue("z")));
+  EXPECT_TRUE(CheckExpression(Expression::And(lhs, rhs)).ok());
+  EXPECT_TRUE(CheckExpression(Expression::Not(lhs)).ok());
+  // AND over a non-boolean operand is rejected.
+  EXPECT_FALSE(
+      CheckExpression(
+          Expression::And(lhs,
+                          Expression::Literal(epgm::PropertyValue(int64_t{1}))))
+          .ok());
+}
+
+// --- meta data simulation matches the operators -----------------------
+
+TEST(PlanVerifierTest, EdgeScanSimulationMatchesOperatorMetaData) {
+  auto qg = QG(
+      "MATCH (p:Person)-[k:knows]->(q:Person) "
+      "WHERE k.since > 2000 RETURN *");
+  const cypher::QueryEdge& e = qg.edges()[0];
+  const std::string& src = qg.vertices()[e.source].variable;
+  const std::string& dst = qg.vertices()[e.target].variable;
+  auto scan = std::make_shared<PlanNode>();
+  scan->kind = PlanNode::Kind::kScanEdges;
+  scan->element_index = 0;
+  scan->bound_variables = {src, e.variable, dst};
+  scan->property_variables = {e.variable};
+  scan->estimated_cardinality = 1.0;
+  auto simulated = PlanVerifier(qg).SimulateMetaData(scan);
+  ASSERT_TRUE(simulated.ok()) << simulated.status();
+  const auto actual = query::EdgeScanMetaData(
+      e, src, dst, qg.NeededProperties(e.variable));
+  EXPECT_EQ(simulated.value().ToString(), actual.ToString());
+}
+
+TEST(PlanVerifierTest, SimulationMatchesExecutedMetaData) {
+  ldbc::LdbcConfig cfg;
+  cfg.scale_factor = 0.05;
+  auto graph = ldbc::LdbcGenerator(cfg).Generate(dataflow::MakeContext());
+  query::CypherEngine engine(std::move(graph));
+  for (const std::string& q :
+       {std::string("MATCH (p:Person)-[:knows]->(q:Person) "
+                    "WHERE p.firstName <> q.firstName RETURN *"),
+        std::string("MATCH (a:Person)-[e:knows*1..2]->(b:Person) RETURN *"),
+        ldbc::Query1("X"), ldbc::Query4(), ldbc::Query6()}) {
+    auto result = engine.Execute(q);
+    ASSERT_TRUE(result.ok()) << q << " -> " << result.status();
+    auto simulated =
+        PlanVerifier(result.value().query_graph)
+            .SimulateMetaData(result.value().plan);
+    ASSERT_TRUE(simulated.ok()) << q << " -> " << simulated.status();
+    EXPECT_EQ(simulated.value().ToString(),
+              result.value().embeddings.meta.ToString())
+        << q;
+  }
+}
+
+}  // namespace
+}  // namespace gradoop::analysis
