@@ -18,9 +18,9 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 ONLY="${1:-all}"
 
 case "${ONLY}" in
-  all|plain|asan|tsan|tidy) ;;
+  all|plain|asan|tsan|tidy|lint) ;;
   *)
-    echo "usage: ci/check.sh [all|plain|asan|tsan|tidy]" >&2
+    echo "usage: ci/check.sh [all|plain|asan|tsan|tidy|lint]" >&2
     echo "unknown tree '${ONLY}'" >&2
     exit 2
     ;;
@@ -57,6 +57,19 @@ if [[ "${ONLY}" == "all" || "${ONLY}" == "tsan" ]]; then
   run_tree tsan \
     -DCMAKE_BUILD_TYPE=Debug \
     -DGRADOOP_TSAN=ON
+fi
+
+# Query lint stage: run the semantic analyzer over every query the repo
+# ships (the LDBC benchmark set and the example corpus) and fail on any
+# error-severity diagnostic. Reuses the plain tree's cypher_lint binary.
+if [[ "${ONLY}" == "all" || "${ONLY}" == "lint" ]]; then
+  echo "=== [lint] cypher_lint over LDBC + example queries ==="
+  if [[ ! -x "${OUT}/plain/tools/cypher_lint" ]]; then
+    cmake -B "${OUT}/plain" -S "${ROOT}" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGRADOOP_WERROR=ON >/dev/null
+    cmake --build "${OUT}/plain" -j "${JOBS}" --target cypher_lint
+  fi
+  "${OUT}/plain/tools/cypher_lint" --ldbc "${ROOT}"/examples/queries/*.cypher
 fi
 
 # Optional lint stage: the sanitizer gates above are mandatory, clang-tidy

@@ -1,0 +1,4 @@
+// Mutual friendships (examples/analytical_pipeline.cpp): pairs that
+// know each other in both directions.
+MATCH (a:Person)-[e1:knows]->(b:Person), (b)-[e2:knows]->(a)
+RETURN a.firstName, b.firstName

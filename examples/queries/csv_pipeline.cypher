@@ -1,0 +1,5 @@
+// Students of one university (examples/csv_pipeline.cpp), over a graph
+// loaded from CSV.
+MATCH (p:Person)-[:studyAt]->(u:University)
+WHERE u.name = 'Uni Leipzig'
+RETURN p.firstName, p.lastName

@@ -1,0 +1,5 @@
+// Two pattern edges over the same endpoints
+// (examples/morphism_semantics.cpp): under edge homomorphism both bind
+// the SAME data edge; edge isomorphism requires distinct parallel edges.
+MATCH (a:Person)-[e1:knows]->(b:Person), (a)-[e2:knows]->(b)
+RETURN *

@@ -1,0 +1,5 @@
+// Friend-of-friend chains (examples/morphism_semantics.cpp): whether b
+// may equal a and whether e1 may equal e2 depends on the morphism
+// configuration the query runs under.
+MATCH (a:Person)-[e1:knows]->(b:Person)-[e2:knows]->(c:Person)
+RETURN *

@@ -1,0 +1,3 @@
+// Two-hop walks (examples/morphism_semantics.cpp): may the same
+// friendship edge be used twice within one variable-length path?
+MATCH (a:Person)-[e:knows*2..2]->(c:Person) RETURN *

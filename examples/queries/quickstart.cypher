@@ -1,0 +1,10 @@
+// The paper's Section 2.3 query (examples/quickstart.cpp): pairs of
+// persons studying at Uni Leipzig with different genders, knowing each
+// other within at most three friendship hops.
+MATCH (p1:Person)-[s:studyAt]->(u:University),
+      (p2:Person)-[:studyAt]->(u),
+      (p1)-[e:knows*1..3]->(p2)
+WHERE p1.gender <> p2.gender
+  AND u.name = 'Uni Leipzig'
+  AND s.classYear > 2014
+RETURN p1.name, p2.name

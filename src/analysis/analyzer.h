@@ -1,0 +1,59 @@
+#ifndef GRADOOP_ANALYSIS_ANALYZER_H_
+#define GRADOOP_ANALYSIS_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "cypher/ast.h"
+#include "cypher/expression.h"
+#include "query/graph_statistics.h"
+#include "query/match_semantics.h"
+
+namespace gradoop::analysis {
+
+// Configuration for one analysis run.
+struct AnalyzerOptions {
+  // Enables the unknown-label pass (GQL102). Lint runs without a graph
+  // leave it null and skip that pass; everything else is graph-free.
+  const query::GraphStatistics* statistics = nullptr;
+  // Morphism configuration the query will execute under. It decides the
+  // meaning of bare element comparisons: `a = b` between two distinct
+  // vertex variables is constant-false under vertex isomorphism but not
+  // executable under vertex homomorphism.
+  query::MorphismSetting semantics = query::MorphismSetting::Neo4j();
+};
+
+// Everything the semantic passes learned about one query.
+struct AnalysisResult {
+  // Sorted by source position, then code — deterministic for goldens.
+  std::vector<Diagnostic> diagnostics;
+  // The match set is statically empty (contradictory labels, an
+  // unsatisfiable WHERE, or conflicting property constraints). The engine
+  // skips planning and returns an empty embedding set.
+  bool unsatisfiable = false;
+  // WHERE after constant folding: nullptr when it folded to TRUE or was
+  // absent, a `false` literal when it folded to FALSE/NULL (so query
+  // graphs built from it stay faithful), otherwise the residual
+  // expression. Meaningless when HasErrors() — erroneous queries are
+  // never executed.
+  cypher::ExpressionPtr folded_where;
+
+  bool HasErrors() const;
+  // Every error diagnostic in single-line form, newline-separated — the
+  // payload of the PlanError the engine returns for a rejected query.
+  std::string ErrorSummary() const;
+};
+
+// Runs every semantic pass over a parsed query: scope and kind checking,
+// variable-length bound sanity, label vocabulary and contradiction
+// analysis, constant folding of WHERE under Cypher's ternary logic,
+// property-constraint satisfiability, and structural lints (unused
+// variables, disconnected patterns). Analysis never fails — problems
+// become diagnostics.
+AnalysisResult AnalyzeQuery(const cypher::CypherQuery& ast,
+                            const AnalyzerOptions& options = {});
+
+}  // namespace gradoop::analysis
+
+#endif  // GRADOOP_ANALYSIS_ANALYZER_H_

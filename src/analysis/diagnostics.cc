@@ -1,0 +1,79 @@
+#include "analysis/diagnostics.h"
+
+#include <algorithm>
+
+namespace gradoop::analysis {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::ToString() const {
+  return code + " " + SeverityName(severity) + ": " + message + " at " +
+         span.ToString();
+}
+
+namespace {
+
+// Extracts 1-based line `line` from `text`; returns false when the text
+// has fewer lines (a diagnostic produced against a different query).
+bool LineAt(const std::string& text, int line, std::string* out) {
+  size_t start = 0;
+  for (int i = 1; i < line; ++i) {
+    const size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) return false;
+    start = nl + 1;
+  }
+  const size_t end = text.find('\n', start);
+  *out = text.substr(start, end == std::string::npos ? std::string::npos
+                                                     : end - start);
+  return true;
+}
+
+}  // namespace
+
+std::string RenderDiagnostic(const Diagnostic& diagnostic,
+                             const std::string& query_text) {
+  std::string out = diagnostic.ToString();
+  std::string line;
+  if (!diagnostic.span.IsKnown() ||
+      !LineAt(query_text, diagnostic.span.line, &line)) {
+    return out;
+  }
+  const std::string number = std::to_string(diagnostic.span.line);
+  const std::string gutter(number.size(), ' ');
+  out += "\n  " + number + " | " + line;
+  // Tabs in the source line would desynchronize the caret column; render
+  // the underline with the same characters the line uses up to the span.
+  const size_t col = static_cast<size_t>(diagnostic.span.column);
+  std::string pad;
+  for (size_t i = 0; i + 1 < col && i < line.size(); ++i) {
+    pad += line[i] == '\t' ? '\t' : ' ';
+  }
+  size_t width = std::max<size_t>(diagnostic.span.length, 1);
+  if (col - 1 < line.size()) {
+    width = std::min(width, line.size() - (col - 1));
+  } else {
+    width = 1;  // span starts past the line end (e.g. at EOF)
+  }
+  out += "\n  " + gutter + " | " + pad + "^" + std::string(width - 1, '~');
+  return out;
+}
+
+std::string RenderDiagnostics(const std::vector<Diagnostic>& diagnostics,
+                              const std::string& query_text) {
+  std::string out;
+  for (size_t i = 0; i < diagnostics.size(); ++i) {
+    if (i > 0) out += "\n\n";
+    out += RenderDiagnostic(diagnostics[i], query_text);
+  }
+  return out;
+}
+
+}  // namespace gradoop::analysis

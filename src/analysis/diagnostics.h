@@ -1,0 +1,74 @@
+#ifndef GRADOOP_ANALYSIS_DIAGNOSTICS_H_
+#define GRADOOP_ANALYSIS_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "cypher/source_span.h"
+
+namespace gradoop::analysis {
+
+// Severity of a semantic diagnostic. Errors describe queries the engine
+// refuses to execute; warnings describe queries that execute but are
+// almost certainly not what the author meant (statically empty results,
+// dead variables, accidental cartesian products).
+enum class Severity {
+  kWarning,
+  kError,
+};
+
+const char* SeverityName(Severity severity);
+
+// Stable diagnostic codes. The numeric ranges are part of the contract
+// (golden tests and docs/diagnostics.md pin them): GQL0xx are errors,
+// GQL1xx are warnings. Codes are never renumbered or reused; retired
+// codes stay reserved.
+//
+// Errors.
+inline constexpr char kCodeUndefinedVariable[] = "GQL001";
+inline constexpr char kCodeVariableKindConflict[] = "GQL002";
+inline constexpr char kCodeEdgeRebound[] = "GQL003";
+inline constexpr char kCodeInvalidBounds[] = "GQL004";
+inline constexpr char kCodeElementMisuse[] = "GQL005";
+inline constexpr char kCodeIllTypedComparison[] = "GQL006";
+// Warnings.
+inline constexpr char kCodeUnusedVariable[] = "GQL101";
+inline constexpr char kCodeUnknownLabel[] = "GQL102";
+inline constexpr char kCodeLabelContradiction[] = "GQL103";
+inline constexpr char kCodePropertyContradiction[] = "GQL104";
+inline constexpr char kCodeConstantWhere[] = "GQL105";
+inline constexpr char kCodeConstantElementEquality[] = "GQL106";
+inline constexpr char kCodeCartesianProduct[] = "GQL107";
+inline constexpr char kCodeConstantComparison[] = "GQL108";
+
+// One semantic finding, anchored to a source span of the query text.
+struct Diagnostic {
+  std::string code;
+  Severity severity = Severity::kError;
+  std::string message;
+  cypher::SourceSpan span;
+
+  // "GQL004 error: ... at 1:14" — the single-line form used in Status
+  // messages and test assertions.
+  std::string ToString() const;
+};
+
+// Renders one diagnostic with the offending source line and a caret
+// underline:
+//
+//   GQL004 error: variable-length bounds are reversed (3 > 1) at 1:14
+//     1 | MATCH (a)-[e*3..1]->(b) RETURN *
+//       |              ^~~~~
+//
+// Spans with unknown location (synthesized nodes) render the one-line
+// form only. Multi-line spans are clamped to their first line.
+std::string RenderDiagnostic(const Diagnostic& diagnostic,
+                             const std::string& query_text);
+
+// Renders every diagnostic in order, separated by blank lines.
+std::string RenderDiagnostics(const std::vector<Diagnostic>& diagnostics,
+                              const std::string& query_text);
+
+}  // namespace gradoop::analysis
+
+#endif  // GRADOOP_ANALYSIS_DIAGNOSTICS_H_

@@ -133,6 +133,14 @@ Result<StaticType> CheckExpression(const cypher::ExpressionPtr& expr) {
         return IllTyped(*expr, "property access needs a variable and a key");
       }
       return StaticType::kValue;
+    case ExprKind::kVariable:
+      // Bare element references exist only for the semantic analyzer's
+      // `a = b` unsatisfiability analysis; the execution layer cannot
+      // evaluate them, and the analyzer folds every occurrence away
+      // before planning. One reaching this point is a pipeline bug.
+      return IllTyped(*expr,
+                      "bare variable reference is not executable; it must "
+                      "be folded by semantic analysis");
     case ExprKind::kComparison:
       return CheckComparison(*expr);
     case ExprKind::kAnd:

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cypher/expression.h"
+#include "cypher/source_span.h"
 #include "epgm/property_value.h"
 
 namespace gradoop::cypher {
@@ -29,6 +30,8 @@ struct NodePattern {
   std::vector<std::string> labels;  // alternation; empty = unlabeled
   // Property map sugar; each entry is an equality predicate on the node.
   std::vector<std::pair<std::string, epgm::PropertyValue>> properties;
+  SourceSpan span;           // the whole `(...)` pattern
+  SourceSpan variable_span;  // just the variable token (if user-named)
 };
 
 // -[variable :typeA|typeB *lower..upper {key: literal}]->
@@ -41,6 +44,9 @@ struct RelationshipPattern {
   // `*l..u` sets [l, u]; `*` alone defaults to [1, kDefaultUpperBound].
   int lower_bound = 1;
   int upper_bound = 1;
+  SourceSpan span;           // the whole `-[...]->` pattern
+  SourceSpan variable_span;  // just the variable token (if user-named)
+  SourceSpan bounds_span;    // the `*l..u` fragment (if present)
 
   bool IsVariableLength() const { return lower_bound != 1 || upper_bound != 1; }
 
@@ -51,6 +57,7 @@ struct RelationshipPattern {
 struct PatternPath {
   NodePattern start;
   std::vector<std::pair<RelationshipPattern, NodePattern>> steps;
+  SourceSpan span;  // from the first '(' to the last ')'
 };
 
 // One RETURN item: `*`, `variable` or `variable.key` (optionally aliased).
@@ -58,6 +65,7 @@ struct ReturnItem {
   std::string variable;
   std::string property_key;  // empty = whole element binding
   std::string alias;         // empty = no alias
+  SourceSpan span;
 
   bool IsPropertyAccess() const { return !property_key.empty(); }
 };

@@ -40,27 +40,47 @@ const char* ComparisonOpName(ComparisonOp op) {
   return "?";
 }
 
-ExpressionPtr Expression::Literal(epgm::PropertyValue value) {
+namespace {
+
+SourceSpan SpanOf(const ExpressionPtr& e) {
+  return e == nullptr ? SourceSpan{} : e->span();
+}
+
+}  // namespace
+
+ExpressionPtr Expression::Literal(epgm::PropertyValue value, SourceSpan span) {
   auto e = std::shared_ptr<Expression>(new Expression());
   e->kind_ = ExprKind::kLiteral;
   e->literal_ = std::move(value);
+  e->span_ = span;
   return e;
 }
 
 ExpressionPtr Expression::PropertyAccess(std::string variable,
-                                         std::string key) {
+                                         std::string key, SourceSpan span) {
   auto e = std::shared_ptr<Expression>(new Expression());
   e->kind_ = ExprKind::kPropertyAccess;
   e->variable_ = std::move(variable);
   e->property_key_ = std::move(key);
+  e->span_ = span;
+  return e;
+}
+
+ExpressionPtr Expression::Variable(std::string variable, SourceSpan span) {
+  auto e = std::shared_ptr<Expression>(new Expression());
+  e->kind_ = ExprKind::kVariable;
+  e->variable_ = std::move(variable);
+  e->span_ = span;
   return e;
 }
 
 ExpressionPtr Expression::Comparison(ComparisonOp op, ExpressionPtr lhs,
-                                     ExpressionPtr rhs) {
+                                     ExpressionPtr rhs, SourceSpan span) {
   auto e = std::shared_ptr<Expression>(new Expression());
   e->kind_ = ExprKind::kComparison;
   e->op_ = op;
+  e->span_ = span.IsKnown() ? span : SourceSpan::Cover(SpanOf(lhs),
+                                                       SpanOf(rhs));
   e->left_ = std::move(lhs);
   e->right_ = std::move(rhs);
   return e;
@@ -69,6 +89,7 @@ ExpressionPtr Expression::Comparison(ComparisonOp op, ExpressionPtr lhs,
 ExpressionPtr Expression::And(ExpressionPtr lhs, ExpressionPtr rhs) {
   auto e = std::shared_ptr<Expression>(new Expression());
   e->kind_ = ExprKind::kAnd;
+  e->span_ = SourceSpan::Cover(SpanOf(lhs), SpanOf(rhs));
   e->left_ = std::move(lhs);
   e->right_ = std::move(rhs);
   return e;
@@ -77,6 +98,7 @@ ExpressionPtr Expression::And(ExpressionPtr lhs, ExpressionPtr rhs) {
 ExpressionPtr Expression::Or(ExpressionPtr lhs, ExpressionPtr rhs) {
   auto e = std::shared_ptr<Expression>(new Expression());
   e->kind_ = ExprKind::kOr;
+  e->span_ = SourceSpan::Cover(SpanOf(lhs), SpanOf(rhs));
   e->left_ = std::move(lhs);
   e->right_ = std::move(rhs);
   return e;
@@ -85,14 +107,16 @@ ExpressionPtr Expression::Or(ExpressionPtr lhs, ExpressionPtr rhs) {
 ExpressionPtr Expression::Xor(ExpressionPtr lhs, ExpressionPtr rhs) {
   auto e = std::shared_ptr<Expression>(new Expression());
   e->kind_ = ExprKind::kXor;
+  e->span_ = SourceSpan::Cover(SpanOf(lhs), SpanOf(rhs));
   e->left_ = std::move(lhs);
   e->right_ = std::move(rhs);
   return e;
 }
 
-ExpressionPtr Expression::Not(ExpressionPtr operand) {
+ExpressionPtr Expression::Not(ExpressionPtr operand, SourceSpan span) {
   auto e = std::shared_ptr<Expression>(new Expression());
   e->kind_ = ExprKind::kNot;
+  e->span_ = span.IsKnown() ? span : SpanOf(operand);
   e->left_ = std::move(operand);
   return e;
 }
@@ -107,7 +131,9 @@ void Expression::CollectPropertyAccesses(
 }
 
 void Expression::CollectVariables(std::set<std::string>* out) const {
-  if (kind_ == ExprKind::kPropertyAccess) out->insert(variable_);
+  if (kind_ == ExprKind::kPropertyAccess || kind_ == ExprKind::kVariable) {
+    out->insert(variable_);
+  }
   if (left_) left_->CollectVariables(out);
   if (right_) right_->CollectVariables(out);
 }
@@ -119,6 +145,8 @@ std::string Expression::ToString() const {
                                   : literal_.ToString();
     case ExprKind::kPropertyAccess:
       return variable_ + "." + property_key_;
+    case ExprKind::kVariable:
+      return variable_;
     case ExprKind::kComparison:
       return left_->ToString() + " " + ComparisonOpName(op_) + " " +
              right_->ToString();
@@ -140,6 +168,10 @@ namespace {
 epgm::PropertyValue EvaluateValue(const Expression& expr,
                                   const ValueResolver& resolver) {
   if (expr.kind() == ExprKind::kLiteral) return expr.literal();
+  // Bare variable references never survive semantic analysis; evaluating
+  // one (only reachable when QueryGraph::Build is driven directly, without
+  // the analyzer) yields NULL, which collapses the predicate to false.
+  if (expr.kind() == ExprKind::kVariable) return epgm::PropertyValue::Null();
   assert(expr.kind() == ExprKind::kPropertyAccess);
   return resolver(expr.variable(), expr.property_key());
 }
@@ -190,6 +222,9 @@ std::optional<bool> EvaluateTernary(const Expression& expr,
       if (v.is_bool()) return v.bool_value();
       return std::nullopt;
     }
+    case ExprKind::kVariable:
+      // An element reference is not a truth value (see EvaluateValue).
+      return std::nullopt;
     case ExprKind::kComparison:
       return EvaluateComparison(expr, resolver);
     case ExprKind::kAnd: {
@@ -259,7 +294,8 @@ namespace {
 ExpressionPtr ToNnf(const ExpressionPtr& expr, bool negate) {
   switch (expr->kind()) {
     case ExprKind::kLiteral:
-    case ExprKind::kPropertyAccess: {
+    case ExprKind::kPropertyAccess:
+    case ExprKind::kVariable: {
       // Boolean atom; represent negation as `atom = false`.
       if (!negate) return expr;
       return Expression::Comparison(ComparisonOp::kEq, expr,

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "cypher/source_span.h"
 #include "epgm/property_value.h"
 
 namespace gradoop::cypher {
@@ -29,6 +30,9 @@ const char* ComparisonOpName(ComparisonOp op);
 enum class ExprKind {
   kLiteral,         // 'Uni Leipzig', 2014, true, NULL
   kPropertyAccess,  // p1.gender
+  kVariable,        // bare element reference (only `a = b` / `a <> b`
+                    // comparisons reach the analyzer; never executed —
+                    // semantic analysis folds or rejects every occurrence)
   kComparison,      // lhs op rhs
   kAnd,
   kOr,
@@ -45,16 +49,22 @@ using ExpressionPtr = std::shared_ptr<const Expression>;
 // the recursive-descent parser and the CNF rewriter compact.
 class Expression {
  public:
-  static ExpressionPtr Literal(epgm::PropertyValue value);
-  static ExpressionPtr PropertyAccess(std::string variable, std::string key);
+  static ExpressionPtr Literal(epgm::PropertyValue value,
+                               SourceSpan span = {});
+  static ExpressionPtr PropertyAccess(std::string variable, std::string key,
+                                      SourceSpan span = {});
+  static ExpressionPtr Variable(std::string variable, SourceSpan span = {});
   static ExpressionPtr Comparison(ComparisonOp op, ExpressionPtr lhs,
-                                  ExpressionPtr rhs);
+                                  ExpressionPtr rhs, SourceSpan span = {});
   static ExpressionPtr And(ExpressionPtr lhs, ExpressionPtr rhs);
   static ExpressionPtr Or(ExpressionPtr lhs, ExpressionPtr rhs);
   static ExpressionPtr Xor(ExpressionPtr lhs, ExpressionPtr rhs);
-  static ExpressionPtr Not(ExpressionPtr operand);
+  static ExpressionPtr Not(ExpressionPtr operand, SourceSpan span = {});
 
   ExprKind kind() const { return kind_; }
+  // Location of the source fragment this node was parsed from; synthesized
+  // nodes (CNF rewriting, property-map sugar) inherit their source's span.
+  const SourceSpan& span() const { return span_; }
   const epgm::PropertyValue& literal() const { return literal_; }
   const std::string& variable() const { return variable_; }
   const std::string& property_key() const { return property_key_; }
@@ -82,6 +92,7 @@ class Expression {
   ComparisonOp op_ = ComparisonOp::kEq;
   ExpressionPtr left_;
   ExpressionPtr right_;
+  SourceSpan span_;
 };
 
 // Resolves `variable.key` to a property value during evaluation; returns a

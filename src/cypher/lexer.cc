@@ -75,18 +75,35 @@ Result<std::vector<Token>> Tokenize(const std::string& query) {
   std::vector<Token> tokens;
   size_t i = 0;
   const size_t n = query.size();
+  int line = 1;
+  size_t line_start = 0;  // offset of the first byte of the current line
+
+  auto span_at = [&](size_t offset, size_t length) {
+    SourceSpan s;
+    s.offset = offset;
+    s.length = length;
+    s.line = line;
+    s.column = static_cast<int>(offset - line_start) + 1;
+    return s;
+  };
 
   auto push = [&](TokenKind kind, size_t offset, std::string text = "") {
     Token t;
     t.kind = kind;
     t.text = std::move(text);
-    t.offset = offset;
+    // Single-character punctuation unless the caller's text is longer
+    // (identifiers/keywords); string literals fix up their span below.
+    t.span = span_at(offset, t.text.empty() ? 1 : t.text.size());
     tokens.push_back(std::move(t));
   };
 
   while (i < n) {
     const char c = query[i];
     if (std::isspace(static_cast<unsigned char>(c))) {
+      if (c == '\n') {
+        ++line;
+        line_start = i + 1;
+      }
       ++i;
       continue;
     }
@@ -117,7 +134,7 @@ Result<std::vector<Token>> Tokenize(const std::string& query) {
         }
       }
       Token t;
-      t.offset = start;
+      t.span = span_at(start, j - i);
       t.text = query.substr(i, j - i);
       if (is_float) {
         t.kind = TokenKind::kFloat;
@@ -160,10 +177,22 @@ Result<std::vector<Token>> Tokenize(const std::string& query) {
         ++j;
       }
       if (!closed) {
-        return Status::ParseError("unterminated string literal at offset " +
-                                  std::to_string(start));
+        const SourceSpan where = span_at(start, n - start);
+        return Status::ParseError("unterminated string literal at " +
+                                  where.ToString());
       }
-      push(TokenKind::kString, start, std::move(value));
+      Token t;
+      t.kind = TokenKind::kString;
+      t.text = std::move(value);
+      t.span = span_at(start, j - start);
+      tokens.push_back(std::move(t));
+      // Account for newlines inside the literal so later spans stay right.
+      for (size_t k = start; k < j; ++k) {
+        if (query[k] == '\n') {
+          ++line;
+          line_start = k + 1;
+        }
+      }
       i = j;
       continue;
     }
@@ -207,6 +236,7 @@ Result<std::vector<Token>> Tokenize(const std::string& query) {
       case '.':
         if (i + 1 < n && query[i + 1] == '.') {
           push(TokenKind::kDotDot, start);
+          tokens.back().span.length = 2;
           ++i;
         } else {
           push(TokenKind::kDot, start);
@@ -218,9 +248,11 @@ Result<std::vector<Token>> Tokenize(const std::string& query) {
         // disambiguates by context).
         if (i + 1 < n && query[i + 1] == '>') {
           push(TokenKind::kNeq, start);
+          tokens.back().span.length = 2;
           ++i;
         } else if (i + 1 < n && query[i + 1] == '=') {
           push(TokenKind::kLte, start);
+          tokens.back().span.length = 2;
           ++i;
         } else {
           push(TokenKind::kLt, start);
@@ -229,18 +261,26 @@ Result<std::vector<Token>> Tokenize(const std::string& query) {
       case '>':
         if (i + 1 < n && query[i + 1] == '=') {
           push(TokenKind::kGte, start);
+          tokens.back().span.length = 2;
           ++i;
         } else {
           push(TokenKind::kGt, start);
         }
         break;
-      default:
+      default: {
+        const SourceSpan where = span_at(start, 1);
         return Status::ParseError(std::string("unexpected character '") + c +
-                                  "' at offset " + std::to_string(start));
+                                  "' at " + where.ToString());
+      }
     }
     ++i;
   }
-  push(TokenKind::kEof, n);
+  {
+    Token t;
+    t.kind = TokenKind::kEof;
+    t.span = span_at(n, 0);
+    tokens.push_back(std::move(t));
+  }
   return tokens;
 }
 

@@ -9,6 +9,18 @@ namespace gradoop::cypher {
 
 namespace {
 
+// Keywords that must not be mistaken for a bare variable reference in an
+// expression (true/false/null are handled as literals before this check).
+bool IsReservedWord(const std::string& text) {
+  static const char* kReserved[] = {"MATCH", "WHERE",    "RETURN", "LIMIT",
+                                    "AS",    "DISTINCT", "AND",    "OR",
+                                    "XOR",   "NOT"};
+  for (const char* kw : kReserved) {
+    if (EqualsIgnoreCase(text, kw)) return true;
+  }
+  return false;
+}
+
 class Parser {
  public:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
@@ -67,6 +79,11 @@ class Parser {
     return t;
   }
 
+  // Span of the most recently consumed token.
+  SourceSpan PrevSpan() const {
+    return pos_ > 0 ? tokens_[pos_ - 1].span : SourceSpan{};
+  }
+
   bool Consume(TokenKind kind) {
     if (Peek().kind != kind) return false;
     Advance();
@@ -88,7 +105,7 @@ class Parser {
     const Token& t = Peek();
     return Status::ParseError(what + " (got " + TokenKindName(t.kind) +
                               (t.text.empty() ? "" : " '" + t.text + "'") +
-                              " at offset " + std::to_string(t.offset) + ")");
+                              " at " + t.span.ToString() + ")");
   }
 
   std::string FreshVariable(const char* prefix) {
@@ -99,9 +116,11 @@ class Parser {
   Result<PatternPath> ParsePath() {
     PatternPath path;
     GRADOOP_ASSIGN_OR_RETURN(path.start, ParseNode());
+    path.span = path.start.span;
     while (Peek().kind == TokenKind::kDash || Peek().kind == TokenKind::kLt) {
       GRADOOP_ASSIGN_OR_RETURN(RelationshipPattern rel, ParseRelationship());
       GRADOOP_ASSIGN_OR_RETURN(NodePattern node, ParseNode());
+      path.span = SourceSpan::Cover(path.span, node.span);
       path.steps.emplace_back(std::move(rel), std::move(node));
     }
     return path;
@@ -109,12 +128,15 @@ class Parser {
 
   // node := '(' [var] [':' label ('|' label)*] [props] ')'
   Result<NodePattern> ParseNode() {
-    if (!Consume(TokenKind::kLeftParen)) {
+    if (Peek().kind != TokenKind::kLeftParen) {
       return Error("expected '(' to start a node pattern");
     }
+    const SourceSpan open = Advance().span;
     NodePattern node;
     if (Peek().kind == TokenKind::kIdentifier) {
-      node.variable = Advance().text;
+      const Token& var = Advance();
+      node.variable = var.text;
+      node.variable_span = var.span;
     }
     if (Consume(TokenKind::kColon)) {
       GRADOOP_ASSIGN_OR_RETURN(node.labels, ParseLabelAlternation());
@@ -125,6 +147,7 @@ class Parser {
     if (!Consume(TokenKind::kRightParen)) {
       return Error("expected ')' to close a node pattern");
     }
+    node.span = SourceSpan::Cover(open, PrevSpan());
     if (node.variable.empty()) node.variable = FreshVariable("v");
     return node;
   }
@@ -133,6 +156,7 @@ class Parser {
   Result<RelationshipPattern> ParseRelationship() {
     RelationshipPattern rel;
     bool left_arrow = false;
+    const SourceSpan open = Peek().span;
     if (Consume(TokenKind::kLt)) {
       left_arrow = true;
       if (!Consume(TokenKind::kDash)) {
@@ -144,12 +168,15 @@ class Parser {
 
     if (Consume(TokenKind::kLeftBracket)) {
       if (Peek().kind == TokenKind::kIdentifier) {
-        rel.variable = Advance().text;
+        const Token& var = Advance();
+        rel.variable = var.text;
+        rel.variable_span = var.span;
       }
       if (Consume(TokenKind::kColon)) {
         GRADOOP_ASSIGN_OR_RETURN(rel.types, ParseLabelAlternation());
       }
-      if (Consume(TokenKind::kStar)) {
+      if (Peek().kind == TokenKind::kStar) {
+        const SourceSpan star = Advance().span;
         // `*`, `*n`, `*l..u`, `*..u`
         rel.lower_bound = 1;
         rel.upper_bound = RelationshipPattern::kDefaultUpperBound;
@@ -166,13 +193,9 @@ class Parser {
           }
           if (!have_lower) rel.lower_bound = 1;
         }
-        if (rel.lower_bound < 0 || rel.upper_bound < rel.lower_bound) {
-          return Error("invalid variable-length bounds");
-        }
-        // Mark `*1..1` written explicitly as variable-length? Cypher treats
-        // any starred pattern as a path; we preserve that by nudging the
-        // representation only when both bounds are 1 AND no star semantics
-        // are needed — matching behaviour is identical either way.
+        rel.bounds_span = SourceSpan::Cover(star, PrevSpan());
+        // Bound sanity (lower <= upper, non-negative) is a semantic check:
+        // the analyzer reports it with a stable diagnostic code.
       }
       if (Peek().kind == TokenKind::kLeftBrace) {
         GRADOOP_ASSIGN_OR_RETURN(rel.properties, ParsePropertyMap());
@@ -187,6 +210,7 @@ class Parser {
       return Error("expected '-' after a relationship pattern");
     }
     if (Consume(TokenKind::kGt)) right_arrow = true;
+    rel.span = SourceSpan::Cover(open, PrevSpan());
 
     if (left_arrow && right_arrow) {
       return Error("a relationship cannot point both ways");
@@ -313,9 +337,12 @@ class Parser {
   }
 
   Result<ExpressionPtr> ParseNot() {
-    if (ConsumeKeyword("NOT")) {
+    if (PeekKeyword("NOT")) {
+      const SourceSpan not_span = Advance().span;
       GRADOOP_ASSIGN_OR_RETURN(ExpressionPtr operand, ParseNot());
-      return Expression::Not(std::move(operand));
+      const SourceSpan covered =
+          SourceSpan::Cover(not_span, operand->span());
+      return Expression::Not(std::move(operand), covered);
     }
     return ParseComparison();
   }
@@ -350,7 +377,7 @@ class Parser {
     return Expression::Comparison(op, std::move(lhs), std::move(rhs));
   }
 
-  // value_term := literal | var '.' key | '(' expr ')'
+  // value_term := literal | var '.' key | var | '(' expr ')'
   Result<ExpressionPtr> ParseValueTerm() {
     const Token& t = Peek();
     if (t.kind == TokenKind::kLeftParen) {
@@ -364,18 +391,28 @@ class Parser {
     if (t.kind == TokenKind::kIdentifier && !EqualsIgnoreCase(t.text, "true") &&
         !EqualsIgnoreCase(t.text, "false") &&
         !EqualsIgnoreCase(t.text, "null")) {
-      const std::string variable = Advance().text;
+      if (IsReservedWord(t.text)) {
+        return Error("expected a value");
+      }
+      const Token& var = Advance();
+      const std::string variable = var.text;
+      const SourceSpan var_span = var.span;
       if (!Consume(TokenKind::kDot)) {
-        return Error("expected '.' after variable '" + variable +
-                     "' (only property access is supported)");
+        // Bare element reference: only meaningful inside `a = b` / `a <> b`
+        // comparisons, which semantic analysis folds or rejects.
+        return Expression::Variable(variable, var_span);
       }
       if (Peek().kind != TokenKind::kIdentifier) {
         return Error("expected a property key after '.'");
       }
-      return Expression::PropertyAccess(variable, Advance().text);
+      const Token& key = Advance();
+      return Expression::PropertyAccess(variable, key.text,
+                                        SourceSpan::Cover(var_span, key.span));
     }
+    const SourceSpan start = Peek().span;
     GRADOOP_ASSIGN_OR_RETURN(epgm::PropertyValue lit, ParseLiteral());
-    return Expression::Literal(std::move(lit));
+    return Expression::Literal(std::move(lit),
+                               SourceSpan::Cover(start, PrevSpan()));
   }
 
   Result<ReturnItem> ParseReturnItem() {
@@ -383,12 +420,15 @@ class Parser {
       return Error("expected a variable in RETURN");
     }
     ReturnItem item;
-    item.variable = Advance().text;
+    const Token& var = Advance();
+    item.variable = var.text;
+    item.span = var.span;
     if (Consume(TokenKind::kDot)) {
       if (Peek().kind != TokenKind::kIdentifier) {
         return Error("expected a property key after '.'");
       }
       item.property_key = Advance().text;
+      item.span = SourceSpan::Cover(item.span, PrevSpan());
     }
     if (ConsumeKeyword("AS")) {
       if (Peek().kind != TokenKind::kIdentifier) {

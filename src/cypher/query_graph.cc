@@ -52,25 +52,29 @@ Result<QueryGraph> QueryGraph::Build(const CypherQuery& ast) {
     return static_cast<int>(qg.vertices_.size()) - 1;
   };
 
-  // Property-map sugar becomes equality predicates.
+  // Property-map sugar becomes equality predicates; the synthesized atoms
+  // inherit the span of the pattern element they desugar.
   std::vector<ExpressionPtr> property_map_atoms;
   auto add_property_map =
       [&](const std::string& variable,
           const std::vector<std::pair<std::string, epgm::PropertyValue>>&
-              props) {
+              props,
+          const SourceSpan& span) {
         for (const auto& [key, value] : props) {
           property_map_atoms.push_back(Expression::Comparison(
-              ComparisonOp::kEq, Expression::PropertyAccess(variable, key),
-              Expression::Literal(value)));
+              ComparisonOp::kEq,
+              Expression::PropertyAccess(variable, key, span),
+              Expression::Literal(value, span)));
         }
       };
 
   for (const PatternPath& path : ast.paths) {
     GRADOOP_ASSIGN_OR_RETURN(int prev, add_or_merge_vertex(path.start));
-    add_property_map(path.start.variable, path.start.properties);
+    add_property_map(path.start.variable, path.start.properties,
+                     path.start.span);
     for (const auto& [rel, node] : path.steps) {
       GRADOOP_ASSIGN_OR_RETURN(int next, add_or_merge_vertex(node));
-      add_property_map(node.variable, node.properties);
+      add_property_map(node.variable, node.properties, node.span);
 
       if (qg.edge_by_variable_.contains(rel.variable)) {
         return Status::ParseError("edge variable '" + rel.variable +
@@ -86,6 +90,12 @@ Result<QueryGraph> QueryGraph::Build(const CypherQuery& ast) {
       e.types = rel.types;
       e.lower_bound = rel.lower_bound;
       e.upper_bound = rel.upper_bound;
+      if (rel.lower_bound < 0 || rel.upper_bound < rel.lower_bound) {
+        // The analyzer reports this with a located diagnostic before the
+        // engine ever builds a query graph; this guards direct callers.
+        return Status::ParseError("invalid variable-length bounds on '" +
+                                  rel.variable + "'");
+      }
       if ((rel.lower_bound != 1 || rel.upper_bound != 1) &&
           rel.direction == PatternDirection::kUndirected) {
         return Status::Unsupported(
@@ -106,7 +116,7 @@ Result<QueryGraph> QueryGraph::Build(const CypherQuery& ast) {
           e.any_direction = true;
           break;
       }
-      add_property_map(rel.variable, rel.properties);
+      add_property_map(rel.variable, rel.properties, rel.span);
       qg.edge_by_variable_.emplace(rel.variable, e.index);
       qg.edges_.push_back(std::move(e));
       prev = next;

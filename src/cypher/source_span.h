@@ -1,0 +1,42 @@
+#ifndef GRADOOP_CYPHER_SOURCE_SPAN_H_
+#define GRADOOP_CYPHER_SOURCE_SPAN_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+
+namespace gradoop::cypher {
+
+// A half-open byte range [offset, offset+length) in the query text, plus
+// the 1-based line/column of its first byte. Every token carries one; the
+// parser propagates them onto AST nodes and expressions so semantic
+// diagnostics can point at the offending query fragment.
+struct SourceSpan {
+  size_t offset = 0;
+  size_t length = 0;
+  int line = 0;    // 1-based; 0 = unknown (synthesized node)
+  int column = 1;  // 1-based
+
+  bool IsKnown() const { return line > 0; }
+
+  // Smallest span covering both operands; an unknown span is the
+  // identity (synthesized subtrees inherit the location of their source).
+  static SourceSpan Cover(const SourceSpan& a, const SourceSpan& b) {
+    if (!a.IsKnown()) return b;
+    if (!b.IsKnown()) return a;
+    SourceSpan out = a.offset <= b.offset ? a : b;
+    const size_t end = std::max(a.offset + a.length, b.offset + b.length);
+    out.length = end - out.offset;
+    return out;
+  }
+
+  // "1:17" (line:column), the form used in error messages.
+  std::string ToString() const {
+    if (!IsKnown()) return "?:?";
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+};
+
+}  // namespace gradoop::cypher
+
+#endif  // GRADOOP_CYPHER_SOURCE_SPAN_H_

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <string>
 
+#include "cypher/source_span.h"
+
 namespace gradoop::cypher {
 
 enum class TokenKind {
@@ -41,7 +43,9 @@ struct Token {
   std::string text;       // raw text (unescaped for strings)
   int64_t int_value = 0;  // valid for kInteger
   double float_value = 0.0;  // valid for kFloat
-  size_t offset = 0;      // byte offset in the query, for error messages
+  SourceSpan span;        // location in the query text, for diagnostics
+
+  size_t offset() const { return span.offset; }
 };
 
 }  // namespace gradoop::cypher

@@ -5,58 +5,58 @@
 namespace gradoop::dataflow {
 
 void CostTracker::AddStage(const StageCost& cost) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   stages_.push_back(cost);
   simulated_sec_ += cost.TotalSeconds();
 }
 
 void CostTracker::AddNetworkBytes(uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   network_bytes_ += bytes;
 }
 
 void CostTracker::AddSpilledBytes(uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   spilled_bytes_ += bytes;
 }
 
 void CostTracker::AddRecords(uint64_t records) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   total_records_ += records;
 }
 
 double CostTracker::SimulatedSeconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return simulated_sec_;
 }
 
 uint64_t CostTracker::NetworkBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return network_bytes_;
 }
 
 uint64_t CostTracker::SpilledBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return spilled_bytes_;
 }
 
 uint64_t CostTracker::TotalRecords() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return total_records_;
 }
 
 int CostTracker::NumStages() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return static_cast<int>(stages_.size());
 }
 
 std::vector<StageCost> CostTracker::Stages() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return stages_;
 }
 
 void CostTracker::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   stages_.clear();
   simulated_sec_ = 0.0;
   network_bytes_ = 0;

@@ -2,10 +2,10 @@
 #define GRADOOP_DATAFLOW_COST_MODEL_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "dataflow/cluster_config.h"
 
 namespace gradoop::dataflow {
@@ -51,12 +51,12 @@ class CostTracker {
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  std::vector<StageCost> stages_;
-  double simulated_sec_ = 0.0;
-  uint64_t network_bytes_ = 0;
-  uint64_t spilled_bytes_ = 0;
-  uint64_t total_records_ = 0;
+  mutable common::Mutex mu_;
+  std::vector<StageCost> stages_ GUARDED_BY(mu_);
+  double simulated_sec_ GUARDED_BY(mu_) = 0.0;
+  uint64_t network_bytes_ GUARDED_BY(mu_) = 0;
+  uint64_t spilled_bytes_ GUARDED_BY(mu_) = 0;
+  uint64_t total_records_ GUARDED_BY(mu_) = 0;
 };
 
 // Computes shuffle time for an all-to-all exchange. `out_bytes[w]` /

@@ -4,6 +4,8 @@
 
 namespace gradoop::dataflow {
 
+using common::MutexLock;
+
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads <= 0) {
     num_threads = static_cast<int>(std::thread::hardware_concurrency());
@@ -17,7 +19,7 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
   work_ready_.notify_all();
@@ -31,23 +33,26 @@ void ThreadPool::RunAndWait(int n, const std::function<void(int)>& task) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     pending_ += n;
     for (int i = 0; i < n; ++i) {
       queue_.push([&task, i] { task(i); });
     }
   }
   work_ready_.notify_all();
-  std::unique_lock<std::mutex> lock(mu_);
-  batch_done_.wait(lock, [this] { return pending_ == 0; });
+  // Explicit wait loops (not the predicate-lambda overload): the lambda
+  // would read guarded fields from a context the thread-safety analysis
+  // cannot see the lock in. wait() releases and reacquires mu_.
+  MutexLock lock(mu_);
+  while (pending_ != 0) batch_done_.wait(mu_);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) work_ready_.wait(mu_);
       if (queue_.empty()) {
         if (shutdown_) return;
         continue;
@@ -57,7 +62,7 @@ void ThreadPool::WorkerLoop() {
     }
     job();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (--pending_ == 0) batch_done_.notify_all();
     }
   }

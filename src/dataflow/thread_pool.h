@@ -3,10 +3,11 @@
 
 #include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace gradoop::dataflow {
 
@@ -32,12 +33,14 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable work_ready_;
-  std::condition_variable batch_done_;
-  std::queue<std::function<void()>> queue_;
-  int pending_ = 0;
-  bool shutdown_ = false;
+  common::Mutex mu_;
+  // condition_variable_any waits directly on the annotated Mutex; the
+  // plain std::condition_variable only accepts std::unique_lock.
+  std::condition_variable_any work_ready_;
+  std::condition_variable_any batch_done_;
+  std::queue<std::function<void()>> queue_ GUARDED_BY(mu_);
+  int pending_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace gradoop::dataflow

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "analysis/analyzer.h"
 #include "analysis/plan_verifier.h"
 #include "cypher/parser.h"
 
@@ -26,11 +27,21 @@ Result<CypherMatchResult> CypherEngine::Execute(
     const std::string& query, const MorphismSetting& semantics) {
   GRADOOP_ASSIGN_OR_RETURN(cypher::CypherQuery ast,
                            cypher::ParseCypher(query));
+  // Semantic analysis gate: scope/kind/bound errors reject the query with
+  // located diagnostics; the surviving AST carries the constant-folded
+  // WHERE, and statically unsatisfiable queries skip planning entirely.
+  analysis::AnalyzerOptions analyzer_options;
+  analyzer_options.statistics = &stats_;
+  analyzer_options.semantics = semantics;
+  const analysis::AnalysisResult sema =
+      analysis::AnalyzeQuery(ast, analyzer_options);
+  if (sema.HasErrors()) return Status::PlanError(sema.ErrorSummary());
+  ast.where = sema.folded_where;
   GRADOOP_ASSIGN_OR_RETURN(cypher::QueryGraph qg,
                            cypher::QueryGraph::Build(ast));
-  if (qg.unsatisfiable()) {
-    // Contradictory label constraints: the match set is empty by
-    // construction; no plan is executed.
+  if (sema.unsatisfiable || qg.unsatisfiable()) {
+    // Statically empty match set (contradictory labels or predicates): no
+    // plan is built or executed.
     CypherMatchResult result{std::move(qg), nullptr,
                              {dfl::Dataset<Embedding>::Empty(
                                   graph_.vertices().context()),
@@ -72,12 +83,20 @@ Result<uint64_t> CypherEngine::Count(const std::string& query,
 
 Result<std::string> CypherEngine::Explain(const std::string& query,
                                           const MorphismSetting& semantics) {
-  (void)semantics;
   GRADOOP_ASSIGN_OR_RETURN(cypher::CypherQuery ast,
                            cypher::ParseCypher(query));
+  analysis::AnalyzerOptions analyzer_options;
+  analyzer_options.statistics = &stats_;
+  analyzer_options.semantics = semantics;
+  const analysis::AnalysisResult sema =
+      analysis::AnalyzeQuery(ast, analyzer_options);
+  if (sema.HasErrors()) return Status::PlanError(sema.ErrorSummary());
+  ast.where = sema.folded_where;
   GRADOOP_ASSIGN_OR_RETURN(cypher::QueryGraph qg,
                            cypher::QueryGraph::Build(ast));
-  if (qg.unsatisfiable()) return std::string("EmptyResult (unsatisfiable)\n");
+  if (sema.unsatisfiable || qg.unsatisfiable()) {
+    return std::string("EmptyResult (unsatisfiable)\n");
+  }
   GRADOOP_ASSIGN_OR_RETURN(PlanNodePtr plan,
                            PlanQuery(qg, stats_, planner_options_));
   return plan->ToString(qg);

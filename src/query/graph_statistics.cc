@@ -49,6 +49,20 @@ uint64_t GraphStatistics::EdgeCountByLabel(const std::string& label) const {
   return it == edge_label_count_.end() ? 0 : it->second;
 }
 
+std::vector<std::string> GraphStatistics::VertexLabels() const {
+  std::vector<std::string> out;
+  out.reserve(vertex_label_count_.size());
+  for (const auto& [label, count] : vertex_label_count_) out.push_back(label);
+  return out;
+}
+
+std::vector<std::string> GraphStatistics::EdgeLabels() const {
+  std::vector<std::string> out;
+  out.reserve(edge_label_count_.size());
+  for (const auto& [label, count] : edge_label_count_) out.push_back(label);
+  return out;
+}
+
 uint64_t GraphStatistics::VertexCountByLabels(
     const std::vector<std::string>& labels) const {
   if (labels.empty()) return vertex_count_;

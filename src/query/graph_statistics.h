@@ -28,6 +28,17 @@ class GraphStatistics {
 
   uint64_t VertexCountByLabel(const std::string& label) const;
   uint64_t EdgeCountByLabel(const std::string& label) const;
+  // Label vocabulary of the data graph, for semantic analysis (a query
+  // label outside it matches nothing). A label is "known" iff at least one
+  // element carries it — the model is schema-free, so data is the schema.
+  bool HasVertexLabel(const std::string& label) const {
+    return vertex_label_count_.count(label) > 0;
+  }
+  bool HasEdgeLabel(const std::string& label) const {
+    return edge_label_count_.count(label) > 0;
+  }
+  std::vector<std::string> VertexLabels() const;
+  std::vector<std::string> EdgeLabels() const;
   // Sum over an alternation; empty alternation = all.
   uint64_t VertexCountByLabels(const std::vector<std::string>& labels) const;
   uint64_t EdgeCountByLabels(const std::vector<std::string>& labels) const;

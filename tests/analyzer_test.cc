@@ -1,0 +1,215 @@
+// Semantic analyzer behavior tests: constant folding under ternary
+// logic, the unsatisfiability short-circuit through the engine (no plan
+// is built, the result is empty), and oracle parity — a statically
+// pruned query returns exactly what the naive matcher finds.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "cypher/expression.h"
+#include "cypher/parser.h"
+#include "cypher/query_graph.h"
+#include "epgm/logical_graph.h"
+#include "query/cypher_engine.h"
+#include "query/naive_matcher.h"
+
+namespace gradoop::analysis {
+namespace {
+
+using cypher::ExprKind;
+using epgm::Edge;
+using epgm::GraphHead;
+using epgm::LogicalGraph;
+using epgm::Properties;
+using epgm::Vertex;
+using query::CypherEngine;
+using query::MorphismSetting;
+
+AnalysisResult Analyze(const std::string& query,
+                       const AnalyzerOptions& options = {}) {
+  auto ast = cypher::ParseCypher(query);
+  EXPECT_TRUE(ast.ok()) << ast.status();
+  if (!ast.ok()) return {};
+  return AnalyzeQuery(ast.value(), options);
+}
+
+// --- Constant folding. ---
+
+TEST(ConstantFolding, TrueWhereFoldsAway) {
+  auto r = Analyze("MATCH (a) WHERE true RETURN a.x");
+  EXPECT_FALSE(r.HasErrors());
+  EXPECT_EQ(r.folded_where, nullptr);
+  EXPECT_FALSE(r.unsatisfiable);
+}
+
+TEST(ConstantFolding, TrueConjunctDropsOut) {
+  auto r = Analyze("MATCH (a) WHERE a.x = 1 AND 1 < 2 RETURN a.x");
+  ASSERT_NE(r.folded_where, nullptr);
+  // Only the dynamic comparison survives.
+  EXPECT_EQ(r.folded_where->kind(), ExprKind::kComparison);
+  EXPECT_FALSE(r.unsatisfiable);
+}
+
+TEST(ConstantFolding, FalseConjunctKillsTheWhere) {
+  auto r = Analyze("MATCH (a) WHERE a.x = 1 AND 2 < 1 RETURN a.x");
+  ASSERT_NE(r.folded_where, nullptr);
+  ASSERT_EQ(r.folded_where->kind(), ExprKind::kLiteral);
+  ASSERT_TRUE(r.folded_where->literal().is_bool());
+  EXPECT_FALSE(r.folded_where->literal().bool_value());
+  EXPECT_TRUE(r.unsatisfiable);
+}
+
+TEST(ConstantFolding, FalseDisjunctDropsOut) {
+  auto r = Analyze("MATCH (a) WHERE 2 < 1 OR a.x > 0 RETURN a.x");
+  ASSERT_NE(r.folded_where, nullptr);
+  EXPECT_EQ(r.folded_where->kind(), ExprKind::kComparison);
+  EXPECT_FALSE(r.unsatisfiable);
+}
+
+TEST(ConstantFolding, XorAgainstTrueBecomesNegation) {
+  auto r = Analyze("MATCH (a) WHERE a.x = 1 XOR 1 = 1 RETURN a.x");
+  ASSERT_NE(r.folded_where, nullptr);
+  EXPECT_EQ(r.folded_where->kind(), ExprKind::kNot);
+  EXPECT_FALSE(r.unsatisfiable);
+}
+
+TEST(ConstantFolding, NullComparisonCollapsesToFalse) {
+  // `a.x = NULL` is NULL under ternary logic; a top-level NULL WHERE
+  // matches nothing, exactly like FALSE.
+  auto r = Analyze("MATCH (a) WHERE a.x = NULL RETURN a.x");
+  ASSERT_NE(r.folded_where, nullptr);
+  ASSERT_EQ(r.folded_where->kind(), ExprKind::kLiteral);
+  EXPECT_TRUE(r.unsatisfiable);
+}
+
+TEST(ConstantFolding, NullDoesNotDominateAnd) {
+  // AND(NULL, D) must NOT fold to NULL: if D is FALSE the AND is FALSE,
+  // and a NOT above it would then be TRUE. The conjunct is kept.
+  auto r = Analyze(
+      "MATCH (a) WHERE NOT (a.x = NULL AND a.x < 0) RETURN a.x");
+  EXPECT_FALSE(r.HasErrors());
+  ASSERT_NE(r.folded_where, nullptr);
+  EXPECT_FALSE(r.unsatisfiable);
+}
+
+TEST(ConstantFolding, DynamicWhereIsUntouched) {
+  auto r = Analyze("MATCH (a)-[e]->(b) WHERE a.x = b.x RETURN *");
+  ASSERT_NE(r.folded_where, nullptr);
+  EXPECT_EQ(r.folded_where->kind(), ExprKind::kComparison);
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+// --- Engine integration: errors and the unsat short-circuit. ---
+
+LogicalGraph SmallGraph(dataflow::ExecutionContextPtr ctx) {
+  std::vector<Vertex> vertices;
+  vertices.emplace_back(1, "Person", Properties{{"x", int64_t{1}}});
+  vertices.emplace_back(2, "Person", Properties{{"x", int64_t{2}}});
+  vertices.emplace_back(3, "Tag", Properties{{"x", int64_t{1}}});
+  std::vector<Edge> edges;
+  edges.emplace_back(10, "knows", 1, 2);
+  edges.emplace_back(11, "likes", 2, 3);
+  edges.emplace_back(12, "knows", 2, 1);
+  return LogicalGraph::FromVectors(std::move(ctx), GraphHead(100, "G"),
+                                   std::move(vertices), std::move(edges));
+}
+
+class AnalyzerEngineTest : public ::testing::Test {
+ protected:
+  AnalyzerEngineTest()
+      : ctx_(dataflow::MakeContext()), engine_(SmallGraph(ctx_)) {}
+
+  // Executes an expected-unsatisfiable query and asserts the static
+  // short-circuit: success, no plan, empty embedding set.
+  void ExpectUnsatShortCircuit(const std::string& query) {
+    auto result = engine_.Execute(query);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result.value().plan, nullptr) << query;
+    EXPECT_TRUE(result.value().embeddings.data.Collect().empty()) << query;
+  }
+
+  dataflow::ExecutionContextPtr ctx_;
+  CypherEngine engine_;
+};
+
+TEST_F(AnalyzerEngineTest, SemanticErrorsBecomeLocatedPlanErrors) {
+  auto result = engine_.Execute("MATCH (a) WHERE b.x = 1 RETURN a.x");
+  ASSERT_FALSE(result.ok());
+  const std::string message = result.status().ToString();
+  EXPECT_NE(message.find("GQL001"), std::string::npos) << message;
+  EXPECT_NE(message.find("1:17"), std::string::npos) << message;
+}
+
+TEST_F(AnalyzerEngineTest, SatisfiableQueriesStillPlan) {
+  auto result = engine_.Execute("MATCH (a:Person)-[e:knows]->(b) RETURN *");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_NE(result.value().plan, nullptr);
+  EXPECT_FALSE(result.value().embeddings.data.Collect().empty());
+}
+
+TEST_F(AnalyzerEngineTest, LabelContradictionShortCircuits) {
+  ExpectUnsatShortCircuit("MATCH (a:Person), (a:Tag) RETURN a.x");
+}
+
+TEST_F(AnalyzerEngineTest, PropertyContradictionShortCircuits) {
+  ExpectUnsatShortCircuit(
+      "MATCH (a)-[e]->(b) WHERE a.x > 5 AND a.x < 3 RETURN *");
+}
+
+TEST_F(AnalyzerEngineTest, ConstantFalseWhereShortCircuits) {
+  ExpectUnsatShortCircuit("MATCH (a) WHERE 1 = 2 RETURN a.x");
+}
+
+TEST_F(AnalyzerEngineTest, ConstantTrueWhereExecutesAsUnfiltered) {
+  auto filtered = engine_.Count("MATCH (a:Person) WHERE 1 = 1 RETURN *");
+  auto bare = engine_.Count("MATCH (a:Person) RETURN *");
+  ASSERT_TRUE(filtered.ok()) << filtered.status();
+  ASSERT_TRUE(bare.ok()) << bare.status();
+  EXPECT_EQ(filtered.value(), bare.value());
+}
+
+TEST_F(AnalyzerEngineTest, ExplainReportsUnsatisfiable) {
+  auto plan = engine_.Explain("MATCH (a:Person), (a:Tag) RETURN a.x");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_NE(plan.value().find("unsatisfiable"), std::string::npos)
+      << plan.value();
+}
+
+// Oracle parity: the short-circuited empty result agrees with the naive
+// matcher run on an independently built query graph (no analyzer in the
+// loop), for both morphism settings.
+TEST_F(AnalyzerEngineTest, UnsatShortCircuitAgreesWithOracle) {
+  const std::string queries[] = {
+      "MATCH (a:Person), (a:Tag) RETURN a.x",
+      "MATCH (a)-[e]->(b) WHERE a.x > 5 AND a.x < 3 RETURN *",
+      "MATCH (a) WHERE false RETURN a.x",
+  };
+  std::vector<Vertex> vertices;
+  std::vector<Edge> edges;
+  {
+    LogicalGraph g = SmallGraph(ctx_);
+    vertices = g.vertices().Collect();
+    edges = g.edges().Collect();
+  }
+  query::NaiveMatcher oracle(vertices, edges);
+  for (const std::string& q : queries) {
+    for (const MorphismSetting& semantics :
+         {MorphismSetting::Neo4j(), MorphismSetting::FullIsomorphism()}) {
+      auto result = engine_.Execute(q, semantics);
+      ASSERT_TRUE(result.ok()) << q << ": " << result.status();
+      EXPECT_EQ(result.value().plan, nullptr) << q;
+      EXPECT_TRUE(result.value().embeddings.data.Collect().empty()) << q;
+
+      auto ast = cypher::ParseCypher(q);
+      ASSERT_TRUE(ast.ok()) << ast.status();
+      auto qg = cypher::QueryGraph::Build(ast.value());
+      ASSERT_TRUE(qg.ok()) << qg.status();
+      EXPECT_TRUE(oracle.FindMatches(qg.value(), semantics).empty()) << q;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gradoop::analysis

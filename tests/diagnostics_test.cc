@@ -1,0 +1,236 @@
+// Golden tests for the semantic analyzer's diagnostics: one query per
+// diagnostic code, pinning the code, severity, and 1-based line:column of
+// the span. These are part of the stable-code contract — if one of these
+// breaks, either the analyzer regressed or docs/diagnostics.md must be
+// updated in the same change.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/analyzer.h"
+#include "analysis/diagnostics.h"
+#include "cypher/parser.h"
+#include "epgm/logical_graph.h"
+#include "query/graph_statistics.h"
+
+namespace gradoop::analysis {
+namespace {
+
+using query::MorphismSetting;
+
+AnalysisResult Analyze(const std::string& query,
+                       const AnalyzerOptions& options = {}) {
+  auto ast = cypher::ParseCypher(query);
+  EXPECT_TRUE(ast.ok()) << ast.status();
+  if (!ast.ok()) return {};
+  return AnalyzeQuery(ast.value(), options);
+}
+
+// Returns the first diagnostic with `code`, or nullptr.
+const Diagnostic* Find(const AnalysisResult& result, const char* code) {
+  for (const Diagnostic& d : result.diagnostics) {
+    if (d.code == code) return &d;
+  }
+  return nullptr;
+}
+
+std::string AllCodes(const AnalysisResult& result) {
+  std::string out;
+  for (const Diagnostic& d : result.diagnostics) {
+    if (!out.empty()) out += " ";
+    out += d.code + "@" + d.span.ToString();
+  }
+  return out.empty() ? "<none>" : out;
+}
+
+// Asserts one diagnostic of `code` exists with the given severity and
+// location, and returns it for further message checks.
+const Diagnostic* ExpectDiagnostic(const AnalysisResult& result,
+                                   const char* code, Severity severity,
+                                   const std::string& location) {
+  const Diagnostic* d = Find(result, code);
+  EXPECT_NE(d, nullptr) << "missing " << code << "; got " << AllCodes(result);
+  if (d == nullptr) return nullptr;
+  EXPECT_EQ(d->severity, severity) << d->ToString();
+  EXPECT_EQ(d->span.ToString(), location) << d->ToString();
+  return d;
+}
+
+// --- Errors (GQL0xx): the engine refuses to execute these. ---
+
+TEST(DiagnosticsGolden, Gql001UndefinedVariable) {
+  auto r = Analyze("MATCH (a) WHERE b.x = 1 RETURN a.x");
+  ExpectDiagnostic(r, kCodeUndefinedVariable, Severity::kError, "1:17");
+  EXPECT_TRUE(r.HasErrors());
+}
+
+TEST(DiagnosticsGolden, Gql001UndefinedInReturn) {
+  auto r = Analyze("MATCH (a) RETURN q.x");
+  ExpectDiagnostic(r, kCodeUndefinedVariable, Severity::kError, "1:18");
+}
+
+TEST(DiagnosticsGolden, Gql002VariableKindConflict) {
+  auto r = Analyze("MATCH (a)-[a]->(b) RETURN *");
+  ExpectDiagnostic(r, kCodeVariableKindConflict, Severity::kError, "1:12");
+}
+
+TEST(DiagnosticsGolden, Gql003EdgeRebound) {
+  auto r = Analyze("MATCH (a)-[e]->(b), (b)-[e]->(c) RETURN *");
+  ExpectDiagnostic(r, kCodeEdgeRebound, Severity::kError, "1:26");
+}
+
+TEST(DiagnosticsGolden, Gql004InvalidBounds) {
+  auto r = Analyze("MATCH (a)-[e*3..1]->(b) RETURN *");
+  ExpectDiagnostic(r, kCodeInvalidBounds, Severity::kError, "1:13");
+}
+
+TEST(DiagnosticsGolden, Gql005ElementOrdering) {
+  auto r = Analyze("MATCH (a)-[e]->(b) WHERE a < b RETURN *");
+  ExpectDiagnostic(r, kCodeElementMisuse, Severity::kError, "1:26");
+}
+
+TEST(DiagnosticsGolden, Gql005HomomorphicEquality) {
+  // Under Neo4j semantics vertices are homomorphic, so `a = b` is not a
+  // statically known constant and the engine cannot execute it.
+  AnalyzerOptions options;
+  options.semantics = MorphismSetting::Neo4j();
+  auto r = Analyze("MATCH (a)-[e]->(b) WHERE a = b RETURN *", options);
+  ExpectDiagnostic(r, kCodeElementMisuse, Severity::kError, "1:26");
+}
+
+TEST(DiagnosticsGolden, Gql006OrderingAgainstBoolean) {
+  auto r = Analyze("MATCH (a) WHERE a.x < true RETURN a.x");
+  ExpectDiagnostic(r, kCodeIllTypedComparison, Severity::kError, "1:17");
+}
+
+// --- Warnings (GQL1xx): the engine executes these. ---
+
+TEST(DiagnosticsGolden, Gql101UnusedVariable) {
+  auto r = Analyze("MATCH (a)-[e]->(b) RETURN a.x, b.x");
+  ExpectDiagnostic(r, kCodeUnusedVariable, Severity::kWarning, "1:12");
+  EXPECT_FALSE(r.HasErrors());
+}
+
+TEST(DiagnosticsGolden, Gql102UnknownLabel) {
+  epgm::LogicalGraph graph = epgm::LogicalGraph::FromVectors(
+      dataflow::MakeContext(), epgm::GraphHead(1, "G"),
+      {epgm::Vertex(1, "Person"), epgm::Vertex(2, "Tag")},
+      {epgm::Edge(10, "knows", 1, 2)});
+  query::GraphStatistics stats = query::GraphStatistics::Compute(graph);
+  AnalyzerOptions options;
+  options.statistics = &stats;
+  auto r = Analyze("MATCH (p:Persn) RETURN p.x", options);
+  const Diagnostic* d =
+      ExpectDiagnostic(r, kCodeUnknownLabel, Severity::kWarning, "1:7");
+  ASSERT_NE(d, nullptr);
+  // The nearest-label suggestion names the real label.
+  EXPECT_NE(d->message.find("Person"), std::string::npos) << d->message;
+  EXPECT_FALSE(r.unsatisfiable);  // unknown label is a lint, not unsat
+}
+
+TEST(DiagnosticsGolden, Gql103LabelContradiction) {
+  auto r = Analyze("MATCH (a:Person), (a:Tag) RETURN a.x");
+  ExpectDiagnostic(r, kCodeLabelContradiction, Severity::kWarning, "1:19");
+  EXPECT_TRUE(r.unsatisfiable);
+}
+
+TEST(DiagnosticsGolden, Gql104PropertyContradiction) {
+  auto r = Analyze("MATCH (a) WHERE a.x > 5 AND a.x < 3 RETURN a.x");
+  ExpectDiagnostic(r, kCodePropertyContradiction, Severity::kWarning, "1:29");
+  EXPECT_TRUE(r.unsatisfiable);
+}
+
+TEST(DiagnosticsGolden, Gql104PatternVersusWhere) {
+  auto r = Analyze("MATCH (a {x: 1}) WHERE a.x = 2 RETURN a.x");
+  const Diagnostic* d = Find(r, kCodePropertyContradiction);
+  ASSERT_NE(d, nullptr) << AllCodes(r);
+  EXPECT_TRUE(r.unsatisfiable);
+}
+
+TEST(DiagnosticsGolden, Gql105ConstantWhere) {
+  auto r = Analyze("MATCH (a) WHERE true RETURN a.x");
+  ExpectDiagnostic(r, kCodeConstantWhere, Severity::kWarning, "1:17");
+  EXPECT_FALSE(r.unsatisfiable);  // constant TRUE just drops the filter
+}
+
+TEST(DiagnosticsGolden, Gql105ConstantFalseIsUnsat) {
+  auto r = Analyze("MATCH (a) WHERE false RETURN a.x");
+  ExpectDiagnostic(r, kCodeConstantWhere, Severity::kWarning, "1:17");
+  EXPECT_TRUE(r.unsatisfiable);
+}
+
+TEST(DiagnosticsGolden, Gql106ConstantElementEquality) {
+  AnalyzerOptions options;
+  options.semantics = MorphismSetting::FullIsomorphism();
+  auto r = Analyze("MATCH (a)-[e]->(b) WHERE a = b RETURN a.x, b.x", options);
+  ExpectDiagnostic(r, kCodeConstantElementEquality, Severity::kWarning,
+                   "1:26");
+  EXPECT_TRUE(r.unsatisfiable);  // distinct vars never equal under iso
+}
+
+TEST(DiagnosticsGolden, Gql107CartesianProduct) {
+  auto r = Analyze("MATCH (a), (b) RETURN a.x, b.x");
+  ExpectDiagnostic(r, kCodeCartesianProduct, Severity::kWarning, "1:12");
+}
+
+TEST(DiagnosticsGolden, Gql107SuppressedByWherePredicate) {
+  // A cross-path WHERE comparison joins the components, so no warning.
+  auto r = Analyze("MATCH (a), (b) WHERE a.x = b.x RETURN a.x, b.x");
+  EXPECT_EQ(Find(r, kCodeCartesianProduct), nullptr) << AllCodes(r);
+}
+
+TEST(DiagnosticsGolden, Gql108ConstantComparison) {
+  auto r = Analyze("MATCH (a) WHERE 1 < 2 AND a.x = 0 RETURN a.x");
+  ExpectDiagnostic(r, kCodeConstantComparison, Severity::kWarning, "1:17");
+  // The fold leaves only the dynamic conjunct, so no GQL105.
+  EXPECT_EQ(Find(r, kCodeConstantWhere), nullptr) << AllCodes(r);
+}
+
+// --- Rendering. ---
+
+TEST(DiagnosticsGolden, ToStringSingleLineForm) {
+  auto r = Analyze("MATCH (a)-[e*3..1]->(b) RETURN *");
+  const Diagnostic* d = Find(r, kCodeInvalidBounds);
+  ASSERT_NE(d, nullptr);
+  const std::string s = d->ToString();
+  EXPECT_EQ(s.find("GQL004 error: "), 0u) << s;
+  EXPECT_NE(s.find(" at 1:13"), std::string::npos) << s;
+}
+
+TEST(DiagnosticsGolden, RenderedCaretPointsAtBounds) {
+  const std::string query = "MATCH (a)-[e*3..1]->(b) RETURN *";
+  auto r = Analyze(query);
+  const Diagnostic* d = Find(r, kCodeInvalidBounds);
+  ASSERT_NE(d, nullptr);
+  const std::string rendered = RenderDiagnostic(*d, query);
+  // Source line with gutter, then a caret underline at column 13
+  // (the `*` opening the bounds) spanning `*3..1`.
+  EXPECT_NE(rendered.find("  1 | MATCH (a)-[e*3..1]->(b) RETURN *"),
+            std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("    |             ^~~~~"), std::string::npos)
+      << rendered;
+}
+
+TEST(DiagnosticsGolden, RenderedMultiLineQueryPicksTheRightLine) {
+  const std::string query = "MATCH (a)\nWHERE b.x = 1\nRETURN a.x";
+  auto r = Analyze(query);
+  const Diagnostic* d = Find(r, kCodeUndefinedVariable);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->span.ToString(), "2:7");
+  const std::string rendered = RenderDiagnostic(*d, query);
+  EXPECT_NE(rendered.find("  2 | WHERE b.x = 1"), std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("    |       ^"), std::string::npos) << rendered;
+}
+
+TEST(DiagnosticsGolden, DiagnosticsSortedBySourcePosition) {
+  auto r = Analyze("MATCH (a)-[e*3..1]->(b) WHERE q.x = 1 RETURN *");
+  ASSERT_GE(r.diagnostics.size(), 2u) << AllCodes(r);
+  for (size_t i = 1; i < r.diagnostics.size(); ++i) {
+    EXPECT_LE(r.diagnostics[i - 1].span.offset, r.diagnostics[i].span.offset);
+  }
+}
+
+}  // namespace
+}  // namespace gradoop::analysis

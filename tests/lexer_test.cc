@@ -112,11 +112,42 @@ TEST(LexerTest, RejectsUnknownCharacter) {
   EXPECT_FALSE(Tokenize("a ? b").ok());
 }
 
-TEST(LexerTest, OffsetsPointIntoInput) {
+TEST(LexerTest, SpansPointIntoInput) {
   auto tokens = Tokenize("ab cd");
   ASSERT_TRUE(tokens.ok());
-  EXPECT_EQ(tokens.value()[0].offset, 0u);
-  EXPECT_EQ(tokens.value()[1].offset, 3u);
+  EXPECT_EQ(tokens.value()[0].span.offset, 0u);
+  EXPECT_EQ(tokens.value()[0].span.length, 2u);
+  EXPECT_EQ(tokens.value()[1].span.offset, 3u);
+  EXPECT_EQ(tokens.value()[1].offset(), 3u);
+}
+
+TEST(LexerTest, SpansCarryLineAndColumn) {
+  auto tokens = Tokenize("MATCH (n)\n  WHERE n.x = 'a\nb'\nRETURN n");
+  ASSERT_TRUE(tokens.ok());
+  const auto& ts = tokens.value();
+  // MATCH at 1:1, ( at 1:7, WHERE at 2:3.
+  EXPECT_EQ(ts[0].span.line, 1);
+  EXPECT_EQ(ts[0].span.column, 1);
+  EXPECT_EQ(ts[1].span.line, 1);
+  EXPECT_EQ(ts[1].span.column, 7);
+  EXPECT_EQ(ts[4].span.line, 2);
+  EXPECT_EQ(ts[4].span.column, 3);
+  // The multi-line string literal keeps its opening quote's location, and
+  // the newline inside it advances subsequent tokens to line 3.
+  const auto& ret = ts[ts.size() - 3];  // RETURN
+  EXPECT_EQ(ret.text, "RETURN");
+  EXPECT_EQ(ret.span.line, 4);
+  EXPECT_EQ(ret.span.column, 1);
+}
+
+TEST(LexerTest, ErrorsCarryLineAndColumn) {
+  auto r = Tokenize("MATCH\n (a) ~");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("2:6"), std::string::npos);
+  auto s = Tokenize("MATCH (a { x: 'oops ]");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.status().message().find("unterminated"), std::string::npos);
+  EXPECT_NE(s.status().message().find("1:15"), std::string::npos);
 }
 
 }  // namespace

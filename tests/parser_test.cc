@@ -207,27 +207,56 @@ TEST(ParserErrorTest, DoubleArrow) {
   EXPECT_FALSE(ParseCypher("MATCH (a)<-[e]->(b) RETURN *").ok());
 }
 
-TEST(ParserErrorTest, BadBounds) {
-  EXPECT_FALSE(ParseCypher("MATCH (a)-[e*3..1]->(b) RETURN *").ok());
+TEST(ParserTest, BadBoundsParseButArePreserved) {
+  // Bound sanity (lower <= upper) is a semantic check: the parser accepts
+  // the pattern and the analyzer reports GQL010 with the bounds' span.
+  auto q = ParseCypher("MATCH (a)-[e*3..1]->(b) RETURN *");
+  ASSERT_TRUE(q.ok()) << q.status();
+  const auto& rel = q.value().paths[0].steps[0].first;
+  EXPECT_EQ(rel.lower_bound, 3);
+  EXPECT_EQ(rel.upper_bound, 1);
+  EXPECT_TRUE(rel.bounds_span.IsKnown());
 }
 
 TEST(ParserErrorTest, TrailingGarbage) {
   EXPECT_FALSE(ParseCypher("MATCH (n) RETURN * garbage").ok());
 }
 
-TEST(ParserErrorTest, BareVariableInWhere) {
-  // Only property accesses are supported as value terms.
-  EXPECT_FALSE(ParseCypher("MATCH (a) WHERE a = 1 RETURN *").ok());
+TEST(ParserTest, BareVariableParsesAsElementReference) {
+  // `a = b` parses into a comparison over bare element references; the
+  // analyzer folds it (isomorphism) or rejects it (homomorphism). It
+  // never reaches execution.
+  auto q = ParseCypher("MATCH (a)-[e]->(b) WHERE a = b RETURN *");
+  ASSERT_TRUE(q.ok()) << q.status();
+  const auto& where = q.value().where;
+  ASSERT_NE(where, nullptr);
+  ASSERT_EQ(where->kind(), ExprKind::kComparison);
+  EXPECT_EQ(where->left()->kind(), ExprKind::kVariable);
+  EXPECT_EQ(where->left()->variable(), "a");
+  EXPECT_EQ(where->right()->kind(), ExprKind::kVariable);
+  EXPECT_EQ(where->right()->variable(), "b");
+}
+
+TEST(ParserErrorTest, ReservedWordIsNotAValue) {
+  EXPECT_FALSE(ParseCypher("MATCH (a) WHERE RETURN = 1 RETURN *").ok());
 }
 
 TEST(ParserErrorTest, EmptyPropertyKey) {
   EXPECT_FALSE(ParseCypher("MATCH (a {: 1}) RETURN *").ok());
 }
 
-TEST(ParserErrorTest, ErrorMentionsOffset) {
+TEST(ParserErrorTest, ErrorMentionsLineColumnAndToken) {
   auto r = ParseCypher("MATCH (n RETURN *");
   ASSERT_FALSE(r.ok());
-  EXPECT_NE(r.status().message().find("offset"), std::string::npos);
+  // `RETURN` (the unexpected token) starts at line 1, column 10.
+  EXPECT_NE(r.status().message().find("1:10"), std::string::npos);
+  EXPECT_NE(r.status().message().find("'RETURN'"), std::string::npos);
+}
+
+TEST(ParserErrorTest, ErrorOnLaterLineLocatesIt) {
+  auto r = ParseCypher("MATCH (n)\nWHERE n.x = RETURN *");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("2:13"), std::string::npos);
 }
 
 }  // namespace

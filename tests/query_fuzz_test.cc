@@ -8,9 +8,11 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "common/random.h"
 #include "cypher/parser.h"
 #include "query/cypher_engine.h"
+#include "query/graph_statistics.h"
 #include "query/naive_matcher.h"
 
 namespace gradoop::query {
@@ -138,6 +140,7 @@ TEST_P(QueryFuzzTest, RandomQueriesMatchOracle) {
                                          g.edges);
   CypherEngine engine(graph);
   NaiveMatcher oracle(g.vertices, g.edges);
+  GraphStatistics stats = GraphStatistics::Compute(graph);
   Random rng(seed * 7919 + 13);
 
   int executed = 0;
@@ -146,7 +149,22 @@ TEST_P(QueryFuzzTest, RandomQueriesMatchOracle) {
     const MorphismSetting semantics = rng.NextBool(0.5)
                                           ? MorphismSetting::Neo4j()
                                           : MorphismSetting::FullIsomorphism();
+    // The semantic analyzer must process every generated query without
+    // crashing, whether or not the engine accepts it.
+    auto ast = cypher::ParseCypher(query);
+    ASSERT_TRUE(ast.ok()) << "query: " << query;
+    analysis::AnalyzerOptions sema_options;
+    sema_options.statistics = &stats;
+    sema_options.semantics = semantics;
+    auto sema = analysis::AnalyzeQuery(ast.value(), sema_options);
     auto result = engine.Execute(query, semantics);
+    // Severity contract: the analyzer may only reject (error severity)
+    // queries the engine itself refuses to execute. Warnings are free.
+    if (result.ok()) {
+      EXPECT_FALSE(sema.HasErrors())
+          << "analyzer rejected an executable query: " << query << "\n"
+          << sema.ErrorSummary();
+    }
     if (!result.ok()) {
       // The generator can produce patterns outside the supported subset
       // (e.g. an undirected edge colliding with a variable-length rule);

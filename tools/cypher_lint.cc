@@ -1,0 +1,158 @@
+// Standalone Cypher lint driver: parses each input query, runs the
+// semantic analyzer, and renders every diagnostic with source carets.
+//
+//   cypher_lint query.cypher ...         lint files (one query per file)
+//   cypher_lint -q "MATCH (n) RETURN n"  lint an inline query
+//   cypher_lint --ldbc                   lint the bundled LDBC queries
+//   cypher_lint -                        lint a query read from stdin
+//
+// Exit status: 0 = no diagnostics or warnings only, 1 = at least one
+// error-severity diagnostic or parse failure (warnings too under
+// --werror), 2 = usage or I/O error. CI runs this over the example and
+// LDBC query corpus and fails on errors.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/diagnostics.h"
+#include "cypher/parser.h"
+#include "ldbc/queries.h"
+#include "query/match_semantics.h"
+
+namespace {
+
+using gradoop::analysis::AnalysisResult;
+using gradoop::analysis::AnalyzerOptions;
+using gradoop::analysis::Diagnostic;
+using gradoop::analysis::Severity;
+using gradoop::query::MatchSemantics;
+
+struct LintStats {
+  int errors = 0;
+  int warnings = 0;
+};
+
+int Usage() {
+  std::cerr
+      << "usage: cypher_lint [options] [file.cypher ...]\n"
+         "  -q, --query TEXT        lint TEXT instead of reading files\n"
+         "      --ldbc              lint the bundled LDBC benchmark "
+         "queries\n"
+         "      --vertex-semantics iso|homo   morphism for vertices "
+         "(default homo)\n"
+         "      --edge-semantics iso|homo     morphism for edges "
+         "(default iso)\n"
+         "      --werror            treat warnings as errors\n"
+         "  -                       read one query from stdin\n";
+  return 2;
+}
+
+bool ParseSemantics(const std::string& text, MatchSemantics* out) {
+  if (text == "iso") {
+    *out = MatchSemantics::kIsomorphism;
+    return true;
+  }
+  if (text == "homo") {
+    *out = MatchSemantics::kHomomorphism;
+    return true;
+  }
+  return false;
+}
+
+void LintOne(const std::string& name, const std::string& query,
+             const AnalyzerOptions& options, LintStats* stats) {
+  auto parsed = gradoop::cypher::ParseCypher(query);
+  if (!parsed.ok()) {
+    std::cout << name << ": error: " << parsed.status().message() << "\n";
+    ++stats->errors;
+    return;
+  }
+  const AnalysisResult result =
+      gradoop::analysis::AnalyzeQuery(parsed.value(), options);
+  if (result.diagnostics.empty()) return;
+  for (const Diagnostic& d : result.diagnostics) {
+    (d.severity == Severity::kError ? stats->errors : stats->warnings) += 1;
+  }
+  std::cout << name << ":\n"
+            << gradoop::analysis::RenderDiagnostics(result.diagnostics,
+                                                    query)
+            << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  AnalyzerOptions options;  // no graph: the vocabulary pass is skipped
+  bool werror = false;
+  bool ldbc = false;
+  std::vector<std::pair<std::string, std::string>> inputs;  // name, query
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "-q" || arg == "--query") {
+      const char* text = next();
+      if (text == nullptr) return Usage();
+      inputs.emplace_back("<query>", text);
+    } else if (arg == "--ldbc") {
+      ldbc = true;
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--vertex-semantics") {
+      const char* text = next();
+      if (text == nullptr || !ParseSemantics(text, &options.semantics.vertex))
+        return Usage();
+    } else if (arg == "--edge-semantics") {
+      const char* text = next();
+      if (text == nullptr || !ParseSemantics(text, &options.semantics.edge))
+        return Usage();
+    } else if (arg == "-") {
+      std::ostringstream buffer;
+      buffer << std::cin.rdbuf();
+      inputs.emplace_back("<stdin>", buffer.str());
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  if (ldbc) {
+    // The operational queries are parameterized on a name; any value
+    // produces the same structure, so lint with a placeholder.
+    inputs.emplace_back("ldbc/Q1", gradoop::ldbc::Query1("x"));
+    inputs.emplace_back("ldbc/Q2", gradoop::ldbc::Query2("x"));
+    inputs.emplace_back("ldbc/Q3", gradoop::ldbc::Query3("x"));
+    inputs.emplace_back("ldbc/Q4", gradoop::ldbc::Query4());
+    inputs.emplace_back("ldbc/Q5", gradoop::ldbc::Query5());
+    inputs.emplace_back("ldbc/Q6", gradoop::ldbc::Query6());
+  }
+  for (const std::string& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "cypher_lint: cannot read '" << path << "'\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    inputs.emplace_back(path, buffer.str());
+  }
+  if (inputs.empty()) return Usage();
+
+  LintStats stats;
+  for (const auto& [name, query] : inputs) {
+    LintOne(name, query, options, &stats);
+  }
+  std::cout << inputs.size() << " quer" << (inputs.size() == 1 ? "y" : "ies")
+            << " checked: " << stats.errors << " error(s), "
+            << stats.warnings << " warning(s)\n";
+  if (stats.errors > 0) return 1;
+  if (werror && stats.warnings > 0) return 1;
+  return 0;
+}
