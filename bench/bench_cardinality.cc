@@ -15,6 +15,8 @@ int main() {
               MiniSf100());
 
   BenchHarness harness;
+  JsonReporter reporter("cardinality");
+  harness.set_reporter(&reporter);
   const ldbc::Selectivity kLevels[] = {ldbc::Selectivity::kHigh,
                                        ldbc::Selectivity::kMedium,
                                        ldbc::Selectivity::kLow};

@@ -11,9 +11,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/timer.h"
 #include "ldbc/ldbc_generator.h"
@@ -42,6 +45,87 @@ struct RunResult {
   uint64_t records = 0;
 };
 
+// Machine-readable counterpart of each benchmark's console table.
+// Collects one record per measurement and writes BENCH_<name>.json into
+// the working directory (override the directory with
+// GRADOOP_BENCH_JSON_DIR) when flushed or destroyed, e.g.
+//
+//   {"bench": "selectivity",
+//    "records": [{"params": {"query": "...", "workers": "4"},
+//                 "matches": 35, "wall_ms": 1.201, ...}]}
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string name) : name_(std::move(name)) {}
+  ~JsonReporter() { Flush(); }
+
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+
+  // One measurement; `params` are free-form benchmark coordinates
+  // ("query", "workers", "sf", ...).
+  void Record(std::map<std::string, std::string> params,
+              const RunResult& result) {
+    entries_.emplace_back(std::move(params), result);
+  }
+
+  void Flush() {
+    if (entries_.empty()) return;
+    std::string dir = ".";
+    if (const char* env = std::getenv("GRADOOP_BENCH_JSON_DIR")) dir = env;
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "JsonReporter: cannot write '%s'\n",
+                   path.c_str());
+      return;
+    }
+    out << "{\"bench\": \"" << Escape(name_) << "\", \"records\": [";
+    bool first_entry = true;
+    for (const auto& [params, r] : entries_) {
+      out << (first_entry ? "\n" : ",\n") << "  {\"params\": {";
+      first_entry = false;
+      bool first_param = true;
+      for (const auto& [key, value] : params) {
+        if (!first_param) out << ", ";
+        first_param = false;
+        out << "\"" << Escape(key) << "\": \"" << Escape(value) << "\"";
+      }
+      char wall_ms[32];
+      std::snprintf(wall_ms, sizeof(wall_ms), "%.3f", r.wall_sec * 1e3);
+      char sim_sec[32];
+      std::snprintf(sim_sec, sizeof(sim_sec), "%.6f", r.simulated_sec);
+      out << "}, \"matches\": " << r.matches << ", \"wall_ms\": " << wall_ms
+          << ", \"simulated_sec\": " << sim_sec
+          << ", \"network_bytes\": " << r.network_bytes
+          << ", \"spilled_bytes\": " << r.spilled_bytes
+          << ", \"records\": " << r.records << "}";
+    }
+    out << "\n]}\n";
+    entries_.clear();
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+  }
+
+ private:
+  static std::string Escape(const std::string& text) {
+    std::string out;
+    for (const char c : text) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::map<std::string, std::string>, RunResult>>
+      entries_;
+};
+
 // Engine cache for the current (scale factor, worker count). Only ONE
 // engine is held at a time — a full engine at the larger scale factor is
 // hundreds of MB (graph + label index + statistics), and the benchmark
@@ -49,6 +133,10 @@ struct RunResult {
 // (sf, workers) as the OUTER loops so eviction stays cheap.
 class BenchHarness {
  public:
+  // Every Run() is mirrored into `reporter` (params: sf, workers, query)
+  // in addition to the caller's console table. Not owned.
+  void set_reporter(JsonReporter* reporter) { reporter_ = reporter; }
+
   query::CypherEngine& Engine(double sf, int workers) {
     const auto key = std::make_pair(sf, workers);
     if (engine_ == nullptr || engine_key_ != key) {
@@ -111,6 +199,14 @@ class BenchHarness {
     result.network_bytes = tracker.NetworkBytes();
     result.spilled_bytes = tracker.SpilledBytes();
     result.records = tracker.TotalRecords();
+    if (reporter_ != nullptr) {
+      char sf_text[32];
+      std::snprintf(sf_text, sizeof(sf_text), "%.2f", sf);
+      reporter_->Record({{"sf", sf_text},
+                         {"workers", std::to_string(workers)},
+                         {"query", query}},
+                        result);
+    }
     return result;
   }
 
@@ -119,6 +215,7 @@ class BenchHarness {
   std::pair<double, int> engine_key_{-1.0, -1};
   std::map<double, ldbc::LdbcElements> elements_;
   std::map<std::pair<double, int>, std::string> names_;
+  JsonReporter* reporter_ = nullptr;
 };
 
 inline const char* QueryLabel(int index) {

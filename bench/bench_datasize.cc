@@ -17,6 +17,8 @@ int main() {
               "ratio");
 
   BenchHarness harness;
+  JsonReporter reporter("datasize");
+  harness.set_reporter(&reporter);
   // One engine at a time: run all queries at SF10*, then all at SF100*
   // (Q1-Q3 use the low-selectivity parameter, as in the figure).
   RunResult small[6], big[6];

@@ -4,6 +4,7 @@
 // operations that dominate shuffle-heavy query execution.
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -138,4 +139,29 @@ BENCHMARK(BM_NaiveSerializedSize);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Console output plus a machine-readable BENCH_embedding.json, matching
+// the harness benchmarks' JSON reports. An explicit --benchmark_out on
+// the command line wins over the default file.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_embedding.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) {
+      has_out = true;
+    }
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

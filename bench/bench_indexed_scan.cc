@@ -3,6 +3,7 @@
 // datasets. The index lets a labeled scan touch only its own records.
 #include <cstdio>
 
+#include "bench/bench_common.h"
 #include "epgm/indexed_logical_graph.h"
 #include "ldbc/ldbc_generator.h"
 
@@ -51,11 +52,19 @@ int main() {
       static_cast<unsigned long long>(graph.vertices().Count()));
   std::printf("%-12s  %14s  %14s  %12s  %12s\n", "label", "records:index",
               "records:full", "sim:index", "sim:full");
+  bench::JsonReporter reporter("indexed_scan");
   for (const std::string& label :
        {std::string("University"), std::string("Tag"),
         std::string("Person"), std::string("Comment")}) {
     const ScanCost indexed_cost = MeasureIndexed(indexed, label);
     const ScanCost full_cost = MeasureFullScan(graph, label);
+    bench::RunResult result;
+    result.records = indexed_cost.records;
+    result.simulated_sec = indexed_cost.simulated_sec;
+    reporter.Record({{"label", label}, {"scan", "indexed"}}, result);
+    result.records = full_cost.records;
+    result.simulated_sec = full_cost.simulated_sec;
+    reporter.Record({{"label", label}, {"scan", "full"}}, result);
     std::printf("%-12s  %14llu  %14llu  %12.3f  %12.3f\n", label.c_str(),
                 static_cast<unsigned long long>(indexed_cost.records),
                 static_cast<unsigned long long>(full_cost.records),

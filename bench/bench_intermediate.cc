@@ -48,6 +48,8 @@ int main() {
   std::printf("%-58s %10s %10s %10s\n", "pattern", "high", "medium", "low");
 
   BenchHarness harness;
+  JsonReporter reporter("intermediate");
+  harness.set_reporter(&reporter);
   const ldbc::Selectivity kLevels[] = {ldbc::Selectivity::kHigh,
                                        ldbc::Selectivity::kMedium,
                                        ldbc::Selectivity::kLow};

@@ -7,6 +7,7 @@
 #include <numeric>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "dataflow/dataset.h"
 
 using namespace gradoop::dataflow;  // NOLINT
@@ -49,6 +50,7 @@ int main() {
       kWorkers, kProbe);
   std::printf("%12s  %16s  %16s  %10s\n", "build side", "repartition [s]",
               "broadcast [s]", "winner");
+  gradoop::bench::JsonReporter reporter("join_strategy");
   for (int build : {100, 1000, 10000, 50000, 100000, 200000, 400000}) {
     const double rep =
         JoinSimSeconds(kWorkers, kProbe, build, JoinStrategy::kRepartition);
@@ -56,6 +58,15 @@ int main() {
         JoinSimSeconds(kWorkers, kProbe, build, JoinStrategy::kBroadcast);
     std::printf("%12d  %16.3f  %16.3f  %10s\n", build, rep, bc,
                 bc < rep ? "broadcast" : "repartition");
+    gradoop::bench::RunResult result;
+    result.simulated_sec = rep;
+    reporter.Record({{"build", std::to_string(build)},
+                     {"strategy", "repartition"}},
+                    result);
+    result.simulated_sec = bc;
+    reporter.Record(
+        {{"build", std::to_string(build)}, {"strategy", "broadcast"}},
+        result);
   }
   std::printf(
       "\nExpectation: broadcast wins for small build sides (the probe side "

@@ -39,6 +39,8 @@ int main() {
       sf);
 
   BenchHarness harness;
+  JsonReporter reporter("planner");
+  harness.set_reporter(&reporter);
   query::CypherEngine& engine = harness.Engine(sf, 16);
   const std::string name = harness.FirstName(sf, ldbc::Selectivity::kHigh);
 
@@ -57,6 +59,9 @@ int main() {
       std::fprintf(stderr, "plan mismatch on %s\n", QueryLabel(q));
       return 1;
     }
+    reporter.Record({{"query", QueryLabel(q)}, {"mode", "greedy"}}, greedy);
+    reporter.Record({{"query", QueryLabel(q)}, {"mode", "left_deep"}}, left);
+    reporter.Record({{"query", QueryLabel(q)}, {"mode", "dp"}}, dp);
     std::printf("%-8s %14llu %14llu %14llu %11.2f %11.2f %11.2f %9llu\n",
                 QueryLabel(q),
                 static_cast<unsigned long long>(greedy.records),

@@ -11,14 +11,8 @@ using namespace gradoop::bench;  // NOLINT
 
 namespace {
 
-struct Measured {
-  uint64_t matches;
-  uint64_t records;
-  double simulated_sec;
-};
-
-Measured RunWithSharing(query::CypherEngine* engine, const std::string& query,
-                        bool share) {
+RunResult RunWithSharing(query::CypherEngine* engine,
+                         const std::string& query, bool share) {
   engine->planner_options().share_scan_results = share;
   auto& tracker = engine->graph().context()->tracker();
   tracker.Reset();
@@ -28,8 +22,11 @@ Measured RunWithSharing(query::CypherEngine* engine, const std::string& query,
                  count.status().ToString().c_str());
     std::exit(1);
   }
-  return {count.value(), tracker.TotalRecords(),
-          tracker.SimulatedSeconds()};
+  RunResult r;
+  r.matches = count.value();
+  r.records = tracker.TotalRecords();
+  r.simulated_sec = tracker.SimulatedSeconds();
+  return r;
 }
 
 }  // namespace
@@ -42,12 +39,16 @@ int main() {
               "records:on", "sim:off", "sim:on", "matches");
 
   BenchHarness harness;
+  JsonReporter reporter("scan_sharing");
+  harness.set_reporter(&reporter);
   query::CypherEngine& engine = harness.Engine(sf, 16);
   const std::string name = harness.FirstName(sf, ldbc::Selectivity::kMedium);
   for (int q = 0; q < 6; ++q) {
     const std::string query = PaperQuery(q, name);
-    const Measured off = RunWithSharing(&engine, query, false);
-    const Measured on = RunWithSharing(&engine, query, true);
+    const RunResult off = RunWithSharing(&engine, query, false);
+    const RunResult on = RunWithSharing(&engine, query, true);
+    reporter.Record({{"query", QueryLabel(q)}, {"share", "off"}}, off);
+    reporter.Record({{"query", QueryLabel(q)}, {"share", "on"}}, on);
     if (off.matches != on.matches) {
       std::fprintf(stderr, "sharing changed results on %s!\n", QueryLabel(q));
       return 1;

@@ -19,6 +19,8 @@ int main() {
               "low", "low/high");
 
   BenchHarness harness;
+  JsonReporter reporter("selectivity");
+  harness.set_reporter(&reporter);
   const ldbc::Selectivity kLevels[] = {ldbc::Selectivity::kHigh,
                                        ldbc::Selectivity::kMedium,
                                        ldbc::Selectivity::kLow};

@@ -52,6 +52,8 @@ int main() {
   }
 
   BenchHarness harness;
+  JsonReporter reporter("speedup");
+  harness.set_reporter(&reporter);
   std::map<CellKey, RunResult> results;
   for (const CellKey& cell : cells) {
     const auto [q, level, sf, workers] = cell;

@@ -18,9 +18,9 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 ONLY="${1:-all}"
 
 case "${ONLY}" in
-  all|plain|asan|tsan|tidy|lint) ;;
+  all|plain|asan|tsan|tidy|lint|explain) ;;
   *)
-    echo "usage: ci/check.sh [all|plain|asan|tsan|tidy|lint]" >&2
+    echo "usage: ci/check.sh [all|plain|asan|tsan|tidy|lint|explain]" >&2
     echo "unknown tree '${ONLY}'" >&2
     exit 2
     ;;
@@ -70,6 +70,21 @@ if [[ "${ONLY}" == "all" || "${ONLY}" == "lint" ]]; then
     cmake --build "${OUT}/plain" -j "${JOBS}" --target cypher_lint
   fi
   "${OUT}/plain/tools/cypher_lint" --ldbc "${ROOT}"/examples/queries/*.cypher
+fi
+
+# Plan-compilation stage: lower every shipped query through the full
+# planner + PlanCompiler + compiled-plan verifier (EXPLAIN, no
+# execution) and fail if any plan does not compile. Reuses the plain
+# tree's cypher_explain binary.
+if [[ "${ONLY}" == "all" || "${ONLY}" == "explain" ]]; then
+  echo "=== [explain] cypher_explain over LDBC + example queries ==="
+  if [[ ! -x "${OUT}/plain/tools/cypher_explain" ]]; then
+    cmake -B "${OUT}/plain" -S "${ROOT}" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGRADOOP_WERROR=ON >/dev/null
+    cmake --build "${OUT}/plain" -j "${JOBS}" --target cypher_explain
+  fi
+  "${OUT}/plain/tools/cypher_explain" --ldbc \
+    "${ROOT}"/examples/queries/*.cypher >/dev/null
 fi
 
 # Optional lint stage: the sanitizer gates above are mandatory, clang-tidy

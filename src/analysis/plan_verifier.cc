@@ -1,6 +1,5 @@
 #include "analysis/plan_verifier.h"
 
-#include <algorithm>
 #include <cmath>
 #include <set>
 #include <utility>
@@ -54,16 +53,16 @@ std::string JoinNames(const std::set<std::string>& names) {
   return out.empty() ? "<none>" : out;
 }
 
-// The bottom-up verification pass. Carries the query graph and options;
-// each Check* method validates one operator kind and returns the column
-// layout its subtree produces (meta simulation only runs in exhaustive
-// mode — cheap mode passes empty metas through and skips column checks).
+// The bottom-up verification pass over the logical plan. Carries the
+// query graph and options; each Check* method validates one operator
+// kind. Column layouts are not simulated here — the compiled plan is
+// checked separately by VerifyCompiledPlan.
 class Pass {
  public:
   Pass(const cypher::QueryGraph& qg, VerifyOptions options)
       : qg_(qg), options_(options) {}
 
-  Result<EmbeddingMetaData> VerifyNode(const PlanNodePtr& node, int depth) {
+  Status VerifyNode(const PlanNodePtr& node, int depth) {
     if (node == nullptr) {
       return Status::Internal("PlanVerifier: null plan node");
     }
@@ -120,62 +119,6 @@ class Pass {
     return Status::Ok();
   }
 
-  // Exhaustive-mode validation of a simulated meta data object: every
-  // column index in range, no dangling or overlapping id/property
-  // columns, and the variable set consistent with the node's
-  // bound_variables bookkeeping.
-  Status CheckMeta(const PlanNode& node, const EmbeddingMetaData& meta) const {
-    std::set<int> id_columns;
-    for (const std::string& var : meta.Variables()) {
-      const int c = meta.IdColumn(var);
-      if (c < 0 || c >= meta.id_column_count()) {
-        return Violation(node.kind,
-                         "variable `" + var + "` maps to id column " +
-                             std::to_string(c) + ", outside [0, " +
-                             std::to_string(meta.id_column_count()) + ")");
-      }
-      if (!id_columns.insert(c).second) {
-        return Violation(node.kind, "two variables overlap on id column " +
-                                        std::to_string(c) + " (`" + var +
-                                        "` collides)");
-      }
-    }
-    std::set<int> property_columns;
-    for (const std::string& var : meta.Variables()) {
-      for (const std::string& key : qg_.NeededProperties(var)) {
-        const int c = meta.PropertyColumn(var, key);
-        if (c < 0) continue;  // not projected in this subtree
-        if (c >= meta.property_column_count()) {
-          return Violation(node.kind, "property " + var + "." + key +
-                                          " maps to dangling column " +
-                                          std::to_string(c) + ", outside [0, " +
-                                          std::to_string(
-                                              meta.property_column_count()) +
-                                          ")");
-        }
-        if (!property_columns.insert(c).second) {
-          return Violation(node.kind,
-                           "two properties overlap on column " +
-                               std::to_string(c) + " (" + var + "." + key +
-                               " collides)");
-        }
-      }
-    }
-    for (const std::string& var : node.bound_variables) {
-      if (!meta.HasVariable(var)) {
-        return Violation(node.kind, "bound variable `" + var +
-                                        "` has no embedding column");
-      }
-    }
-    for (const std::string& var : meta.Variables()) {
-      if (!node.bound_variables.contains(var)) {
-        return Violation(node.kind, "embedding column for `" + var +
-                                        "` is not in bound_variables");
-      }
-    }
-    return Status::Ok();
-  }
-
   Status CheckLeafShape(const PlanNode& node) const {
     if (node.left != nullptr || node.right != nullptr) {
       return Violation(node.kind, "scan operator must be a leaf");
@@ -208,7 +151,7 @@ class Pass {
 
   // --- leaves ----------------------------------------------------------
 
-  Result<EmbeddingMetaData> CheckScanVertices(const PlanNode& node) const {
+  Status CheckScanVertices(const PlanNode& node) const {
     GRADOOP_RETURN_IF_ERROR(CheckLeafShape(node));
     const int n = static_cast<int>(qg_.vertices().size());
     if (node.element_index < 0 || node.element_index >= n) {
@@ -220,17 +163,10 @@ class Pass {
     const QueryVertex& v = qg_.vertices()[node.element_index];
     GRADOOP_RETURN_IF_ERROR(CheckBoundSet(node, {v.variable}));
     GRADOOP_RETURN_IF_ERROR(CheckPropertySet(node, {v.variable}));
-    EmbeddingMetaData meta;
-    if (!options_.exhaustive) return meta;
-    meta.AddIdColumn(v.variable, EntryType::kVertex);
-    for (const std::string& key : qg_.NeededProperties(v.variable)) {
-      meta.AddPropertyColumn(v.variable, key);
-    }
-    GRADOOP_RETURN_IF_ERROR(CheckMeta(node, meta));
-    return meta;
+    return Status::Ok();
   }
 
-  Result<EmbeddingMetaData> CheckScanEdges(const PlanNode& node) const {
+  Status CheckScanEdges(const PlanNode& node) const {
     GRADOOP_RETURN_IF_ERROR(CheckLeafShape(node));
     const int n = static_cast<int>(qg_.edges().size());
     if (node.element_index < 0 || node.element_index >= n) {
@@ -248,29 +184,17 @@ class Pass {
     const std::string& dst = qg_.vertices()[e.target].variable;
     GRADOOP_RETURN_IF_ERROR(CheckBoundSet(node, {src, e.variable, dst}));
     GRADOOP_RETURN_IF_ERROR(CheckPropertySet(node, {e.variable}));
-    EmbeddingMetaData meta;
-    if (!options_.exhaustive) return meta;
-    // Mirrors EdgeScanMetaData (pinned by plan_verifier_test).
-    meta.AddIdColumn(src, EntryType::kVertex);
-    meta.AddIdColumn(e.variable, EntryType::kEdge);
-    if (src != dst) meta.AddIdColumn(dst, EntryType::kVertex);
-    for (const std::string& key : qg_.NeededProperties(e.variable)) {
-      meta.AddPropertyColumn(e.variable, key);
-    }
-    GRADOOP_RETURN_IF_ERROR(CheckMeta(node, meta));
-    return meta;
+    return Status::Ok();
   }
 
   // --- inner operators -------------------------------------------------
 
-  Result<EmbeddingMetaData> CheckJoin(const PlanNode& node, int depth) {
+  Status CheckJoin(const PlanNode& node, int depth) {
     if (node.left == nullptr || node.right == nullptr) {
       return Violation(node.kind, "join needs two inputs");
     }
-    GRADOOP_ASSIGN_OR_RETURN(EmbeddingMetaData left,
-                             VerifyNode(node.left, depth + 1));
-    GRADOOP_ASSIGN_OR_RETURN(EmbeddingMetaData right,
-                             VerifyNode(node.right, depth + 1));
+    GRADOOP_RETURN_IF_ERROR(VerifyNode(node.left, depth + 1));
+    GRADOOP_RETURN_IF_ERROR(VerifyNode(node.right, depth + 1));
 
     // The join variables must be exactly the variables shared by the two
     // inputs: a missing shared variable would silently drop the id
@@ -298,28 +222,6 @@ class Pass {
         return Violation(node.kind, "join variable `" + var +
                                         "` is a path binding");
       }
-      if (options_.exhaustive) {
-        const int lc = left.IdColumn(var);
-        const int rc = right.IdColumn(var);
-        if (lc < 0 || rc < 0) {
-          return Violation(node.kind,
-                           "join variable `" + var +
-                               "` lacks an id column on the " +
-                               (lc < 0 ? "left" : "right") + " input");
-        }
-        if (left.TypeOf(var) != right.TypeOf(var)) {
-          return Violation(node.kind,
-                           "join variable `" + var + "` is a " +
-                               EntryTypeName(left.TypeOf(var)) +
-                               " on the left but a " +
-                               EntryTypeName(right.TypeOf(var)) +
-                               " on the right");
-        }
-        if (left.TypeOf(var) == EntryType::kPath) {
-          return Violation(node.kind, "join variable `" + var +
-                                          "` is a path binding");
-        }
-      }
     }
     GRADOOP_RETURN_IF_ERROR(CheckBoundSet(
         node, UnionOf(node.left->bound_variables,
@@ -327,21 +229,15 @@ class Pass {
     GRADOOP_RETURN_IF_ERROR(CheckPropertySet(
         node, UnionOf(node.left->property_variables,
                       node.right->property_variables)));
-    if (!options_.exhaustive) return EmbeddingMetaData();
-    EmbeddingMetaData merged = EmbeddingMetaData::Merge(left, right);
-    GRADOOP_RETURN_IF_ERROR(CheckMerge(node, left, right, merged));
-    GRADOOP_RETURN_IF_ERROR(CheckMeta(node, merged));
-    return merged;
+    return Status::Ok();
   }
 
-  Result<EmbeddingMetaData> CheckValueJoin(const PlanNode& node, int depth) {
+  Status CheckValueJoin(const PlanNode& node, int depth) {
     if (node.left == nullptr || node.right == nullptr) {
       return Violation(node.kind, "value join needs two inputs");
     }
-    GRADOOP_ASSIGN_OR_RETURN(EmbeddingMetaData left,
-                             VerifyNode(node.left, depth + 1));
-    GRADOOP_ASSIGN_OR_RETURN(EmbeddingMetaData right,
-                             VerifyNode(node.right, depth + 1));
+    GRADOOP_RETURN_IF_ERROR(VerifyNode(node.left, depth + 1));
+    GRADOOP_RETURN_IF_ERROR(VerifyNode(node.right, depth + 1));
     if (node.value_join_keys.empty()) {
       return Violation(node.kind, "value join has no key equalities");
     }
@@ -370,18 +266,6 @@ class Pass {
         return Violation(node.kind, "right key variable `" + rhs->variable() +
                                         "` is not bound on the right input");
       }
-      if (options_.exhaustive) {
-        if (left.PropertyColumn(lhs->variable(), lhs->property_key()) < 0) {
-          return Violation(node.kind, "left key " + lhs->ToString() +
-                                          " resolves to no projected "
-                                          "property column");
-        }
-        if (right.PropertyColumn(rhs->variable(), rhs->property_key()) < 0) {
-          return Violation(node.kind, "right key " + rhs->ToString() +
-                                          " resolves to no projected "
-                                          "property column");
-        }
-      }
     }
     GRADOOP_RETURN_IF_ERROR(CheckBoundSet(
         node, UnionOf(node.left->bound_variables,
@@ -389,54 +273,10 @@ class Pass {
     GRADOOP_RETURN_IF_ERROR(CheckPropertySet(
         node, UnionOf(node.left->property_variables,
                       node.right->property_variables)));
-    if (!options_.exhaustive) return EmbeddingMetaData();
-    EmbeddingMetaData merged = EmbeddingMetaData::Merge(left, right);
-    GRADOOP_RETURN_IF_ERROR(CheckMerge(node, left, right, merged));
-    GRADOOP_RETURN_IF_ERROR(CheckMeta(node, merged));
-    return merged;
-  }
-
-  // Merge consistency: column counts add up and the left-hand layout is
-  // preserved verbatim (right columns shift by the left counts).
-  Status CheckMerge(const PlanNode& node, const EmbeddingMetaData& left,
-                    const EmbeddingMetaData& right,
-                    const EmbeddingMetaData& merged) const {
-    if (merged.id_column_count() !=
-        left.id_column_count() + right.id_column_count()) {
-      return Violation(node.kind, "merged id column count " +
-                                      std::to_string(merged.id_column_count()) +
-                                      " != left " +
-                                      std::to_string(left.id_column_count()) +
-                                      " + right " +
-                                      std::to_string(right.id_column_count()));
-    }
-    if (merged.property_column_count() !=
-        left.property_column_count() + right.property_column_count()) {
-      return Violation(node.kind, "merged property column count deviates "
-                                  "from the sum of its inputs");
-    }
-    for (const std::string& var : left.Variables()) {
-      if (merged.IdColumn(var) != left.IdColumn(var)) {
-        return Violation(node.kind, "merge moved left variable `" + var +
-                                        "` to a different column");
-      }
-    }
-    for (const std::string& var : right.Variables()) {
-      const int expected = left.HasVariable(var)
-                               ? left.IdColumn(var)
-                               : right.IdColumn(var) + left.id_column_count();
-      if (merged.IdColumn(var) != expected) {
-        return Violation(node.kind, "merge rebased right variable `" + var +
-                                        "` to column " +
-                                        std::to_string(merged.IdColumn(var)) +
-                                        ", expected " +
-                                        std::to_string(expected));
-      }
-    }
     return Status::Ok();
   }
 
-  Result<EmbeddingMetaData> CheckExpand(const PlanNode& node, int depth) {
+  Status CheckExpand(const PlanNode& node, int depth) {
     if (node.left == nullptr || node.right != nullptr) {
       return Violation(node.kind, "expand takes exactly one input");
     }
@@ -458,12 +298,10 @@ class Pass {
                            ".." + std::to_string(e.upper_bound) +
                            " are not 0 <= lower <= upper");
     }
-    GRADOOP_ASSIGN_OR_RETURN(EmbeddingMetaData input,
-                             VerifyNode(node.left, depth + 1));
+    GRADOOP_RETURN_IF_ERROR(VerifyNode(node.left, depth + 1));
     const std::string& src = qg_.vertices()[e.source].variable;
     const std::string& dst = qg_.vertices()[e.target].variable;
     const std::string& start = node.expand_reverse ? dst : src;
-    const std::string& end = node.expand_reverse ? src : dst;
     if (!node.left->bound_variables.contains(start)) {
       return Violation(node.kind, "expansion start `" + start +
                                       "` is not bound by the input");
@@ -476,36 +314,17 @@ class Pass {
         node, UnionOf(node.left->bound_variables, {e.variable, src, dst})));
     GRADOOP_RETURN_IF_ERROR(
         CheckPropertySet(node, node.left->property_variables));
-    if (!options_.exhaustive) return EmbeddingMetaData();
-    const int start_column = input.IdColumn(start);
-    if (start_column < 0) {
-      return Violation(node.kind, "expansion start `" + start +
-                                      "` has no id column");
-    }
-    if (input.TypeOf(start) != EntryType::kVertex) {
-      return Violation(node.kind,
-                       "expansion start `" + start + "` is bound as a " +
-                           EntryTypeName(input.TypeOf(start)) +
-                           ", expected a vertex");
-    }
-    EmbeddingMetaData meta = input;
-    meta.AddIdColumn(e.variable, EntryType::kPath);
-    if (!input.HasVariable(end)) {
-      meta.AddIdColumn(end, EntryType::kVertex);
-    }
-    GRADOOP_RETURN_IF_ERROR(CheckMeta(node, meta));
-    return meta;
+    return Status::Ok();
   }
 
-  Result<EmbeddingMetaData> CheckFilter(const PlanNode& node, int depth) {
+  Status CheckFilter(const PlanNode& node, int depth) {
     if (node.left == nullptr || node.right != nullptr) {
       return Violation(node.kind, "filter takes exactly one input");
     }
     if (node.clauses.empty()) {
       return Violation(node.kind, "filter has no clauses");
     }
-    GRADOOP_ASSIGN_OR_RETURN(EmbeddingMetaData input,
-                             VerifyNode(node.left, depth + 1));
+    GRADOOP_RETURN_IF_ERROR(VerifyNode(node.left, depth + 1));
     for (const cypher::CnfClause& clause : node.clauses) {
       for (const std::string& var : clause.Variables()) {
         if (!node.left->bound_variables.contains(var)) {
@@ -521,21 +340,11 @@ class Pass {
       }
       if (!options_.exhaustive) continue;
       GRADOOP_RETURN_IF_ERROR(CheckClause(clause));
-      std::set<std::pair<std::string, std::string>> accesses;
-      for (const cypher::ExpressionPtr& atom : clause.atoms) {
-        atom->CollectPropertyAccesses(&accesses);
-      }
-      for (const auto& [var, key] : accesses) {
-        if (input.PropertyColumn(var, key) < 0) {
-          return Violation(node.kind, "property " + var + "." + key +
-                                          " is not projected in the subtree");
-        }
-      }
     }
     GRADOOP_RETURN_IF_ERROR(CheckBoundSet(node, node.left->bound_variables));
     GRADOOP_RETURN_IF_ERROR(
         CheckPropertySet(node, node.left->property_variables));
-    return input;
+    return Status::Ok();
   }
 
   const cypher::QueryGraph& qg_;
@@ -594,8 +403,7 @@ Status PlanVerifier::Verify(const query::PlanNodePtr& plan) const {
     GRADOOP_RETURN_IF_ERROR(CheckQueryPredicates());
   }
   Pass pass(query_graph_, options_);
-  auto result = pass.VerifyNode(plan, 0);
-  return result.ok() ? Status::Ok() : result.status();
+  return pass.VerifyNode(plan, 0);
 }
 
 Status PlanVerifier::VerifyComplete(const query::PlanNodePtr& plan) const {
@@ -616,12 +424,6 @@ Status PlanVerifier::VerifyComplete(const query::PlanNodePtr& plan) const {
   return Status::Ok();
 }
 
-Result<query::EmbeddingMetaData> PlanVerifier::SimulateMetaData(
-    const query::PlanNodePtr& plan) const {
-  Pass pass(query_graph_, VerifyOptions::Exhaustive());
-  return pass.VerifyNode(plan, 0);
-}
-
 Status VerifyPlan(const cypher::QueryGraph& query_graph,
                   const query::PlanNodePtr& plan, VerifyOptions options) {
   return PlanVerifier(query_graph, options).VerifyComplete(plan);
@@ -631,6 +433,301 @@ Status VerifyCandidatePlan(const cypher::QueryGraph& query_graph,
                            const query::PlanNodePtr& plan,
                            VerifyOptions options) {
   return PlanVerifier(query_graph, options).Verify(plan);
+}
+
+// --- compiled plan verification ---------------------------------------
+
+namespace {
+
+using query::exec::ExpandOp;
+using query::exec::JoinOp;
+using query::exec::PhysicalOperator;
+using query::exec::PhysOpKind;
+using query::exec::ValueJoinOp;
+
+Status CompiledViolation(const PhysicalOperator& op,
+                         const std::string& detail) {
+  return Status::Internal(std::string("PlanVerifier: compiled ") + op.name() +
+                          ": " + detail);
+}
+
+// Internal sanity of one compiled meta data object: id columns in range
+// and never shared by two variables, property columns dense and
+// resolvable back to their (variable, key).
+Status CheckMetaSane(const PhysicalOperator& op,
+                     const EmbeddingMetaData& meta) {
+  std::set<int> id_columns;
+  for (const std::string& var : meta.Variables()) {
+    const int c = meta.IdColumn(var);
+    if (c < 0 || c >= meta.id_column_count()) {
+      return CompiledViolation(
+          op, "variable `" + var + "` maps to id column " +
+                  std::to_string(c) + ", outside [0, " +
+                  std::to_string(meta.id_column_count()) + ")");
+    }
+    if (!id_columns.insert(c).second) {
+      return CompiledViolation(op, "two variables overlap on id column " +
+                                       std::to_string(c) + " (`" + var +
+                                       "` collides)");
+    }
+  }
+  const auto properties = meta.PropertyColumnsInOrder();
+  for (size_t i = 0; i < properties.size(); ++i) {
+    const auto& [var, key] = properties[i];
+    if (meta.PropertyColumn(var, key) != static_cast<int>(i)) {
+      return CompiledViolation(op, "property column " + std::to_string(i) +
+                                       " is dangling or duplicated");
+    }
+  }
+  return Status::Ok();
+}
+
+// Merge consistency: the parent's layout preserves the left child's
+// columns verbatim and rebases the right child's by the left counts
+// (shared variables keep the left binding).
+Status CheckMergedLayout(const PhysicalOperator& op,
+                         const EmbeddingMetaData& left,
+                         const EmbeddingMetaData& right,
+                         const EmbeddingMetaData& merged) {
+  if (merged.id_column_count() !=
+      left.id_column_count() + right.id_column_count()) {
+    return CompiledViolation(
+        op, "merged id column count " +
+                std::to_string(merged.id_column_count()) + " != left " +
+                std::to_string(left.id_column_count()) + " + right " +
+                std::to_string(right.id_column_count()));
+  }
+  if (merged.property_column_count() !=
+      left.property_column_count() + right.property_column_count()) {
+    return CompiledViolation(op, "merged property column count deviates "
+                                 "from the sum of its inputs");
+  }
+  for (const std::string& var : left.Variables()) {
+    if (merged.IdColumn(var) != left.IdColumn(var)) {
+      return CompiledViolation(op, "merge moved left variable `" + var +
+                                       "` to a different column");
+    }
+  }
+  for (const std::string& var : right.Variables()) {
+    const int expected = left.HasVariable(var)
+                             ? left.IdColumn(var)
+                             : right.IdColumn(var) + left.id_column_count();
+    if (merged.IdColumn(var) != expected) {
+      return CompiledViolation(
+          op, "merge rebased right variable `" + var + "` to column " +
+                  std::to_string(merged.IdColumn(var)) + ", expected " +
+                  std::to_string(expected));
+    }
+  }
+  return Status::Ok();
+}
+
+// Every property a clause set reads must be a projected column of `meta`.
+Status CheckCompiledClauses(const PhysicalOperator& op,
+                            const std::vector<cypher::CnfClause>& clauses,
+                            const EmbeddingMetaData& meta) {
+  for (const cypher::CnfClause& clause : clauses) {
+    std::set<std::pair<std::string, std::string>> accesses;
+    for (const cypher::ExpressionPtr& atom : clause.atoms) {
+      atom->CollectPropertyAccesses(&accesses);
+    }
+    for (const auto& [var, key] : accesses) {
+      if (meta.PropertyColumn(var, key) < 0) {
+        return CompiledViolation(op, "clause property " + var + "." + key +
+                                         " resolves to no projected column");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status VerifyCompiledNode(const cypher::QueryGraph& qg,
+                          const PhysicalOperator& op, int depth) {
+  if (depth > 4096) {
+    return Status::Internal(
+        "PlanVerifier: compiled plan exceeds maximum depth (cycle?)");
+  }
+  for (const auto& child : op.children()) {
+    if (child == nullptr) {
+      return CompiledViolation(op, "null child operator");
+    }
+    GRADOOP_RETURN_IF_ERROR(VerifyCompiledNode(qg, *child, depth + 1));
+  }
+  if (!std::isfinite(op.estimated_cardinality()) ||
+      op.estimated_cardinality() < 0.0) {
+    return CompiledViolation(op, "estimated cardinality is not a finite "
+                                 "non-negative number");
+  }
+  const EmbeddingMetaData& meta = op.output_meta();
+  GRADOOP_RETURN_IF_ERROR(CheckMetaSane(op, meta));
+  // Every variable the layout binds must name a query element.
+  for (const std::string& var : meta.Variables()) {
+    if (qg.FindVertex(var) == nullptr && qg.FindEdge(var) == nullptr) {
+      return CompiledViolation(op, "column variable `" + var +
+                                       "` names no query element");
+    }
+  }
+  GRADOOP_RETURN_IF_ERROR(CheckCompiledClauses(op, op.fused_clauses(), meta));
+
+  switch (op.op_kind()) {
+    case PhysOpKind::kVertexScan: {
+      if (!op.children().empty()) {
+        return CompiledViolation(op, "scan operator must be a leaf");
+      }
+      if (meta.id_column_count() != 1) {
+        return CompiledViolation(op, "vertex scan must bind one id column");
+      }
+      break;
+    }
+    case PhysOpKind::kEdgeScan: {
+      if (!op.children().empty()) {
+        return CompiledViolation(op, "scan operator must be a leaf");
+      }
+      const auto& scan = static_cast<const query::exec::EdgeScanOp&>(op);
+      const int expected = scan.self_loop() ? 2 : 3;
+      if (meta.id_column_count() != expected) {
+        return CompiledViolation(
+            op, "edge scan binds " + std::to_string(meta.id_column_count()) +
+                    " id columns, expected " + std::to_string(expected));
+      }
+      break;
+    }
+    case PhysOpKind::kJoin: {
+      if (op.children().size() != 2) {
+        return CompiledViolation(op, "join needs two inputs");
+      }
+      const auto& join = static_cast<const JoinOp&>(op);
+      const EmbeddingMetaData& left = op.children()[0]->output_meta();
+      const EmbeddingMetaData& right = op.children()[1]->output_meta();
+      if (join.left_columns().size() != join.join_variables().size() ||
+          join.right_columns().size() != join.join_variables().size()) {
+        return CompiledViolation(op, "key column count does not match the "
+                                     "join variables");
+      }
+      for (size_t i = 0; i < join.join_variables().size(); ++i) {
+        const std::string& var = join.join_variables()[i];
+        if (left.IdColumn(var) != join.left_columns()[i] ||
+            right.IdColumn(var) != join.right_columns()[i]) {
+          return CompiledViolation(op, "join variable `" + var +
+                                           "` key columns do not match the "
+                                           "children's layouts");
+        }
+        if (left.TypeOf(var) != right.TypeOf(var)) {
+          return CompiledViolation(op, "join variable `" + var + "` is a " +
+                                           EntryTypeName(left.TypeOf(var)) +
+                                           " on the left but a " +
+                                           EntryTypeName(right.TypeOf(var)) +
+                                           " on the right");
+        }
+        if (left.TypeOf(var) == EntryType::kPath) {
+          return CompiledViolation(op, "join variable `" + var +
+                                           "` is a path binding");
+        }
+      }
+      GRADOOP_RETURN_IF_ERROR(CheckMergedLayout(op, left, right, meta));
+      break;
+    }
+    case PhysOpKind::kValueJoin: {
+      if (op.children().size() != 2) {
+        return CompiledViolation(op, "value join needs two inputs");
+      }
+      const auto& join = static_cast<const ValueJoinOp&>(op);
+      const EmbeddingMetaData& left = op.children()[0]->output_meta();
+      const EmbeddingMetaData& right = op.children()[1]->output_meta();
+      if (join.left_key_columns().size() != join.right_key_columns().size() ||
+          join.left_key_columns().empty()) {
+        return CompiledViolation(op, "value join has no key equalities");
+      }
+      for (int c : join.left_key_columns()) {
+        if (c < 0 || c >= left.property_column_count()) {
+          return CompiledViolation(op, "left key column " +
+                                           std::to_string(c) +
+                                           " outside the left layout");
+        }
+      }
+      for (int c : join.right_key_columns()) {
+        if (c < 0 || c >= right.property_column_count()) {
+          return CompiledViolation(op, "right key column " +
+                                           std::to_string(c) +
+                                           " outside the right layout");
+        }
+      }
+      GRADOOP_RETURN_IF_ERROR(CheckMergedLayout(op, left, right, meta));
+      break;
+    }
+    case PhysOpKind::kExpand: {
+      if (op.children().size() != 1) {
+        return CompiledViolation(op, "expand takes exactly one input");
+      }
+      const auto& expand = static_cast<const ExpandOp&>(op);
+      const EmbeddingMetaData& input = op.children()[0]->output_meta();
+      const auto vertex_columns = input.VertexColumns();
+      auto is_vertex_column = [&vertex_columns](int c) {
+        for (int v : vertex_columns) {
+          if (v == c) return true;
+        }
+        return false;
+      };
+      if (!is_vertex_column(expand.start_column())) {
+        return CompiledViolation(op, "start column " +
+                                         std::to_string(
+                                             expand.start_column()) +
+                                         " is not a vertex column of the "
+                                         "input");
+      }
+      if (expand.bound_end_column() >= 0 &&
+          !is_vertex_column(expand.bound_end_column())) {
+        return CompiledViolation(op, "bound end column " +
+                                         std::to_string(
+                                             expand.bound_end_column()) +
+                                         " is not a vertex column of the "
+                                         "input");
+      }
+      const int expected = input.id_column_count() +
+                           (expand.bound_end_column() >= 0 ? 1 : 2);
+      if (meta.id_column_count() != expected) {
+        return CompiledViolation(
+            op, "expansion appends the wrong number of columns (" +
+                    std::to_string(meta.id_column_count()) + " != " +
+                    std::to_string(expected) + ")");
+      }
+      for (const std::string& var : input.Variables()) {
+        if (meta.IdColumn(var) != input.IdColumn(var)) {
+          return CompiledViolation(op, "expansion moved input variable `" +
+                                           var + "` to a different column");
+        }
+      }
+      break;
+    }
+    case PhysOpKind::kFilter: {
+      if (op.children().size() != 1) {
+        return CompiledViolation(op, "filter takes exactly one input");
+      }
+      const EmbeddingMetaData& input = op.children()[0]->output_meta();
+      if (meta.id_column_count() != input.id_column_count() ||
+          meta.property_column_count() != input.property_column_count()) {
+        return CompiledViolation(op, "filter changed the column layout");
+      }
+      for (const std::string& var : input.Variables()) {
+        if (meta.IdColumn(var) != input.IdColumn(var)) {
+          return CompiledViolation(op, "filter moved variable `" + var +
+                                           "` to a different column");
+        }
+      }
+      const auto& filter = static_cast<const query::exec::FilterOp&>(op);
+      GRADOOP_RETURN_IF_ERROR(
+          CheckCompiledClauses(op, filter.clauses(), meta));
+      break;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status VerifyCompiledPlan(const cypher::QueryGraph& query_graph,
+                          const query::exec::PhysicalOperator& root) {
+  return VerifyCompiledNode(query_graph, root, 0);
 }
 
 }  // namespace gradoop::analysis

@@ -5,15 +5,17 @@
 
 #include "common/result.h"
 #include "cypher/query_graph.h"
-#include "query/embedding_meta_data.h"
+#include "query/exec/physical_operator.h"
 #include "query/plan.h"
 
 namespace gradoop::analysis {
 
 // Verification depth. Cheap checks are structural (node shape, index
 // ranges, bound-variable bookkeeping) and run on every query in release
-// builds; exhaustive checks additionally simulate the embedding column
-// layout of every operator and statically type-check all predicates.
+// builds; exhaustive checks additionally statically type-check all
+// predicates. Column layouts are no longer simulated here: the compiled
+// plan carries the layouts exec::PlanCompiler resolved, and
+// VerifyCompiledPlan asserts their mutual consistency.
 struct VerifyOptions {
   bool exhaustive = true;
 
@@ -29,11 +31,10 @@ struct VerifyOptions {
   }
 };
 
-// Static checker for physical query plans (§3.3 column bookkeeping and the
-// relational soundness the planner must uphold). Walks a PlanNode tree
-// bottom-up, simulating the EmbeddingMetaData every operator would produce
-// at execution time, and rejects the first violated invariant with a
-// Status naming the offending node and variable.
+// Static checker for logical query plans (the relational soundness the
+// planner must uphold). Walks a PlanNode tree bottom-up and rejects the
+// first violated invariant with a Status naming the offending node and
+// variable.
 //
 // Invariants checked per node:
 //  - operator arity: scans are leaves, joins have two inputs, expand and
@@ -44,18 +45,15 @@ struct VerifyOptions {
 //  - bound_variables equals the union of the children's bound variables
 //    plus exactly what the operator binds, and every bound variable names
 //    a query element;
-//  - join variables are bound on both inputs with matching EntryType (and
-//    are never path bindings, which have no joinable identifier);
-//  - value-join keys are property accesses resolvable to projected
-//    property columns of the respective side, over disjoint inputs;
+//  - join variables are bound on both inputs (and are never path
+//    bindings, which have no joinable identifier);
+//  - value-join keys are property accesses bound on the respective side,
+//    over disjoint inputs;
 //  - expansions start from a bound vertex variable and bind a fresh path
 //    variable; bounds satisfy 0 <= lower <= upper;
-//  - filter clauses reference only bound variables whose referenced
-//    properties are projected in the subtree;
+//  - filter clauses reference only bound variables whose scans are part
+//    of the subtree;
 //  - cardinality estimates are finite and non-negative;
-//  - [exhaustive] the simulated EmbeddingMetaData stays consistent under
-//    EmbeddingMetaData::Merge: column indices in range, no dangling or
-//    overlapping id/property columns, variables typed consistently;
 //  - [exhaustive] every predicate type-checks (see type_check.h) — the
 //    query graph's element predicates too, which execute inside the leaf
 //    scans and never appear as plan nodes.
@@ -71,12 +69,6 @@ class PlanVerifier {
   // Verify() plus completeness: the root must bind every vertex and edge
   // variable of the query graph. Run on the final plan before execution.
   Status VerifyComplete(const query::PlanNodePtr& plan) const;
-
-  // Simulates the column layout `plan` produces at execution time,
-  // mirroring the query operators' meta data construction (exposed for
-  // tests, which pin it against the operators' actual output).
-  Result<query::EmbeddingMetaData> SimulateMetaData(
-      const query::PlanNodePtr& plan) const;
 
  private:
   // Type-checks the query graph's own predicates: element predicates
@@ -95,6 +87,17 @@ Status VerifyPlan(const cypher::QueryGraph& query_graph,
 Status VerifyCandidatePlan(const cypher::QueryGraph& query_graph,
                            const query::PlanNodePtr& plan,
                            VerifyOptions options = VerifyOptions::Default());
+
+// Checks a compiled physical plan against the column layouts its
+// operators carry (§3.3 bookkeeping): every meta data object is
+// internally sane (indices in range, no overlapping or dangling
+// columns), join/value-join key columns resolve on the children and
+// merge layouts preserve the left columns while rebasing the right,
+// expansions start from a vertex column and append the path (and fresh
+// end) columns, and all fused filter clauses resolve to projected
+// property columns. Run by the engine between compilation and execution.
+Status VerifyCompiledPlan(const cypher::QueryGraph& query_graph,
+                          const query::exec::PhysicalOperator& root);
 
 // Stable operator name for diagnostics ("ScanVertices", "JoinEmbeddings",
 // ...).

@@ -5,15 +5,26 @@
 #include "analysis/analyzer.h"
 #include "analysis/plan_verifier.h"
 #include "cypher/parser.h"
+#include "query/exec/plan_compiler.h"
 
 namespace gradoop::query {
 
 namespace dfl = ::gradoop::dataflow;
 
 namespace {
+
 EmbeddingSet ApplyDistinct(const EmbeddingSet& input,
                            const cypher::QueryGraph& qg);
 EmbeddingSet ApplyLimit(const EmbeddingSet& input, int64_t limit);
+
+exec::CompileOptions CompileOptionsFrom(const PlannerOptions& planner) {
+  exec::CompileOptions options;
+  options.fuse_filters = planner.fuse_filters;
+  options.prune_properties = planner.prune_properties;
+  options.share_scans = planner.share_scan_results;
+  return options;
+}
+
 }  // namespace
 
 CypherEngine::CypherEngine(epgm::LogicalGraph graph,
@@ -41,8 +52,8 @@ Result<CypherMatchResult> CypherEngine::Execute(
                            cypher::QueryGraph::Build(ast));
   if (sema.unsatisfiable || qg.unsatisfiable()) {
     // Statically empty match set (contradictory labels or predicates): no
-    // plan is built or executed.
-    CypherMatchResult result{std::move(qg), nullptr,
+    // plan is built, compiled or executed.
+    CypherMatchResult result{std::move(qg), nullptr, nullptr,
                              {dfl::Dataset<Embedding>::Empty(
                                   graph_.vertices().context()),
                               EmbeddingMetaData()}};
@@ -50,20 +61,28 @@ Result<CypherMatchResult> CypherEngine::Execute(
   }
   GRADOOP_ASSIGN_OR_RETURN(PlanNodePtr plan,
                            PlanQuery(qg, stats_, planner_options_));
-  // Invariant gate before anything runs: cheap structural checks always,
-  // full column-layout simulation and predicate type checking in debug
-  // builds. A failure here is a planner bug, not a user error.
+  // Invariant gate on the logical plan: structural soundness always,
+  // predicate type checking in debug builds. A failure here is a planner
+  // bug, not a user error.
   GRADOOP_RETURN_IF_ERROR(analysis::VerifyPlan(qg, plan));
+  // Lower to physical operators: the compiler resolves every column
+  // layout, join key and property slot once; the second gate asserts the
+  // compiled layouts are mutually consistent before anything runs.
+  exec::PlanCompiler compiler(qg, semantics,
+                              CompileOptionsFrom(planner_options_));
+  GRADOOP_ASSIGN_OR_RETURN(exec::PhysicalOperatorPtr physical,
+                           compiler.Compile(plan));
+  GRADOOP_RETURN_IF_ERROR(analysis::VerifyCompiledPlan(qg, *physical));
   ScanCache scan_cache;
-  GRADOOP_ASSIGN_OR_RETURN(
-      EmbeddingSet embeddings,
-      ExecutePlan(plan, qg, indexed_, semantics,
-                  planner_options_.share_scan_results ? &scan_cache
-                                                      : nullptr));
+  exec::ExecEnv env{&indexed_, planner_options_.share_scan_results
+                                   ? &scan_cache
+                                   : nullptr};
+  GRADOOP_RETURN_IF_ERROR(physical->Open(env));
+  GRADOOP_ASSIGN_OR_RETURN(EmbeddingSet embeddings, physical->Execute(env));
   if (qg.return_distinct()) embeddings = ApplyDistinct(embeddings, qg);
   if (qg.limit() >= 0) embeddings = ApplyLimit(embeddings, qg.limit());
   CypherMatchResult result{std::move(qg), std::move(plan),
-                           std::move(embeddings)};
+                           std::move(physical), std::move(embeddings)};
   return result;
 }
 
@@ -99,7 +118,44 @@ Result<std::string> CypherEngine::Explain(const std::string& query,
   }
   GRADOOP_ASSIGN_OR_RETURN(PlanNodePtr plan,
                            PlanQuery(qg, stats_, planner_options_));
-  return plan->ToString(qg);
+  GRADOOP_RETURN_IF_ERROR(analysis::VerifyPlan(qg, plan));
+  // EXPLAIN shows what would run, so it renders the compiled plan (fused
+  // filters, pruned projections and all), verified like a real execution.
+  exec::PlanCompiler compiler(qg, semantics,
+                              CompileOptionsFrom(planner_options_));
+  GRADOOP_ASSIGN_OR_RETURN(exec::PhysicalOperatorPtr physical,
+                           compiler.Compile(plan));
+  GRADOOP_RETURN_IF_ERROR(analysis::VerifyCompiledPlan(qg, *physical));
+  return physical->ToString();
+}
+
+Result<std::string> CypherEngine::ExplainAnalyze(
+    const std::string& query, const MorphismSetting& semantics) {
+  GRADOOP_ASSIGN_OR_RETURN(CypherMatchResult result,
+                           Execute(query, semantics));
+  if (result.physical == nullptr) {
+    return std::string("EmptyResult (unsatisfiable)\n");
+  }
+  return result.physical->ToString({.actuals = true, .timing = true});
+}
+
+Result<EmbeddingSet> ExecutePlan(const PlanNodePtr& plan,
+                                 const cypher::QueryGraph& query_graph,
+                                 const epgm::IndexedLogicalGraph& graph,
+                                 const MorphismSetting& semantics,
+                                 ScanCache* scan_cache) {
+  // Passes off: callers hand-build logical plans and expect them to run
+  // verbatim, with the full per-element projections.
+  exec::CompileOptions options;
+  options.fuse_filters = false;
+  options.prune_properties = false;
+  options.share_scans = scan_cache != nullptr;
+  exec::PlanCompiler compiler(query_graph, semantics, options);
+  GRADOOP_ASSIGN_OR_RETURN(exec::PhysicalOperatorPtr root,
+                           compiler.Compile(plan));
+  exec::ExecEnv env{&graph, scan_cache};
+  GRADOOP_RETURN_IF_ERROR(root->Open(env));
+  return root->Execute(env);
 }
 
 namespace {
@@ -161,159 +217,6 @@ EmbeddingSet ApplyLimit(const EmbeddingSet& input, int64_t limit) {
                                                   std::move(rows));
   return {std::move(data), input.meta};
 }
-
-// Selects the scan input for a label alternation from the indexed graph:
-// single-label predicates load exactly one per-label dataset (§3.4).
-dfl::Dataset<epgm::Vertex> VertexScanInput(
-    const epgm::IndexedLogicalGraph& graph,
-    const std::vector<std::string>& labels) {
-  if (labels.empty()) return graph.AllVertices();
-  dfl::Dataset<epgm::Vertex> out = graph.VerticesByLabel(labels.front());
-  for (size_t i = 1; i < labels.size(); ++i) {
-    out = out.Union(graph.VerticesByLabel(labels[i]));
-  }
-  return out;
-}
-
-dfl::Dataset<epgm::Edge> EdgeScanInput(const epgm::IndexedLogicalGraph& graph,
-                                       const std::vector<std::string>& types) {
-  if (types.empty()) return graph.AllEdges();
-  dfl::Dataset<epgm::Edge> out = graph.EdgesByLabel(types.front());
-  for (size_t i = 1; i < types.size(); ++i) {
-    out = out.Union(graph.EdgesByLabel(types[i]));
-  }
-  return out;
-}
-
-}  // namespace
-
-namespace {
-
-// Data signature of an edge scan: everything that shapes its rows except
-// the variable names.
-std::string EdgeScanSignature(const cypher::QueryGraph& query_graph,
-                              const cypher::QueryEdge& qe,
-                              const MorphismSetting& semantics,
-                              bool self_loop) {
-  std::string sig;
-  for (const std::string& t : qe.types) sig += t + "|";
-  sig += self_loop ? ";self;" : ";";
-  sig += qe.any_direction ? "any;" : "dir;";
-  sig += semantics.vertex == MatchSemantics::kIsomorphism ? "viso;" : "vhom;";
-  for (const auto& clause : query_graph.ElementPredicates(qe.variable)) {
-    sig += clause.ToString() + ";";
-  }
-  for (const std::string& key :
-       query_graph.NeededProperties(qe.variable)) {
-    sig += key + ",";
-  }
-  return sig;
-}
-
-}  // namespace
-
-Result<EmbeddingSet> ExecutePlan(const PlanNodePtr& plan,
-                                 const cypher::QueryGraph& query_graph,
-                                 const epgm::IndexedLogicalGraph& graph,
-                                 const MorphismSetting& semantics,
-                                 ScanCache* scan_cache) {
-  switch (plan->kind) {
-    case PlanNode::Kind::kScanVertices: {
-      const cypher::QueryVertex& qv =
-          query_graph.vertices()[plan->element_index];
-      return SelectAndProjectVertices(
-          VertexScanInput(graph, qv.labels), qv,
-          query_graph.ElementPredicates(qv.variable),
-          query_graph.NeededProperties(qv.variable));
-    }
-    case PlanNode::Kind::kScanEdges: {
-      const cypher::QueryEdge& qe = query_graph.edges()[plan->element_index];
-      const std::string& src = query_graph.vertices()[qe.source].variable;
-      const std::string& dst = query_graph.vertices()[qe.target].variable;
-      const bool self_loop = src == dst;
-      // Recurring-subquery reuse: an identical edge scan (same types,
-      // direction, predicates, projection — naming aside, but the
-      // predicate strings carry the variable name, so only true repeats
-      // of the same shape hit) executes once per query.
-      if (scan_cache != nullptr) {
-        // The predicate strings embed the edge variable; normalize by the
-        // scan's data signature only when the edge has no predicates
-        // (predicates on differently-named variables cannot coincide).
-        const std::string sig =
-            EdgeScanSignature(query_graph, qe, semantics, self_loop);
-        auto it = scan_cache->find(sig);
-        if (it != scan_cache->end()) {
-          return EmbeddingSet{
-              it->second,
-              EdgeScanMetaData(qe, src, dst,
-                               query_graph.NeededProperties(qe.variable))};
-        }
-        EmbeddingSet scanned = SelectAndProjectEdges(
-            EdgeScanInput(graph, qe.types), qe, src, dst,
-            query_graph.ElementPredicates(qe.variable),
-            query_graph.NeededProperties(qe.variable), semantics);
-        scan_cache->emplace(sig, scanned.data);
-        return scanned;
-      }
-      return SelectAndProjectEdges(
-          EdgeScanInput(graph, qe.types), qe, src, dst,
-          query_graph.ElementPredicates(qe.variable),
-          query_graph.NeededProperties(qe.variable), semantics);
-    }
-    case PlanNode::Kind::kJoin: {
-      GRADOOP_ASSIGN_OR_RETURN(
-          EmbeddingSet left,
-          ExecutePlan(plan->left, query_graph, graph, semantics, scan_cache));
-      GRADOOP_ASSIGN_OR_RETURN(
-          EmbeddingSet right,
-          ExecutePlan(plan->right, query_graph, graph, semantics,
-                      scan_cache));
-      return JoinEmbeddings(left, right, plan->join_variables, semantics,
-                            plan->join_strategy);
-    }
-    case PlanNode::Kind::kValueJoin: {
-      GRADOOP_ASSIGN_OR_RETURN(
-          EmbeddingSet left,
-          ExecutePlan(plan->left, query_graph, graph, semantics, scan_cache));
-      GRADOOP_ASSIGN_OR_RETURN(
-          EmbeddingSet right,
-          ExecutePlan(plan->right, query_graph, graph, semantics,
-                      scan_cache));
-      std::vector<PropertyRef> left_keys, right_keys;
-      for (const auto& [lhs, rhs] : plan->value_join_keys) {
-        left_keys.push_back({lhs->variable(), lhs->property_key()});
-        right_keys.push_back({rhs->variable(), rhs->property_key()});
-      }
-      return ValueJoinEmbeddings(left, right, left_keys, right_keys,
-                                 semantics, plan->join_strategy);
-    }
-    case PlanNode::Kind::kExpand: {
-      GRADOOP_ASSIGN_OR_RETURN(
-          EmbeddingSet input,
-          ExecutePlan(plan->left, query_graph, graph, semantics,
-                      scan_cache));
-      const cypher::QueryEdge& qe = query_graph.edges()[plan->element_index];
-      const std::string& src = query_graph.vertices()[qe.source].variable;
-      const std::string& dst = query_graph.vertices()[qe.target].variable;
-      const std::string& start = plan->expand_reverse ? dst : src;
-      const std::string& end = plan->expand_reverse ? src : dst;
-      return ExpandEmbeddings(input, EdgeScanInput(graph, qe.types), start,
-                              qe.variable, end, qe.lower_bound,
-                              qe.upper_bound, plan->expand_reverse,
-                              semantics);
-    }
-    case PlanNode::Kind::kFilter: {
-      GRADOOP_ASSIGN_OR_RETURN(
-          EmbeddingSet input,
-          ExecutePlan(plan->left, query_graph, graph, semantics,
-                      scan_cache));
-      return SelectEmbeddings(input, plan->clauses);
-    }
-  }
-  return Status::Internal("unknown plan node kind");
-}
-
-namespace {
 
 // Intermediate record when materializing the match collection.
 struct MatchedGraph {

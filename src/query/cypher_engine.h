@@ -1,13 +1,13 @@
 #ifndef GRADOOP_QUERY_CYPHER_ENGINE_H_
 #define GRADOOP_QUERY_CYPHER_ENGINE_H_
 
-#include <map>
 #include <string>
 
 #include "common/result.h"
 #include "cypher/query_graph.h"
 #include "epgm/indexed_logical_graph.h"
 #include "epgm/logical_graph.h"
+#include "query/exec/physical_operator.h"
 #include "query/graph_statistics.h"
 #include "query/match_semantics.h"
 #include "query/operators.h"
@@ -21,6 +21,10 @@ namespace gradoop::query {
 struct CypherMatchResult {
   cypher::QueryGraph query_graph;
   PlanNodePtr plan;
+  // The compiled physical plan the embeddings were produced by. After
+  // Execute() each operator carries its runtime statistics; null when the
+  // query was statically unsatisfiable and nothing was compiled.
+  exec::PhysicalOperatorPtr physical;
   EmbeddingSet embeddings;
 };
 
@@ -43,8 +47,9 @@ class CypherEngine {
   const GraphStatistics& statistics() const { return stats_; }
   PlannerOptions& planner_options() { return planner_options_; }
 
-  // Parses, plans and executes `query`, returning the embeddings and the
-  // plan. The primary entry point for benchmarks and tests.
+  // Parses, plans, compiles and executes `query`, returning the
+  // embeddings plus the logical and compiled plans. The primary entry
+  // point for benchmarks and tests.
   Result<CypherMatchResult> Execute(
       const std::string& query,
       const MorphismSetting& semantics = MorphismSetting::Neo4j());
@@ -61,8 +66,17 @@ class CypherEngine {
       const std::string& query,
       const MorphismSetting& semantics = MorphismSetting::Neo4j());
 
-  // Plan rendering without execution.
+  // Renders the compiled physical plan without executing it: one line per
+  // operator with its fused predicates and estimated cardinality.
   Result<std::string> Explain(
+      const std::string& query,
+      const MorphismSetting& semantics = MorphismSetting::Neo4j());
+
+  // Executes the query, then renders the compiled plan annotated with
+  // each operator's runtime statistics (actual rows, wall time, shuffle
+  // and spill bytes) next to the estimates — the paper's estimated-vs-
+  // actual cardinality comparison (Fig. 6) per operator.
+  Result<std::string> ExplainAnalyze(
       const std::string& query,
       const MorphismSetting& semantics = MorphismSetting::Neo4j());
 
@@ -73,16 +87,10 @@ class CypherEngine {
   PlannerOptions planner_options_;
 };
 
-// Cache of edge-scan results within one query execution, keyed by the
-// scan's data signature (types, direction, predicates, projection) —
-// variable names are excluded since the embedding rows do not depend on
-// them. Implements the paper's recurring-subquery reuse
-// (PlannerOptions::share_scan_results).
-using ScanCache = std::map<std::string, dataflow::Dataset<Embedding>>;
-
-// Plan executor, exposed for tests that construct plans manually: runs
-// `plan` over `graph`, producing the embedding set. `scan_cache` enables
-// edge-scan sharing when non-null.
+// Compatibility wrapper for tests that construct logical plans manually:
+// compiles `plan` with default options (scan sharing iff `scan_cache` is
+// non-null) and runs the compiled operators over `graph`. The engine
+// itself goes through exec::PlanCompiler directly.
 Result<EmbeddingSet> ExecutePlan(const PlanNodePtr& plan,
                                  const cypher::QueryGraph& query_graph,
                                  const epgm::IndexedLogicalGraph& graph,

@@ -64,6 +64,18 @@ std::vector<int> EmbeddingMetaData::PathColumns() const {
   return out;
 }
 
+std::vector<std::pair<std::string, std::string>>
+EmbeddingMetaData::PropertyColumnsInOrder() const {
+  // Property columns are dense: AddPropertyColumn assigns sequential
+  // indices and Merge rebases without gaps.
+  std::vector<std::pair<std::string, std::string>> out(
+      static_cast<size_t>(property_column_count_));
+  for (const auto& [key, column] : property_columns_) {
+    out[static_cast<size_t>(column)] = key;
+  }
+  return out;
+}
+
 std::vector<std::string> EmbeddingMetaData::Variables() const {
   std::vector<std::string> out;
   out.reserve(id_columns_.size());

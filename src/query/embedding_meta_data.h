@@ -43,6 +43,12 @@ class EmbeddingMetaData {
   int id_column_count() const { return id_column_count_; }
   int property_column_count() const { return property_column_count_; }
 
+  // All projected (variable, key) pairs ordered by property column index.
+  // Scan kernels derive their projection from the compiled meta data
+  // through this, so the compiler stays the single source of layouts.
+  std::vector<std::pair<std::string, std::string>> PropertyColumnsInOrder()
+      const;
+
   // All distinct columns bound to vertex / edge variables (morphism
   // uniqueness checks operate on these, not on raw columns, because a
   // merged embedding may contain duplicate columns for shared variables).

@@ -1,0 +1,253 @@
+#include "query/exec/physical_operator.h"
+
+#include <cstdio>
+
+#include "common/timer.h"
+
+namespace gradoop::query::exec {
+
+namespace dfl = ::gradoop::dataflow;
+
+namespace {
+
+std::string CardString(double card) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f", card);
+  return buf;
+}
+
+std::string ClauseList(const std::vector<cypher::CnfClause>& clauses) {
+  std::string out;
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += clauses[i].ToString();
+  }
+  return out;
+}
+
+// Selects the scan input for a label alternation from the indexed graph:
+// single-label predicates load exactly one per-label dataset (§3.4).
+dfl::Dataset<epgm::Vertex> VertexScanInput(
+    const epgm::IndexedLogicalGraph& graph,
+    const std::vector<std::string>& labels) {
+  if (labels.empty()) return graph.AllVertices();
+  dfl::Dataset<epgm::Vertex> out = graph.VerticesByLabel(labels.front());
+  for (size_t i = 1; i < labels.size(); ++i) {
+    out = out.Union(graph.VerticesByLabel(labels[i]));
+  }
+  return out;
+}
+
+dfl::Dataset<epgm::Edge> EdgeScanInput(const epgm::IndexedLogicalGraph& graph,
+                                       const std::vector<std::string>& types) {
+  if (types.empty()) return graph.AllEdges();
+  dfl::Dataset<epgm::Edge> out = graph.EdgesByLabel(types.front());
+  for (size_t i = 1; i < types.size(); ++i) {
+    out = out.Union(graph.EdgesByLabel(types[i]));
+  }
+  return out;
+}
+
+}  // namespace
+
+Status PhysicalOperator::Open(const ExecEnv& env) {
+  if (env.graph == nullptr) {
+    return Status::Internal("PhysicalOperator: ExecEnv has no graph");
+  }
+  stats_ = OperatorStats();
+  for (const PhysicalOperatorPtr& child : children_) {
+    GRADOOP_RETURN_IF_ERROR(child->Open(env));
+  }
+  return Status::Ok();
+}
+
+Result<EmbeddingSet> PhysicalOperator::Execute(const ExecEnv& env) {
+  std::vector<EmbeddingSet> inputs;
+  inputs.reserve(children_.size());
+  for (const PhysicalOperatorPtr& child : children_) {
+    GRADOOP_ASSIGN_OR_RETURN(EmbeddingSet input, child->Execute(env));
+    inputs.push_back(std::move(input));
+  }
+  // The simulated dataflow is eager: every transformation has completed
+  // (and charged the tracker) by the time Run returns, so counter deltas
+  // around the call attribute shuffle/spill bytes to this operator.
+  const dataflow::CostTracker& tracker = env.graph->context()->tracker();
+  const uint64_t network_before = tracker.NetworkBytes();
+  const uint64_t spilled_before = tracker.SpilledBytes();
+  Timer timer;
+  GRADOOP_ASSIGN_OR_RETURN(EmbeddingSet out, Run(env, std::move(inputs)));
+  stats_.wall_sec = timer.ElapsedSeconds();
+  stats_.network_bytes = tracker.NetworkBytes() - network_before;
+  stats_.spilled_bytes = tracker.SpilledBytes() - spilled_before;
+  // Partition sizes are read directly — Count() would charge an extra
+  // dataflow stage to the query being measured.
+  for (int p = 0; p < out.data.num_partitions(); ++p) {
+    for (const Embedding& e : out.data.partition(p)) {
+      ++stats_.actual_rows;
+      stats_.output_bytes += e.SerializedSize();
+      stats_.property_bytes += e.prop_data().size();
+    }
+  }
+  stats_.executed = true;
+  return out;
+}
+
+std::string PhysicalOperator::ToString(const RenderOptions& options,
+                                       int indent) const {
+  std::string out(2 * static_cast<size_t>(indent), ' ');
+  out += Describe();
+  if (!fused_clauses_.empty()) {
+    out += " +filter(" + ClauseList(fused_clauses_) + ")";
+  }
+  out += " ~" + CardString(estimated_cardinality_);
+  if (options.actuals && stats_.executed) {
+    out += " rows=" + std::to_string(stats_.actual_rows);
+  }
+  if (options.timing && stats_.executed) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  " wall=%.3fms net=%lluB spill=%lluB",
+                  stats_.wall_sec * 1e3,
+                  static_cast<unsigned long long>(stats_.network_bytes),
+                  static_cast<unsigned long long>(stats_.spilled_bytes));
+    out += buf;
+  }
+  out += "\n";
+  for (const PhysicalOperatorPtr& child : children_) {
+    out += child->ToString(options, indent + 1);
+  }
+  return out;
+}
+
+// --- VertexScanOp ------------------------------------------------------
+
+std::string VertexScanOp::Describe() const {
+  std::string out = "ScanVertices(" + query_vertex_.variable;
+  if (!query_vertex_.labels.empty()) {
+    out += ":";
+    for (size_t i = 0; i < query_vertex_.labels.size(); ++i) {
+      if (i > 0) out += "|";
+      out += query_vertex_.labels[i];
+    }
+  }
+  return out + ")";
+}
+
+Result<EmbeddingSet> VertexScanOp::Run(const ExecEnv& env,
+                                       std::vector<EmbeddingSet> inputs) {
+  (void)inputs;
+  return SelectAndProjectVertices(
+      VertexScanInput(*env.graph, query_vertex_.labels), query_vertex_,
+      predicates_, output_meta_, fused_clauses_);
+}
+
+// --- EdgeScanOp --------------------------------------------------------
+
+std::string EdgeScanOp::Describe() const {
+  std::string out = "ScanEdges(" + query_edge_.variable;
+  if (!query_edge_.types.empty()) {
+    out += ":";
+    for (size_t i = 0; i < query_edge_.types.size(); ++i) {
+      if (i > 0) out += "|";
+      out += query_edge_.types[i];
+    }
+  }
+  return out + ")";
+}
+
+Result<EmbeddingSet> EdgeScanOp::Run(const ExecEnv& env,
+                                     std::vector<EmbeddingSet> inputs) {
+  (void)inputs;
+  // Recurring-subquery reuse: an identical edge scan (same types,
+  // direction, predicates, projection — the signature excludes variable
+  // names, on which the rows do not depend) executes once per query. The
+  // cached dataset pairs with this operator's own compiled meta.
+  if (env.scan_cache != nullptr && !signature_.empty()) {
+    auto it = env.scan_cache->find(signature_);
+    if (it != env.scan_cache->end()) {
+      return EmbeddingSet{it->second, output_meta_};
+    }
+  }
+  EmbeddingSet scanned = SelectAndProjectEdges(
+      EdgeScanInput(*env.graph, query_edge_.types), query_edge_, predicates_,
+      semantics_, self_loop_, output_meta_, fused_clauses_);
+  if (env.scan_cache != nullptr && !signature_.empty()) {
+    env.scan_cache->emplace(signature_, scanned.data);
+  }
+  return scanned;
+}
+
+// --- JoinOp ------------------------------------------------------------
+
+std::string JoinOp::Describe() const {
+  std::string out = "JoinEmbeddings(on ";
+  if (join_variables_.empty()) {
+    out += "<cartesian>";
+  } else {
+    for (size_t i = 0; i < join_variables_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += join_variables_[i];
+    }
+  }
+  out += strategy_ == dfl::JoinStrategy::kBroadcast ? ", broadcast"
+                                                    : ", repartition";
+  return out + ")";
+}
+
+Result<EmbeddingSet> JoinOp::Run(const ExecEnv& env,
+                                 std::vector<EmbeddingSet> inputs) {
+  (void)env;
+  return JoinEmbeddings(inputs[0], inputs[1], left_columns_, right_columns_,
+                        output_meta_, semantics_, strategy_, fused_clauses_);
+}
+
+// --- ValueJoinOp -------------------------------------------------------
+
+std::string ValueJoinOp::Describe() const {
+  std::string out = "ValueJoinEmbeddings(on ";
+  for (size_t i = 0; i < key_descriptions_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += key_descriptions_[i];
+  }
+  return out + ")";
+}
+
+Result<EmbeddingSet> ValueJoinOp::Run(const ExecEnv& env,
+                                      std::vector<EmbeddingSet> inputs) {
+  (void)env;
+  return ValueJoinEmbeddings(inputs[0], inputs[1], left_key_columns_,
+                             right_key_columns_, output_meta_, semantics_,
+                             strategy_, fused_clauses_);
+}
+
+// --- ExpandOp ----------------------------------------------------------
+
+std::string ExpandOp::Describe() const {
+  return "ExpandEmbeddings(" + query_edge_.variable + "*" +
+         std::to_string(query_edge_.lower_bound) + ".." +
+         std::to_string(query_edge_.upper_bound) +
+         (reverse_ ? ", reverse" : "") + ")";
+}
+
+Result<EmbeddingSet> ExpandOp::Run(const ExecEnv& env,
+                                   std::vector<EmbeddingSet> inputs) {
+  return ExpandEmbeddings(inputs[0],
+                          EdgeScanInput(*env.graph, query_edge_.types),
+                          start_column_, bound_end_column_, output_meta_,
+                          query_edge_.lower_bound, query_edge_.upper_bound,
+                          reverse_, semantics_, fused_clauses_);
+}
+
+// --- FilterOp ----------------------------------------------------------
+
+std::string FilterOp::Describe() const {
+  return "SelectEmbeddings(" + ClauseList(clauses_) + ")";
+}
+
+Result<EmbeddingSet> FilterOp::Run(const ExecEnv& env,
+                                   std::vector<EmbeddingSet> inputs) {
+  (void)env;
+  return SelectEmbeddings(inputs[0], clauses_);
+}
+
+}  // namespace gradoop::query::exec

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <optional>
 
 namespace gradoop::query {
 
@@ -32,6 +33,25 @@ bool EvaluateClauses(const std::vector<cypher::CnfClause>& clauses,
   return true;
 }
 
+// Residual clauses of a fused filter, evaluated on the produced embedding.
+bool PassesResidual(const std::vector<cypher::CnfClause>& residual,
+                    const EmbeddingMetaData& meta, const Embedding& e) {
+  if (residual.empty()) return true;
+  return EvaluateClauses(residual, meta.MakeResolver(e));
+}
+
+// Projection keys for one scanned variable, read off the compiled meta.
+std::vector<std::string> ProjectedKeys(const EmbeddingMetaData& meta,
+                                       const std::string& variable) {
+  std::vector<std::string> out;
+  for (const auto& [var, key] : meta.PropertyColumnsInOrder()) {
+    assert(var == variable && "scan meta projects only the scanned variable");
+    (void)variable;
+    out.push_back(key);
+  }
+  return out;
+}
+
 // Join key: concatenated 8-byte ids of the given columns.
 std::string JoinKeyOf(const Embedding& embedding,
                       const std::vector<int>& columns) {
@@ -57,17 +77,13 @@ EmbeddingSet SelectAndProjectVertices(
     const dataflow::Dataset<epgm::Vertex>& vertices,
     const cypher::QueryVertex& query_vertex,
     const std::vector<cypher::CnfClause>& predicates,
-    const std::set<std::string>& needed_properties) {
-  EmbeddingMetaData meta;
-  meta.AddIdColumn(query_vertex.variable, EntryType::kVertex);
-  std::vector<std::string> projected(needed_properties.begin(),
-                                     needed_properties.end());
-  for (const std::string& key : projected) {
-    meta.AddPropertyColumn(query_vertex.variable, key);
-  }
+    const EmbeddingMetaData& meta,
+    const std::vector<cypher::CnfClause>& residual) {
+  const std::vector<std::string> projected =
+      ProjectedKeys(meta, query_vertex.variable);
   auto data = vertices.FlatMap<Embedding>(
-      [query_vertex, predicates, projected](const epgm::Vertex& v,
-                                            std::vector<Embedding>* out) {
+      [query_vertex, predicates, projected, meta, residual](
+          const epgm::Vertex& v, std::vector<Embedding>* out) {
         if (!query_vertex.MatchesLabel(v.label)) return;
         const auto resolver =
             ElementResolver(query_vertex.variable, v.properties);
@@ -77,36 +93,33 @@ EmbeddingSet SelectAndProjectVertices(
         for (const std::string& key : projected) {
           e.AppendProperty(v.properties.Get(key));
         }
+        if (!PassesResidual(residual, meta, e)) return;
         out->push_back(std::move(e));
       },
       "SelectAndProjectVertices");
-  return {std::move(data), std::move(meta)};
+  return {std::move(data), meta};
 }
 
 EmbeddingSet SelectAndProjectEdges(
     const dataflow::Dataset<epgm::Edge>& edges,
-    const cypher::QueryEdge& query_edge, const std::string& source_variable,
-    const std::string& target_variable,
+    const cypher::QueryEdge& query_edge,
     const std::vector<cypher::CnfClause>& predicates,
-    const std::set<std::string>& needed_properties,
-    const MorphismSetting& semantics) {
+    const MorphismSetting& semantics, bool self_loop,
+    const EmbeddingMetaData& meta,
+    const std::vector<cypher::CnfClause>& residual) {
   assert(!query_edge.IsVariableLength());
-  const bool self_loop = source_variable == target_variable;
   // Under vertex isomorphism a data self-loop cannot bind two distinct
   // query vertices; the scan enforces it so that scan-only plans are
   // already morphism-correct.
   const bool drop_data_self_loops =
       !self_loop && semantics.vertex == MatchSemantics::kIsomorphism;
-  EmbeddingMetaData meta = EdgeScanMetaData(query_edge, source_variable,
-                                            target_variable,
-                                            needed_properties);
-  std::vector<std::string> projected(needed_properties.begin(),
-                                     needed_properties.end());
+  const std::vector<std::string> projected =
+      ProjectedKeys(meta, query_edge.variable);
   const bool any_direction = query_edge.any_direction;
   auto data = edges.FlatMap<Embedding>(
       [query_edge, predicates, projected, self_loop, any_direction,
-       drop_data_self_loops](const epgm::Edge& edge,
-                             std::vector<Embedding>* out) {
+       drop_data_self_loops, meta, residual](const epgm::Edge& edge,
+                                             std::vector<Embedding>* out) {
         if (!query_edge.MatchesType(edge.label)) return;
         if (self_loop && edge.source_id != edge.target_id) return;
         if (drop_data_self_loops && edge.source_id == edge.target_id) return;
@@ -121,6 +134,7 @@ EmbeddingSet SelectAndProjectEdges(
           for (const std::string& key : projected) {
             e.AppendProperty(edge.properties.Get(key));
           }
+          if (!PassesResidual(residual, meta, e)) return;
           out->push_back(std::move(e));
         };
         emit(edge.source_id, edge.target_id);
@@ -131,22 +145,7 @@ EmbeddingSet SelectAndProjectEdges(
         }
       },
       "SelectAndProjectEdges");
-  return {std::move(data), std::move(meta)};
-}
-
-EmbeddingMetaData EdgeScanMetaData(
-    const cypher::QueryEdge& query_edge, const std::string& source_variable,
-    const std::string& target_variable,
-    const std::set<std::string>& needed_properties) {
-  const bool self_loop = source_variable == target_variable;
-  EmbeddingMetaData meta;
-  meta.AddIdColumn(source_variable, EntryType::kVertex);
-  meta.AddIdColumn(query_edge.variable, EntryType::kEdge);
-  if (!self_loop) meta.AddIdColumn(target_variable, EntryType::kVertex);
-  for (const std::string& key : needed_properties) {
-    meta.AddPropertyColumn(query_edge.variable, key);
-  }
-  return meta;
+  return {std::move(data), meta};
 }
 
 bool SatisfiesMorphism(const Embedding& embedding,
@@ -171,49 +170,39 @@ bool SatisfiesMorphism(const Embedding& embedding,
 
 EmbeddingSet JoinEmbeddings(const EmbeddingSet& left,
                             const EmbeddingSet& right,
-                            const std::vector<std::string>& join_variables,
+                            const std::vector<int>& left_columns,
+                            const std::vector<int>& right_columns,
+                            const EmbeddingMetaData& merged_meta,
                             const MorphismSetting& semantics,
-                            dataflow::JoinStrategy strategy) {
-  std::vector<int> left_columns, right_columns;
-  left_columns.reserve(join_variables.size());
-  right_columns.reserve(join_variables.size());
-  for (const std::string& var : join_variables) {
-    const int lc = left.meta.IdColumn(var);
-    const int rc = right.meta.IdColumn(var);
-    assert(lc >= 0 && rc >= 0 && "join variable must be bound on both sides");
-    left_columns.push_back(lc);
-    right_columns.push_back(rc);
-  }
-  EmbeddingMetaData merged_meta =
-      EmbeddingMetaData::Merge(left.meta, right.meta);
+                            dataflow::JoinStrategy strategy,
+                            const std::vector<cypher::CnfClause>& residual) {
+  assert(left_columns.size() == right_columns.size());
   auto data = left.data.HashJoin<Embedding>(
       right.data,
       [left_columns](const Embedding& e) { return JoinKeyOf(e, left_columns); },
       [right_columns](const Embedding& e) {
         return JoinKeyOf(e, right_columns);
       },
-      [merged_meta, semantics](const Embedding& l, const Embedding& r,
-                               std::vector<Embedding>* out) {
+      [merged_meta, semantics, residual](const Embedding& l,
+                                         const Embedding& r,
+                                         std::vector<Embedding>* out) {
         Embedding merged = Embedding::Merge(l, r);
-        if (SatisfiesMorphism(merged, merged_meta, semantics)) {
-          out->push_back(std::move(merged));
-        }
+        if (!SatisfiesMorphism(merged, merged_meta, semantics)) return;
+        if (!PassesResidual(residual, merged_meta, merged)) return;
+        out->push_back(std::move(merged));
       },
       strategy, "JoinEmbeddings");
-  return {std::move(data), std::move(merged_meta)};
+  return {std::move(data), merged_meta};
 }
 
 namespace {
 
 // Value-join key: concatenated encodings of the key properties, or
 // nullopt when any key property is NULL (such rows never join).
-std::optional<std::string> ValueJoinKeyOf(
-    const Embedding& embedding, const EmbeddingMetaData& meta,
-    const std::vector<PropertyRef>& keys) {
+std::optional<std::string> ValueJoinKeyOf(const Embedding& embedding,
+                                          const std::vector<int>& columns) {
   std::string out;
-  for (const PropertyRef& ref : keys) {
-    const int c = meta.PropertyColumn(ref.variable, ref.key);
-    if (c < 0) return std::nullopt;
+  for (int c : columns) {
     const epgm::PropertyValue value = embedding.PropertyAt(c);
     if (value.is_null()) return std::nullopt;
     // Normalize numerics so 2 and 2.0 join (Cypher equality semantics).
@@ -230,44 +219,45 @@ std::optional<std::string> ValueJoinKeyOf(
 
 EmbeddingSet ValueJoinEmbeddings(const EmbeddingSet& left,
                                  const EmbeddingSet& right,
-                                 const std::vector<PropertyRef>& left_keys,
-                                 const std::vector<PropertyRef>& right_keys,
+                                 const std::vector<int>& left_key_columns,
+                                 const std::vector<int>& right_key_columns,
+                                 const EmbeddingMetaData& merged_meta,
                                  const MorphismSetting& semantics,
-                                 dataflow::JoinStrategy strategy) {
-  assert(left_keys.size() == right_keys.size() && !left_keys.empty());
-  const EmbeddingMetaData left_meta = left.meta;
-  const EmbeddingMetaData right_meta = right.meta;
-  EmbeddingMetaData merged_meta =
-      EmbeddingMetaData::Merge(left_meta, right_meta);
+                                 dataflow::JoinStrategy strategy,
+                                 const std::vector<cypher::CnfClause>&
+                                     residual) {
+  assert(left_key_columns.size() == right_key_columns.size() &&
+         !left_key_columns.empty());
   // Rows with NULL keys are dropped before the join (they can never
   // match), keeping the join key total.
   auto left_data = left.data.Filter(
-      [left_meta, left_keys](const Embedding& e) {
-        return ValueJoinKeyOf(e, left_meta, left_keys).has_value();
+      [left_key_columns](const Embedding& e) {
+        return ValueJoinKeyOf(e, left_key_columns).has_value();
       },
       "ValueJoinPruneLeft");
   auto right_data = right.data.Filter(
-      [right_meta, right_keys](const Embedding& e) {
-        return ValueJoinKeyOf(e, right_meta, right_keys).has_value();
+      [right_key_columns](const Embedding& e) {
+        return ValueJoinKeyOf(e, right_key_columns).has_value();
       },
       "ValueJoinPruneRight");
   auto data = left_data.HashJoin<Embedding>(
       right_data,
-      [left_meta, left_keys](const Embedding& e) {
-        return *ValueJoinKeyOf(e, left_meta, left_keys);
+      [left_key_columns](const Embedding& e) {
+        return *ValueJoinKeyOf(e, left_key_columns);
       },
-      [right_meta, right_keys](const Embedding& e) {
-        return *ValueJoinKeyOf(e, right_meta, right_keys);
+      [right_key_columns](const Embedding& e) {
+        return *ValueJoinKeyOf(e, right_key_columns);
       },
-      [merged_meta, semantics](const Embedding& l, const Embedding& r,
-                               std::vector<Embedding>* out) {
+      [merged_meta, semantics, residual](const Embedding& l,
+                                         const Embedding& r,
+                                         std::vector<Embedding>* out) {
         Embedding merged = Embedding::Merge(l, r);
-        if (SatisfiesMorphism(merged, merged_meta, semantics)) {
-          out->push_back(std::move(merged));
-        }
+        if (!SatisfiesMorphism(merged, merged_meta, semantics)) return;
+        if (!PassesResidual(residual, merged_meta, merged)) return;
+        out->push_back(std::move(merged));
       },
       strategy, "ValueJoinEmbeddings");
-  return {std::move(data), std::move(merged_meta)};
+  return {std::move(data), merged_meta};
 }
 
 EmbeddingSet SelectEmbeddings(const EmbeddingSet& input,
@@ -279,63 +269,6 @@ EmbeddingSet SelectEmbeddings(const EmbeddingSet& input,
       },
       "SelectEmbeddings");
   return {std::move(data), input.meta};
-}
-
-EmbeddingSet ProjectEmbeddings(
-    const EmbeddingSet& input,
-    const std::vector<std::pair<std::string, std::string>>& keep) {
-  const EmbeddingMetaData old_meta = input.meta;
-  EmbeddingMetaData new_meta;
-  // Id columns are preserved verbatim (ordered by column index).
-  std::vector<std::pair<int, std::string>> by_column;
-  for (const std::string& var : old_meta.Variables()) {
-    by_column.emplace_back(old_meta.IdColumn(var), var);
-  }
-  std::sort(by_column.begin(), by_column.end());
-  // Track duplicate columns for shared variables: the merged meta maps
-  // each variable to one column, so re-adding in column order is safe.
-  for (const auto& [column, var] : by_column) {
-    while (new_meta.id_column_count() < column) {
-      // Unreferenced duplicate column (shared join variable); keep the
-      // slot so physical indices stay aligned.
-      new_meta.AddIdColumn(
-          "  __dup" + std::to_string(new_meta.id_column_count()),
-          EntryType::kVertex);
-    }
-    new_meta.AddIdColumn(var, old_meta.TypeOf(var));
-  }
-  // Trailing duplicate columns also keep their slots: the meta's column
-  // count must match the embeddings' physical width or a later merge
-  // would rebase against the wrong offset.
-  while (new_meta.id_column_count() < old_meta.id_column_count()) {
-    new_meta.AddIdColumn(
-        "  __dup" + std::to_string(new_meta.id_column_count()),
-        EntryType::kVertex);
-  }
-
-  std::vector<int> kept_columns;
-  for (const auto& [var, key] : keep) {
-    const int c = old_meta.PropertyColumn(var, key);
-    if (c >= 0) {
-      kept_columns.push_back(c);
-      new_meta.AddPropertyColumn(var, key);
-    }
-  }
-  auto data = input.data.Map(
-      [kept_columns](const Embedding& e) {
-        Embedding out;
-        for (int c = 0; c < e.NumIdEntries(); ++c) {
-          if (e.IsPathEntry(c)) {
-            out.AppendPath(e.PathAt(c));
-          } else {
-            out.AppendId(e.IdAt(c));
-          }
-        }
-        for (int c : kept_columns) out.AppendProperty(e.PropertyAt(c));
-        return out;
-      },
-      "ProjectEmbeddings");
-  return {std::move(data), std::move(new_meta)};
 }
 
 namespace {
@@ -355,23 +288,18 @@ struct ExpandState {
 
 EmbeddingSet ExpandEmbeddings(const EmbeddingSet& input,
                               const dataflow::Dataset<epgm::Edge>& edges,
-                              const std::string& start_variable,
-                              const std::string& path_variable,
-                              const std::string& end_variable,
+                              int start_column, int bound_end_column,
+                              const EmbeddingMetaData& result_meta,
                               int lower_bound, int upper_bound, bool reverse,
-                              const MorphismSetting& semantics) {
-  const int start_column = input.meta.IdColumn(start_variable);
+                              const MorphismSetting& semantics,
+                              const std::vector<cypher::CnfClause>& residual) {
   assert(start_column >= 0 && "expansion start must be bound");
-  const int bound_end_column = input.meta.IdColumn(end_variable);
   const bool end_bound = bound_end_column >= 0;
 
-  EmbeddingMetaData result_meta = input.meta;
-  result_meta.AddIdColumn(path_variable, EntryType::kPath);
-  if (!end_bound) result_meta.AddIdColumn(end_variable, EntryType::kVertex);
-
-  const EmbeddingMetaData base_meta = input.meta;
-  const std::vector<int> base_edge_columns = base_meta.EdgeColumns();
-  const std::vector<int> base_path_columns = base_meta.PathColumns();
+  // Columns of the *input* layout, read off the input's compiled meta
+  // (the result meta additionally holds the fresh path/end columns).
+  const std::vector<int> base_edge_columns = input.meta.EdgeColumns();
+  const std::vector<int> base_path_columns = input.meta.PathColumns();
   const bool vertex_iso = semantics.vertex == MatchSemantics::kIsomorphism;
   const bool edge_iso = semantics.edge == MatchSemantics::kIsomorphism;
 
@@ -384,6 +312,7 @@ EmbeddingSet ExpandEmbeddings(const EmbeddingSet& input,
     result.AppendPath(via);
     if (!end_bound) result.AppendId(state.end);
     if (!SatisfiesMorphism(result, result_meta, semantics)) return;
+    if (!PassesResidual(residual, result_meta, result)) return;
     out->push_back(std::move(result));
   };
 
@@ -477,7 +406,7 @@ EmbeddingSet ExpandEmbeddings(const EmbeddingSet& input,
   dataflow::Dataset<Embedding> results =
       dataflow::Dataset<Embedding>::Empty(input.data.context());
   for (const auto& part : emitted) results = results.Union(part);
-  return {std::move(results), std::move(result_meta)};
+  return {std::move(results), result_meta};
 }
 
 }  // namespace gradoop::query

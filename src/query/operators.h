@@ -1,7 +1,6 @@
 #ifndef GRADOOP_QUERY_OPERATORS_H_
 #define GRADOOP_QUERY_OPERATORS_H_
 
-#include <set>
 #include <string>
 #include <vector>
 
@@ -22,36 +21,36 @@ struct EmbeddingSet {
   EmbeddingMetaData meta;
 };
 
+// The operator kernels below execute against column layouts resolved
+// ahead of time by exec::PlanCompiler — they never derive meta data
+// themselves. `residual` carries cross-variable clauses a fused filter
+// pushed into the operator; they are evaluated on each produced embedding
+// via the output meta's resolver before it is emitted.
+
 // SelectAndProjectVertices: filters `vertices` by the query vertex's label
-// alternation and its element-centric predicates, projects the needed
-// properties and transforms each survivor into a one-column embedding.
-// Executed as a single FlatMap (Select -> Project -> Transform fusion).
+// alternation and its element-centric predicates, projects the properties
+// listed in `meta` and transforms each survivor into a one-column
+// embedding. Executed as a single FlatMap (Select -> Project -> Transform
+// fusion).
 EmbeddingSet SelectAndProjectVertices(
     const dataflow::Dataset<epgm::Vertex>& vertices,
     const cypher::QueryVertex& query_vertex,
     const std::vector<cypher::CnfClause>& predicates,
-    const std::set<std::string>& needed_properties);
+    const EmbeddingMetaData& meta,
+    const std::vector<cypher::CnfClause>& residual = {});
 
 // SelectAndProjectEdges: same for a fixed-length query edge; emits
 // three-column embeddings [source, edge, target] (plus projected edge
-// properties). When the query edge is a self-loop (source variable ==
-// target variable), only edges with source == target survive and the
-// embedding still carries all three columns.
+// properties). When `self_loop` is set (the query edge's source variable
+// equals its target variable), only edges with source == target survive
+// and the embedding carries two columns.
 EmbeddingSet SelectAndProjectEdges(
     const dataflow::Dataset<epgm::Edge>& edges,
-    const cypher::QueryEdge& query_edge, const std::string& source_variable,
-    const std::string& target_variable,
+    const cypher::QueryEdge& query_edge,
     const std::vector<cypher::CnfClause>& predicates,
-    const std::set<std::string>& needed_properties,
-    const MorphismSetting& semantics = MorphismSetting::FullHomomorphism());
-
-// Column meta data produced by SelectAndProjectEdges for the given query
-// edge (exposed so scan-sharing can pair a cached dataset, whose rows are
-// independent of variable naming, with a freshly named meta).
-EmbeddingMetaData EdgeScanMetaData(const cypher::QueryEdge& query_edge,
-                                   const std::string& source_variable,
-                                   const std::string& target_variable,
-                                   const std::set<std::string>& needed_properties);
+    const MorphismSetting& semantics, bool self_loop,
+    const EmbeddingMetaData& meta,
+    const std::vector<cypher::CnfClause>& residual = {});
 
 // Checks the global morphism constraints on a merged embedding: under
 // vertex isomorphism all vertex bindings (distinct query variables) are
@@ -61,69 +60,66 @@ bool SatisfiesMorphism(const Embedding& embedding,
                        const EmbeddingMetaData& meta,
                        const MorphismSetting& semantics);
 
-// JoinEmbeddings: equi-join of two embedding sets on the shared
-// `join_variables`, implemented as a FlatJoin — the merged embedding is
-// emitted only if the morphism constraints hold (§3.1).
+// JoinEmbeddings: equi-join of two embedding sets on the id columns
+// `left_columns[i]` == `right_columns[i]`, implemented as a FlatJoin —
+// the merged embedding is emitted only if the morphism constraints hold
+// (§3.1). `merged_meta` must be EmbeddingMetaData::Merge of the inputs'
+// metas, resolved at compile time.
 EmbeddingSet JoinEmbeddings(const EmbeddingSet& left,
                             const EmbeddingSet& right,
-                            const std::vector<std::string>& join_variables,
+                            const std::vector<int>& left_columns,
+                            const std::vector<int>& right_columns,
+                            const EmbeddingMetaData& merged_meta,
                             const MorphismSetting& semantics,
                             dataflow::JoinStrategy strategy =
-                                dataflow::JoinStrategy::kRepartition);
+                                dataflow::JoinStrategy::kRepartition,
+                            const std::vector<cypher::CnfClause>& residual =
+                                {});
 
 // SelectEmbeddings: evaluates cross-variable CNF clauses on complete
 // (partial) embeddings.
 EmbeddingSet SelectEmbeddings(const EmbeddingSet& input,
                               const std::vector<cypher::CnfClause>& clauses);
 
-// One side of a value-join key: a projected property of a bound
-// variable.
-struct PropertyRef {
-  std::string variable;
-  std::string key;
-};
-
 // ValueJoinEmbeddings: equi-join of two embedding sets on property VALUES
 // instead of identifiers — the extension operator §3.1 names ("to join
-// subqueries on property values"). `left_keys[i]` must equal
-// `right_keys[i]` value-wise for a pair to join; embeddings whose key
-// property is NULL never join (Cypher equality with NULL is NULL). The
-// merged embedding is checked against the morphism constraints like a
-// regular join.
+// subqueries on property values"). `left_key_columns[i]` (a property
+// column of the left input) must equal `right_key_columns[i]` value-wise
+// for a pair to join; embeddings whose key property is NULL never join
+// (Cypher equality with NULL is NULL). The merged embedding is checked
+// against the morphism constraints like a regular join.
 EmbeddingSet ValueJoinEmbeddings(const EmbeddingSet& left,
                                  const EmbeddingSet& right,
-                                 const std::vector<PropertyRef>& left_keys,
-                                 const std::vector<PropertyRef>& right_keys,
+                                 const std::vector<int>& left_key_columns,
+                                 const std::vector<int>& right_key_columns,
+                                 const EmbeddingMetaData& merged_meta,
                                  const MorphismSetting& semantics,
                                  dataflow::JoinStrategy strategy =
-                                     dataflow::JoinStrategy::kRepartition);
-
-// ProjectEmbeddings: keeps only the listed (variable, key) property
-// columns, rebuilding the property payload of each embedding.
-EmbeddingSet ProjectEmbeddings(
-    const EmbeddingSet& input,
-    const std::vector<std::pair<std::string, std::string>>& keep);
+                                     dataflow::JoinStrategy::kRepartition,
+                                 const std::vector<cypher::CnfClause>&
+                                     residual = {});
 
 // ExpandEmbeddings: evaluates a variable-length path expression by bulk
-// iteration (§3.1). Starting from the embeddings of `input` (whose
-// `start_variable` must be bound), repeatedly performs 1-hop expansions by
-// joining the frontier with `edges`, keeping only paths that satisfy the
-// morphism semantics, and unions an emission into the result once the
-// iteration count reaches `lower_bound`. Terminates at `upper_bound` or
-// when no valid path remains.
+// iteration (§3.1). Starting from the embeddings of `input` positioned at
+// `start_column`, repeatedly performs 1-hop expansions by joining the
+// frontier with `edges`, keeping only paths that satisfy the morphism
+// semantics, and unions an emission into the result once the iteration
+// count reaches `lower_bound`. Terminates at `upper_bound` or when no
+// valid path remains.
 //
 // `reverse` expands against edge direction (used when the plan binds the
-// path's target first). If `end_variable` is already bound in `input`, the
-// expansion closes a cycle: no new column is added and the path end must
-// equal the existing binding; otherwise a new vertex column is appended.
-// A `lower_bound` of 0 admits the empty path (end == start).
+// path's target first). A non-negative `bound_end_column` closes a cycle:
+// no new column is added and the path end must equal the id at that
+// column; otherwise `result_meta` appends a fresh vertex column after the
+// path column. A `lower_bound` of 0 admits the empty path (end == start).
 EmbeddingSet ExpandEmbeddings(const EmbeddingSet& input,
                               const dataflow::Dataset<epgm::Edge>& edges,
-                              const std::string& start_variable,
-                              const std::string& path_variable,
-                              const std::string& end_variable,
+                              int start_column, int bound_end_column,
+                              const EmbeddingMetaData& result_meta,
                               int lower_bound, int upper_bound, bool reverse,
-                              const MorphismSetting& semantics);
+                              const MorphismSetting& semantics,
+                              const std::vector<cypher::CnfClause>& residual =
+                                  {});
 
 }  // namespace gradoop::query
 

@@ -34,6 +34,11 @@ struct PlannerOptions {
   // hasInterest three times; with sharing it is scanned once.
   bool share_scan_results = false;
 
+  // Compile-time passes applied by exec::PlanCompiler when lowering the
+  // logical plan (ablation knobs; see exec/plan_compiler.h).
+  bool fuse_filters = true;
+  bool prune_properties = true;
+
   // Default selectivity assumed per predicate clause, by comparison class.
   double equality_selectivity = 0.05;
   double range_selectivity = 0.25;

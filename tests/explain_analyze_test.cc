@@ -1,0 +1,195 @@
+// Golden tests for EXPLAIN / EXPLAIN ANALYZE: pins the compiled operator
+// trees and the actual per-operator cardinalities for the six LDBC
+// queries at scale factor 0.05 (generator seed 42, so fully
+// deterministic). When a planner or compiler change legitimately alters
+// a tree, re-capture with:
+//
+//   GRADOOP_PRINT_GOLDEN=1 ./explain_analyze_test
+//
+// and paste the printed blocks below.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "ldbc/ldbc_generator.h"
+#include "ldbc/queries.h"
+#include "query/cypher_engine.h"
+
+namespace gradoop::query {
+namespace {
+
+struct GoldenCase {
+  const char* label;
+  std::string query;
+  std::string golden;  // ToString with actuals, without timing
+};
+
+epgm::LogicalGraph LdbcGraph() {
+  ldbc::LdbcConfig cfg;
+  cfg.scale_factor = 0.05;
+  return ldbc::LdbcGenerator(cfg).Generate(dataflow::MakeContext());
+}
+
+// Deterministic EXPLAIN ANALYZE rendering: actual cardinalities on,
+// wall-clock/shuffle figures off.
+std::string AnalyzeDeterministic(CypherEngine& engine, const std::string& q) {
+  auto result = engine.Execute(q);
+  EXPECT_TRUE(result.ok()) << q << " -> " << result.status();
+  if (!result.ok() || result.value().physical == nullptr) return "";
+  exec::PhysicalOperator::RenderOptions options;
+  options.actuals = true;
+  options.timing = false;
+  return result.value().physical->ToString(options);
+}
+
+std::vector<GoldenCase>& Cases();
+
+TEST(ExplainAnalyzeTest, GoldenTreesForSixLdbcQueries) {
+  CypherEngine engine(LdbcGraph());
+  const bool print = std::getenv("GRADOOP_PRINT_GOLDEN") != nullptr;
+  for (GoldenCase& c : Cases()) {
+    const std::string actual = AnalyzeDeterministic(engine, c.query);
+    if (print) {
+      printf("--- %s ---\n%s", c.label, actual.c_str());
+      continue;
+    }
+    EXPECT_EQ(actual, c.golden) << c.label;
+  }
+}
+
+TEST(ExplainAnalyzeTest, ExplainMatchesAnalyzeTreeShape) {
+  // EXPLAIN (no execution) renders the same operators in the same order
+  // as EXPLAIN ANALYZE; only the rows= annotations differ.
+  CypherEngine engine(LdbcGraph());
+  for (GoldenCase& c : Cases()) {
+    auto explain = engine.Explain(c.query);
+    ASSERT_TRUE(explain.ok()) << c.label << " -> " << explain.status();
+    // Remove " rows=<n>" annotations to recover the EXPLAIN rendering.
+    std::string stripped = AnalyzeDeterministic(engine, c.query);
+    const std::string& expected = explain.value();
+    size_t pos;
+    while ((pos = stripped.find(" rows=")) != std::string::npos) {
+      size_t end = pos + 6;
+      while (end < stripped.size() && stripped[end] != ' ' &&
+             stripped[end] != '\n') {
+        ++end;
+      }
+      stripped.erase(pos, end - pos);
+    }
+    EXPECT_EQ(stripped, expected) << c.label;
+  }
+}
+
+TEST(ExplainAnalyzeTest, ExplainAnalyzeReportsEstimatesAndActuals) {
+  CypherEngine engine(LdbcGraph());
+  auto rendered = engine.ExplainAnalyze(ldbc::Query1("Alice"));
+  ASSERT_TRUE(rendered.ok()) << rendered.status();
+  // Estimated (~) and actual (rows=) cardinalities per operator, plus
+  // the timing annotations only ANALYZE carries.
+  EXPECT_NE(rendered.value().find("~"), std::string::npos);
+  EXPECT_NE(rendered.value().find("rows="), std::string::npos);
+  EXPECT_NE(rendered.value().find("wall="), std::string::npos);
+}
+
+TEST(ExplainAnalyzeTest, UnsatisfiableQueryShortCircuits) {
+  CypherEngine engine(LdbcGraph());
+  auto rendered = engine.ExplainAnalyze(
+      "MATCH (p:Person) WHERE p.firstName = 'x' AND p.firstName = 'y' "
+      "RETURN *");
+  ASSERT_TRUE(rendered.ok()) << rendered.status();
+  EXPECT_NE(rendered.value().find("EmptyResult"), std::string::npos);
+}
+
+std::vector<GoldenCase>& Cases() {
+  static std::vector<GoldenCase> cases = {
+      {"ldbc_q1", ldbc::Query1("Alice"),
+       R"(JoinEmbeddings(on message, broadcast) ~35 rows=35
+  ScanVertices(message:Comment|Post) ~700 rows=700
+  JoinEmbeddings(on person, broadcast) ~35 rows=35
+    ScanEdges(  __e0:hasCreator) ~700 rows=700
+    ScanVertices(person:Person) ~5 rows=11
+)"},
+      {"ldbc_q2", ldbc::Query2("Alice"),
+       R"(JoinEmbeddings(on post, broadcast) ~385 rows=35
+  ExpandEmbeddings(  __e1*0..10) ~385 rows=68
+    JoinEmbeddings(on message, broadcast) ~35 rows=35
+      ScanVertices(message:Comment|Post) ~700 rows=700
+      JoinEmbeddings(on person, broadcast) ~35 rows=35
+        ScanEdges(  __e0:hasCreator) ~700 rows=700
+        ScanVertices(person:Person) ~5 rows=11
+  ScanVertices(post:Post) ~300 rows=300
+)"},
+      {"ldbc_q3", ldbc::Query3("Alice"),
+       R"(JoinEmbeddings(on post, broadcast) ~23 rows=15
+  ScanVertices(post:Post) ~300 rows=300
+  ExpandEmbeddings(  __e2*1..10) ~23 rows=23
+    JoinEmbeddings(on p1, broadcast) ~691 rows=1178
+      ScanEdges(  __e3:hasCreator) ~700 rows=700
+      JoinEmbeddings(on comment, broadcast) ~99 rows=428
+        ScanVertices(comment:Comment) ~400 rows=400
+        JoinEmbeddings(on p2, broadcast) ~99 rows=522
+          ScanEdges(  __e1:hasCreator) ~700 rows=700
+          JoinEmbeddings(on p2, broadcast) ~14 rows=39
+            ScanVertices(p2:Person) ~100 rows=100
+            JoinEmbeddings(on p1, broadcast) ~14 rows=39
+              ScanEdges(  __e0:knows) ~282 rows=282
+              ScanVertices(p1:Person) ~5 rows=11
+)"},
+      {"ldbc_q4", ldbc::Query4(),
+       R"(JoinEmbeddings(on tag, broadcast) ~199 rows=156
+  JoinEmbeddings(on person, broadcast) ~199 rows=156
+    ScanEdges(  __e1:hasInterest) ~463 rows=463
+    JoinEmbeddings(on uni, broadcast) ~43 rows=36
+      JoinEmbeddings(on person, broadcast) ~43 rows=36
+        ScanEdges(  __e2:studyAt) ~79 rows=79
+        JoinEmbeddings(on city, broadcast) ~43 rows=43
+          ScanVertices(city:City) ~50 rows=50
+          JoinEmbeddings(on person, broadcast) ~43 rows=43
+            ScanEdges(  __e0:isLocatedIn) ~100 rows=100
+            JoinEmbeddings(on forum, broadcast) ~43 rows=43
+              JoinEmbeddings(on person, broadcast) ~43 rows=43
+                ScanVertices(person:Person) ~100 rows=100
+                ScanEdges(  __e3:hasMember|hasModerator) ~43 rows=43
+              ScanVertices(forum:Forum) ~5 rows=5
+      ScanVertices(uni:University) ~20 rows=20
+  ScanVertices(tag:Tag) ~100 rows=100
+)"},
+      {"ldbc_q5", ldbc::Query5(),
+       R"(JoinEmbeddings(on p1,p3, broadcast) ~22 rows=164
+  JoinEmbeddings(on p2, broadcast) ~795 rows=886
+    JoinEmbeddings(on p1, broadcast) ~282 rows=282
+      ScanEdges(  __e0:knows) ~282 rows=282
+      ScanVertices(p1:Person) ~100 rows=100
+    JoinEmbeddings(on p2, broadcast) ~282 rows=282
+      ScanEdges(  __e1:knows) ~282 rows=282
+      ScanVertices(p2:Person) ~100 rows=100
+  JoinEmbeddings(on p3, broadcast) ~282 rows=282
+    ScanEdges(  __e2:knows) ~282 rows=282
+    ScanVertices(p3:Person) ~100 rows=100
+)"},
+      {"ldbc_q6", ldbc::Query6(),
+       R"(JoinEmbeddings(on p2, broadcast) ~280 rows=1354
+  JoinEmbeddings(on t2, broadcast) ~463 rows=463
+    ScanEdges(  __e3:hasInterest) ~463 rows=463
+    ScanVertices(t2:Tag) ~100 rows=100
+  JoinEmbeddings(on p1,t1, broadcast) ~60 rows=293
+    JoinEmbeddings(on p2, broadcast) ~1306 rows=1261
+      ScanEdges(  __e2:hasInterest) ~463 rows=463
+      JoinEmbeddings(on p2, broadcast) ~282 rows=282
+        JoinEmbeddings(on p1, broadcast) ~282 rows=282
+          ScanEdges(  __e0:knows) ~282 rows=282
+          ScanVertices(p1:Person) ~100 rows=100
+        ScanVertices(p2:Person) ~100 rows=100
+    JoinEmbeddings(on t1, broadcast) ~463 rows=463
+      ScanEdges(  __e1:hasInterest) ~463 rows=463
+      ScanVertices(t1:Tag) ~100 rows=100
+)"},
+  };
+  return cases;
+}
+
+}  // namespace
+}  // namespace gradoop::query

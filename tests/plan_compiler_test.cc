@@ -1,0 +1,267 @@
+#include "query/exec/plan_compiler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/plan_verifier.h"
+#include "cypher/parser.h"
+#include "ldbc/ldbc_generator.h"
+#include "ldbc/queries.h"
+#include "query/cypher_engine.h"
+#include "query/planner.h"
+
+namespace gradoop::query {
+namespace {
+
+using cypher::Expression;
+using cypher::QueryGraph;
+
+const std::vector<std::string>& LdbcQueries() {
+  static const std::vector<std::string> queries = {
+      ldbc::Query1("X"), ldbc::Query2("X"), ldbc::Query3("X"),
+      ldbc::Query4(),    ldbc::Query5(),    ldbc::Query6()};
+  return queries;
+}
+
+epgm::LogicalGraph LdbcGraph() {
+  ldbc::LdbcConfig cfg;
+  cfg.scale_factor = 0.05;
+  return ldbc::LdbcGenerator(cfg).Generate(dataflow::MakeContext());
+}
+
+QueryGraph QG(const std::string& text) {
+  auto ast = cypher::ParseCypher(text);
+  EXPECT_TRUE(ast.ok()) << ast.status();
+  auto qg = QueryGraph::Build(ast.value());
+  EXPECT_TRUE(qg.ok()) << qg.status();
+  return std::move(qg).value();
+}
+
+// Embeddings as a sorted multiset of serialized rows: two plans are
+// equivalent iff these compare equal (order across partitions is not
+// pinned down by the operator contracts).
+std::vector<std::string> SortedRows(const EmbeddingSet& set) {
+  std::vector<std::string> rows;
+  for (const Embedding& e : set.data.Collect()) {
+    std::string row;
+    e.EncodeTo(&row);
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+uint64_t PropertyBytes(const EmbeddingSet& set) {
+  uint64_t bytes = 0;
+  for (const Embedding& e : set.data.Collect()) bytes += e.prop_data().size();
+  return bytes;
+}
+
+// --- the compiled layout is the executed layout ------------------------
+
+TEST(PlanCompilerTest, CompiledRootMetaDataMatchesExecutedEmbeddings) {
+  CypherEngine engine(LdbcGraph());
+  for (const std::string& q : LdbcQueries()) {
+    auto result = engine.Execute(q);
+    ASSERT_TRUE(result.ok()) << q << " -> " << result.status();
+    ASSERT_NE(result.value().physical, nullptr) << q;
+    EXPECT_EQ(result.value().physical->output_meta().ToString(),
+              result.value().embeddings.meta.ToString())
+        << q;
+  }
+}
+
+TEST(PlanCompilerTest, CompiledPlansPassVerification) {
+  auto graph = LdbcGraph();
+  auto stats = GraphStatistics::Compute(graph);
+  for (const std::string& q : LdbcQueries()) {
+    auto qg = QG(q);
+    auto plan = PlanQuery(qg, stats, {});
+    ASSERT_TRUE(plan.ok()) << q << " -> " << plan.status();
+    for (const bool fuse : {false, true}) {
+      for (const bool prune : {false, true}) {
+        exec::CompileOptions options;
+        options.fuse_filters = fuse;
+        options.prune_properties = prune;
+        exec::PlanCompiler compiler(qg, MorphismSetting::Neo4j(), options);
+        auto physical = compiler.Compile(plan.value());
+        ASSERT_TRUE(physical.ok()) << q << " -> " << physical.status();
+        const Status s = analysis::VerifyCompiledPlan(qg, *physical.value());
+        EXPECT_TRUE(s.ok()) << q << " (fuse=" << fuse << " prune=" << prune
+                            << ") -> " << s;
+      }
+    }
+  }
+}
+
+// --- filter fusion ----------------------------------------------------
+
+TEST(PlanCompilerTest, FusedPlansReturnIdenticalEmbeddings) {
+  auto graph = LdbcGraph();
+  // Queries with cross predicates / filters so fusion has something to do.
+  const std::vector<std::string> queries = {
+      "MATCH (p:Person)-[:knows]->(q:Person) "
+      "WHERE p.firstName <> q.firstName RETURN *",
+      ldbc::Query1("Alice"),
+      ldbc::Query6(),
+  };
+  for (const std::string& q : queries) {
+    PlannerOptions fused_options;
+    fused_options.fuse_filters = true;
+    fused_options.prune_properties = false;
+    PlannerOptions unfused_options;
+    unfused_options.fuse_filters = false;
+    unfused_options.prune_properties = false;
+    CypherEngine fused(graph, fused_options);
+    CypherEngine unfused(graph, unfused_options);
+    auto a = fused.Execute(q);
+    auto b = unfused.Execute(q);
+    ASSERT_TRUE(a.ok()) << q << " -> " << a.status();
+    ASSERT_TRUE(b.ok()) << q << " -> " << b.status();
+    EXPECT_EQ(SortedRows(a.value().embeddings),
+              SortedRows(b.value().embeddings))
+        << q;
+  }
+}
+
+TEST(PlanCompilerTest, FusionRemovesStandaloneFilterStages) {
+  auto graph = LdbcGraph();
+  const std::string q =
+      "MATCH (p:Person)-[:knows]->(q:Person) "
+      "WHERE p.firstName <> q.firstName RETURN *";
+  PlannerOptions unfused_options;
+  unfused_options.fuse_filters = false;
+  CypherEngine fused(graph);
+  CypherEngine unfused(graph, unfused_options);
+  auto with = fused.Explain(q);
+  auto without = unfused.Explain(q);
+  ASSERT_TRUE(with.ok()) << with.status();
+  ASSERT_TRUE(without.ok()) << without.status();
+  EXPECT_EQ(with.value().find("SelectEmbeddings"), std::string::npos)
+      << with.value();
+  EXPECT_NE(without.value().find("SelectEmbeddings"), std::string::npos)
+      << without.value();
+  // The fused predicate is rendered on the operator it was pushed into.
+  EXPECT_NE(with.value().find("+filter("), std::string::npos) << with.value();
+}
+
+// --- property pruning -------------------------------------------------
+
+TEST(PlanCompilerTest, PruningKeepsMatchesAndShrinksEmbeddings) {
+  auto graph = LdbcGraph();
+  // LDBC Query 1: person.firstName is WHERE-only (an element predicate
+  // evaluated on the raw vertex inside the scan) — pruning drops it from
+  // the embeddings while message.creationDate/content stay (RETURN).
+  const std::string q = ldbc::Query1("Alice");
+  PlannerOptions pruned_options;
+  pruned_options.prune_properties = true;
+  PlannerOptions unpruned_options;
+  unpruned_options.prune_properties = false;
+  CypherEngine pruned(graph, pruned_options);
+  CypherEngine unpruned(graph, unpruned_options);
+  auto a = pruned.Execute(q);
+  auto b = unpruned.Execute(q);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  ASSERT_EQ(a.value().embeddings.data.Count(),
+            b.value().embeddings.data.Count());
+  ASSERT_GT(b.value().embeddings.data.Count(), 0u);
+  // Same matches, strictly fewer projected property bytes.
+  EXPECT_LT(PropertyBytes(a.value().embeddings),
+            PropertyBytes(b.value().embeddings));
+  // The WHERE-only property is gone from the compiled layout.
+  EXPECT_LT(a.value().embeddings.meta.PropertyColumn("person", "firstName"),
+            0);
+  EXPECT_GE(b.value().embeddings.meta.PropertyColumn("person", "firstName"),
+            0);
+  EXPECT_GE(
+      a.value().embeddings.meta.PropertyColumn("message", "creationDate"), 0);
+}
+
+// --- compile-time layout errors ---------------------------------------
+
+TEST(PlanCompilerTest, RejectsDanglingFilterPropertyColumn) {
+  auto graph = LdbcGraph();
+  auto stats = GraphStatistics::Compute(graph);
+  auto qg = QG(
+      "MATCH (a:Person)-[:knows]->(b:Person) "
+      "WHERE a.firstName <> b.firstName RETURN *");
+  auto plan = PlanQuery(qg, stats, {});
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  // Find the filter and add a clause over a property no scan projects.
+  std::function<PlanNode*(const PlanNodePtr&)> find_filter =
+      [&](const PlanNodePtr& node) -> PlanNode* {
+    if (node == nullptr) return nullptr;
+    if (node->kind == PlanNode::Kind::kFilter) return node.get();
+    if (PlanNode* n = find_filter(node->left)) return n;
+    return find_filter(node->right);
+  };
+  PlanNode* filter = find_filter(plan.value());
+  ASSERT_NE(filter, nullptr);
+  cypher::CnfClause dangling;
+  dangling.atoms.push_back(Expression::Comparison(
+      cypher::ComparisonOp::kEq, Expression::PropertyAccess("a", "bogus"),
+      Expression::Literal(epgm::PropertyValue(int64_t{1}))));
+  filter->clauses.push_back(dangling);
+  for (const bool fuse : {false, true}) {
+    exec::CompileOptions options;
+    options.fuse_filters = fuse;
+    options.prune_properties = false;
+    exec::PlanCompiler compiler(qg, MorphismSetting::Neo4j(), options);
+    auto physical = compiler.Compile(plan.value());
+    ASSERT_FALSE(physical.ok()) << "fuse=" << fuse;
+    EXPECT_NE(physical.status().message().find("a.bogus"), std::string::npos)
+        << physical.status();
+  }
+}
+
+TEST(PlanCompilerTest, RejectsDanglingValueJoinKey) {
+  auto graph = LdbcGraph();
+  auto stats = GraphStatistics::Compute(graph);
+  auto qg = QG(
+      "MATCH (p:Person), (q:Person) WHERE p.firstName = q.lastName RETURN *");
+  auto plan = PlanQuery(qg, stats, {});
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  std::function<PlanNode*(const PlanNodePtr&)> find_vj =
+      [&](const PlanNodePtr& node) -> PlanNode* {
+    if (node == nullptr) return nullptr;
+    if (node->kind == PlanNode::Kind::kValueJoin) return node.get();
+    if (PlanNode* n = find_vj(node->left)) return n;
+    return find_vj(node->right);
+  };
+  PlanNode* vj = find_vj(plan.value());
+  ASSERT_NE(vj, nullptr);
+  vj->value_join_keys[0].first = Expression::PropertyAccess("p", "nope");
+  exec::CompileOptions options;
+  options.prune_properties = false;
+  exec::PlanCompiler compiler(qg, MorphismSetting::Neo4j(), options);
+  auto physical = compiler.Compile(plan.value());
+  ASSERT_FALSE(physical.ok());
+  EXPECT_NE(physical.status().message().find("no projected"),
+            std::string::npos)
+      << physical.status();
+}
+
+// --- scan sharing through the compiled plan ---------------------------
+
+TEST(PlanCompilerTest, SharedScansStillMatchUnsharedResults) {
+  auto graph = LdbcGraph();
+  PlannerOptions shared_options;
+  shared_options.share_scan_results = true;
+  CypherEngine shared(graph, shared_options);
+  CypherEngine unshared(graph);
+  const std::string q = ldbc::Query6();
+  auto a = shared.Execute(q);
+  auto b = unshared.Execute(q);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_EQ(SortedRows(a.value().embeddings),
+            SortedRows(b.value().embeddings));
+}
+
+}  // namespace
+}  // namespace gradoop::query

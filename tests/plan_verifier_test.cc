@@ -9,6 +9,7 @@
 #include "ldbc/ldbc_generator.h"
 #include "ldbc/queries.h"
 #include "query/cypher_engine.h"
+#include "query/exec/plan_compiler.h"
 #include "query/operators.h"
 #include "query/planner.h"
 
@@ -156,37 +157,6 @@ TEST(PlanVerifierTest, RejectsCorruptedBoundVariables) {
   const Status s = VerifyCandidatePlan(qg, plan, VerifyOptions::Cheap());
   ASSERT_FALSE(s.ok());
   EXPECT_NE(s.message().find("ghost"), std::string::npos) << s;
-}
-
-TEST(PlanVerifierTest, RejectsDanglingFilterPropertyColumn) {
-  auto qg = QG(
-      "MATCH (a:Person)-[:knows]->(b:Person) "
-      "WHERE a.firstName <> b.firstName RETURN *");
-  auto plan = PlanFor(qg);
-  PlanNode* filter = FindNode(plan, PlanNode::Kind::kFilter);
-  ASSERT_NE(filter, nullptr);
-  // The clause reads a property the scans never projected: its column
-  // does not exist in any embedding of the subtree.
-  cypher::CnfClause dangling;
-  dangling.atoms.push_back(Expression::Comparison(
-      cypher::ComparisonOp::kEq, Expression::PropertyAccess("a", "bogus"),
-      Expression::Literal(epgm::PropertyValue(int64_t{1}))));
-  filter->clauses.push_back(dangling);
-  const Status s = VerifyCandidatePlan(qg, plan, VerifyOptions::Exhaustive());
-  ASSERT_FALSE(s.ok());
-  EXPECT_NE(s.message().find("a.bogus"), std::string::npos) << s;
-}
-
-TEST(PlanVerifierTest, RejectsDanglingValueJoinKey) {
-  auto qg = QG(
-      "MATCH (p:Person), (q:Person) WHERE p.firstName = q.lastName RETURN *");
-  auto plan = PlanFor(qg);
-  PlanNode* vj = FindNode(plan, PlanNode::Kind::kValueJoin);
-  ASSERT_NE(vj, nullptr);
-  vj->value_join_keys[0].first = Expression::PropertyAccess("p", "nope");
-  const Status s = VerifyCandidatePlan(qg, plan, VerifyOptions::Exhaustive());
-  ASSERT_FALSE(s.ok());
-  EXPECT_NE(s.message().find("no projected"), std::string::npos) << s;
 }
 
 TEST(PlanVerifierTest, RejectsFilterOnUnboundVariable) {
@@ -345,48 +315,75 @@ TEST(TypeCheckTest, AcceptsLogicalOverComparisons) {
           .ok());
 }
 
-// --- meta data simulation matches the operators -----------------------
+// --- compiled plan verification ---------------------------------------
 
-TEST(PlanVerifierTest, EdgeScanSimulationMatchesOperatorMetaData) {
-  auto qg = QG(
-      "MATCH (p:Person)-[k:knows]->(q:Person) "
-      "WHERE k.since > 2000 RETURN *");
-  const cypher::QueryEdge& e = qg.edges()[0];
-  const std::string& src = qg.vertices()[e.source].variable;
-  const std::string& dst = qg.vertices()[e.target].variable;
-  auto scan = std::make_shared<PlanNode>();
-  scan->kind = PlanNode::Kind::kScanEdges;
-  scan->element_index = 0;
-  scan->bound_variables = {src, e.variable, dst};
-  scan->property_variables = {e.variable};
-  scan->estimated_cardinality = 1.0;
-  auto simulated = PlanVerifier(qg).SimulateMetaData(scan);
-  ASSERT_TRUE(simulated.ok()) << simulated.status();
-  const auto actual = query::EdgeScanMetaData(
-      e, src, dst, qg.NeededProperties(e.variable));
-  EXPECT_EQ(simulated.value().ToString(), actual.ToString());
+TEST(VerifyCompiledPlanTest, AcceptsCompiledLdbcPlans) {
+  auto stats = LdbcStats();
+  for (const std::string& q :
+       {ldbc::Query1("X"), ldbc::Query2("X"), ldbc::Query3("X"),
+        ldbc::Query4(), ldbc::Query5(), ldbc::Query6()}) {
+    auto qg = QG(q);
+    auto plan = query::PlanQuery(qg, stats, {});
+    ASSERT_TRUE(plan.ok()) << q << " -> " << plan.status();
+    query::exec::PlanCompiler compiler(qg, query::MorphismSetting::Neo4j());
+    auto physical = compiler.Compile(plan.value());
+    ASSERT_TRUE(physical.ok()) << q << " -> " << physical.status();
+    const Status s = VerifyCompiledPlan(qg, *physical.value());
+    EXPECT_TRUE(s.ok()) << q << " -> " << s;
+  }
 }
 
-TEST(PlanVerifierTest, SimulationMatchesExecutedMetaData) {
-  ldbc::LdbcConfig cfg;
-  cfg.scale_factor = 0.05;
-  auto graph = ldbc::LdbcGenerator(cfg).Generate(dataflow::MakeContext());
-  query::CypherEngine engine(std::move(graph));
-  for (const std::string& q :
-       {std::string("MATCH (p:Person)-[:knows]->(q:Person) "
-                    "WHERE p.firstName <> q.firstName RETURN *"),
-        std::string("MATCH (a:Person)-[e:knows*1..2]->(b:Person) RETURN *"),
-        ldbc::Query1("X"), ldbc::Query4(), ldbc::Query6()}) {
-    auto result = engine.Execute(q);
-    ASSERT_TRUE(result.ok()) << q << " -> " << result.status();
-    auto simulated =
-        PlanVerifier(result.value().query_graph)
-            .SimulateMetaData(result.value().plan);
-    ASSERT_TRUE(simulated.ok()) << q << " -> " << simulated.status();
-    EXPECT_EQ(simulated.value().ToString(),
-              result.value().embeddings.meta.ToString())
-        << q;
-  }
+TEST(VerifyCompiledPlanTest, RejectsVertexScanWithExtraIdColumn) {
+  auto qg = QG("MATCH (a)-[e:knows]->(b) RETURN *");
+  query::EmbeddingMetaData meta;
+  meta.AddIdColumn("a", query::EntryType::kVertex);
+  meta.AddIdColumn("b", query::EntryType::kVertex);
+  query::exec::VertexScanOp scan(meta, 1.0, query::MorphismSetting::Neo4j(),
+                                 {}, qg.vertices()[0], {});
+  const Status s = VerifyCompiledPlan(qg, scan);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("one id column"), std::string::npos) << s;
+}
+
+TEST(VerifyCompiledPlanTest, RejectsJoinKeyColumnsDisagreeingWithChildren) {
+  auto qg = QG("MATCH (a)-[e:knows]->(b) RETURN *");
+  auto make_scan = [&](const std::string& var, int index) {
+    query::EmbeddingMetaData meta;
+    meta.AddIdColumn(var, query::EntryType::kVertex);
+    return std::make_shared<query::exec::VertexScanOp>(
+        std::move(meta), 1.0, query::MorphismSetting::Neo4j(),
+        std::vector<cypher::CnfClause>{}, qg.vertices()[index],
+        std::vector<cypher::CnfClause>{});
+  };
+  auto left = make_scan("a", 0);
+  auto right = make_scan("a", 0);
+  auto merged = query::EmbeddingMetaData::Merge(left->output_meta(),
+                                                right->output_meta());
+  // Key column 1 does not hold `a` on either side (both bind it at 0).
+  query::exec::JoinOp join(merged, 1.0, query::MorphismSetting::Neo4j(), {},
+                           left, right, {"a"}, {1}, {1},
+                           dataflow::JoinStrategy::kRepartition);
+  const Status s = VerifyCompiledPlan(qg, join);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("key columns"), std::string::npos) << s;
+}
+
+TEST(VerifyCompiledPlanTest, RejectsFilterThatChangesLayout) {
+  auto qg = QG("MATCH (a)-[e:knows]->(b) RETURN *");
+  query::EmbeddingMetaData child_meta;
+  child_meta.AddIdColumn("a", query::EntryType::kVertex);
+  auto child = std::make_shared<query::exec::VertexScanOp>(
+      child_meta, 1.0, query::MorphismSetting::Neo4j(),
+      std::vector<cypher::CnfClause>{}, qg.vertices()[0],
+      std::vector<cypher::CnfClause>{});
+  query::EmbeddingMetaData widened = child_meta;
+  widened.AddIdColumn("b", query::EntryType::kVertex);
+  query::exec::FilterOp filter(widened, 1.0, query::MorphismSetting::Neo4j(),
+                               child, {});
+  const Status s = VerifyCompiledPlan(qg, filter);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("changed the column layout"), std::string::npos)
+      << s;
 }
 
 }  // namespace

@@ -24,6 +24,92 @@ QueryGraph QG(const std::string& text) {
   return std::move(qg).value();
 }
 
+// The kernels execute against layouts resolved by exec::PlanCompiler;
+// these helpers build the same layouts by hand for kernel-level tests.
+EmbeddingMetaData VertexScanMeta(const cypher::QueryVertex& qv,
+                                 const std::set<std::string>& projection) {
+  EmbeddingMetaData meta;
+  meta.AddIdColumn(qv.variable, EntryType::kVertex);
+  for (const std::string& key : projection) {
+    meta.AddPropertyColumn(qv.variable, key);
+  }
+  return meta;
+}
+
+EmbeddingMetaData EdgeScanMeta(const QueryGraph& qg,
+                               const cypher::QueryEdge& qe,
+                               const std::set<std::string>& projection) {
+  const std::string& src = qg.vertices()[qe.source].variable;
+  const std::string& dst = qg.vertices()[qe.target].variable;
+  EmbeddingMetaData meta;
+  meta.AddIdColumn(src, EntryType::kVertex);
+  meta.AddIdColumn(qe.variable, EntryType::kEdge);
+  if (src != dst) meta.AddIdColumn(dst, EntryType::kVertex);
+  for (const std::string& key : projection) {
+    meta.AddPropertyColumn(qe.variable, key);
+  }
+  return meta;
+}
+
+EmbeddingSet ScanEdges(const dataflow::Dataset<Edge>& ds,
+                       const QueryGraph& qg, const cypher::QueryEdge& qe,
+                       const std::vector<cypher::CnfClause>& predicates,
+                       const std::set<std::string>& projection,
+                       const MorphismSetting& semantics =
+                           MorphismSetting::Neo4j()) {
+  const std::string& src = qg.vertices()[qe.source].variable;
+  const std::string& dst = qg.vertices()[qe.target].variable;
+  return SelectAndProjectEdges(ds, qe, predicates, semantics, src == dst,
+                               EdgeScanMeta(qg, qe, projection));
+}
+
+EmbeddingSet Join(const EmbeddingSet& left, const EmbeddingSet& right,
+                  const std::vector<std::string>& join_variables,
+                  const MorphismSetting& semantics,
+                  dataflow::JoinStrategy strategy =
+                      dataflow::JoinStrategy::kRepartition) {
+  std::vector<int> left_columns, right_columns;
+  for (const std::string& var : join_variables) {
+    left_columns.push_back(left.meta.IdColumn(var));
+    right_columns.push_back(right.meta.IdColumn(var));
+  }
+  return JoinEmbeddings(left, right, left_columns, right_columns,
+                        EmbeddingMetaData::Merge(left.meta, right.meta),
+                        semantics, strategy);
+}
+
+using KeyRef = std::pair<std::string, std::string>;
+
+EmbeddingSet ValueJoin(const EmbeddingSet& left, const EmbeddingSet& right,
+                       const std::vector<KeyRef>& left_keys,
+                       const std::vector<KeyRef>& right_keys,
+                       const MorphismSetting& semantics) {
+  std::vector<int> left_columns, right_columns;
+  for (const auto& [var, key] : left_keys) {
+    left_columns.push_back(left.meta.PropertyColumn(var, key));
+  }
+  for (const auto& [var, key] : right_keys) {
+    right_columns.push_back(right.meta.PropertyColumn(var, key));
+  }
+  return ValueJoinEmbeddings(left, right, left_columns, right_columns,
+                             EmbeddingMetaData::Merge(left.meta, right.meta),
+                             semantics);
+}
+
+EmbeddingSet Expand(const EmbeddingSet& input,
+                    const dataflow::Dataset<Edge>& edges,
+                    const std::string& start, const std::string& path_var,
+                    const std::string& end, int lower, int upper,
+                    bool reverse, const MorphismSetting& semantics) {
+  const int start_column = input.meta.IdColumn(start);
+  const int bound_end_column = input.meta.IdColumn(end);
+  EmbeddingMetaData meta = input.meta;
+  meta.AddIdColumn(path_var, EntryType::kPath);
+  if (bound_end_column < 0) meta.AddIdColumn(end, EntryType::kVertex);
+  return ExpandEmbeddings(input, edges, start_column, bound_end_column, meta,
+                          lower, upper, reverse, semantics);
+}
+
 std::vector<uint64_t> SortedIds(const EmbeddingSet& set,
                                 const std::string& var) {
   const int col = set.meta.IdColumn(var);
@@ -43,8 +129,9 @@ TEST(ScanVerticesTest, FiltersLabelAndPredicateAndProjects) {
   auto ds = dataflow::Dataset<Vertex>::FromVector(ctx, vertices);
   QueryGraph qg = QG("MATCH (p:Person) WHERE p.age > 25 RETURN p.name");
   const auto& qv = qg.vertices()[0];
-  auto result = SelectAndProjectVertices(ds, qv, qg.ElementPredicates("p"),
-                                         qg.NeededProperties("p"));
+  auto result = SelectAndProjectVertices(
+      ds, qv, qg.ElementPredicates("p"),
+      VertexScanMeta(qv, qg.NeededProperties("p")));
   auto rows = result.data.Collect();
   ASSERT_EQ(rows.size(), 1u);
   EXPECT_EQ(rows[0].IdAt(result.meta.IdColumn("p")), 1u);
@@ -60,9 +147,27 @@ TEST(ScanVerticesTest, LabelAlternation) {
                                   Vertex(3, "Person")};
   auto ds = dataflow::Dataset<Vertex>::FromVector(ctx, vertices);
   QueryGraph qg = QG("MATCH (m:Comment|Post) RETURN *");
-  auto result =
-      SelectAndProjectVertices(ds, qg.vertices()[0], {}, {});
+  const auto& qv = qg.vertices()[0];
+  auto result = SelectAndProjectVertices(ds, qv, {}, VertexScanMeta(qv, {}));
   EXPECT_EQ(SortedIds(result, "m"), (std::vector<uint64_t>{1, 2}));
+}
+
+TEST(ScanVerticesTest, ResidualClausePrunesRows) {
+  // A fused filter clause evaluates inside the scan's emission loop.
+  auto ctx = Ctx();
+  std::vector<Vertex> vertices = {
+      Vertex(1, "Person", {{"age", int64_t{30}}}),
+      Vertex(2, "Person", {{"age", int64_t{20}}}),
+  };
+  auto ds = dataflow::Dataset<Vertex>::FromVector(ctx, vertices);
+  QueryGraph qg = QG("MATCH (p:Person) WHERE p.age > 25 RETURN *");
+  const auto& qv = qg.vertices()[0];
+  // Hand the predicate to the kernel as a residual instead of an element
+  // predicate: same rows must survive.
+  auto result =
+      SelectAndProjectVertices(ds, qv, {}, VertexScanMeta(qv, {"age"}),
+                               qg.ElementPredicates("p"));
+  EXPECT_EQ(SortedIds(result, "p"), (std::vector<uint64_t>{1}));
 }
 
 TEST(ScanEdgesTest, EmitsSourceEdgeTargetColumns) {
@@ -73,7 +178,7 @@ TEST(ScanEdgesTest, EmitsSourceEdgeTargetColumns) {
   };
   auto ds = dataflow::Dataset<Edge>::FromVector(ctx, edges);
   QueryGraph qg = QG("MATCH (a)-[e:knows]->(b) RETURN *");
-  auto result = SelectAndProjectEdges(ds, qg.edges()[0], "a", "b", {}, {});
+  auto result = ScanEdges(ds, qg, qg.edges()[0], {}, {});
   auto rows = result.data.Collect();
   ASSERT_EQ(rows.size(), 1u);
   EXPECT_EQ(rows[0].IdAt(result.meta.IdColumn("a")), 1u);
@@ -87,7 +192,7 @@ TEST(ScanEdgesTest, UndirectedEmitsBothOrientations) {
   std::vector<Edge> edges = {Edge(10, "knows", 1, 2)};
   auto ds = dataflow::Dataset<Edge>::FromVector(ctx, edges);
   QueryGraph qg = QG("MATCH (a)-[e:knows]-(b) RETURN *");
-  auto result = SelectAndProjectEdges(ds, qg.edges()[0], "a", "b", {}, {});
+  auto result = ScanEdges(ds, qg, qg.edges()[0], {}, {});
   EXPECT_EQ(result.data.Collect().size(), 2u);
 }
 
@@ -96,7 +201,7 @@ TEST(ScanEdgesTest, SelfLoopQueryEdge) {
   std::vector<Edge> edges = {Edge(10, "likes", 1, 1), Edge(11, "likes", 1, 2)};
   auto ds = dataflow::Dataset<Edge>::FromVector(ctx, edges);
   QueryGraph qg = QG("MATCH (a)-[e:likes]->(a) RETURN *");
-  auto result = SelectAndProjectEdges(ds, qg.edges()[0], "a", "a", {}, {});
+  auto result = ScanEdges(ds, qg, qg.edges()[0], {}, {});
   auto rows = result.data.Collect();
   ASSERT_EQ(rows.size(), 1u);
   EXPECT_EQ(rows[0].IdAt(result.meta.IdColumn("e")), 10u);
@@ -111,9 +216,8 @@ TEST(ScanEdgesTest, EdgePredicatePushdown) {
   auto ds = dataflow::Dataset<Edge>::FromVector(ctx, edges);
   QueryGraph qg =
       QG("MATCH (a)-[s:studyAt]->(b) WHERE s.classYear > 2014 RETURN *");
-  auto result = SelectAndProjectEdges(ds, qg.edges()[0], "a", "b",
-                                      qg.ElementPredicates("s"),
-                                      qg.NeededProperties("s"));
+  auto result = ScanEdges(ds, qg, qg.edges()[0], qg.ElementPredicates("s"),
+                          qg.NeededProperties("s"));
   EXPECT_EQ(SortedIds(result, "s"), (std::vector<uint64_t>{10}));
 }
 
@@ -196,8 +300,7 @@ TEST(JoinEmbeddingsTest, JoinsOnSharedVariable) {
                       {EntryType::kVertex, EntryType::kVertex});
   auto right = MakeSet(ctx, {{10, 100}, {30, 300}}, {"b", "c"},
                        {EntryType::kVertex, EntryType::kVertex});
-  auto joined = JoinEmbeddings(left, right, {"b"},
-                               MorphismSetting::FullHomomorphism());
+  auto joined = Join(left, right, {"b"}, MorphismSetting::FullHomomorphism());
   auto rows = joined.data.Collect();
   ASSERT_EQ(rows.size(), 1u);
   EXPECT_EQ(rows[0].IdAt(joined.meta.IdColumn("a")), 1u);
@@ -212,11 +315,9 @@ TEST(JoinEmbeddingsTest, IsomorphismDropsConflicts) {
                       {EntryType::kVertex, EntryType::kVertex});
   auto right = MakeSet(ctx, {{10, 1}}, {"b", "c"},
                        {EntryType::kVertex, EntryType::kVertex});
-  auto homo = JoinEmbeddings(left, right, {"b"},
-                             MorphismSetting::FullHomomorphism());
+  auto homo = Join(left, right, {"b"}, MorphismSetting::FullHomomorphism());
   EXPECT_EQ(homo.data.Collect().size(), 1u);
-  auto iso = JoinEmbeddings(left, right, {"b"},
-                            MorphismSetting::FullIsomorphism());
+  auto iso = Join(left, right, {"b"}, MorphismSetting::FullIsomorphism());
   EXPECT_EQ(iso.data.Collect().size(), 0u);
 }
 
@@ -226,8 +327,8 @@ TEST(JoinEmbeddingsTest, MultiColumnJoinKey) {
                       {EntryType::kVertex, EntryType::kVertex});
   auto right = MakeSet(ctx, {{1, 2}, {1, 9}}, {"a", "b"},
                        {EntryType::kVertex, EntryType::kVertex});
-  auto joined = JoinEmbeddings(left, right, {"a", "b"},
-                               MorphismSetting::FullHomomorphism());
+  auto joined =
+      Join(left, right, {"a", "b"}, MorphismSetting::FullHomomorphism());
   EXPECT_EQ(joined.data.Collect().size(), 1u);
 }
 
@@ -235,8 +336,7 @@ TEST(JoinEmbeddingsTest, CartesianWithEmptyJoinVars) {
   auto ctx = Ctx();
   auto left = MakeSet(ctx, {{1}, {2}}, {"a"}, {EntryType::kVertex});
   auto right = MakeSet(ctx, {{10}, {20}, {30}}, {"b"}, {EntryType::kVertex});
-  auto joined =
-      JoinEmbeddings(left, right, {}, MorphismSetting::FullHomomorphism());
+  auto joined = Join(left, right, {}, MorphismSetting::FullHomomorphism());
   EXPECT_EQ(joined.data.Collect().size(), 6u);
 }
 
@@ -245,14 +345,42 @@ TEST(JoinEmbeddingsTest, BroadcastMatchesRepartition) {
   auto left = MakeSet(ctx, {{1, 10}, {2, 20}, {3, 10}}, {"a", "b"},
                       {EntryType::kVertex, EntryType::kVertex});
   auto right = MakeSet(ctx, {{10}}, {"b"}, {EntryType::kVertex});
-  auto a = JoinEmbeddings(left, right, {"b"},
-                          MorphismSetting::FullHomomorphism(),
-                          dataflow::JoinStrategy::kRepartition);
-  auto b = JoinEmbeddings(left, right, {"b"},
-                          MorphismSetting::FullHomomorphism(),
-                          dataflow::JoinStrategy::kBroadcast);
+  auto a = Join(left, right, {"b"}, MorphismSetting::FullHomomorphism(),
+                dataflow::JoinStrategy::kRepartition);
+  auto b = Join(left, right, {"b"}, MorphismSetting::FullHomomorphism(),
+                dataflow::JoinStrategy::kBroadcast);
   EXPECT_EQ(a.data.Collect().size(), 2u);
   EXPECT_EQ(b.data.Collect().size(), 2u);
+}
+
+TEST(JoinEmbeddingsTest, ResidualClauseFiltersMergedRows) {
+  auto ctx = Ctx();
+  EmbeddingMetaData left_meta, right_meta;
+  left_meta.AddIdColumn("a", EntryType::kVertex);
+  left_meta.AddPropertyColumn("a", "x");
+  right_meta.AddIdColumn("b", EntryType::kVertex);
+  right_meta.AddPropertyColumn("b", "x");
+  auto make = [](uint64_t id, int64_t x) {
+    Embedding e;
+    e.AppendId(id);
+    e.AppendProperty(PropertyValue(x));
+    return e;
+  };
+  EmbeddingSet left{
+      dataflow::Dataset<Embedding>::FromVector(ctx, {make(1, 5)}), left_meta};
+  EmbeddingSet right{dataflow::Dataset<Embedding>::FromVector(
+                         ctx, {make(10, 5), make(11, 9)}),
+                     right_meta};
+  QueryGraph qg = QG("MATCH (a)-[e]->(b) WHERE a.x = b.x RETURN *");
+  auto merged = EmbeddingMetaData::Merge(left_meta, right_meta);
+  auto joined = JoinEmbeddings(left, right, {}, {}, merged,
+                               MorphismSetting::FullHomomorphism(),
+                               dataflow::JoinStrategy::kRepartition,
+                               qg.CrossPredicates());
+  // Cartesian 1x2, fused a.x = b.x keeps only the (1, 10) pair.
+  auto rows = joined.data.Collect();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].IdAt(merged.IdColumn("b")), 10u);
 }
 
 TEST(ValueJoinTest, JoinsOnPropertyValues) {
@@ -279,8 +407,8 @@ TEST(ValueJoinTest, JoinsOnPropertyValues) {
                                make(11, PropertyValue(int64_t{7})),
                                make(12, PropertyValue::Null())}),
                      right_meta};
-  auto joined = ValueJoinEmbeddings(left, right, {{"a", "x"}}, {{"b", "y"}},
-                                    MorphismSetting::FullHomomorphism());
+  auto joined = ValueJoin(left, right, {{"a", "x"}}, {{"b", "y"}},
+                          MorphismSetting::FullHomomorphism());
   // a=1 (x=7) joins b=10 and b=11; NULLs never join each other.
   auto rows = joined.data.Collect();
   ASSERT_EQ(rows.size(), 2u);
@@ -306,8 +434,8 @@ TEST(ValueJoinTest, NumericTypesJoinAcrossIntAndDouble) {
                     left_meta};
   EmbeddingSet right{dataflow::Dataset<Embedding>::FromVector(ctx, {r}),
                      right_meta};
-  auto joined = ValueJoinEmbeddings(left, right, {{"a", "x"}}, {{"b", "y"}},
-                                    MorphismSetting::FullHomomorphism());
+  auto joined = ValueJoin(left, right, {{"a", "x"}}, {{"b", "y"}},
+                          MorphismSetting::FullHomomorphism());
   EXPECT_EQ(joined.data.Collect().size(), 1u);  // 2 == 2.0 (Cypher)
 }
 
@@ -325,15 +453,15 @@ TEST(ValueJoinTest, MorphismStillEnforced) {
                     left_meta};
   EmbeddingSet right{dataflow::Dataset<Embedding>::FromVector(ctx, {same}),
                      right_meta};
-  auto homo = ValueJoinEmbeddings(left, right, {{"a", "x"}}, {{"b", "x"}},
-                                  MorphismSetting::FullHomomorphism());
+  auto homo = ValueJoin(left, right, {{"a", "x"}}, {{"b", "x"}},
+                        MorphismSetting::FullHomomorphism());
   EXPECT_EQ(homo.data.Collect().size(), 1u);
-  auto iso = ValueJoinEmbeddings(left, right, {{"a", "x"}}, {{"b", "x"}},
-                                 MorphismSetting::FullIsomorphism());
+  auto iso = ValueJoin(left, right, {{"a", "x"}}, {{"b", "x"}},
+                       MorphismSetting::FullIsomorphism());
   EXPECT_EQ(iso.data.Collect().size(), 0u);  // both bind vertex 1
 }
 
-// --- select / project --------------------------------------------------------
+// --- select -----------------------------------------------------------------
 
 TEST(SelectEmbeddingsTest, EvaluatesCrossPredicates) {
   auto ctx = Ctx();
@@ -358,27 +486,6 @@ TEST(SelectEmbeddingsTest, EvaluatesCrossPredicates) {
   EXPECT_EQ(result.data.Collect().size(), 1u);
 }
 
-TEST(ProjectEmbeddingsTest, DropsUnlistedProperties) {
-  auto ctx = Ctx();
-  EmbeddingMetaData meta;
-  meta.AddIdColumn("a", EntryType::kVertex);
-  meta.AddPropertyColumn("a", "keep");
-  meta.AddPropertyColumn("a", "drop");
-  Embedding e;
-  e.AppendId(1);
-  e.AppendProperty(PropertyValue("kept"));
-  e.AppendProperty(PropertyValue("dropped"));
-  EmbeddingSet input{dataflow::Dataset<Embedding>::FromVector(ctx, {e}), meta};
-  auto result = ProjectEmbeddings(input, {{"a", "keep"}});
-  auto rows = result.data.Collect();
-  ASSERT_EQ(rows.size(), 1u);
-  EXPECT_EQ(rows[0].NumProperties(), 1);
-  EXPECT_EQ(result.meta.PropertyColumn("a", "keep"), 0);
-  EXPECT_EQ(result.meta.PropertyColumn("a", "drop"), -1);
-  EXPECT_EQ(rows[0].PropertyAt(0), PropertyValue("kept"));
-  EXPECT_EQ(rows[0].IdAt(result.meta.IdColumn("a")), 1u);
-}
-
 // --- expand -------------------------------------------------------------------
 
 struct ExpandFixture {
@@ -399,8 +506,7 @@ struct ExpandFixture {
 
 TEST(ExpandEmbeddingsTest, ForwardBounds) {
   ExpandFixture fx;
-  auto result =
-      ExpandEmbeddings(fx.InputAt(1), fx.edges, "a", "p", "b", 1, 2,
+  auto result = Expand(fx.InputAt(1), fx.edges, "a", "p", "b", 1, 2,
                        /*reverse=*/false, MorphismSetting::Neo4j());
   // 1 hop: 1->2. 2 hops: 1->2->3.
   auto rows = result.data.Collect();
@@ -414,8 +520,7 @@ TEST(ExpandEmbeddingsTest, ForwardBounds) {
 
 TEST(ExpandEmbeddingsTest, PathColumnHoldsVia) {
   ExpandFixture fx;
-  auto result =
-      ExpandEmbeddings(fx.InputAt(1), fx.edges, "a", "p", "b", 2, 2, false,
+  auto result = Expand(fx.InputAt(1), fx.edges, "a", "p", "b", 2, 2, false,
                        MorphismSetting::Neo4j());
   auto rows = result.data.Collect();
   ASSERT_EQ(rows.size(), 1u);
@@ -427,8 +532,7 @@ TEST(ExpandEmbeddingsTest, PathColumnHoldsVia) {
 
 TEST(ExpandEmbeddingsTest, ZeroLowerBoundEmitsEmptyPath) {
   ExpandFixture fx;
-  auto result =
-      ExpandEmbeddings(fx.InputAt(1), fx.edges, "a", "p", "b", 0, 1, false,
+  auto result = Expand(fx.InputAt(1), fx.edges, "a", "p", "b", 0, 1, false,
                        MorphismSetting::Neo4j());
   auto rows = result.data.Collect();
   ASSERT_EQ(rows.size(), 2u);  // empty path (b=1) and 1-hop (b=2)
@@ -446,8 +550,7 @@ TEST(ExpandEmbeddingsTest, ZeroLowerBoundEmitsEmptyPath) {
 
 TEST(ExpandEmbeddingsTest, ZeroHopRejectedUnderVertexIsomorphism) {
   ExpandFixture fx;
-  auto result =
-      ExpandEmbeddings(fx.InputAt(1), fx.edges, "a", "p", "b", 0, 0, false,
+  auto result = Expand(fx.InputAt(1), fx.edges, "a", "p", "b", 0, 0, false,
                        MorphismSetting::FullIsomorphism());
   // b would bind the same vertex as a: vertex isomorphism forbids it.
   EXPECT_EQ(result.data.Collect().size(), 0u);
@@ -455,8 +558,7 @@ TEST(ExpandEmbeddingsTest, ZeroHopRejectedUnderVertexIsomorphism) {
 
 TEST(ExpandEmbeddingsTest, ReverseExpansion) {
   ExpandFixture fx;
-  auto result =
-      ExpandEmbeddings(fx.InputAt(3), fx.edges, "a", "p", "b", 1, 2,
+  auto result = Expand(fx.InputAt(3), fx.edges, "a", "p", "b", 1, 2,
                        /*reverse=*/true, MorphismSetting::Neo4j());
   // Against direction from 3: 2->3 (b=2), 1->2->3 (b=1).
   auto rows = result.data.Collect();
@@ -482,8 +584,8 @@ TEST(ExpandEmbeddingsTest, BoundEndClosesCycle) {
   e.AppendId(3);
   EmbeddingSet input{dataflow::Dataset<Embedding>::FromVector(fx.ctx, {e}),
                      meta};
-  auto result = ExpandEmbeddings(input, fx.edges, "a", "p", "b", 1, 3, false,
-                                 MorphismSetting::Neo4j());
+  auto result = Expand(input, fx.edges, "a", "p", "b", 1, 3, false,
+                       MorphismSetting::Neo4j());
   auto rows = result.data.Collect();
   ASSERT_EQ(rows.size(), 1u);  // 1->2->3 only
   EXPECT_EQ(rows[0].PathAt(result.meta.IdColumn("p")),
@@ -503,12 +605,12 @@ TEST(ExpandEmbeddingsTest, EdgeIsomorphismPreventsEdgeReuseInPath) {
   e.AppendId(1);
   EmbeddingSet input{dataflow::Dataset<Embedding>::FromVector(ctx, {e}),
                      meta};
-  auto iso = ExpandEmbeddings(input, edges, "a", "p", "b", 1, 4, false,
-                              MorphismSetting::Neo4j());
+  auto iso = Expand(input, edges, "a", "p", "b", 1, 4, false,
+                    MorphismSetting::Neo4j());
   // Walks: 1->2, 1->2->1 — then edge 100 would repeat. 2 results.
   EXPECT_EQ(iso.data.Collect().size(), 2u);
-  auto homo = ExpandEmbeddings(input, edges, "a", "p", "b", 1, 4, false,
-                               MorphismSetting::FullHomomorphism());
+  auto homo = Expand(input, edges, "a", "p", "b", 1, 4, false,
+                     MorphismSetting::FullHomomorphism());
   // Edge homomorphism: walks of length 1..4 alternating freely = 4.
   EXPECT_EQ(homo.data.Collect().size(), 4u);
 }
@@ -517,8 +619,8 @@ TEST(ExpandEmbeddingsTest, VertexIsomorphismPreventsRevisit) {
   ExpandFixture fx;
   // Cycle 1->2->3->1 via edge 103; under vertex iso, 3 hops ending back
   // at 1 must be rejected (unless the end is bound to 1 itself).
-  auto iso = ExpandEmbeddings(fx.InputAt(1), fx.edges, "a", "p", "b", 3, 3,
-                              false, MorphismSetting::FullIsomorphism());
+  auto iso = Expand(fx.InputAt(1), fx.edges, "a", "p", "b", 3, 3, false,
+                    MorphismSetting::FullIsomorphism());
   // 1->2->3->4 is the only 3-hop survivor (1->2->3->1 revisits start).
   auto rows = iso.data.Collect();
   ASSERT_EQ(rows.size(), 1u);
