@@ -18,7 +18,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/build_info.h"
 #include "common/timer.h"
+#include "dataflow/cluster_config.h"
 #include "ldbc/ldbc_generator.h"
 #include "ldbc/queries.h"
 #include "query/cypher_engine.h"
@@ -48,11 +50,23 @@ struct RunResult {
 // Machine-readable counterpart of each benchmark's console table.
 // Collects one record per measurement and writes BENCH_<name>.json into
 // the working directory (override the directory with
-// GRADOOP_BENCH_JSON_DIR) when flushed or destroyed, e.g.
+// GRADOOP_BENCH_JSON_DIR) when flushed or destroyed. Schema (see
+// docs/observability.md, "BENCH_*.json"):
 //
-//   {"bench": "selectivity",
+//   {"bench": "selectivity",                    benchmark name
+//    "git_sha": "cfb7e2b",                      commit (configure-time)
+//    "build_type": "RelWithDebInfo",
+//    "cluster": {"workers": 4,                  last simulated cluster
+//                "worker_memory_bytes": 4194304,
+//                "network_bytes_per_sec": 25000000.0,
+//                "seconds_per_record": 0.00005},
 //    "records": [{"params": {"query": "...", "workers": "4"},
-//                 "matches": 35, "wall_ms": 1.201, ...}]}
+//                 "matches": 35, "wall_ms": 1.201,
+//                 "simulated_sec": 0.84, "network_bytes": 10284,
+//                 "spilled_bytes": 0, "records": 1234}]}
+//
+// "cluster" is absent until set_cluster is called; per-record worker
+// counts live in each record's params (benchmarks sweep them).
 class JsonReporter {
  public:
   explicit JsonReporter(std::string name) : name_(std::move(name)) {}
@@ -68,6 +82,13 @@ class JsonReporter {
     entries_.emplace_back(std::move(params), result);
   }
 
+  // Simulated-cluster shape stamped into the artifact header (the last
+  // call before Flush wins; BenchHarness calls this per engine build).
+  void set_cluster(const dataflow::ClusterConfig& cluster) {
+    cluster_ = cluster;
+    has_cluster_ = true;
+  }
+
   void Flush() {
     if (entries_.empty()) return;
     std::string dir = ".";
@@ -79,7 +100,21 @@ class JsonReporter {
                    path.c_str());
       return;
     }
-    out << "{\"bench\": \"" << Escape(name_) << "\", \"records\": [";
+    out << "{\"bench\": \"" << Escape(name_) << "\", \"git_sha\": \""
+        << Escape(kBuildGitSha) << "\", \"build_type\": \""
+        << Escape(kBuildType) << "\", ";
+    if (has_cluster_) {
+      char rate[32], per_record[32];
+      std::snprintf(rate, sizeof(rate), "%.1f",
+                    cluster_.network_bytes_per_sec);
+      std::snprintf(per_record, sizeof(per_record), "%.8f",
+                    cluster_.seconds_per_record);
+      out << "\"cluster\": {\"workers\": " << cluster_.num_workers
+          << ", \"worker_memory_bytes\": " << cluster_.worker_memory_bytes
+          << ", \"network_bytes_per_sec\": " << rate
+          << ", \"seconds_per_record\": " << per_record << "}, ";
+    }
+    out << "\"records\": [";
     bool first_entry = true;
     for (const auto& [params, r] : entries_) {
       out << (first_entry ? "\n" : ",\n") << "  {\"params\": {";
@@ -124,6 +159,8 @@ class JsonReporter {
   std::string name_;
   std::vector<std::pair<std::map<std::string, std::string>, RunResult>>
       entries_;
+  dataflow::ClusterConfig cluster_;
+  bool has_cluster_ = false;
 };
 
 // Engine cache for the current (scale factor, worker count). Only ONE
@@ -143,6 +180,7 @@ class BenchHarness {
       engine_.reset();  // free the previous engine before building anew
       dataflow::ClusterConfig cluster;
       cluster.num_workers = workers;
+      if (reporter_ != nullptr) reporter_->set_cluster(cluster);
       auto ctx = dataflow::MakeContext(cluster);
       const ldbc::LdbcElements& elements = Elements(sf);
       epgm::GraphHead head(0, "SocialNetwork");

@@ -1,0 +1,94 @@
+// Pins the cost of the telemetry surface. Disabled telemetry (the
+// default) must be free: every instrumentation site then reduces to one
+// relaxed atomic load, so the disabled-vs-enabled comparison isolates
+// exactly what a profiling run pays (clock reads, span/metric appends
+// under per-thread shard locks) — and the "off" row is the
+// zero-overhead contract reviewers watch.
+//
+// Output: median wall ms over `iters` runs of LDBC Q1 per mode, plus
+// the on/off ratio, mirrored into BENCH_telemetry_overhead.json (one
+// record per mode, params: mode, sf, workers, query; wall_ms is the
+// median, the remaining fields come from the median run's tracker).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using gradoop::bench::BenchHarness;
+using gradoop::bench::JsonReporter;
+using gradoop::bench::RunResult;
+
+double MedianWallMs(std::vector<double> wall_ms) {
+  std::sort(wall_ms.begin(), wall_ms.end());
+  return wall_ms[wall_ms.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kIters = 15;
+  constexpr int kWarmup = 3;
+  const double sf = gradoop::bench::MiniSf10();
+  const int workers = 4;
+
+  JsonReporter reporter("telemetry_overhead");
+  BenchHarness harness;
+  const std::string query = gradoop::ldbc::Query1(
+      harness.FirstName(sf, gradoop::ldbc::Selectivity::kMedium));
+
+  // One engine serves both modes; the mode toggle is exactly the switch
+  // a user flips, so the comparison isolates the instrumentation.
+  gradoop::query::CypherEngine& engine = harness.Engine(sf, workers);
+  auto ctx = engine.graph().context();
+  {
+    gradoop::dataflow::ClusterConfig cluster;
+    cluster.num_workers = workers;
+    reporter.set_cluster(cluster);
+  }
+
+  char sf_text[32];
+  std::snprintf(sf_text, sizeof(sf_text), "%.2f", sf);
+
+  std::printf("telemetry overhead, LDBC Q1, sf %.2f, %d workers, %d iters\n",
+              sf, workers, kIters);
+  std::printf("%-10s %12s %10s\n", "telemetry", "median [ms]", "spans");
+
+  double median_off = 0.0;
+  double median_on = 0.0;
+  for (const bool enabled : {false, true}) {
+    if (enabled) {
+      ctx->EnableTelemetry();
+    } else {
+      ctx->DisableTelemetry();
+    }
+    std::vector<double> wall_ms;
+    RunResult last;
+    size_t spans = 0;
+    for (int i = 0; i < kWarmup + kIters; ++i) {
+      ctx->telemetry().ResetData();
+      last = harness.Run(sf, workers, query);
+      if (i >= kWarmup) wall_ms.push_back(last.wall_sec * 1e3);
+      spans = ctx->telemetry().tracer().NumSpans();
+    }
+    const double median = MedianWallMs(std::move(wall_ms));
+    (enabled ? median_on : median_off) = median;
+    last.wall_sec = median / 1e3;
+    reporter.Record({{"mode", enabled ? "on" : "off"},
+                     {"sf", sf_text},
+                     {"workers", std::to_string(workers)},
+                     {"query", query}},
+                    last);
+    std::printf("%-10s %12.3f %10zu\n", enabled ? "on" : "off", median,
+                spans);
+  }
+  ctx->DisableTelemetry();
+
+  std::printf("on/off ratio: %.3f (off is the default and must stay at "
+              "the no-telemetry baseline)\n",
+              median_off > 0.0 ? median_on / median_off : 0.0);
+  return 0;
+}

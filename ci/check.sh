@@ -18,9 +18,9 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 ONLY="${1:-all}"
 
 case "${ONLY}" in
-  all|plain|asan|tsan|tidy|lint|explain) ;;
+  all|plain|asan|tsan|tidy|lint|explain|profile) ;;
   *)
-    echo "usage: ci/check.sh [all|plain|asan|tsan|tidy|lint|explain]" >&2
+    echo "usage: ci/check.sh [all|plain|asan|tsan|tidy|lint|explain|profile]" >&2
     echo "unknown tree '${ONLY}'" >&2
     exit 2
     ;;
@@ -85,6 +85,38 @@ if [[ "${ONLY}" == "all" || "${ONLY}" == "explain" ]]; then
   fi
   "${OUT}/plain/tools/cypher_explain" --ldbc \
     "${ROOT}"/examples/queries/*.cypher >/dev/null
+  # Exit-code contract: an uncompilable query must fail the tool (and
+  # its diagnostic must land on stderr, since stdout is discarded here).
+  if "${OUT}/plain/tools/cypher_explain" -q "MATCH (a RETURN" >/dev/null 2>&1
+  then
+    echo "cypher_explain: expected non-zero exit for a broken query" >&2
+    exit 1
+  fi
+fi
+
+# Telemetry stage: profile two LDBC queries with the engine's tracing
+# enabled and check both emitted artifacts. cypher_profile already
+# schema-validates its own output (well-formed JSON, non-empty spans,
+# monotonic timestamps) and exits non-zero on any violation; the stage
+# additionally asserts the files actually landed on disk non-empty.
+if [[ "${ONLY}" == "all" || "${ONLY}" == "profile" ]]; then
+  echo "=== [profile] cypher_profile over LDBC Q1 + Q4 ==="
+  if [[ ! -x "${OUT}/plain/tools/cypher_profile" ]]; then
+    cmake -B "${OUT}/plain" -S "${ROOT}" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGRADOOP_WERROR=ON >/dev/null
+    cmake --build "${OUT}/plain" -j "${JOBS}" --target cypher_profile
+  fi
+  PROFILE_DIR="${OUT}/profile-artifacts"
+  mkdir -p "${PROFILE_DIR}"
+  "${OUT}/plain/tools/cypher_profile" --ldbc-q 1 --ldbc-q 4 \
+    --out "${PROFILE_DIR}"
+  for artifact in TRACE_ldbc_Q1 PROFILE_ldbc_Q1 TRACE_ldbc_Q4 \
+                  PROFILE_ldbc_Q4; do
+    if [[ ! -s "${PROFILE_DIR}/${artifact}.json" ]]; then
+      echo "cypher_profile: missing or empty ${artifact}.json" >&2
+      exit 1
+    fi
+  done
 fi
 
 # Optional lint stage: the sanitizer gates above are mandatory, clang-tidy

@@ -112,7 +112,7 @@ class Dataset {
     auto out = std::make_shared<typename Dataset<U>::Partitions>(
         num_partitions());
     std::vector<uint64_t> in_counts(num_partitions(), 0);
-    RunPerPartition([&](int p) {
+    RunPerPartition(label, [&](int p) {
       const auto& src = (*partitions_)[p];
       auto& dst = (*out)[p];
       dst.reserve(src.size());
@@ -132,7 +132,7 @@ class Dataset {
         num_partitions());
     std::vector<uint64_t> in_counts(num_partitions(), 0);
     std::vector<uint64_t> out_counts(num_partitions(), 0);
-    RunPerPartition([&](int p) {
+    RunPerPartition(label, [&](int p) {
       const auto& src = (*partitions_)[p];
       auto& dst = (*out)[p];
       for (const T& rec : src) fn(rec, &dst);
@@ -152,7 +152,7 @@ class Dataset {
         num_partitions());
     std::vector<uint64_t> in_counts(num_partitions(), 0);
     std::vector<uint64_t> out_counts(num_partitions(), 0);
-    RunPerPartition([&](int p) {
+    RunPerPartition(label, [&](int p) {
       const auto& src = (*partitions_)[p];
       fn(p, src, &(*out)[p]);
       in_counts[p] = src.size();
@@ -168,7 +168,7 @@ class Dataset {
     auto out = std::make_shared<Partitions>(num_partitions());
     std::vector<uint64_t> in_counts(num_partitions(), 0);
     std::vector<uint64_t> out_counts(num_partitions(), 0);
-    RunPerPartition([&](int p) {
+    RunPerPartition(label, [&](int p) {
       const auto& src = (*partitions_)[p];
       auto& dst = (*out)[p];
       for (const T& rec : src) {
@@ -213,7 +213,7 @@ class Dataset {
     auto out = std::make_shared<Partitions>(num_partitions());
     std::vector<uint64_t> in_counts(num_partitions(), 0);
     std::vector<uint64_t> out_counts(num_partitions(), 0);
-    RunPerPartition([&](int p) {
+    RunPerPartition("DistinctLocal", [&](int p) {
       const auto& src = shuffled.partition(p);
       auto& dst = (*out)[p];
       std::unordered_map<K, bool> seen;
@@ -242,7 +242,7 @@ class Dataset {
         std::make_shared<typename Dataset<OutT>::Partitions>(num_partitions());
     std::vector<uint64_t> in_counts(num_partitions(), 0);
     std::vector<uint64_t> out_counts(num_partitions(), 0);
-    RunPerPartition([&](int p) {
+    RunPerPartition("ReduceLocal", [&](int p) {
       const auto& src = shuffled.partition(p);
       std::unordered_map<K, A> groups;
       for (const T& rec : src) {
@@ -294,6 +294,9 @@ class Dataset {
       ShuffleIntoOther(key_right, right, &right_parts, label);
     } else {
       left_parts = *partitions_;  // stays in place
+      const bool traced = ctx_->telemetry().enabled();
+      const double span_begin_us =
+          traced ? ctx_->telemetry().tracer().NowMicros() : 0.0;
       // Broadcast: every worker receives the full right side.
       std::vector<U> all_right;
       for (int i = 0; i < p; ++i) {
@@ -324,6 +327,15 @@ class Dataset {
       uint64_t moved = 0;
       for (uint64_t b : out_bytes) moved += b;
       ctx_->tracker().AddNetworkBytes(moved);
+      if (traced) {
+        telemetry::Telemetry& tel = ctx_->telemetry();
+        tel.tracer().AddSpan(bc.label, telemetry::kCategoryStage,
+                             span_begin_us, tel.tracer().NowMicros(),
+                             /*worker=*/-1,
+                             {{"bytes", static_cast<double>(moved)}});
+        tel.metrics().AddCounter("shuffle.count", 1);
+        tel.metrics().AddCounter("shuffle.bytes", moved);
+      }
     }
 
     // Phase 2: per-worker build + probe.
@@ -331,7 +343,8 @@ class Dataset {
     std::vector<uint64_t> out_counts(p, 0);
     std::vector<uint64_t> state_bytes(p, 0);
     std::vector<uint64_t> state_records(p, 0);
-    RunPerPartition([&](int part) {
+    const std::string build_probe_label = std::string(label) + "/BuildProbe";
+    RunPerPartition(build_probe_label.c_str(), [&](int part) {
       const auto& lsrc = left_parts[part];
       const auto& rsrc = right_parts[part];
       std::unordered_multimap<K, const U*> table;
@@ -371,6 +384,15 @@ class Dataset {
     ctx_->tracker().AddStage(cost);
     ctx_->tracker().AddRecords(total_in + total_out);
     ctx_->tracker().AddSpilledBytes(spilled);
+    if (ctx_->telemetry().enabled()) {
+      auto& metrics = ctx_->telemetry().metrics();
+      metrics.AddCounter("stage.count", 1);
+      metrics.AddCounter("stage.records_in", total_in);
+      if (spilled > 0) metrics.AddCounter("spill.bytes", spilled);
+      for (const uint64_t n : work) {
+        metrics.Observe("stage.partition_records", static_cast<double>(n));
+      }
+    }
     return Dataset<Out>(ctx_, std::move(out));
   }
 
@@ -384,9 +406,12 @@ class Dataset {
     return n;
   }
 
-  // Runs fn(p) for each partition index on the host pool.
-  void RunPerPartition(const std::function<void(int)>& fn) const {
-    ctx_->pool().RunAndWait(num_partitions(), fn);
+  // Runs fn(p) for each partition index on the host pool. The label only
+  // feeds the telemetry task hook; with telemetry disabled no hook is
+  // installed and the label is never read.
+  void RunPerPartition(const char* label,
+                       const std::function<void(int)>& fn) const {
+    ctx_->pool().RunAndWait(num_partitions(), fn, label);
   }
 
   // Charges a narrow stage where every worker processed `per worker` share
@@ -403,6 +428,11 @@ class Dataset {
     cost.latency_sec = cfg.stage_latency_sec;
     ctx_->tracker().AddStage(cost);
     ctx_->tracker().AddRecords(in_records);
+    if (ctx_->telemetry().enabled()) {
+      auto& metrics = ctx_->telemetry().metrics();
+      metrics.AddCounter("stage.count", 1);
+      metrics.AddCounter("stage.records_in", in_records);
+    }
   }
 
   // Charges a narrow stage with known per-partition record counts
@@ -424,6 +454,17 @@ class Dataset {
     cost.latency_sec = cfg.stage_latency_sec;
     ctx_->tracker().AddStage(cost);
     ctx_->tracker().AddRecords(total);
+    if (ctx_->telemetry().enabled()) {
+      auto& metrics = ctx_->telemetry().metrics();
+      metrics.AddCounter("stage.count", 1);
+      metrics.AddCounter("stage.records_in", total);
+      // Per-partition input sizes: the skew distribution behind ragged
+      // same-stage task spans.
+      for (const uint64_t n : in_counts) {
+        metrics.Observe("stage.partition_records",
+                        static_cast<double>(n));
+      }
+    }
   }
 
   // Hash-shuffles `src` partitions into `dst` partitions by key, charging
@@ -432,6 +473,9 @@ class Dataset {
   void ShuffleInto(KeyFn key, const std::vector<std::vector<Rec>>& src,
                    std::vector<std::vector<Rec>>* dst,
                    const char* label) const {
+    const bool traced = ctx_->telemetry().enabled();
+    const double span_begin_us =
+        traced ? ctx_->telemetry().tracer().NowMicros() : 0.0;
     const int p = num_partitions();
     dst->assign(p, {});
     std::vector<uint64_t> out_bytes(p, 0), in_bytes(p, 0);
@@ -468,6 +512,16 @@ class Dataset {
     uint64_t total = 0;
     for (uint64_t n : in_counts) total += n;
     ctx_->tracker().AddRecords(total);
+    if (traced) {
+      telemetry::Telemetry& tel = ctx_->telemetry();
+      tel.tracer().AddSpan(
+          cost.label, telemetry::kCategoryStage, span_begin_us,
+          tel.tracer().NowMicros(), /*worker=*/-1,
+          {{"bytes", static_cast<double>(moved)},
+           {"records", static_cast<double>(total)}});
+      tel.metrics().AddCounter("shuffle.count", 1);
+      tel.metrics().AddCounter("shuffle.bytes", moved);
+    }
   }
 
   // Same as ShuffleInto but reads from another dataset's partitions.

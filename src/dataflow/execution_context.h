@@ -2,10 +2,12 @@
 #define GRADOOP_DATAFLOW_EXECUTION_CONTEXT_H_
 
 #include <memory>
+#include <string>
 
 #include "dataflow/cluster_config.h"
 #include "dataflow/cost_model.h"
 #include "dataflow/thread_pool.h"
+#include "telemetry/tracer.h"
 
 namespace gradoop::dataflow {
 
@@ -13,6 +15,11 @@ namespace gradoop::dataflow {
 // the host thread pool that actually executes partitions, and the cost
 // tracker accumulating simulated distributed time. All datasets of a job
 // share one context (analogous to Flink's ExecutionEnvironment).
+//
+// The context also owns the telemetry surface (metrics registry + span
+// tracer), default-off: with telemetry disabled every instrumentation
+// site in the engine is a single relaxed bool load and the runtime does
+// no clock reads, locking or allocation on behalf of observability.
 class ExecutionContext {
  public:
   explicit ExecutionContext(ClusterConfig config = ClusterConfig())
@@ -27,10 +34,38 @@ class ExecutionContext {
   const CostTracker& tracker() const { return tracker_; }
   ThreadPool& pool() { return pool_; }
 
+  telemetry::Telemetry& telemetry() { return telemetry_; }
+  const telemetry::Telemetry& telemetry() const { return telemetry_; }
+
+  // Turns on metrics + tracing and hooks the thread pool so every
+  // labelled partition task becomes a "task" span (worker id = partition
+  // index, thread id = host thread). Not thread-safe against concurrent
+  // dataset execution — enable before running a query.
+  void EnableTelemetry() {
+    telemetry_.Enable();
+    pool_.set_task_hook([this](const ThreadPool::TaskTiming& timing) {
+      if (!telemetry_.enabled()) return;
+      telemetry::Tracer& tracer = telemetry_.tracer();
+      const double begin_us = tracer.ToMicros(timing.begin);
+      const double end_us = tracer.ToMicros(timing.end);
+      tracer.AddSpan(timing.label != nullptr ? timing.label : "task",
+                     telemetry::kCategoryTask, begin_us, end_us,
+                     timing.task_index);
+      telemetry_.metrics().Observe("task.wall_us", end_us - begin_us);
+      telemetry_.metrics().AddCounter("task.count", 1);
+    });
+  }
+
+  void DisableTelemetry() {
+    telemetry_.Disable();
+    pool_.set_task_hook(nullptr);
+  }
+
  private:
   ClusterConfig config_;
   CostTracker tracker_;
   ThreadPool pool_;
+  telemetry::Telemetry telemetry_;
 };
 
 using ExecutionContextPtr = std::shared_ptr<ExecutionContext>;

@@ -26,17 +26,43 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : threads_) t.join();
 }
 
-void ThreadPool::RunAndWait(int n, const std::function<void(int)>& task) {
+void ThreadPool::set_task_hook(TaskHook hook) {
+  MutexLock lock(mu_);
+  task_hook_ = std::move(hook);
+}
+
+void ThreadPool::RunAndWait(int n, const std::function<void(int)>& task,
+                            const char* label) {
   if (n <= 0) return;
+  // Snapshot the hook once per batch; tasks reference this copy, which
+  // outlives them (RunAndWait blocks until the batch drains).
+  TaskHook hook;
+  if (label != nullptr) {
+    MutexLock lock(mu_);
+    hook = task_hook_;
+  }
+  const auto invoke = [&task, &hook, label](int i) {
+    if (hook) {
+      TaskTiming timing;
+      timing.label = label;
+      timing.task_index = i;
+      timing.begin = std::chrono::steady_clock::now();
+      task(i);
+      timing.end = std::chrono::steady_clock::now();
+      hook(timing);
+    } else {
+      task(i);
+    }
+  };
   if (n == 1) {
-    task(0);
+    invoke(0);
     return;
   }
   {
     MutexLock lock(mu_);
     pending_ += n;
     for (int i = 0; i < n; ++i) {
-      queue_.push([&task, i] { task(i); });
+      queue_.push([&invoke, i] { invoke(i); });
     }
   }
   work_ready_.notify_all();

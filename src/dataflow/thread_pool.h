@@ -1,6 +1,7 @@
 #ifndef GRADOOP_DATAFLOW_THREAD_POOL_H_
 #define GRADOOP_DATAFLOW_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <queue>
@@ -16,6 +17,19 @@ namespace gradoop::dataflow {
 // simulated cluster time never depends on it.
 class ThreadPool {
  public:
+  // Timing of one completed pool task, handed to the task hook. The task
+  // index is the partition index of the batch, i.e. the simulated worker
+  // that owns the partition.
+  struct TaskTiming {
+    const char* label = nullptr;  // stage label of the batch
+    int task_index = 0;
+    std::chrono::steady_clock::time_point begin;
+    std::chrono::steady_clock::time_point end;
+  };
+  // Invoked after each task of a labelled batch finishes, on the thread
+  // that ran the task. Must be cheap and thread-safe.
+  using TaskHook = std::function<void(const TaskTiming&)>;
+
   // num_threads == 0 selects std::thread::hardware_concurrency().
   explicit ThreadPool(int num_threads);
   ~ThreadPool();
@@ -25,9 +39,18 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
 
+  // Installs (or, with nullptr, removes) the per-task tracing hook. Not
+  // called concurrently with RunAndWait; each batch snapshots the hook
+  // once at submission.
+  void set_task_hook(TaskHook hook);
+
   // Runs tasks(0..n-1) on the pool and blocks until all complete. Tasks
-  // must not themselves call RunAndWait on the same pool.
-  void RunAndWait(int n, const std::function<void(int)>& task);
+  // must not themselves call RunAndWait on the same pool. When `label`
+  // is non-null and a task hook is installed, every task is timed and
+  // reported to the hook (the telemetry path); a null label keeps the
+  // task untraced.
+  void RunAndWait(int n, const std::function<void(int)>& task,
+                  const char* label = nullptr);
 
  private:
   void WorkerLoop();
@@ -41,6 +64,7 @@ class ThreadPool {
   std::queue<std::function<void()>> queue_ GUARDED_BY(mu_);
   int pending_ GUARDED_BY(mu_) = 0;
   bool shutdown_ GUARDED_BY(mu_) = false;
+  TaskHook task_hook_ GUARDED_BY(mu_);
 };
 
 }  // namespace gradoop::dataflow

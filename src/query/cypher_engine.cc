@@ -4,6 +4,7 @@
 
 #include "analysis/analyzer.h"
 #include "analysis/plan_verifier.h"
+#include "common/timer.h"
 #include "cypher/parser.h"
 #include "query/exec/plan_compiler.h"
 
@@ -36,8 +37,28 @@ CypherEngine::CypherEngine(epgm::LogicalGraph graph,
 
 Result<CypherMatchResult> CypherEngine::Execute(
     const std::string& query, const MorphismSetting& semantics) {
+  telemetry::Telemetry& tel = graph_.vertices().context()->telemetry();
+  const bool traced = tel.enabled();
+  std::vector<telemetry::PhaseProfile> phases;
+  Timer total_timer;
+  Timer phase_timer;
+  double phase_begin_us = traced ? tel.tracer().NowMicros() : 0.0;
+  // Closes the current phase: records its wall time and, when tracing,
+  // emits a driver-row "query" span covering it.
+  auto end_phase = [&](const char* name) {
+    phases.push_back({name, phase_timer.ElapsedSeconds()});
+    if (traced) {
+      const double now_us = tel.tracer().NowMicros();
+      tel.tracer().AddSpan(name, telemetry::kCategoryQuery, phase_begin_us,
+                           now_us, /*worker=*/-1);
+      phase_begin_us = now_us;
+    }
+    phase_timer.Restart();
+  };
+
   GRADOOP_ASSIGN_OR_RETURN(cypher::CypherQuery ast,
                            cypher::ParseCypher(query));
+  end_phase("parse");
   // Semantic analysis gate: scope/kind/bound errors reject the query with
   // located diagnostics; the surviving AST carries the constant-folded
   // WHERE, and statically unsatisfiable queries skip planning entirely.
@@ -50,13 +71,17 @@ Result<CypherMatchResult> CypherEngine::Execute(
   ast.where = sema.folded_where;
   GRADOOP_ASSIGN_OR_RETURN(cypher::QueryGraph qg,
                            cypher::QueryGraph::Build(ast));
+  end_phase("analyze");
   if (sema.unsatisfiable || qg.unsatisfiable()) {
     // Statically empty match set (contradictory labels or predicates): no
     // plan is built, compiled or executed.
-    CypherMatchResult result{std::move(qg), nullptr, nullptr,
-                             {dfl::Dataset<Embedding>::Empty(
-                                  graph_.vertices().context()),
-                              EmbeddingMetaData()}};
+    CypherMatchResult result;
+    result.query_graph = std::move(qg);
+    result.embeddings = {
+        dfl::Dataset<Embedding>::Empty(graph_.vertices().context()),
+        EmbeddingMetaData()};
+    result.phases = std::move(phases);
+    result.total_wall_sec = total_timer.ElapsedSeconds();
     return result;
   }
   GRADOOP_ASSIGN_OR_RETURN(PlanNodePtr plan,
@@ -65,6 +90,7 @@ Result<CypherMatchResult> CypherEngine::Execute(
   // predicate type checking in debug builds. A failure here is a planner
   // bug, not a user error.
   GRADOOP_RETURN_IF_ERROR(analysis::VerifyPlan(qg, plan));
+  end_phase("plan");
   // Lower to physical operators: the compiler resolves every column
   // layout, join key and property slot once; the second gate asserts the
   // compiled layouts are mutually consistent before anything runs.
@@ -73,6 +99,7 @@ Result<CypherMatchResult> CypherEngine::Execute(
   GRADOOP_ASSIGN_OR_RETURN(exec::PhysicalOperatorPtr physical,
                            compiler.Compile(plan));
   GRADOOP_RETURN_IF_ERROR(analysis::VerifyCompiledPlan(qg, *physical));
+  end_phase("compile");
   ScanCache scan_cache;
   exec::ExecEnv env{&indexed_, planner_options_.share_scan_results
                                    ? &scan_cache
@@ -81,8 +108,14 @@ Result<CypherMatchResult> CypherEngine::Execute(
   GRADOOP_ASSIGN_OR_RETURN(EmbeddingSet embeddings, physical->Execute(env));
   if (qg.return_distinct()) embeddings = ApplyDistinct(embeddings, qg);
   if (qg.limit() >= 0) embeddings = ApplyLimit(embeddings, qg.limit());
-  CypherMatchResult result{std::move(qg), std::move(plan),
-                           std::move(physical), std::move(embeddings)};
+  end_phase("execute");
+  CypherMatchResult result;
+  result.query_graph = std::move(qg);
+  result.plan = std::move(plan);
+  result.physical = std::move(physical);
+  result.embeddings = std::move(embeddings);
+  result.phases = std::move(phases);
+  result.total_wall_sec = total_timer.ElapsedSeconds();
   return result;
 }
 

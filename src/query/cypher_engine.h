@@ -13,6 +13,7 @@
 #include "query/operators.h"
 #include "query/plan.h"
 #include "query/planner.h"
+#include "telemetry/query_profile.h"
 
 namespace gradoop::query {
 
@@ -26,6 +27,12 @@ struct CypherMatchResult {
   // query was statically unsatisfiable and nothing was compiled.
   exec::PhysicalOperatorPtr physical;
   EmbeddingSet embeddings;
+  // Wall time per engine phase (parse, analyze, plan, compile, execute)
+  // and of the whole call; always recorded (the cost is a handful of
+  // clock reads). With telemetry enabled each phase is also a "query"
+  // span in the trace.
+  std::vector<telemetry::PhaseProfile> phases;
+  double total_wall_sec = 0.0;
 };
 
 // The Cypher pattern-matching operator of the EPGM (§3). Owns the indexed

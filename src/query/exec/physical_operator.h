@@ -32,7 +32,13 @@ namespace exec {
 struct OperatorStats {
   bool executed = false;
   uint64_t actual_rows = 0;     // output cardinality
-  double wall_sec = 0.0;        // wall time of this operator's kernel
+  // Wall time of this operator's own kernel (Run + stats collection),
+  // excluding the children's Execute calls...
+  double self_wall_sec = 0.0;
+  // ...versus the cumulative time of the whole subtree rooted here. The
+  // two are reported side by side so a parent is never misread as slow
+  // when the time was really spent below it.
+  double total_wall_sec = 0.0;
   uint64_t network_bytes = 0;   // shuffle bytes charged while it ran
   uint64_t spilled_bytes = 0;   // spill bytes charged while it ran
   uint64_t output_bytes = 0;    // serialized size of the output embeddings

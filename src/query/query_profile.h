@@ -1,0 +1,29 @@
+#ifndef GRADOOP_QUERY_QUERY_PROFILE_H_
+#define GRADOOP_QUERY_QUERY_PROFILE_H_
+
+#include <string>
+
+#include "dataflow/execution_context.h"
+#include "query/cypher_engine.h"
+#include "telemetry/query_profile.h"
+
+namespace gradoop::query {
+
+// Assembles the structured telemetry::QueryProfile for one executed
+// query: engine phases and the pre-order operator walk come from the
+// CypherMatchResult, worker busy times from the context's "task" spans,
+// cluster totals from its CostTracker and the counter/histogram state
+// from its MetricsRegistry. The per-operator `actual_rows` are copied
+// verbatim from OperatorStats, so they match EXPLAIN ANALYZE's rows=
+// figures for the same run exactly.
+//
+// Call after CypherEngine::Execute, before resetting the tracker or the
+// telemetry data. Works with telemetry disabled too — the trace-derived
+// sections (workers, metrics) are then just empty.
+telemetry::QueryProfile BuildQueryProfile(
+    const std::string& name, const std::string& query,
+    const CypherMatchResult& result, const dataflow::ExecutionContext& ctx);
+
+}  // namespace gradoop::query
+
+#endif  // GRADOOP_QUERY_QUERY_PROFILE_H_

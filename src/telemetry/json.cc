@@ -1,0 +1,246 @@
+#include "telemetry/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace gradoop::telemetry::json {
+
+ValuePtr Value::Get(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : it->second;
+}
+
+ValuePtr Value::MakeNull() { return ValuePtr(new Value(Kind::kNull)); }
+
+ValuePtr Value::MakeBool(bool value) {
+  auto v = new Value(Kind::kBool);
+  v->bool_ = value;
+  return ValuePtr(v);
+}
+
+ValuePtr Value::MakeNumber(double value, std::string raw) {
+  auto v = new Value(Kind::kNumber);
+  v->number_ = value;
+  v->raw_ = std::move(raw);
+  return ValuePtr(v);
+}
+
+ValuePtr Value::MakeString(std::string value) {
+  auto v = new Value(Kind::kString);
+  v->string_ = std::move(value);
+  return ValuePtr(v);
+}
+
+ValuePtr Value::MakeArray(std::vector<ValuePtr> items) {
+  auto v = new Value(Kind::kArray);
+  v->array_ = std::move(items);
+  return ValuePtr(v);
+}
+
+ValuePtr Value::MakeObject(std::map<std::string, ValuePtr> members) {
+  auto v = new Value(Kind::kObject);
+  v->object_ = std::move(members);
+  return ValuePtr(v);
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<ValuePtr> ParseDocument() {
+    GRADOOP_ASSIGN_OR_RETURN(ValuePtr value, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing content after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::ParseError("json: " + message + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* word) {
+    size_t n = 0;
+    while (word[n] != '\0') ++n;
+    if (text_.compare(pos_, n, word) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Result<ValuePtr> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      GRADOOP_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return Value::MakeString(std::move(s));
+    }
+    if (ConsumeWord("true")) return Value::MakeBool(true);
+    if (ConsumeWord("false")) return Value::MakeBool(false);
+    if (ConsumeWord("null")) return Value::MakeNull();
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      return ParseNumber();
+    }
+    return Error(std::string("unexpected character '") + c + "'");
+  }
+
+  Result<ValuePtr> ParseObject() {
+    Consume('{');
+    std::map<std::string, ValuePtr> members;
+    SkipWhitespace();
+    if (Consume('}')) return Value::MakeObject(std::move(members));
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      GRADOOP_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      GRADOOP_ASSIGN_OR_RETURN(ValuePtr value, ParseValue());
+      members[key] = std::move(value);
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Value::MakeObject(std::move(members));
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<ValuePtr> ParseArray() {
+    Consume('[');
+    std::vector<ValuePtr> items;
+    SkipWhitespace();
+    if (Consume(']')) return Value::MakeArray(std::move(items));
+    for (;;) {
+      GRADOOP_ASSIGN_OR_RETURN(ValuePtr value, ParseValue());
+      items.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Value::MakeArray(std::move(items));
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    Consume('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Error("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"':
+          case '\\':
+          case '/':
+            out.push_back(e);
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return Error("truncated \\u escape");
+            }
+            // Decoded only far enough for our own artifacts: the code
+            // point is appended raw when ASCII, '?' otherwise.
+            const std::string hex = text_.substr(pos_, 4);
+            pos_ += 4;
+            char* end = nullptr;
+            const long cp = std::strtol(hex.c_str(), &end, 16);
+            if (end != hex.c_str() + 4) return Error("bad \\u escape");
+            out.push_back(cp >= 0 && cp < 0x80 ? static_cast<char>(cp)
+                                               : '?');
+            break;
+          }
+          default:
+            return Error("unknown escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<ValuePtr> ParseNumber() {
+    const size_t begin = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (Consume('.')) {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    std::string raw = text_.substr(begin, pos_ - begin);
+    if (raw.empty() || raw == "-") return Error("malformed number");
+    // Sequenced before the move: argument evaluation order is
+    // unspecified, so strtod must not read `raw` in the same call.
+    const double value = std::strtod(raw.c_str(), nullptr);
+    return Value::MakeNumber(value, std::move(raw));
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ValuePtr> Parse(const std::string& text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace gradoop::telemetry::json

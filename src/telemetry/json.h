@@ -1,0 +1,68 @@
+#ifndef GRADOOP_TELEMETRY_JSON_H_
+#define GRADOOP_TELEMETRY_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace gradoop::telemetry::json {
+
+// Minimal JSON DOM used to validate the engine's own emitted artifacts
+// (Chrome traces, query profiles, bench reports) in tests and in the
+// cypher_profile tool — not a general-purpose parser. Numbers keep their
+// raw source text so integer fields can be compared byte-for-byte.
+class Value;
+using ValuePtr = std::shared_ptr<const Value>;
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return number_; }
+  // The number's exact source spelling ("35", "0.000123").
+  const std::string& raw() const { return raw_; }
+  const std::string& AsString() const { return string_; }
+  const std::vector<ValuePtr>& AsArray() const { return array_; }
+  const std::map<std::string, ValuePtr>& AsObject() const { return object_; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  ValuePtr Get(const std::string& key) const;
+
+  static ValuePtr MakeNull();
+  static ValuePtr MakeBool(bool value);
+  static ValuePtr MakeNumber(double value, std::string raw);
+  static ValuePtr MakeString(std::string value);
+  static ValuePtr MakeArray(std::vector<ValuePtr> items);
+  static ValuePtr MakeObject(std::map<std::string, ValuePtr> members);
+
+ private:
+  explicit Value(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string raw_;
+  std::string string_;
+  std::vector<ValuePtr> array_;
+  std::map<std::string, ValuePtr> object_;
+};
+
+// Parses `text` as one JSON document (trailing whitespace allowed,
+// anything else after the document is an error).
+Result<ValuePtr> Parse(const std::string& text);
+
+}  // namespace gradoop::telemetry::json
+
+#endif  // GRADOOP_TELEMETRY_JSON_H_

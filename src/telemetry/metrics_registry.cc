@@ -1,0 +1,108 @@
+#include "telemetry/metrics_registry.h"
+
+#include <algorithm>
+
+#include "telemetry/thread_index.h"
+
+namespace gradoop::telemetry {
+
+using common::MutexLock;
+
+const std::vector<double>& MetricsRegistry::DefaultHistogramBounds() {
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    double bound = 1.0;  // microsecond scale: 1us, 4us, ..., ~16.8s
+    for (int i = 0; i < 13; ++i) {
+      b.push_back(bound);
+      bound *= 4.0;
+    }
+    return b;
+  }();
+  return bounds;
+}
+
+MetricsRegistry::Shard& MetricsRegistry::LocalShard() {
+  return shards_[CurrentThreadIndex() % kNumShards];
+}
+
+void MetricsRegistry::AddCounter(const std::string& name, uint64_t delta) {
+  Shard& shard = LocalShard();
+  MutexLock lock(shard.mu);
+  shard.counters[name] += delta;
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  // Gauges are level (not additive) values, so they all live in shard 0:
+  // last writer wins, exactly as an unsharded store would behave.
+  Shard& shard = shards_[0];
+  MutexLock lock(shard.mu);
+  shard.gauges[name] = value;
+}
+
+void MetricsRegistry::Observe(const std::string& name, double value) {
+  ObserveWith(name, value, DefaultHistogramBounds());
+}
+
+void MetricsRegistry::ObserveWith(const std::string& name, double value,
+                                  const std::vector<double>& bounds) {
+  Shard& shard = LocalShard();
+  MutexLock lock(shard.mu);
+  HistogramData& h = shard.histograms[name];
+  if (h.bounds.empty()) {
+    h.bounds = bounds;
+    h.counts.assign(bounds.size() + 1, 0);
+  }
+  size_t bucket = 0;
+  while (bucket < h.bounds.size() && value > h.bounds[bucket]) ++bucket;
+  ++h.counts[bucket];
+  if (h.count == 0 || value < h.min) h.min = value;
+  if (h.count == 0 || value > h.max) h.max = value;
+  ++h.count;
+  h.sum += value;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot out;
+  for (const Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    for (const auto& [name, value] : shard.counters) {
+      out.counters[name] += value;
+    }
+    for (const auto& [name, value] : shard.gauges) {
+      out.gauges[name] = value;
+    }
+    for (const auto& [name, h] : shard.histograms) {
+      HistogramSnapshot& agg = out.histograms[name];
+      if (agg.bounds.empty()) {
+        agg.bounds = h.bounds;
+        agg.counts.assign(h.counts.size(), 0);
+      }
+      // Bucket layouts agree by construction: the bounds for a name are
+      // fixed by its first observation and every ObserveWith caller
+      // passes the same constant bounds per name.
+      if (agg.counts.size() == h.counts.size()) {
+        for (size_t i = 0; i < h.counts.size(); ++i) {
+          agg.counts[i] += h.counts[i];
+        }
+      }
+      if (h.count > 0) {
+        if (agg.count == 0 || h.min < agg.min) agg.min = h.min;
+        if (agg.count == 0 || h.max > agg.max) agg.max = h.max;
+        agg.count += h.count;
+        agg.sum += h.sum;
+      }
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  for (Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    shard.counters.clear();
+    shard.gauges.clear();
+    shard.histograms.clear();
+  }
+}
+
+}  // namespace gradoop::telemetry

@@ -1,0 +1,89 @@
+#ifndef GRADOOP_TELEMETRY_METRICS_REGISTRY_H_
+#define GRADOOP_TELEMETRY_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace gradoop::telemetry {
+
+// Aggregated view of one histogram: fixed exponential bucket bounds plus
+// per-bucket counts (counts.size() == bounds.size() + 1, the last bucket
+// is the +Inf overflow), and the usual scalar moments.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  double Mean() const { return count == 0 ? 0.0 : sum / count; }
+};
+
+// Point-in-time aggregate of every metric recorded so far. Maps are
+// ordered so exported JSON is deterministic for a deterministic run.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+// Thread-sharded metrics store: writers hash their thread onto one of a
+// fixed set of shards and take only that shard's (almost always
+// uncontended) lock, so recording from pool workers is cheap; readers
+// aggregate across all shards (Snapshot). Histograms use fixed
+// exponential bucket bounds chosen once per metric name at first
+// observation, so shard aggregation is a plain element-wise sum.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  void AddCounter(const std::string& name, uint64_t delta);
+  void SetGauge(const std::string& name, double value);
+  // Records `value` into the histogram's exponential buckets
+  // (kDefaultHistogramBounds unless the name saw ObserveWith first).
+  void Observe(const std::string& name, double value);
+  // Same, with caller-provided ascending bucket upper bounds. Bounds are
+  // fixed by whichever call touches the name first.
+  void ObserveWith(const std::string& name, double value,
+                   const std::vector<double>& bounds);
+
+  MetricsSnapshot Snapshot() const;
+  void Reset();
+
+  // Power-of-4 microsecond-scale bounds: 1us .. ~16.8s in 13 buckets.
+  static const std::vector<double>& DefaultHistogramBounds();
+
+ private:
+  struct HistogramData {
+    std::vector<double> bounds;
+    std::vector<uint64_t> counts;  // bounds.size() + 1
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  static constexpr int kNumShards = 16;
+
+  struct Shard {
+    mutable common::Mutex mu;
+    std::map<std::string, uint64_t> counters GUARDED_BY(mu);
+    std::map<std::string, double> gauges GUARDED_BY(mu);
+    std::map<std::string, HistogramData> histograms GUARDED_BY(mu);
+  };
+
+  Shard& LocalShard();
+
+  Shard shards_[kNumShards];
+};
+
+}  // namespace gradoop::telemetry
+
+#endif  // GRADOOP_TELEMETRY_METRICS_REGISTRY_H_

@@ -1,0 +1,68 @@
+#ifndef GRADOOP_TELEMETRY_QUERY_PROFILE_H_
+#define GRADOOP_TELEMETRY_QUERY_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics_registry.h"
+#include "telemetry/tracer.h"
+
+namespace gradoop::telemetry {
+
+// Wall time of one engine phase (parse, analyze, plan, compile, execute).
+struct PhaseProfile {
+  std::string name;
+  double wall_sec = 0.0;
+};
+
+// One physical operator of the executed plan, in pre-order (depth gives
+// the tree shape back). `actual_rows` is the same number EXPLAIN ANALYZE
+// renders as rows= for this operator; self vs total wall separates the
+// operator's own kernel from time spent executing its children.
+struct OperatorProfile {
+  std::string name;        // stable operator name ("JoinEmbeddings", ...)
+  std::string describe;    // one-line description incl. fused filters
+  int depth = 0;
+  double estimated_rows = 0.0;
+  uint64_t actual_rows = 0;
+  double self_wall_sec = 0.0;
+  double total_wall_sec = 0.0;
+  uint64_t network_bytes = 0;
+  uint64_t spilled_bytes = 0;
+  uint64_t output_bytes = 0;
+  uint64_t property_bytes = 0;
+};
+
+// Structured machine-readable profile of one query execution — the
+// JSON counterpart of EXPLAIN ANALYZE plus the runtime's per-worker and
+// per-phase views, written next to BENCH_*.json artifacts.
+struct QueryProfile {
+  std::string name;          // artifact name ("ldbc_Q1")
+  std::string query;         // the Cypher text
+  uint64_t matches = 0;
+  double total_wall_sec = 0.0;   // host wall clock of the whole run
+  double simulated_sec = 0.0;    // CostTracker simulated cluster time
+  uint64_t network_bytes = 0;
+  uint64_t spilled_bytes = 0;
+  uint64_t records = 0;
+  int num_workers = 0;
+
+  std::vector<PhaseProfile> phases;      // engine phases, in order
+  std::vector<OperatorProfile> operators;  // pre-order plan walk
+  std::vector<WorkerBusy> workers;       // from per-partition task spans
+  MetricsSnapshot metrics;               // counters + histogram snapshots
+
+  // max worker busy time over mean (1.0 = balanced; 0 = nothing ran).
+  double WorkerImbalanceRatio() const;
+
+  std::string ToJson() const;
+};
+
+// Writes profile.ToJson() to `path`; false + *error on I/O failure.
+bool WriteQueryProfile(const std::string& path, const QueryProfile& profile,
+                       std::string* error);
+
+}  // namespace gradoop::telemetry
+
+#endif  // GRADOOP_TELEMETRY_QUERY_PROFILE_H_

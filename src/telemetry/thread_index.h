@@ -1,0 +1,22 @@
+#ifndef GRADOOP_TELEMETRY_THREAD_INDEX_H_
+#define GRADOOP_TELEMETRY_THREAD_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace gradoop::telemetry {
+
+// Small dense per-thread index (0, 1, 2, ... in first-use order),
+// process-wide. Used to shard metric/span stores and to tag spans with a
+// stable host-thread id that is readable in trace viewers (std::thread::id
+// is opaque and non-dense).
+inline uint32_t CurrentThreadIndex() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t index =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+}  // namespace gradoop::telemetry
+
+#endif  // GRADOOP_TELEMETRY_THREAD_INDEX_H_

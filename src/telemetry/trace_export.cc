@@ -1,0 +1,129 @@
+#include "telemetry/trace_export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string_view>
+
+namespace gradoop::telemetry {
+
+namespace {
+
+int TidFor(const SpanRecord& span) {
+  if (span.category != nullptr &&
+      std::string_view(span.category) == kCategoryTask && span.worker >= 0) {
+    return 1000 + span.worker;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buf[64];
+  // Integral values print without a fraction so counters stay exact and
+  // byte-for-byte comparable; timestamps keep 3 decimals (nanosecond
+  // resolution in microsecond units).
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", value);
+  }
+  return buf;
+}
+
+std::string ToChromeTraceJson(const std::vector<SpanRecord>& spans) {
+  std::string out = "{\"traceEvents\": [\n";
+  bool first = true;
+  auto append = [&](const std::string& event) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  " + event;
+  };
+
+  // Row-name metadata: one per tid in use.
+  std::set<int> tids;
+  for (const SpanRecord& span : spans) tids.insert(TidFor(span));
+  for (const int tid : tids) {
+    std::string name = tid == 0 ? "driver" : "worker " +
+                                                 std::to_string(tid - 1000);
+    append("{\"ph\": \"M\", \"pid\": 1, \"tid\": " + std::to_string(tid) +
+           ", \"name\": \"thread_name\", \"args\": {\"name\": \"" +
+           JsonEscape(name) + "\"}}");
+  }
+
+  for (const SpanRecord& span : spans) {
+    std::string event = "{\"name\": \"" + JsonEscape(span.name) +
+                        "\", \"cat\": \"" +
+                        JsonEscape(span.category != nullptr ? span.category
+                                                            : "span") +
+                        "\", \"ph\": \"X\", \"ts\": " +
+                        JsonNumber(span.begin_us) +
+                        ", \"dur\": " + JsonNumber(span.DurationMicros()) +
+                        ", \"pid\": 1, \"tid\": " +
+                        std::to_string(TidFor(span)) + ", \"args\": {";
+    event += "\"thread\": " + std::to_string(span.thread);
+    event += ", \"worker\": " + std::to_string(span.worker);
+    for (const auto& [key, value] : span.args) {
+      event += ", \"" + JsonEscape(key) + "\": " + JsonNumber(value);
+    }
+    event += "}}";
+    append(event);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool WriteChromeTrace(const std::string& path,
+                      const std::vector<SpanRecord>& spans,
+                      std::string* error) {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot write '" + path + "'";
+    return false;
+  }
+  out << ToChromeTraceJson(spans);
+  out.close();
+  if (!out) {
+    if (error != nullptr) *error = "write to '" + path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace gradoop::telemetry

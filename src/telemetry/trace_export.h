@@ -1,0 +1,39 @@
+#ifndef GRADOOP_TELEMETRY_TRACE_EXPORT_H_
+#define GRADOOP_TELEMETRY_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "telemetry/tracer.h"
+
+namespace gradoop::telemetry {
+
+// Renders spans as Chrome trace-event JSON (the "JSON Array Format" with
+// a traceEvents wrapper), loadable in Perfetto and chrome://tracing.
+//
+// Mapping: every span becomes one complete event (ph "X") under pid 1.
+// Rows are chosen for readability of the skew story: driver-side spans
+// (query phases, operators, shuffle stages) render on tid 0 ("driver"),
+// per-partition task spans on tid 1000 + worker ("worker N"), so one
+// stage's tasks line up vertically and ragged lengths across workers are
+// visible at a glance. Real host-thread ids and worker ids are kept in
+// each event's args. Thread-name metadata events (ph "M") label the rows.
+std::string ToChromeTraceJson(const std::vector<SpanRecord>& spans);
+
+// Writes ToChromeTraceJson(spans) to `path`. Returns false (with a
+// message in *error) when the file cannot be written.
+bool WriteChromeTrace(const std::string& path,
+                      const std::vector<SpanRecord>& spans,
+                      std::string* error);
+
+// Escapes a string for embedding in a JSON string literal (shared by the
+// trace and profile writers).
+std::string JsonEscape(const std::string& text);
+
+// Formats a double with enough precision for timestamps, without
+// locale surprises ("%.3f").
+std::string JsonNumber(double value);
+
+}  // namespace gradoop::telemetry
+
+#endif  // GRADOOP_TELEMETRY_TRACE_EXPORT_H_

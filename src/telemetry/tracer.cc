@@ -1,0 +1,88 @@
+#include "telemetry/tracer.h"
+
+#include <algorithm>
+#include <string_view>
+
+#include "telemetry/thread_index.h"
+
+namespace gradoop::telemetry {
+
+using common::MutexLock;
+
+void Tracer::AddSpan(std::string name, const char* category, double begin_us,
+                     double end_us, int worker,
+                     std::vector<std::pair<std::string, double>> args) {
+  SpanRecord span;
+  span.name = std::move(name);
+  span.category = category;
+  span.begin_us = begin_us;
+  span.end_us = end_us;
+  span.thread = CurrentThreadIndex();
+  span.worker = worker;
+  span.args = std::move(args);
+  Shard& shard = shards_[span.thread % kNumShards];
+  MutexLock lock(shard.mu);
+  shard.spans.push_back(std::move(span));
+}
+
+std::vector<SpanRecord> Tracer::CollectSpans() const {
+  std::vector<SpanRecord> out;
+  for (const Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    out.insert(out.end(), shard.spans.begin(), shard.spans.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     if (a.begin_us != b.begin_us) {
+                       return a.begin_us < b.begin_us;
+                     }
+                     return a.end_us < b.end_us;
+                   });
+  return out;
+}
+
+size_t Tracer::NumSpans() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    n += shard.spans.size();
+  }
+  return n;
+}
+
+void Tracer::Clear() {
+  for (Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    shard.spans.clear();
+  }
+}
+
+std::vector<WorkerBusy> ComputeWorkerBusy(const std::vector<SpanRecord>& spans,
+                                          int num_workers) {
+  std::vector<WorkerBusy> busy(std::max(num_workers, 0));
+  for (int w = 0; w < num_workers; ++w) busy[w].worker = w;
+  for (const SpanRecord& span : spans) {
+    if (span.category != nullptr &&
+        std::string_view(span.category) != kCategoryTask) {
+      continue;
+    }
+    if (span.worker < 0 || span.worker >= num_workers) continue;
+    busy[span.worker].busy_sec += span.DurationMicros() * 1e-6;
+    ++busy[span.worker].tasks;
+  }
+  return busy;
+}
+
+double WorkerImbalance(const std::vector<WorkerBusy>& busy) {
+  if (busy.empty()) return 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  for (const WorkerBusy& w : busy) {
+    max = std::max(max, w.busy_sec);
+    sum += w.busy_sec;
+  }
+  if (sum <= 0.0) return 0.0;
+  return max / (sum / static_cast<double>(busy.size()));
+}
+
+}  // namespace gradoop::telemetry

@@ -1,0 +1,138 @@
+#ifndef GRADOOP_TELEMETRY_TRACER_H_
+#define GRADOOP_TELEMETRY_TRACER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "telemetry/metrics_registry.h"
+
+namespace gradoop::telemetry {
+
+// One completed span. Timestamps are microseconds relative to the
+// tracer's epoch (steady clock), so a whole trace starts near zero and
+// loads cleanly in Perfetto / chrome://tracing.
+struct SpanRecord {
+  std::string name;       // "parse", "ScanVertices(a:Person)", "Map", ...
+  const char* category;   // "query" | "operator" | "task" | "stage"
+  double begin_us = 0.0;
+  double end_us = 0.0;
+  uint32_t thread = 0;    // dense host-thread index (CurrentThreadIndex)
+  int worker = -1;        // simulated worker / partition id; -1 = driver
+  // Small numeric payload rendered into the trace viewer's args pane
+  // ("rows", "estimated_rows", "bytes", ...).
+  std::vector<std::pair<std::string, double>> args;
+
+  double DurationMicros() const { return end_us - begin_us; }
+};
+
+// Span categories used by the engine's instrumentation (exporters and
+// aggregations key on these exact strings).
+inline constexpr const char* kCategoryQuery = "query";     // engine phases
+inline constexpr const char* kCategoryOperator = "operator";  // physical ops
+inline constexpr const char* kCategoryTask = "task";       // pool tasks
+inline constexpr const char* kCategoryStage = "stage";     // shuffles etc.
+
+// Thread-sharded span sink, same locking discipline as MetricsRegistry:
+// writers append to their thread's shard under an uncontended lock,
+// CollectSpans merges and sorts. The tracer itself has no on/off switch —
+// Telemetry (below) gates every instrumentation site, so a disabled run
+// never reaches AddSpan.
+class Tracer {
+ public:
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Microseconds since the tracer epoch.
+  double NowMicros() const {
+    return ToMicros(std::chrono::steady_clock::now());
+  }
+  double ToMicros(std::chrono::steady_clock::time_point t) const {
+    return std::chrono::duration<double, std::micro>(t - epoch_).count();
+  }
+
+  void AddSpan(std::string name, const char* category, double begin_us,
+               double end_us, int worker,
+               std::vector<std::pair<std::string, double>> args = {});
+
+  // All spans recorded so far, sorted by begin timestamp (ties broken by
+  // end, so the order is deterministic for deterministic workloads).
+  std::vector<SpanRecord> CollectSpans() const;
+
+  size_t NumSpans() const;
+  void Clear();
+
+ private:
+  static constexpr int kNumShards = 16;
+
+  struct Shard {
+    mutable common::Mutex mu;
+    std::vector<SpanRecord> spans GUARDED_BY(mu);
+  };
+
+  std::chrono::steady_clock::time_point epoch_;
+  Shard shards_[kNumShards];
+};
+
+// Per-worker busy time aggregated from "task" spans: how long each
+// simulated worker's partition tasks ran on the host. Ragged values
+// across workers within one stage are exactly the skew the paper's
+// Fig. 3 stagnation story is about.
+struct WorkerBusy {
+  int worker = 0;
+  double busy_sec = 0.0;
+  uint64_t tasks = 0;
+};
+
+// Busy time per worker id over `spans` (category "task", worker >= 0).
+// The result covers workers 0..num_workers-1 even if some recorded no
+// tasks; worker ids beyond num_workers (never produced by the engine)
+// are dropped.
+std::vector<WorkerBusy> ComputeWorkerBusy(const std::vector<SpanRecord>& spans,
+                                          int num_workers);
+
+// max(busy) / mean(busy) over all workers; 1.0 = perfectly balanced,
+// 0.0 when nothing ran. The denominator averages over every worker, so
+// idle workers count as imbalance.
+double WorkerImbalance(const std::vector<WorkerBusy>& busy);
+
+// Metrics registry + tracer + master switch, owned by one
+// dataflow::ExecutionContext. Disabled (the default) means every
+// instrumentation site reduces to one relaxed atomic load — the hot path
+// stays free of locks, clocks and allocations.
+class Telemetry {
+ public:
+  Telemetry() = default;
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+  // Clears spans and metrics (the epoch is kept: one process = one
+  // timeline). Call between queries to profile them in isolation.
+  void ResetData() {
+    tracer_.Clear();
+    metrics_.Reset();
+  }
+
+ private:
+  std::atomic<bool> enabled_{false};
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+};
+
+}  // namespace gradoop::telemetry
+
+#endif  // GRADOOP_TELEMETRY_TRACER_H_

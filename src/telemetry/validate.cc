@@ -1,0 +1,152 @@
+#include "telemetry/validate.h"
+
+#include "telemetry/json.h"
+
+namespace gradoop::telemetry {
+
+namespace {
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+bool NonNegativeNumber(const json::ValuePtr& v) {
+  return v != nullptr && v->is_number() && v->AsDouble() >= 0.0;
+}
+
+}  // namespace
+
+bool ValidateChromeTrace(const std::string& json_text, std::string* error) {
+  auto parsed = json::Parse(json_text);
+  if (!parsed.ok()) return Fail(error, parsed.status().message());
+  const json::ValuePtr root = parsed.value();
+  if (!root->is_object()) return Fail(error, "root is not an object");
+  const json::ValuePtr events = root->Get("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return Fail(error, "missing traceEvents array");
+  }
+  size_t complete_events = 0;
+  double last_ts = -1.0;
+  for (size_t i = 0; i < events->AsArray().size(); ++i) {
+    const json::ValuePtr& event = events->AsArray()[i];
+    const std::string at = "traceEvents[" + std::to_string(i) + "]";
+    if (!event->is_object()) return Fail(error, at + " is not an object");
+    const json::ValuePtr name = event->Get("name");
+    const json::ValuePtr ph = event->Get("ph");
+    if (name == nullptr || !name->is_string()) {
+      return Fail(error, at + " has no string name");
+    }
+    if (ph == nullptr || !ph->is_string()) {
+      return Fail(error, at + " has no string ph");
+    }
+    if (event->Get("pid") == nullptr || event->Get("tid") == nullptr) {
+      return Fail(error, at + " is missing pid/tid");
+    }
+    if (ph->AsString() != "X") continue;
+    ++complete_events;
+    const json::ValuePtr ts = event->Get("ts");
+    const json::ValuePtr dur = event->Get("dur");
+    if (!NonNegativeNumber(ts)) {
+      return Fail(error, at + " has no non-negative ts");
+    }
+    if (!NonNegativeNumber(dur)) {
+      return Fail(error, at + " has no non-negative dur");
+    }
+    if (ts->AsDouble() < last_ts) {
+      return Fail(error, at + " breaks monotonic ts order");
+    }
+    last_ts = ts->AsDouble();
+  }
+  if (complete_events == 0) {
+    return Fail(error, "trace has no complete ('X') events");
+  }
+  return true;
+}
+
+bool ValidateQueryProfile(const std::string& json_text, std::string* error) {
+  auto parsed = json::Parse(json_text);
+  if (!parsed.ok()) return Fail(error, parsed.status().message());
+  const json::ValuePtr root = parsed.value();
+  if (!root->is_object()) return Fail(error, "root is not an object");
+
+  const json::ValuePtr version = root->Get("schema_version");
+  if (version == nullptr || !version->is_number() ||
+      version->AsDouble() != 1.0) {
+    return Fail(error, "schema_version missing or not 1");
+  }
+  for (const char* key : {"name", "query"}) {
+    const json::ValuePtr v = root->Get(key);
+    if (v == nullptr || !v->is_string()) {
+      return Fail(error, std::string("missing string field '") + key + "'");
+    }
+  }
+  for (const char* key :
+       {"matches", "total_wall_sec", "simulated_sec", "network_bytes",
+        "spilled_bytes", "records", "num_workers", "worker_imbalance"}) {
+    if (!NonNegativeNumber(root->Get(key))) {
+      return Fail(error,
+                  std::string("missing non-negative field '") + key + "'");
+    }
+  }
+
+  const json::ValuePtr phases = root->Get("phases");
+  if (phases == nullptr || !phases->is_array() ||
+      phases->AsArray().empty()) {
+    return Fail(error, "phases missing or empty");
+  }
+  for (const json::ValuePtr& phase : phases->AsArray()) {
+    const json::ValuePtr name = phase->Get("name");
+    if (name == nullptr || !name->is_string()) {
+      return Fail(error, "phase without name");
+    }
+    if (!NonNegativeNumber(phase->Get("wall_sec"))) {
+      return Fail(error, "phase '" + name->AsString() +
+                             "' has no non-negative wall_sec");
+    }
+  }
+
+  const json::ValuePtr operators = root->Get("operators");
+  if (operators == nullptr || !operators->is_array()) {
+    return Fail(error, "operators missing");
+  }
+  for (const json::ValuePtr& op : operators->AsArray()) {
+    const json::ValuePtr name = op->Get("name");
+    if (name == nullptr || !name->is_string()) {
+      return Fail(error, "operator without name");
+    }
+    for (const char* key : {"actual_rows", "estimated_rows",
+                            "self_wall_sec", "total_wall_sec"}) {
+      if (!NonNegativeNumber(op->Get(key))) {
+        return Fail(error, "operator '" + name->AsString() +
+                               "' missing non-negative '" + key + "'");
+      }
+    }
+    // Self time cannot exceed cumulative time (epsilon for clock jitter
+    // between the two Timer reads).
+    if (op->Get("self_wall_sec")->AsDouble() >
+        op->Get("total_wall_sec")->AsDouble() + 1e-6) {
+      return Fail(error, "operator '" + name->AsString() +
+                             "' has self_wall_sec > total_wall_sec");
+    }
+  }
+
+  const json::ValuePtr workers = root->Get("workers");
+  if (workers == nullptr || !workers->is_array()) {
+    return Fail(error, "workers missing");
+  }
+  const json::ValuePtr num_workers = root->Get("num_workers");
+  if (workers->AsArray().size() !=
+      static_cast<size_t>(num_workers->AsDouble())) {
+    return Fail(error, "workers array size != num_workers");
+  }
+  for (const json::ValuePtr& w : workers->AsArray()) {
+    if (!NonNegativeNumber(w->Get("busy_sec")) ||
+        !NonNegativeNumber(w->Get("tasks"))) {
+      return Fail(error, "worker entry missing busy_sec/tasks");
+    }
+  }
+  return true;
+}
+
+}  // namespace gradoop::telemetry

@@ -1,0 +1,32 @@
+#ifndef GRADOOP_TELEMETRY_VALIDATE_H_
+#define GRADOOP_TELEMETRY_VALIDATE_H_
+
+#include <string>
+
+namespace gradoop::telemetry {
+
+// Schema checks over the engine's own emitted artifacts. Used by tests
+// and by the cypher_profile tool (and through it the ci/check.sh profile
+// stage) so a malformed export fails loudly instead of producing a file
+// Perfetto silently rejects.
+//
+// ValidateChromeTrace: the document is well-formed JSON, has a
+// non-empty "traceEvents" array, every event carries name/ph/pid/tid,
+// every "X" event has numeric ts >= 0 and dur >= 0, and the "X" events
+// appear in non-decreasing ts order (the exporter emits them sorted —
+// monotonic timestamps are part of the contract).
+//
+// ValidateQueryProfile: well-formed JSON with schema_version 1, the
+// required scalar fields, a non-empty "phases" array with non-negative
+// wall times in monotonic span order, "operators" entries whose
+// self_wall_sec <= total_wall_sec, and a "workers" array sized to
+// num_workers.
+//
+// Both return true on success; on failure *error (if non-null) gets a
+// one-line reason.
+bool ValidateChromeTrace(const std::string& json_text, std::string* error);
+bool ValidateQueryProfile(const std::string& json_text, std::string* error);
+
+}  // namespace gradoop::telemetry
+
+#endif  // GRADOOP_TELEMETRY_VALIDATE_H_

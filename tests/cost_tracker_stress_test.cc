@@ -1,0 +1,94 @@
+// Concurrency stress for CostTracker: many host threads charge stages,
+// bytes and records simultaneously (as pool-executed dataset
+// transformations do) and the aggregated totals must equal the exact
+// sum of everything charged. The common::Mutex annotations make the
+// locking discipline checkable by Clang's thread-safety analysis, and
+// the TSan build tree of ci/check.sh runs this test under the race
+// detector.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "dataflow/cost_model.h"
+#include "dataflow/thread_pool.h"
+
+namespace gradoop::dataflow {
+namespace {
+
+TEST(CostTrackerStressTest, ConcurrentChargesSumExactly) {
+  CostTracker tracker;
+  constexpr int kThreads = 8;
+  constexpr int kCharges = 5000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracker, t] {
+      for (int i = 0; i < kCharges; ++i) {
+        StageCost cost;
+        cost.label = "stress";
+        cost.compute_sec = 0.001;
+        cost.network_sec = 0.002;
+        cost.latency_sec = 0.0005;
+        tracker.AddStage(cost);
+        tracker.AddNetworkBytes(static_cast<uint64_t>(t) + 1);
+        tracker.AddSpilledBytes(2);
+        tracker.AddRecords(3);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  constexpr uint64_t kTotalCharges =
+      static_cast<uint64_t>(kThreads) * kCharges;
+  EXPECT_EQ(tracker.NumStages(), static_cast<int>(kTotalCharges));
+  EXPECT_EQ(tracker.Stages().size(), kTotalCharges);
+  // Per-stage seconds are identical, so the double sum is exact enough
+  // for a tight tolerance.
+  EXPECT_NEAR(tracker.SimulatedSeconds(), kTotalCharges * 0.0035,
+              kTotalCharges * 1e-12);
+  // Sum over threads t of kCharges * (t + 1).
+  uint64_t expected_network = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    expected_network += static_cast<uint64_t>(kCharges) * (t + 1);
+  }
+  EXPECT_EQ(tracker.NetworkBytes(), expected_network);
+  EXPECT_EQ(tracker.SpilledBytes(), 2 * kTotalCharges);
+  EXPECT_EQ(tracker.TotalRecords(), 3 * kTotalCharges);
+
+  tracker.Reset();
+  EXPECT_EQ(tracker.NumStages(), 0);
+  EXPECT_EQ(tracker.NetworkBytes(), 0u);
+  EXPECT_DOUBLE_EQ(tracker.SimulatedSeconds(), 0.0);
+}
+
+TEST(CostTrackerStressTest, PoolTasksChargingWhileDriverReads) {
+  // Readers aggregate while pool tasks charge — the shape Dataset
+  // transformations produce. The assertions only need the final totals,
+  // but the interleaved reads must be race-free (TSan tree).
+  CostTracker tracker;
+  ThreadPool pool(4);
+  constexpr int kBatches = 50;
+  constexpr int kTasksPerBatch = 16;
+  for (int b = 0; b < kBatches; ++b) {
+    pool.RunAndWait(kTasksPerBatch, [&tracker](int i) {
+      StageCost cost;
+      cost.label = "batch";
+      cost.compute_sec = 0.0001 * (i + 1);
+      tracker.AddStage(cost);
+      tracker.AddRecords(1);
+    });
+    // Interleaved aggregate reads; values only ever grow.
+    EXPECT_GE(tracker.TotalRecords(),
+              static_cast<uint64_t>(b + 1) * kTasksPerBatch);
+  }
+  EXPECT_EQ(tracker.TotalRecords(),
+            static_cast<uint64_t>(kBatches) * kTasksPerBatch);
+  EXPECT_EQ(tracker.NumStages(), kBatches * kTasksPerBatch);
+}
+
+}  // namespace
+}  // namespace gradoop::dataflow

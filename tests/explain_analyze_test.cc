@@ -91,7 +91,8 @@ TEST(ExplainAnalyzeTest, ExplainAnalyzeReportsEstimatesAndActuals) {
   // the timing annotations only ANALYZE carries.
   EXPECT_NE(rendered.value().find("~"), std::string::npos);
   EXPECT_NE(rendered.value().find("rows="), std::string::npos);
-  EXPECT_NE(rendered.value().find("wall="), std::string::npos);
+  EXPECT_NE(rendered.value().find("self="), std::string::npos);
+  EXPECT_NE(rendered.value().find("total="), std::string::npos);
 }
 
 TEST(ExplainAnalyzeTest, UnsatisfiableQueryShortCircuits) {

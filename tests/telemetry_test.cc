@@ -1,0 +1,283 @@
+// Telemetry surface tests: metrics registry aggregation (including
+// concurrent writers), span collection and worker-busy math, Chrome
+// trace / QueryProfile export validity, the disabled-by-default
+// contract (no spans, no metrics), and the acceptance pin that the
+// profile's per-operator actual rows match EXPLAIN ANALYZE's rows=
+// figures byte for byte for the same run.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ldbc/ldbc_generator.h"
+#include "ldbc/queries.h"
+#include "query/cypher_engine.h"
+#include "query/query_profile.h"
+#include "telemetry/json.h"
+#include "telemetry/metrics_registry.h"
+#include "telemetry/trace_export.h"
+#include "telemetry/tracer.h"
+#include "telemetry/validate.h"
+
+namespace gradoop {
+namespace {
+
+using query::CypherEngine;
+using telemetry::MetricsRegistry;
+using telemetry::MetricsSnapshot;
+using telemetry::SpanRecord;
+using telemetry::Tracer;
+
+// --- metrics registry --------------------------------------------------
+
+TEST(MetricsRegistryTest, CountersGaugesHistograms) {
+  MetricsRegistry metrics;
+  metrics.AddCounter("rows", 10);
+  metrics.AddCounter("rows", 5);
+  metrics.SetGauge("memory", 2.5);
+  metrics.SetGauge("memory", 3.5);  // last writer wins
+  metrics.Observe("latency", 2.0);
+  metrics.Observe("latency", 100.0);
+
+  const MetricsSnapshot snap = metrics.Snapshot();
+  EXPECT_EQ(snap.counters.at("rows"), 15u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("memory"), 3.5);
+  const auto& hist = snap.histograms.at("latency");
+  EXPECT_EQ(hist.count, 2u);
+  EXPECT_DOUBLE_EQ(hist.sum, 102.0);
+  EXPECT_DOUBLE_EQ(hist.min, 2.0);
+  EXPECT_DOUBLE_EQ(hist.max, 100.0);
+  EXPECT_DOUBLE_EQ(hist.Mean(), 51.0);
+  uint64_t bucket_total = 0;
+  for (uint64_t c : hist.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, hist.count);
+
+  metrics.Reset();
+  EXPECT_TRUE(metrics.Snapshot().counters.empty());
+  EXPECT_TRUE(metrics.Snapshot().histograms.empty());
+}
+
+TEST(MetricsRegistryTest, ConcurrentCountersSumExactly) {
+  MetricsRegistry metrics;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&metrics] {
+      for (int i = 0; i < kIncrements; ++i) {
+        metrics.AddCounter("hits", 1);
+        metrics.Observe("value", 1.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const MetricsSnapshot snap = metrics.Snapshot();
+  EXPECT_EQ(snap.counters.at("hits"),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+  EXPECT_EQ(snap.histograms.at("value").count,
+            static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+// --- tracer ------------------------------------------------------------
+
+TEST(TracerTest, SpansSortedAndWorkerBusyAggregates) {
+  Tracer tracer;
+  // Out-of-order insertion; CollectSpans sorts by begin time.
+  tracer.AddSpan("b", telemetry::kCategoryTask, 200.0, 500.0, /*worker=*/1);
+  tracer.AddSpan("a", telemetry::kCategoryTask, 100.0, 200.0, /*worker=*/0);
+  tracer.AddSpan("phase", telemetry::kCategoryQuery, 0.0, 600.0,
+                 /*worker=*/-1);
+  const std::vector<SpanRecord> spans = tracer.CollectSpans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "phase");
+  EXPECT_EQ(spans[1].name, "a");
+  EXPECT_EQ(spans[2].name, "b");
+
+  const auto busy = telemetry::ComputeWorkerBusy(spans, 4);
+  ASSERT_EQ(busy.size(), 4u);
+  EXPECT_DOUBLE_EQ(busy[0].busy_sec, 100e-6);
+  EXPECT_DOUBLE_EQ(busy[1].busy_sec, 300e-6);
+  EXPECT_EQ(busy[0].tasks, 1u);
+  EXPECT_EQ(busy[2].tasks, 0u);
+  // max 300us over mean 100us across the 4 workers.
+  EXPECT_NEAR(telemetry::WorkerImbalance(busy), 3.0, 1e-9);
+
+  tracer.Clear();
+  EXPECT_EQ(tracer.NumSpans(), 0u);
+}
+
+TEST(TracerTest, ChromeExportValidatesAndNamesWorkerRows) {
+  Tracer tracer;
+  tracer.AddSpan("task", telemetry::kCategoryTask, 10.0, 20.0, /*worker=*/2,
+                 {{"rows", 35.0}});
+  tracer.AddSpan("parse", telemetry::kCategoryQuery, 0.0, 5.0, /*worker=*/-1);
+  const std::string json = telemetry::ToChromeTraceJson(tracer.CollectSpans());
+  std::string error;
+  EXPECT_TRUE(telemetry::ValidateChromeTrace(json, &error)) << error;
+  // Task spans land on the 1000+worker row; metadata names it.
+  EXPECT_NE(json.find("\"tid\": 1002"), std::string::npos);
+  EXPECT_NE(json.find("worker 2"), std::string::npos);
+  EXPECT_NE(json.find("driver"), std::string::npos);
+}
+
+// --- json parser -------------------------------------------------------
+
+TEST(JsonTest, ParsesDocumentsAndKeepsRawNumbers) {
+  auto parsed = telemetry::json::Parse(
+      "{\"a\": [1, 2.5, -3], \"b\": {\"c\": \"x\\n\"}, \"d\": true, "
+      "\"e\": null}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const auto& root = parsed.value();
+  ASSERT_TRUE(root->is_object());
+  const auto& a = root->Get("a");
+  ASSERT_TRUE(a != nullptr && a->is_array());
+  EXPECT_EQ(a->AsArray()[0]->raw(), "1");  // byte-exact source spelling
+  EXPECT_EQ(a->AsArray()[1]->raw(), "2.5");
+  EXPECT_DOUBLE_EQ(a->AsArray()[2]->AsDouble(), -3.0);
+  EXPECT_EQ(root->Get("b")->Get("c")->AsString(), "x\n");
+  EXPECT_TRUE(root->Get("d")->AsBool());
+  EXPECT_TRUE(root->Get("e")->is_null());
+  EXPECT_EQ(root->Get("missing"), nullptr);
+
+  EXPECT_FALSE(telemetry::json::Parse("{\"a\": }").ok());
+  EXPECT_FALSE(telemetry::json::Parse("[1, 2] trailing").ok());
+  EXPECT_FALSE(telemetry::json::Parse("").ok());
+}
+
+// --- engine integration ------------------------------------------------
+
+epgm::LogicalGraph LdbcGraph(const dataflow::ExecutionContextPtr& ctx) {
+  ldbc::LdbcConfig cfg;
+  cfg.scale_factor = 0.05;
+  return ldbc::LdbcGenerator(cfg).Generate(ctx);
+}
+
+TEST(TelemetryEngineTest, DisabledByDefaultRecordsNothing) {
+  auto ctx = dataflow::MakeContext();
+  CypherEngine engine(LdbcGraph(ctx));
+  auto result = engine.Execute(ldbc::Query1("Alice"));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(ctx->telemetry().tracer().NumSpans(), 0u);
+  EXPECT_TRUE(ctx->telemetry().metrics().Snapshot().counters.empty());
+  // Phase wall times are recorded regardless (they are plain clock
+  // reads, not telemetry).
+  EXPECT_EQ(result.value().phases.size(), 5u);
+}
+
+TEST(TelemetryEngineTest, EnabledRecordsAllThreeSpanLayers) {
+  auto ctx = dataflow::MakeContext();
+  CypherEngine engine(LdbcGraph(ctx));
+  ctx->EnableTelemetry();
+  ctx->telemetry().ResetData();
+  auto result = engine.Execute(ldbc::Query1("Alice"));
+  ASSERT_TRUE(result.ok()) << result.status();
+  ctx->DisableTelemetry();
+
+  bool saw_query = false, saw_operator = false, saw_task = false,
+       saw_stage = false;
+  for (const SpanRecord& span : ctx->telemetry().tracer().CollectSpans()) {
+    const std::string category = span.category;
+    saw_query |= category == telemetry::kCategoryQuery;
+    saw_operator |= category == telemetry::kCategoryOperator;
+    saw_task |= category == telemetry::kCategoryTask;
+    saw_stage |= category == telemetry::kCategoryStage;
+    EXPECT_GE(span.end_us, span.begin_us) << span.name;
+  }
+  EXPECT_TRUE(saw_query);
+  EXPECT_TRUE(saw_operator);
+  EXPECT_TRUE(saw_task);
+  EXPECT_TRUE(saw_stage);
+
+  const MetricsSnapshot snap = ctx->telemetry().metrics().Snapshot();
+  EXPECT_GT(snap.counters.at("task.count"), 0u);
+  EXPECT_GT(snap.counters.at("stage.count"), 0u);
+  EXPECT_GT(snap.counters.at("operator.count"), 0u);
+  EXPECT_TRUE(snap.histograms.count("task.wall_us") > 0);
+  EXPECT_TRUE(snap.histograms.count("stage.partition_records") > 0);
+}
+
+TEST(TelemetryEngineTest, ProfileRowsMatchExplainAnalyzeByteForByte) {
+  auto ctx = dataflow::MakeContext();
+  CypherEngine engine(LdbcGraph(ctx));
+  ctx->EnableTelemetry();
+  ctx->tracker().Reset();
+  ctx->telemetry().ResetData();
+  auto result = engine.Execute(ldbc::Query1("Alice"));
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_NE(result.value().physical, nullptr);
+  const query::exec::PhysicalOperator::RenderOptions options{
+      /*actuals=*/true, /*timing=*/false};
+  const std::string analyze = result.value().physical->ToString(options);
+  const telemetry::QueryProfile profile = query::BuildQueryProfile(
+      "ldbc_Q1", ldbc::Query1("Alice"), result.value(), *ctx);
+  ctx->DisableTelemetry();
+
+  // rows= figures of the rendered tree, in pre-order — the same order
+  // BuildQueryProfile walks the plan.
+  std::vector<std::string> rendered_rows;
+  size_t pos = 0;
+  while ((pos = analyze.find(" rows=", pos)) != std::string::npos) {
+    pos += 6;
+    size_t end = pos;
+    while (end < analyze.size() && analyze[end] != ' ' &&
+           analyze[end] != '\n') {
+      ++end;
+    }
+    rendered_rows.push_back(analyze.substr(pos, end - pos));
+  }
+  ASSERT_EQ(rendered_rows.size(), profile.operators.size());
+
+  // The JSON must carry the identical digits: parse it and compare the
+  // raw number spelling of every actual_rows against the rendering.
+  auto parsed = telemetry::json::Parse(profile.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const auto& operators = parsed.value()->Get("operators");
+  ASSERT_TRUE(operators != nullptr && operators->is_array());
+  ASSERT_EQ(operators->AsArray().size(), rendered_rows.size());
+  for (size_t i = 0; i < rendered_rows.size(); ++i) {
+    const auto& rows = operators->AsArray()[i]->Get("actual_rows");
+    ASSERT_TRUE(rows != nullptr && rows->is_number());
+    EXPECT_EQ(rows->raw(), rendered_rows[i]) << "operator " << i;
+  }
+}
+
+TEST(TelemetryEngineTest, ArtifactsValidateAndSelfNotAboveTotal) {
+  auto ctx = dataflow::MakeContext();
+  CypherEngine engine(LdbcGraph(ctx));
+  ctx->EnableTelemetry();
+  ctx->tracker().Reset();
+  ctx->telemetry().ResetData();
+  auto result = engine.Execute(ldbc::Query2("Alice"));
+  ASSERT_TRUE(result.ok()) << result.status();
+  const telemetry::QueryProfile profile = query::BuildQueryProfile(
+      "ldbc_Q2", ldbc::Query2("Alice"), result.value(), *ctx);
+  const std::string trace_json =
+      telemetry::ToChromeTraceJson(ctx->telemetry().tracer().CollectSpans());
+  ctx->DisableTelemetry();
+
+  std::string error;
+  EXPECT_TRUE(telemetry::ValidateChromeTrace(trace_json, &error)) << error;
+  EXPECT_TRUE(telemetry::ValidateQueryProfile(profile.ToJson(), &error))
+      << error;
+
+  ASSERT_FALSE(profile.operators.empty());
+  for (const auto& op : profile.operators) {
+    EXPECT_LE(op.self_wall_sec, op.total_wall_sec + 1e-9) << op.describe;
+  }
+  // The root's total spans the whole execution, so it dominates every
+  // operator's self time.
+  for (const auto& op : profile.operators) {
+    EXPECT_LE(op.self_wall_sec, profile.operators.front().total_wall_sec +
+                                    1e-9)
+        << op.describe;
+  }
+  ASSERT_EQ(profile.workers.size(), 4u);
+  EXPECT_GE(profile.WorkerImbalanceRatio(), 1.0);
+  EXPECT_EQ(profile.phases.size(), 5u);
+}
+
+}  // namespace
+}  // namespace gradoop

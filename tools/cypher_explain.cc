@@ -12,7 +12,9 @@
 //
 // Exit status: 0 = all queries compiled (and ran, under --analyze),
 // 1 = at least one query failed to compile or execute, 2 = usage or
-// I/O error. CI runs the compile-only mode over examples/queries/.
+// I/O error. Per-query errors go to stderr; CI runs the compile-only
+// mode over examples/queries/ with stdout discarded and additionally
+// asserts the non-zero exit on a known-bad query.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -118,7 +120,9 @@ int main(int argc, char** argv) {
     auto rendered =
         analyze ? engine.ExplainAnalyze(query) : engine.Explain(query);
     if (!rendered.ok()) {
-      std::cout << name << ": error: " << rendered.status().message()
+      // stderr, not stdout: CI redirects stdout to /dev/null and must
+      // still see what failed (the non-zero exit alone names nothing).
+      std::cerr << name << ": error: " << rendered.status().message()
                 << "\n";
       ++failures;
       continue;

@@ -1,0 +1,259 @@
+// Query profiler: runs each input query over a generated LDBC graph
+// with engine telemetry enabled and writes two artifacts per query next
+// to a one-screen text summary:
+//
+//   TRACE_<name>.json    Chrome trace-event JSON (load in Perfetto or
+//                        chrome://tracing) — engine phases and operators
+//                        on the driver row, per-partition tasks on one
+//                        row per simulated worker, so skew shows up as
+//                        ragged same-stage span lengths.
+//   PROFILE_<name>.json  structured QueryProfile: per-phase wall times,
+//                        per-operator estimated-vs-actual rows and
+//                        self/total wall, per-worker busy time, shuffle
+//                        and spill bytes, metric counters + histograms.
+//
+//   cypher_profile --ldbc                  profile the six LDBC queries
+//   cypher_profile --ldbc-q 1              one LDBC query (1..6)
+//   cypher_profile -q "MATCH ..." q.cypher inline text and files
+//   cypher_profile --sf 0.1 --workers 8 --out /tmp/profiles --ldbc
+//
+// Both artifacts are schema-validated before this tool exits; an
+// invalid export is a failure, not a warning.
+//
+// Exit status: 0 = all queries profiled and both artifacts validated,
+// 1 = at least one query failed to run or an artifact failed
+// validation, 2 = usage or I/O error.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ldbc/ldbc_generator.h"
+#include "ldbc/queries.h"
+#include "query/cypher_engine.h"
+#include "query/query_profile.h"
+#include "telemetry/trace_export.h"
+#include "telemetry/validate.h"
+
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage: cypher_profile [options] [file.cypher ...]\n"
+         "  -q, --query TEXT   profile TEXT instead of reading files\n"
+         "      --ldbc         profile the bundled LDBC benchmark queries\n"
+         "      --ldbc-q N     profile LDBC query N (1..6)\n"
+         "      --sf FACTOR    LDBC generator scale factor (default 0.05)\n"
+         "      --workers N    simulated cluster size (default 4)\n"
+         "      --out DIR      artifact directory (default .)\n";
+  return 2;
+}
+
+// Artifact-name component: path separators would splinter the output
+// file ("ldbc/Q1" -> "ldbc_Q1").
+std::string SanitizeName(const std::string& name) {
+  std::string out = name;
+  std::replace(out.begin(), out.end(), '/', '_');
+  return out;
+}
+
+bool WriteFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+  return static_cast<bool>(out);
+}
+
+std::pair<std::string, std::string> LdbcQuery(int n) {
+  switch (n) {
+    case 1: return {"ldbc/Q1", gradoop::ldbc::Query1("Alice")};
+    case 2: return {"ldbc/Q2", gradoop::ldbc::Query2("Alice")};
+    case 3: return {"ldbc/Q3", gradoop::ldbc::Query3("Alice")};
+    case 4: return {"ldbc/Q4", gradoop::ldbc::Query4()};
+    case 5: return {"ldbc/Q5", gradoop::ldbc::Query5()};
+    default: return {"ldbc/Q6", gradoop::ldbc::Query6()};
+  }
+}
+
+void PrintSummary(const gradoop::telemetry::QueryProfile& profile) {
+  std::printf("%s: %llu matches, wall %.1f ms, simulated %.3f s\n",
+              profile.name.c_str(),
+              static_cast<unsigned long long>(profile.matches),
+              profile.total_wall_sec * 1e3, profile.simulated_sec);
+  std::printf("  phases:");
+  for (const auto& phase : profile.phases) {
+    std::printf(" %s=%.1fms", phase.name.c_str(), phase.wall_sec * 1e3);
+  }
+  std::printf("\n");
+
+  // Top operators by self time — where the execution itself went.
+  std::vector<const gradoop::telemetry::OperatorProfile*> by_self;
+  by_self.reserve(profile.operators.size());
+  for (const auto& op : profile.operators) by_self.push_back(&op);
+  std::stable_sort(by_self.begin(), by_self.end(),
+                   [](const auto* a, const auto* b) {
+                     return a->self_wall_sec > b->self_wall_sec;
+                   });
+  const size_t top = std::min<size_t>(by_self.size(), 3);
+  for (size_t i = 0; i < top; ++i) {
+    const auto& op = *by_self[i];
+    std::printf("  top[%zu] %s self=%.3fms rows=%llu (est %.0f)\n", i,
+                op.describe.c_str(), op.self_wall_sec * 1e3,
+                static_cast<unsigned long long>(op.actual_rows),
+                op.estimated_rows);
+  }
+
+  std::printf("  workers:");
+  for (const auto& w : profile.workers) {
+    std::printf(" [%d]=%.2fms/%llu", w.worker, w.busy_sec * 1e3,
+                static_cast<unsigned long long>(w.tasks));
+  }
+  std::printf(" imbalance=%.2f\n", profile.WorkerImbalanceRatio());
+  std::printf("  shuffle=%lluB spill=%lluB records=%llu\n",
+              static_cast<unsigned long long>(profile.network_bytes),
+              static_cast<unsigned long long>(profile.spilled_bytes),
+              static_cast<unsigned long long>(profile.records));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale_factor = 0.05;
+  int workers = 0;  // 0 = ClusterConfig default
+  std::string out_dir = ".";
+  std::vector<std::pair<std::string, std::string>> inputs;  // name, query
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "-q" || arg == "--query") {
+      const char* text = next();
+      if (text == nullptr) return Usage();
+      inputs.emplace_back("query" + std::to_string(inputs.size()), text);
+    } else if (arg == "--ldbc") {
+      for (int n = 1; n <= 6; ++n) inputs.push_back(LdbcQuery(n));
+    } else if (arg == "--ldbc-q") {
+      const char* text = next();
+      if (text == nullptr) return Usage();
+      int n = 0;
+      try {
+        n = std::stoi(text);
+      } catch (...) {
+        return Usage();
+      }
+      if (n < 1 || n > 6) return Usage();
+      inputs.push_back(LdbcQuery(n));
+    } else if (arg == "--sf") {
+      const char* text = next();
+      if (text == nullptr) return Usage();
+      try {
+        scale_factor = std::stod(text);
+      } catch (...) {
+        return Usage();
+      }
+      if (scale_factor <= 0.0) return Usage();
+    } else if (arg == "--workers") {
+      const char* text = next();
+      if (text == nullptr) return Usage();
+      try {
+        workers = std::stoi(text);
+      } catch (...) {
+        return Usage();
+      }
+      if (workers <= 0) return Usage();
+    } else if (arg == "--out") {
+      const char* text = next();
+      if (text == nullptr) return Usage();
+      out_dir = text;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  for (const std::string& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "cypher_profile: cannot read '" << path << "'\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    inputs.emplace_back(path, buffer.str());
+  }
+  if (inputs.empty()) return Usage();
+
+  gradoop::dataflow::ClusterConfig cluster;
+  if (workers > 0) cluster.num_workers = workers;
+  gradoop::dataflow::ExecutionContextPtr ctx =
+      gradoop::dataflow::MakeContext(cluster);
+
+  gradoop::ldbc::LdbcConfig cfg;
+  cfg.scale_factor = scale_factor;
+  gradoop::query::CypherEngine engine(
+      gradoop::ldbc::LdbcGenerator(cfg).Generate(ctx));
+
+  // Enabled only now: graph generation and index construction stay out
+  // of every query's trace.
+  ctx->EnableTelemetry();
+
+  int failures = 0;
+  for (const auto& [name, query] : inputs) {
+    // Each query gets a clean tracker and telemetry state, so artifacts
+    // describe exactly one execution.
+    ctx->tracker().Reset();
+    ctx->telemetry().ResetData();
+
+    auto result = engine.Execute(query);
+    if (!result.ok()) {
+      std::cerr << name << ": error: " << result.status().message() << "\n";
+      ++failures;
+      continue;
+    }
+
+    const gradoop::telemetry::QueryProfile profile =
+        gradoop::query::BuildQueryProfile(SanitizeName(name), query,
+                                          result.value(), *ctx);
+    const std::string trace_json = gradoop::telemetry::ToChromeTraceJson(
+        ctx->telemetry().tracer().CollectSpans());
+    const std::string profile_json = profile.ToJson();
+
+    // The tool validates its own output: an export Perfetto would reject
+    // fails the run.
+    std::string error;
+    if (!gradoop::telemetry::ValidateChromeTrace(trace_json, &error)) {
+      std::cerr << name << ": invalid trace: " << error << "\n";
+      ++failures;
+      continue;
+    }
+    if (!gradoop::telemetry::ValidateQueryProfile(profile_json, &error)) {
+      std::cerr << name << ": invalid profile: " << error << "\n";
+      ++failures;
+      continue;
+    }
+
+    const std::string trace_path =
+        out_dir + "/TRACE_" + profile.name + ".json";
+    const std::string profile_path =
+        out_dir + "/PROFILE_" + profile.name + ".json";
+    if (!WriteFile(trace_path, trace_json) ||
+        !WriteFile(profile_path, profile_json)) {
+      std::cerr << name << ": cannot write artifacts under '" << out_dir
+                << "'\n";
+      return 2;
+    }
+
+    PrintSummary(profile);
+    std::printf("  -> %s\n  -> %s\n", trace_path.c_str(),
+                profile_path.c_str());
+  }
+  std::printf("%zu quer%s profiled: %d failure(s)\n", inputs.size(),
+              inputs.size() == 1 ? "y" : "ies", failures);
+  return failures > 0 ? 1 : 0;
+}
