@@ -45,6 +45,15 @@ struct RunResult {
   uint64_t network_bytes = 0;
   uint64_t spilled_bytes = 0;
   uint64_t records = 0;
+  // Shuffle accounting (telemetry counters; zero when the producing
+  // benchmark runs without telemetry). `shuffle_bytes` counts every
+  // serialized byte entering an exchange, local channels included;
+  // elided figures record shuffles the partitioning analysis proved
+  // unnecessary (docs/partitioning.md).
+  uint64_t shuffle_count = 0;
+  uint64_t shuffle_bytes = 0;
+  uint64_t shuffle_elided_count = 0;
+  uint64_t shuffle_elided_bytes = 0;
 };
 
 // Machine-readable counterpart of each benchmark's console table.
@@ -133,7 +142,12 @@ class JsonReporter {
           << ", \"simulated_sec\": " << sim_sec
           << ", \"network_bytes\": " << r.network_bytes
           << ", \"spilled_bytes\": " << r.spilled_bytes
-          << ", \"records\": " << r.records << "}";
+          << ", \"records\": " << r.records
+          << ", \"shuffle_count\": " << r.shuffle_count
+          << ", \"shuffle_bytes\": " << r.shuffle_bytes
+          << ", \"shuffle_elided_count\": " << r.shuffle_elided_count
+          << ", \"shuffle_elided_bytes\": " << r.shuffle_elided_bytes
+          << "}";
     }
     out << "\n]}\n";
     entries_.clear();

@@ -1,0 +1,117 @@
+// Per-query shuffle accounting for the six LDBC benchmark queries: how
+// many exchanges each query runs, how many bytes enter them, and how
+// much of that the partitioning analysis elides. Three planner modes:
+//
+//   default      broadcast joins allowed (the paper's configuration)
+//   repartition  broadcast disabled, shuffle elision on — the mode the
+//                partitioning analysis was built for
+//   no-elide     broadcast disabled, elision off (ablation baseline)
+//
+// The repartition-vs-no-elide delta in shuffle_bytes is the analysis's
+// measured win; CI archives BENCH_ldbc_queries.json alongside the other
+// benchmark artifacts.
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "telemetry/metrics_registry.h"
+
+namespace {
+
+using gradoop::bench::JsonReporter;
+using gradoop::bench::MiniSf10;
+using gradoop::bench::PaperQuery;
+using gradoop::bench::QueryLabel;
+using gradoop::bench::RunResult;
+
+uint64_t Counter(const gradoop::telemetry::MetricsSnapshot& snap,
+                 const std::string& name) {
+  auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+}  // namespace
+
+int main() {
+  const double sf = MiniSf10();
+  const int workers = 4;
+  JsonReporter reporter("ldbc_queries");
+
+  gradoop::ldbc::LdbcConfig config;
+  config.scale_factor = sf;
+  const gradoop::ldbc::LdbcElements elements =
+      gradoop::ldbc::LdbcGenerator(config).GenerateElements();
+  const std::string first_name = gradoop::ldbc::PickFirstName(
+      elements, gradoop::ldbc::Selectivity::kMedium);
+
+  struct Mode {
+    const char* name;
+    bool allow_broadcast;
+    bool elide_shuffles;
+  };
+  const Mode modes[] = {{"default", true, true},
+                        {"repartition", false, true},
+                        {"no-elide", false, false}};
+
+  std::printf("%-8s %-12s %9s %9s %8s %11s %7s %11s\n", "query", "mode",
+              "matches", "sim [s]", "shuffles", "bytes", "elided",
+              "saved bytes");
+  for (const Mode& mode : modes) {
+    gradoop::dataflow::ClusterConfig cluster;
+    cluster.num_workers = workers;
+    reporter.set_cluster(cluster);
+    auto ctx = gradoop::dataflow::MakeContext(cluster);
+    ctx->EnableTelemetry();
+    gradoop::epgm::GraphHead head(0, "SocialNetwork");
+    auto graph = gradoop::epgm::LogicalGraph::FromVectors(
+        ctx, head, elements.vertices, elements.edges);
+    gradoop::query::PlannerOptions options;
+    options.allow_broadcast = mode.allow_broadcast;
+    options.elide_shuffles = mode.elide_shuffles;
+    gradoop::query::CypherEngine engine(graph, options);
+
+    for (int q = 0; q < 6; ++q) {
+      const std::string query = PaperQuery(q, first_name);
+      ctx->tracker().Reset();
+      ctx->telemetry().metrics().Reset();
+      gradoop::Timer timer;
+      auto count = engine.Count(query);
+      RunResult result;
+      result.wall_sec = timer.ElapsedSeconds();
+      if (!count.ok()) {
+        std::fprintf(stderr, "%s (%s) failed: %s\n", QueryLabel(q),
+                     mode.name, count.status().ToString().c_str());
+        return 1;
+      }
+      result.matches = count.value();
+      result.simulated_sec = ctx->tracker().SimulatedSeconds();
+      result.network_bytes = ctx->tracker().NetworkBytes();
+      result.spilled_bytes = ctx->tracker().SpilledBytes();
+      result.records = ctx->tracker().TotalRecords();
+      const auto snap = ctx->telemetry().metrics().Snapshot();
+      result.shuffle_count = Counter(snap, "shuffle.count");
+      result.shuffle_bytes = Counter(snap, "shuffle.bytes");
+      result.shuffle_elided_count = Counter(snap, "shuffle.elided.count");
+      result.shuffle_elided_bytes = Counter(snap, "shuffle.elided.bytes");
+
+      char sf_text[32];
+      std::snprintf(sf_text, sizeof(sf_text), "%.2f", sf);
+      reporter.Record({{"sf", sf_text},
+                       {"workers", std::to_string(workers)},
+                       {"query", QueryLabel(q)},
+                       {"mode", mode.name}},
+                      result);
+      std::printf("%-8s %-12s %9llu %9.3f %8llu %11llu %7llu %11llu\n",
+                  QueryLabel(q) + 6, mode.name,
+                  static_cast<unsigned long long>(result.matches),
+                  result.simulated_sec,
+                  static_cast<unsigned long long>(result.shuffle_count),
+                  static_cast<unsigned long long>(result.shuffle_bytes),
+                  static_cast<unsigned long long>(
+                      result.shuffle_elided_count),
+                  static_cast<unsigned long long>(
+                      result.shuffle_elided_bytes));
+    }
+  }
+  return 0;
+}

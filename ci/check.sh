@@ -48,7 +48,10 @@ if [[ "${ONLY}" == "all" || "${ONLY}" == "plain" ]]; then
 fi
 
 if [[ "${ONLY}" == "all" || "${ONLY}" == "asan" ]]; then
-  run_tree asan \
+  # The ASan tree also runs with the partitioning audit on: every elided
+  # shuffle in the whole suite re-hashes its records and aborts on the
+  # first one the compile-time analysis misplaced (docs/partitioning.md).
+  GRADOOP_AUDIT_PARTITIONING=1 run_tree asan \
     -DCMAKE_BUILD_TYPE=Debug \
     -DGRADOOP_ASAN=ON -DGRADOOP_UBSAN=ON
 fi
@@ -70,6 +73,17 @@ if [[ "${ONLY}" == "all" || "${ONLY}" == "lint" ]]; then
     cmake --build "${OUT}/plain" -j "${JOBS}" --target cypher_lint
   fi
   "${OUT}/plain/tools/cypher_lint" --ldbc "${ROOT}"/examples/queries/*.cypher
+  # Exit-code contract for --werror: a warnings-only query passes the
+  # default lint (exit 0) and fails the strict one (exit 1), so CI
+  # configurations can rely on the escalation actually escalating.
+  WARN_ONLY_QUERY="MATCH (a) WHERE 1 = 1 RETURN a"
+  "${OUT}/plain/tools/cypher_lint" -q "${WARN_ONLY_QUERY}" >/dev/null
+  if "${OUT}/plain/tools/cypher_lint" --werror -q "${WARN_ONLY_QUERY}" \
+      >/dev/null 2>&1
+  then
+    echo "cypher_lint: --werror must fail a warnings-only query" >&2
+    exit 1
+  fi
 fi
 
 # Plan-compilation stage: lower every shipped query through the full
@@ -92,6 +106,22 @@ if [[ "${ONLY}" == "all" || "${ONLY}" == "explain" ]]; then
     echo "cypher_explain: expected non-zero exit for a broken query" >&2
     exit 1
   fi
+  # Partitioning analysis: with broadcast joins disabled, at least one
+  # shipped example plan must show a proven shuffle elision — a silent
+  # regression of the analysis would otherwise keep this stage green.
+  if ! "${OUT}/plain/tools/cypher_explain" --no-broadcast \
+      "${ROOT}"/examples/queries/*.cypher | grep -q "shuffle=elided"
+  then
+    echo "cypher_explain: no example plan shows an elided shuffle" >&2
+    exit 1
+  fi
+  # ...and the elisions must survive their runtime audit: execute the
+  # LDBC set and the example corpus with every elided shuffle re-hashed
+  # record-by-record (the audit aborts the process on a misplaced one).
+  GRADOOP_AUDIT_PARTITIONING=1 "${OUT}/plain/tools/cypher_explain" \
+    --analyze --no-broadcast --ldbc >/dev/null
+  GRADOOP_AUDIT_PARTITIONING=1 "${OUT}/plain/tools/cypher_explain" \
+    --analyze --no-broadcast "${ROOT}"/examples/queries/*.cypher >/dev/null
 fi
 
 # Telemetry stage: profile two LDBC queries with the engine's tracing

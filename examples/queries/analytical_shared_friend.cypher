@@ -1,0 +1,7 @@
+// Three knows-edges fanning into the same person f. Under repartition
+// joins (cypher_explain --no-broadcast) the second join's left input is
+// already hash-partitioned on f by the first join, so the partitioning
+// analysis elides its shuffle — EXPLAIN shows
+// "shuffle=elided (co-partitioned on f)". CI pins this.
+MATCH (p1)-[e1:knows]->(f), (p2)-[e2:knows]->(f), (p3)-[e3:knows]->(f)
+RETURN *

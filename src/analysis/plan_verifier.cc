@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "analysis/type_check.h"
+#include "query/exec/partitioning.h"
 
 namespace gradoop::analysis {
 
@@ -569,6 +570,22 @@ Status VerifyCompiledNode(const cypher::QueryGraph& qg,
   }
   GRADOOP_RETURN_IF_ERROR(CheckCompiledClauses(op, op.fused_clauses(), meta));
 
+  // Partitioning claim: whatever the compiler stamped must be re-derivable
+  // from the operator kind, keys, strategy and the children's claims. A
+  // claim the transfer functions cannot reproduce would let an unsound
+  // shuffle elision through, so it fails verification outright.
+  if (op.has_output_partitioning()) {
+    const query::exec::PartitioningProperty derived =
+        query::exec::DerivePartitioning(op);
+    if (!(op.output_partitioning() == derived)) {
+      return CompiledViolation(
+          op, "claimed output partitioning " +
+                  op.output_partitioning().ToString() +
+                  " is not derivable (transfer function yields " +
+                  derived.ToString() + ")");
+    }
+  }
+
   switch (op.op_kind()) {
     case PhysOpKind::kVertexScan: {
       if (!op.children().empty()) {
@@ -625,6 +642,37 @@ Status VerifyCompiledNode(const cypher::QueryGraph& qg,
         }
       }
       GRADOOP_RETURN_IF_ERROR(CheckMergedLayout(op, left, right, meta));
+      // Shuffle elision must be justified: repartition strategy, a
+      // non-empty key, and an elided side whose child claims exactly the
+      // partitioning the elision relies on.
+      if (join.elide_left_shuffle() || join.elide_right_shuffle()) {
+        if (join.strategy() != dataflow::JoinStrategy::kRepartition) {
+          return CompiledViolation(
+              op, "shuffle elision on a non-repartition join");
+        }
+        if (join.join_variables().empty()) {
+          return CompiledViolation(op, "shuffle elision on a cartesian join");
+        }
+        const bool sides[2] = {join.elide_left_shuffle(),
+                               join.elide_right_shuffle()};
+        for (int i = 0; i < 2; ++i) {
+          if (!sides[i]) continue;
+          const auto& child = *op.children()[i];
+          if (!child.has_output_partitioning() ||
+              !query::exec::ElidesShuffle(
+                  child.output_partitioning(),
+                  query::exec::PartitionKeyKind::kIdColumns,
+                  join.join_variables())) {
+            return CompiledViolation(
+                op, std::string(i == 0 ? "left" : "right") +
+                        " shuffle elided but the input claims " +
+                        (child.has_output_partitioning()
+                             ? child.output_partitioning().ToString()
+                             : std::string("no partitioning")) +
+                        ", not hash on the join key");
+          }
+        }
+      }
       break;
     }
     case PhysOpKind::kValueJoin: {
@@ -653,6 +701,32 @@ Status VerifyCompiledNode(const cypher::QueryGraph& qg,
         }
       }
       GRADOOP_RETURN_IF_ERROR(CheckMergedLayout(op, left, right, meta));
+      if (join.elide_left_shuffle() || join.elide_right_shuffle()) {
+        if (join.strategy() != dataflow::JoinStrategy::kRepartition) {
+          return CompiledViolation(
+              op, "shuffle elision on a non-repartition value join");
+        }
+        const bool sides[2] = {join.elide_left_shuffle(),
+                               join.elide_right_shuffle()};
+        for (int i = 0; i < 2; ++i) {
+          if (!sides[i]) continue;
+          const auto& child = *op.children()[i];
+          if (!child.has_output_partitioning() ||
+              !query::exec::ElidesShuffle(
+                  child.output_partitioning(),
+                  query::exec::PartitionKeyKind::kPropertyValues,
+                  query::exec::ValueKeySideTokens(join.key_descriptions(),
+                                                  /*right_side=*/i == 1))) {
+            return CompiledViolation(
+                op, std::string(i == 0 ? "left" : "right") +
+                        " shuffle elided but the input claims " +
+                        (child.has_output_partitioning()
+                             ? child.output_partitioning().ToString()
+                             : std::string("no partitioning")) +
+                        ", not hash on the value key");
+          }
+        }
+      }
       break;
     }
     case PhysOpKind::kExpand: {

@@ -4,6 +4,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <type_traits>
@@ -12,6 +14,7 @@
 #include <vector>
 
 #include "dataflow/execution_context.h"
+#include "dataflow/partitioning_audit.h"
 #include "dataflow/record_traits.h"
 
 namespace gradoop::dataflow {
@@ -21,6 +24,17 @@ namespace gradoop::dataflow {
 enum class JoinStrategy {
   kRepartition,  // hash-partition both sides on the join key
   kBroadcast,    // replicate the (small) right side to every worker
+};
+
+// Compile-time claims handed to HashJoin by the partitioning analysis
+// (query/exec/partitioning.h): a flagged side is provably already
+// hash-partitioned on the join key, so its shuffle is adopted in place —
+// zero bytes enter the exchange and zero network time is charged. The
+// claims are trusted here; VerifyCompiledPlan re-derives them statically
+// and GRADOOP_AUDIT_PARTITIONING re-hashes every record at runtime.
+struct JoinShuffleHints {
+  bool left_prepartitioned = false;
+  bool right_prepartitioned = false;
 };
 
 // A distributed dataset: `num_workers` partitions, partition i owned by
@@ -275,7 +289,8 @@ class Dataset {
   Dataset<Out> HashJoin(const Dataset<U>& right, KeyL key_left, KeyR key_right,
                         Joiner joiner,
                         JoinStrategy strategy = JoinStrategy::kRepartition,
-                        const char* label = "Join") const {
+                        const char* label = "Join",
+                        JoinShuffleHints hints = {}) const {
     using K = std::decay_t<std::invoke_result_t<KeyL, const T&>>;
     static_assert(
         std::is_same_v<K, std::decay_t<std::invoke_result_t<KeyR, const U&>>>,
@@ -288,10 +303,19 @@ class Dataset {
     typename Dataset<T>::Partitions left_parts;
     typename Dataset<U>::Partitions right_parts;
     if (strategy == JoinStrategy::kRepartition) {
-      left_parts.resize(p);
-      ShuffleInto(key_left, *partitions_, &left_parts, label);
-      right_parts.resize(p);
-      ShuffleIntoOther(key_right, right, &right_parts, label);
+      if (hints.left_prepartitioned) {
+        AdoptPrepartitioned(key_left, *partitions_, &left_parts, label);
+      } else {
+        left_parts.resize(p);
+        ShuffleInto(key_left, *partitions_, &left_parts, label);
+      }
+      if (hints.right_prepartitioned) {
+        AdoptPrepartitioned(key_right, *right.partitions_, &right_parts,
+                            label);
+      } else {
+        right_parts.resize(p);
+        ShuffleIntoOther(key_right, right, &right_parts, label);
+      }
     } else {
       left_parts = *partitions_;  // stays in place
       const bool traced = ctx_->telemetry().enabled();
@@ -334,7 +358,10 @@ class Dataset {
                              /*worker=*/-1,
                              {{"bytes", static_cast<double>(moved)}});
         tel.metrics().AddCounter("shuffle.count", 1);
+        // A broadcast never exchanges locally: every byte entering it is
+        // sent to the (p-1) other workers, so both counters equal moved.
         tel.metrics().AddCounter("shuffle.bytes", moved);
+        tel.metrics().AddCounter("shuffle.bytes.remote", moved);
       }
     }
 
@@ -481,14 +508,22 @@ class Dataset {
     std::vector<uint64_t> out_bytes(p, 0), in_bytes(p, 0);
     std::vector<uint64_t> in_counts(p, 0);
     uint64_t moved = 0;
+    uint64_t exchanged = 0;
     using K = std::decay_t<std::invoke_result_t<KeyFn, const Rec&>>;
     std::hash<K> hasher;
     for (int i = 0; i < p; ++i) {
       in_counts[i] = src[i].size();
       for (const Rec& rec : src[i]) {
         const int target = static_cast<int>(hasher(key(rec)) % p);
+        // Only the cost model distinguishes local from remote delivery;
+        // the shuffle.bytes counter (Flink's numBytesOut) covers every
+        // record entering the exchange, local channels included — that is
+        // the volume an elided shuffle avoids serializing. Skip the size
+        // computation entirely for untraced local records.
+        const uint64_t b =
+            (traced || target != i) ? RecordBytes(rec) : 0;
+        if (traced) exchanged += b;
         if (target != i) {
-          const uint64_t b = RecordBytes(rec);
           out_bytes[i] += b;
           in_bytes[target] += b;
           moved += b;
@@ -517,10 +552,56 @@ class Dataset {
       tel.tracer().AddSpan(
           cost.label, telemetry::kCategoryStage, span_begin_us,
           tel.tracer().NowMicros(), /*worker=*/-1,
-          {{"bytes", static_cast<double>(moved)},
+          {{"bytes", static_cast<double>(exchanged)},
+           {"remote_bytes", static_cast<double>(moved)},
            {"records", static_cast<double>(total)}});
       tel.metrics().AddCounter("shuffle.count", 1);
-      tel.metrics().AddCounter("shuffle.bytes", moved);
+      tel.metrics().AddCounter("shuffle.bytes", exchanged);
+      tel.metrics().AddCounter("shuffle.bytes.remote", moved);
+    }
+  }
+
+  // Adopts `src` as the already-partitioned join-side layout: the
+  // partitioning analysis proved every record sits at hash(key) % p, so
+  // no exchange runs, no stage is charged and no network bytes accrue.
+  // Counters record what was saved; with GRADOOP_AUDIT_PARTITIONING set,
+  // every record is re-hashed and the process hard-fails on the first
+  // one the proof misplaced.
+  template <typename KeyFn, typename Rec>
+  void AdoptPrepartitioned(KeyFn key,
+                           const std::vector<std::vector<Rec>>& src,
+                           std::vector<std::vector<Rec>>* dst,
+                           const char* label) const {
+    if (PartitioningAuditEnabled()) {
+      uint64_t checked = 0;
+      const uint64_t misplaced = CountMisplacedRecords(src, key, &checked);
+      PartitioningAuditStats::Instance().RecordCheck(checked, misplaced);
+      if (misplaced != 0) {
+        std::fprintf(stderr,
+                     "[gradoop] partitioning audit FAILED at %s: %llu of "
+                     "%llu records of an elided shuffle sit in the wrong "
+                     "partition — the partitioning analysis is unsound\n",
+                     label, static_cast<unsigned long long>(misplaced),
+                     static_cast<unsigned long long>(checked));
+        std::abort();
+      }
+    }
+    *dst = src;
+    if (ctx_->telemetry().enabled()) {
+      uint64_t bytes = 0, records = 0;
+      for (const auto& part : src) {
+        records += part.size();
+        for (const Rec& rec : part) bytes += RecordBytes(rec);
+      }
+      telemetry::Telemetry& tel = ctx_->telemetry();
+      tel.metrics().AddCounter("shuffle.elided.count", 1);
+      tel.metrics().AddCounter("shuffle.elided.bytes", bytes);
+      const double now_us = tel.tracer().NowMicros();
+      tel.tracer().AddSpan(std::string(label) + "/ShuffleElided",
+                           telemetry::kCategoryStage, now_us, now_us,
+                           /*worker=*/-1,
+                           {{"bytes_saved", static_cast<double>(bytes)},
+                            {"records", static_cast<double>(records)}});
     }
   }
 

@@ -23,6 +23,7 @@ exec::CompileOptions CompileOptionsFrom(const PlannerOptions& planner) {
   options.fuse_filters = planner.fuse_filters;
   options.prune_properties = planner.prune_properties;
   options.share_scans = planner.share_scan_results;
+  options.elide_shuffles = planner.elide_shuffles;
   return options;
 }
 

@@ -25,6 +25,24 @@ std::string ClauseList(const std::vector<cypher::CnfClause>& clauses) {
   return out;
 }
 
+std::string CommaJoined(const std::vector<std::string>& tokens) {
+  std::string out;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) out += ",";
+    out += tokens[i];
+  }
+  return out;
+}
+
+// Renders shuffle elision for EXPLAIN: which repartition sides the
+// analysis proved co-partitioned, and on what key.
+std::string ElisionSuffix(bool left, bool right, const std::string& keys) {
+  if (!left && !right) return "";
+  const char* side = (left && right) ? "" : (left ? "left " : "right ");
+  return ", " + std::string(side) + "shuffle=elided (co-partitioned on " +
+         keys + ")";
+}
+
 // Selects the scan input for a label alternation from the indexed graph:
 // single-label predicates load exactly one per-label dataset (§3.4).
 dfl::Dataset<epgm::Vertex> VertexScanInput(
@@ -201,13 +219,12 @@ std::string JoinOp::Describe() const {
   if (join_variables_.empty()) {
     out += "<cartesian>";
   } else {
-    for (size_t i = 0; i < join_variables_.size(); ++i) {
-      if (i > 0) out += ",";
-      out += join_variables_[i];
-    }
+    out += CommaJoined(join_variables_);
   }
   out += strategy_ == dfl::JoinStrategy::kBroadcast ? ", broadcast"
                                                     : ", repartition";
+  out += ElisionSuffix(elide_left_shuffle_, elide_right_shuffle_,
+                       CommaJoined(join_variables_));
   return out + ")";
 }
 
@@ -215,17 +232,25 @@ Result<EmbeddingSet> JoinOp::Run(const ExecEnv& env,
                                  std::vector<EmbeddingSet> inputs) {
   (void)env;
   return JoinEmbeddings(inputs[0], inputs[1], left_columns_, right_columns_,
-                        output_meta_, semantics_, strategy_, fused_clauses_);
+                        output_meta_, semantics_, strategy_, fused_clauses_,
+                        {elide_left_shuffle_, elide_right_shuffle_});
 }
 
 // --- ValueJoinOp -------------------------------------------------------
 
 std::string ValueJoinOp::Describe() const {
-  std::string out = "ValueJoinEmbeddings(on ";
-  for (size_t i = 0; i < key_descriptions_.size(); ++i) {
-    if (i > 0) out += ",";
-    out += key_descriptions_[i];
+  std::string out = "ValueJoinEmbeddings(on " + CommaJoined(key_descriptions_);
+  // Name the elided side's own key accesses (both sides elided reads best
+  // with the full equality descriptions).
+  std::string keys;
+  if (elide_left_shuffle_ && elide_right_shuffle_) {
+    keys = CommaJoined(key_descriptions_);
+  } else if (elide_left_shuffle_) {
+    keys = CommaJoined(ValueKeySideTokens(key_descriptions_, false));
+  } else if (elide_right_shuffle_) {
+    keys = CommaJoined(ValueKeySideTokens(key_descriptions_, true));
   }
+  out += ElisionSuffix(elide_left_shuffle_, elide_right_shuffle_, keys);
   return out + ")";
 }
 
@@ -234,7 +259,8 @@ Result<EmbeddingSet> ValueJoinOp::Run(const ExecEnv& env,
   (void)env;
   return ValueJoinEmbeddings(inputs[0], inputs[1], left_key_columns_,
                              right_key_columns_, output_meta_, semantics_,
-                             strategy_, fused_clauses_);
+                             strategy_, fused_clauses_,
+                             {elide_left_shuffle_, elide_right_shuffle_});
 }
 
 // --- ExpandOp ----------------------------------------------------------

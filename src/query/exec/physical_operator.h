@@ -13,6 +13,7 @@
 #include "dataflow/dataset.h"
 #include "epgm/indexed_logical_graph.h"
 #include "query/embedding_meta_data.h"
+#include "query/exec/partitioning.h"
 #include "query/match_semantics.h"
 #include "query/operators.h"
 
@@ -99,6 +100,19 @@ class PhysicalOperator {
   }
   const OperatorStats& stats() const { return stats_; }
 
+  // Partitioning-property claim of the output layout, stamped bottom-up
+  // by PlanCompiler from DerivePartitioning and independently re-derived
+  // by VerifyCompiledPlan. Absent only on operators built outside the
+  // compiler (hand-assembled test trees).
+  bool has_output_partitioning() const { return has_output_partitioning_; }
+  const PartitioningProperty& output_partitioning() const {
+    return output_partitioning_;
+  }
+  void set_output_partitioning(PartitioningProperty p) {
+    output_partitioning_ = std::move(p);
+    has_output_partitioning_ = true;
+  }
+
   struct RenderOptions {
     bool actuals = false;  // append rows=<actual cardinality>
     bool timing = false;   // append wall/net/spill (non-deterministic)
@@ -128,6 +142,8 @@ class PhysicalOperator {
   std::vector<cypher::CnfClause> fused_clauses_;
   std::vector<PhysicalOperatorPtr> children_;
   OperatorStats stats_;
+  PartitioningProperty output_partitioning_;
+  bool has_output_partitioning_ = false;
 };
 
 // --- one class per plan kind -----------------------------------------
@@ -216,6 +232,15 @@ class JoinOp final : public PhysicalOperator {
   const std::vector<int>& right_columns() const { return right_columns_; }
   dataflow::JoinStrategy strategy() const { return strategy_; }
 
+  // Shuffle elision, granted by PlanCompiler when the partitioning
+  // analysis proved the side co-partitioned on join_variables_.
+  bool elide_left_shuffle() const { return elide_left_shuffle_; }
+  bool elide_right_shuffle() const { return elide_right_shuffle_; }
+  void set_shuffle_elision(bool left, bool right) {
+    elide_left_shuffle_ = left;
+    elide_right_shuffle_ = right;
+  }
+
  protected:
   Result<EmbeddingSet> Run(const ExecEnv& env,
                            std::vector<EmbeddingSet> inputs) override;
@@ -225,6 +250,8 @@ class JoinOp final : public PhysicalOperator {
   std::vector<int> left_columns_;
   std::vector<int> right_columns_;
   dataflow::JoinStrategy strategy_;
+  bool elide_left_shuffle_ = false;
+  bool elide_right_shuffle_ = false;
 };
 
 class ValueJoinOp final : public PhysicalOperator {
@@ -254,6 +281,17 @@ class ValueJoinOp final : public PhysicalOperator {
   const std::vector<int>& right_key_columns() const {
     return right_key_columns_;
   }
+  const std::vector<std::string>& key_descriptions() const {
+    return key_descriptions_;
+  }
+  dataflow::JoinStrategy strategy() const { return strategy_; }
+
+  bool elide_left_shuffle() const { return elide_left_shuffle_; }
+  bool elide_right_shuffle() const { return elide_right_shuffle_; }
+  void set_shuffle_elision(bool left, bool right) {
+    elide_left_shuffle_ = left;
+    elide_right_shuffle_ = right;
+  }
 
  protected:
   Result<EmbeddingSet> Run(const ExecEnv& env,
@@ -264,6 +302,8 @@ class ValueJoinOp final : public PhysicalOperator {
   std::vector<int> left_key_columns_;
   std::vector<int> right_key_columns_;
   dataflow::JoinStrategy strategy_;
+  bool elide_left_shuffle_ = false;
+  bool elide_right_shuffle_ = false;
 };
 
 class ExpandOp final : public PhysicalOperator {

@@ -110,6 +110,42 @@ std::string PlanCompiler::EdgeScanSignature(
   return sig;
 }
 
+PhysicalOperatorPtr PlanCompiler::Annotate(PhysicalOperatorPtr op) const {
+  if (options_.elide_shuffles && op->op_kind() == PhysOpKind::kJoin) {
+    auto& join = static_cast<JoinOp&>(*op);
+    if (join.strategy() == dataflow::JoinStrategy::kRepartition &&
+        !join.join_variables().empty()) {
+      auto side_elides = [&](size_t i) {
+        const PhysicalOperatorPtr& child = op->children()[i];
+        return child != nullptr && child->has_output_partitioning() &&
+               ElidesShuffle(child->output_partitioning(),
+                             PartitionKeyKind::kIdColumns,
+                             join.join_variables());
+      };
+      join.set_shuffle_elision(side_elides(0), side_elides(1));
+    }
+  }
+  if (options_.elide_shuffles && op->op_kind() == PhysOpKind::kValueJoin) {
+    auto& join = static_cast<ValueJoinOp&>(*op);
+    if (join.strategy() == dataflow::JoinStrategy::kRepartition) {
+      auto side_elides = [&](size_t i, bool right_side) {
+        const PhysicalOperatorPtr& child = op->children()[i];
+        return child != nullptr && child->has_output_partitioning() &&
+               ElidesShuffle(
+                   child->output_partitioning(),
+                   PartitionKeyKind::kPropertyValues,
+                   ValueKeySideTokens(join.key_descriptions(), right_side));
+      };
+      join.set_shuffle_elision(side_elides(0, false), side_elides(1, true));
+    }
+  }
+  // The claim is stamped after the elision decision: DerivePartitioning
+  // reads only the operator kind, keys, strategy and the children's
+  // claims, never the elision flags.
+  op->set_output_partitioning(DerivePartitioning(*op));
+  return op;
+}
+
 Result<PhysicalOperatorPtr> PlanCompiler::CompileNode(
     const PlanNodePtr& node, std::vector<cypher::CnfClause> residual,
     double residual_estimate) {
@@ -150,7 +186,7 @@ Result<PhysicalOperatorPtr> PlanCompiler::CompileNode(
         meta.AddPropertyColumn(qv.variable, key);
       }
       GRADOOP_RETURN_IF_ERROR(CheckClauses("ScanVertices", residual, meta));
-      return PhysicalOperatorPtr(std::make_shared<VertexScanOp>(
+      return Annotate(std::make_shared<VertexScanOp>(
           std::move(meta), estimate_of(node->estimated_cardinality),
           semantics_, std::move(residual), qv,
           qg_.ElementPredicates(qv.variable)));
@@ -183,7 +219,7 @@ Result<PhysicalOperatorPtr> PlanCompiler::CompileNode(
           options_.share_scans
               ? EdgeScanSignature(qe, self_loop, projection, residual)
               : std::string();
-      return PhysicalOperatorPtr(std::make_shared<EdgeScanOp>(
+      return Annotate(std::make_shared<EdgeScanOp>(
           std::move(meta), estimate_of(node->estimated_cardinality),
           semantics_, std::move(residual), qe,
           qg_.ElementPredicates(qe.variable), self_loop,
@@ -217,7 +253,7 @@ Result<PhysicalOperatorPtr> PlanCompiler::CompileNode(
           left->output_meta(), right->output_meta());
       GRADOOP_RETURN_IF_ERROR(
           CheckClauses("JoinEmbeddings", residual, merged));
-      return PhysicalOperatorPtr(std::make_shared<JoinOp>(
+      return Annotate(std::make_shared<JoinOp>(
           std::move(merged), estimate_of(node->estimated_cardinality),
           semantics_, std::move(residual), std::move(left), std::move(right),
           node->join_variables, std::move(left_columns),
@@ -271,7 +307,7 @@ Result<PhysicalOperatorPtr> PlanCompiler::CompileNode(
           left->output_meta(), right->output_meta());
       GRADOOP_RETURN_IF_ERROR(
           CheckClauses("ValueJoinEmbeddings", residual, merged));
-      return PhysicalOperatorPtr(std::make_shared<ValueJoinOp>(
+      return Annotate(std::make_shared<ValueJoinOp>(
           std::move(merged), estimate_of(node->estimated_cardinality),
           semantics_, std::move(residual), std::move(left), std::move(right),
           std::move(key_descriptions), std::move(left_keys),
@@ -311,7 +347,7 @@ Result<PhysicalOperatorPtr> PlanCompiler::CompileNode(
       if (bound_end_column < 0) meta.AddIdColumn(end, EntryType::kVertex);
       GRADOOP_RETURN_IF_ERROR(
           CheckClauses("ExpandEmbeddings", residual, meta));
-      return PhysicalOperatorPtr(std::make_shared<ExpandOp>(
+      return Annotate(std::make_shared<ExpandOp>(
           std::move(meta), estimate_of(node->estimated_cardinality),
           semantics_, std::move(residual), std::move(input), qe,
           start_column, bound_end_column, node->expand_reverse));
@@ -328,7 +364,7 @@ Result<PhysicalOperatorPtr> PlanCompiler::CompileNode(
       EmbeddingMetaData meta = input->output_meta();
       GRADOOP_RETURN_IF_ERROR(
           CheckClauses("SelectEmbeddings", node->clauses, meta));
-      return PhysicalOperatorPtr(std::make_shared<FilterOp>(
+      return Annotate(std::make_shared<FilterOp>(
           std::move(meta), node->estimated_cardinality, semantics_,
           std::move(input), node->clauses));
     }

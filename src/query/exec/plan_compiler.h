@@ -28,6 +28,11 @@ struct CompileOptions {
   // Compute edge-scan data signatures so EdgeScanOp can reuse identical
   // scans through the ScanCache (PlannerOptions::share_scan_results).
   bool share_scans = false;
+  // Grant shuffle elisions from the partitioning analysis: a repartition
+  // join side whose input is provably hash-partitioned on the join key
+  // skips its shuffle. Partitioning properties are annotated regardless;
+  // this only gates acting on them (ablation / A-B testing).
+  bool elide_shuffles = true;
 };
 
 // Lowers a logical PlanNode tree into compiled physical operators,
@@ -55,6 +60,13 @@ class PlanCompiler {
   Result<PhysicalOperatorPtr> CompileNode(
       const PlanNodePtr& node, std::vector<cypher::CnfClause> residual,
       double residual_estimate);
+
+  // Bottom-up partitioning analysis: grants shuffle elisions to
+  // repartition joins whose input is already hash-partitioned on the
+  // join key (when options_.elide_shuffles), then stamps the operator's
+  // own output-partitioning claim via DerivePartitioning. Called on every
+  // compiled operator; children carry their claims already.
+  PhysicalOperatorPtr Annotate(PhysicalOperatorPtr op) const;
 
   // Every property a clause set reads must resolve in `meta`.
   Status CheckClauses(const char* op,

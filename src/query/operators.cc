@@ -175,7 +175,8 @@ EmbeddingSet JoinEmbeddings(const EmbeddingSet& left,
                             const EmbeddingMetaData& merged_meta,
                             const MorphismSetting& semantics,
                             dataflow::JoinStrategy strategy,
-                            const std::vector<cypher::CnfClause>& residual) {
+                            const std::vector<cypher::CnfClause>& residual,
+                            dataflow::JoinShuffleHints hints) {
   assert(left_columns.size() == right_columns.size());
   auto data = left.data.HashJoin<Embedding>(
       right.data,
@@ -191,7 +192,7 @@ EmbeddingSet JoinEmbeddings(const EmbeddingSet& left,
         if (!PassesResidual(residual, merged_meta, merged)) return;
         out->push_back(std::move(merged));
       },
-      strategy, "JoinEmbeddings");
+      strategy, "JoinEmbeddings", hints);
   return {std::move(data), merged_meta};
 }
 
@@ -225,7 +226,8 @@ EmbeddingSet ValueJoinEmbeddings(const EmbeddingSet& left,
                                  const MorphismSetting& semantics,
                                  dataflow::JoinStrategy strategy,
                                  const std::vector<cypher::CnfClause>&
-                                     residual) {
+                                     residual,
+                                 dataflow::JoinShuffleHints hints) {
   assert(left_key_columns.size() == right_key_columns.size() &&
          !left_key_columns.empty());
   // Rows with NULL keys are dropped before the join (they can never
@@ -256,7 +258,7 @@ EmbeddingSet ValueJoinEmbeddings(const EmbeddingSet& left,
         if (!PassesResidual(residual, merged_meta, merged)) return;
         out->push_back(std::move(merged));
       },
-      strategy, "ValueJoinEmbeddings");
+      strategy, "ValueJoinEmbeddings", hints);
   return {std::move(data), merged_meta};
 }
 

@@ -65,6 +65,9 @@ bool SatisfiesMorphism(const Embedding& embedding,
 // the merged embedding is emitted only if the morphism constraints hold
 // (§3.1). `merged_meta` must be EmbeddingMetaData::Merge of the inputs'
 // metas, resolved at compile time.
+// `hints` marks sides the partitioning analysis proved co-partitioned on
+// the join key; those sides skip the repartition shuffle (audited under
+// GRADOOP_AUDIT_PARTITIONING).
 EmbeddingSet JoinEmbeddings(const EmbeddingSet& left,
                             const EmbeddingSet& right,
                             const std::vector<int>& left_columns,
@@ -74,7 +77,8 @@ EmbeddingSet JoinEmbeddings(const EmbeddingSet& left,
                             dataflow::JoinStrategy strategy =
                                 dataflow::JoinStrategy::kRepartition,
                             const std::vector<cypher::CnfClause>& residual =
-                                {});
+                                {},
+                            dataflow::JoinShuffleHints hints = {});
 
 // SelectEmbeddings: evaluates cross-variable CNF clauses on complete
 // (partial) embeddings.
@@ -97,7 +101,8 @@ EmbeddingSet ValueJoinEmbeddings(const EmbeddingSet& left,
                                  dataflow::JoinStrategy strategy =
                                      dataflow::JoinStrategy::kRepartition,
                                  const std::vector<cypher::CnfClause>&
-                                     residual = {});
+                                     residual = {},
+                                 dataflow::JoinShuffleHints hints = {});
 
 // ExpandEmbeddings: evaluates a variable-length path expression by bulk
 // iteration (§3.1). Starting from the embeddings of `input` positioned at

@@ -7,6 +7,7 @@
 #include <map>
 
 #include "analysis/plan_verifier.h"
+#include "query/exec/partitioning.h"
 
 namespace gradoop::query {
 
@@ -188,6 +189,35 @@ class Planner {
                        DistinctInPlan(b.estimated_cardinality, domain));
     }
     return card;
+  }
+
+  // Tie-break score for a join candidate: how many of its repartition
+  // shuffles the partitioning analysis would elide (0, 1 or 2). Mirrors
+  // MakeJoin's side swap and broadcast decision so it scores the join
+  // that would actually be built. Cardinality estimates stay untouched —
+  // the score only separates candidates with exactly equal cost, so
+  // plans that never tie are planned as before.
+  int ElisionScore(const PlanNode& a, const PlanNode& b,
+                   const std::vector<std::string>& shared) const {
+    if (!options_.elide_shuffles || shared.empty()) return 0;
+    const PlanNode* left = &a;
+    const PlanNode* right = &b;
+    if (left->estimated_cardinality < right->estimated_cardinality) {
+      std::swap(left, right);
+    }
+    if (options_.allow_broadcast &&
+        right->estimated_cardinality < options_.broadcast_threshold &&
+        right->estimated_cardinality <= left->estimated_cardinality) {
+      return 0;  // a broadcast join has no repartition shuffle to elide
+    }
+    int score = 0;
+    for (const PlanNode* side : {left, right}) {
+      if (exec::ElidesShuffle(exec::DeriveLogicalPartitioning(*side),
+                              exec::PartitionKeyKind::kIdColumns, shared)) {
+        ++score;
+      }
+    }
+    return score;
   }
 
   PlanNodePtr MakeJoin(PlanNodePtr a, PlanNodePtr b,
@@ -415,6 +445,9 @@ class Planner {
     constexpr double kInf = std::numeric_limits<double>::infinity();
     std::vector<PlanNodePtr> best(1u << k);
     std::vector<double> cost(1u << k, kInf);
+    // Shuffle elisions of the top join of best[mask]; cost ties break
+    // toward more elisions (see ElisionScore).
+    std::vector<int> score(1u << k, -1);
     for (int i = 0; i < k; ++i) {
       best[1u << i] = units_[members[i]];
       cost[1u << i] = units_[members[i]]->estimated_cardinality;
@@ -431,8 +464,11 @@ class Planner {
         PlanNodePtr cand = MakeJoin(best[sub], best[rest], shared);
         const double cand_cost =
             cost[sub] + cost[rest] + cand->estimated_cardinality;
-        if (cand_cost < cost[mask]) {
+        const int cand_score = ElisionScore(*best[sub], *best[rest], shared);
+        if (cand_cost < cost[mask] ||
+            (cand_cost == cost[mask] && cand_score > score[mask])) {
           cost[mask] = cand_cost;
+          score[mask] = cand_score;
           best[mask] = std::move(cand);
         }
       }
@@ -460,6 +496,7 @@ class Planner {
     while (units_.size() > 1 || !pending_expansions_.empty()) {
       double best_cost = std::numeric_limits<double>::infinity();
       int best_i = -1, best_j = -1;  // join candidate
+      int best_score = -1;           // shuffle elisions of the best join
       int best_exp_unit = -1, best_exp_edge = -1;  // expansion candidate
       bool best_exp_reverse = false;
 
@@ -468,8 +505,14 @@ class Planner {
           const auto shared = SharedVariables(*units_[i], *units_[j]);
           if (shared.empty()) continue;
           const double cost = EstimateJoin(*units_[i], *units_[j], shared);
-          if (cost < best_cost) {
+          // Exact cost ties break toward the candidate whose shuffles the
+          // partitioning analysis elides; otherwise first-found wins as
+          // before, keeping existing plans stable.
+          const int score = ElisionScore(*units_[i], *units_[j], shared);
+          if (cost < best_cost ||
+              (best_i >= 0 && cost == best_cost && score > best_score)) {
             best_cost = cost;
+            best_score = score;
             best_i = static_cast<int>(i);
             best_j = static_cast<int>(j);
             best_exp_unit = -1;

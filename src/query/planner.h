@@ -38,6 +38,11 @@ struct PlannerOptions {
   // logical plan (ablation knobs; see exec/plan_compiler.h).
   bool fuse_filters = true;
   bool prune_properties = true;
+  // Partitioning analysis (exec/partitioning.h): elide repartition-join
+  // shuffles of inputs provably hash-partitioned on the join key, and
+  // break join-order cost ties toward the shuffle-free candidate. Off =
+  // ablation baseline for the elision A/B tests.
+  bool elide_shuffles = true;
 
   // Default selectivity assumed per predicate clause, by comparison class.
   double equality_selectivity = 0.05;

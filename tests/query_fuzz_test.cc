@@ -5,12 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "analysis/analyzer.h"
 #include "common/random.h"
 #include "cypher/parser.h"
+#include "dataflow/partitioning_audit.h"
 #include "query/cypher_engine.h"
 #include "query/graph_statistics.h"
 #include "query/naive_matcher.h"
@@ -139,9 +141,23 @@ TEST_P(QueryFuzzTest, RandomQueriesMatchOracle) {
                                          GraphHead(0, "G"), g.vertices,
                                          g.edges);
   CypherEngine engine(graph);
+  // Two ablation engines exercise the partitioning analysis on every
+  // executable query: with broadcast off every join repartitions, so
+  // shuffle elisions actually fire; `audited` runs them under the
+  // runtime audit (each elided shuffle re-hashes its records and aborts
+  // on a misplaced one), `unelided` force-disables the analysis. Both
+  // must agree with the oracle binding-for-binding — the comparison is
+  // canonical, so legitimately different join orders don't matter.
+  PlannerOptions repartition_options;
+  repartition_options.allow_broadcast = false;
+  PlannerOptions unelided_options = repartition_options;
+  unelided_options.elide_shuffles = false;
+  CypherEngine audited_engine(graph, repartition_options);
+  CypherEngine unelided_engine(graph, unelided_options);
   NaiveMatcher oracle(g.vertices, g.edges);
   GraphStatistics stats = GraphStatistics::Compute(graph);
   Random rng(seed * 7919 + 13);
+  dataflow::PartitioningAuditStats::Instance().Reset();
 
   int executed = 0;
   for (int i = 0; i < 40; ++i) {
@@ -181,9 +197,33 @@ TEST_P(QueryFuzzTest, RandomQueriesMatchOracle) {
     std::sort(actual.begin(), actual.end());
     std::sort(expected.begin(), expected.end());
     ASSERT_EQ(actual, expected) << "query: " << query << " seed=" << seed;
+
+    // Ablation pair: audit-enabled elision vs analysis force-disabled.
+    setenv("GRADOOP_AUDIT_PARTITIONING", "1", 1);
+    auto audited = audited_engine.Execute(query, semantics);
+    unsetenv("GRADOOP_AUDIT_PARTITIONING");
+    auto unelided = unelided_engine.Execute(query, semantics);
+    ASSERT_TRUE(audited.ok()) << "query: " << query << " seed=" << seed
+                              << " -> " << audited.status();
+    ASSERT_TRUE(unelided.ok()) << "query: " << query << " seed=" << seed
+                               << " -> " << unelided.status();
+    for (auto* variant : {&audited, &unelided}) {
+      std::vector<NaiveBinding> bindings;
+      for (const Embedding& e : variant->value().embeddings.data.Collect()) {
+        bindings.push_back(ToBinding(e, variant->value().embeddings.meta));
+      }
+      std::sort(bindings.begin(), bindings.end());
+      ASSERT_EQ(bindings, expected) << "query: " << query << " seed=" << seed;
+    }
   }
   // The generator must not degenerate into all-unsupported queries.
   EXPECT_GT(executed, 20);
+  // The audit must actually have fired (repartition plans over queries
+  // with shared variables elide at least one shuffle per seed batch) and
+  // every audited record must have sat in its proven partition.
+  const auto& audit = dataflow::PartitioningAuditStats::Instance();
+  EXPECT_GT(audit.checks(), 0u) << "seed=" << seed;
+  EXPECT_EQ(audit.misplaced_records(), 0u) << "seed=" << seed;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, QueryFuzzTest,

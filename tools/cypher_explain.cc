@@ -37,6 +37,10 @@ int Usage() {
          "      --sf FACTOR    LDBC generator scale factor (default 0.05)\n"
          "      --no-fuse      disable filter fusion\n"
          "      --no-prune     disable property pruning\n"
+         "      --no-broadcast disable broadcast joins (every join\n"
+         "                     repartitions; shows shuffle elisions the\n"
+         "                     partitioning analysis proves)\n"
+         "      --no-elide     disable shuffle elision (ablation)\n"
          "  -                  read one query from stdin\n";
   return 2;
 }
@@ -68,6 +72,10 @@ int main(int argc, char** argv) {
       planner_options.fuse_filters = false;
     } else if (arg == "--no-prune") {
       planner_options.prune_properties = false;
+    } else if (arg == "--no-broadcast") {
+      planner_options.allow_broadcast = false;
+    } else if (arg == "--no-elide") {
+      planner_options.elide_shuffles = false;
     } else if (arg == "--sf") {
       const char* text = next();
       if (text == nullptr) return Usage();
