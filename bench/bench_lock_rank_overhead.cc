@@ -1,0 +1,127 @@
+// Pins the cost of the lock-rank deadlock checker (common/lock_rank.h).
+// The contract has two halves:
+//
+//   release: GRADOOP_LOCK_RANK_CHECKS is 0, the hooks are preprocessed
+//     out of Mutex::lock/unlock, and a ranked common::Mutex costs
+//     exactly a raw std::mutex. This binary hard-fails if the compile
+//     flag disagrees with NDEBUG (the structural pin — a timing ratio
+//     alone could hide a re-enabled checker behind noise, the flag
+//     cannot), and reports the measured ranked/raw ratio alongside it.
+//
+//   debug: every acquisition additionally pays one
+//     RankCheckAcquire/Release round trip. The checker core is compiled
+//     into every build, so this binary measures that per-acquisition
+//     cost directly in both build types — the "checker" row is what
+//     Debug-tree mutexes pay on top of the raw lock.
+//
+// Output: ns/op per mode over `kIters` lock/unlock pairs, mirrored into
+// BENCH_lock_rank_overhead.json (params: mode, rank_checks_compiled;
+// wall_ms is the whole measured loop, records the iteration count).
+#include <cstdint>
+#include <cstdio>
+#include <mutex>  // raw-baseline only; engine code must use common::Mutex
+#include <string>
+
+#include "bench/bench_common.h"
+#include "common/lock_rank.h"
+#include "common/thread_annotations.h"
+#include "common/timer.h"
+
+namespace {
+
+using gradoop::bench::JsonReporter;
+using gradoop::bench::RunResult;
+using gradoop::common::LockRank;
+
+// Keeps the critical sections from being optimized to nothing without
+// adding measurable work of its own.
+volatile uint64_t g_sink = 0;
+
+template <typename Fn>
+double MeasureNsPerOp(uint64_t iters, Fn&& op) {
+  gradoop::Timer timer;
+  for (uint64_t i = 0; i < iters; ++i) op();
+  return timer.ElapsedSeconds() * 1e9 / static_cast<double>(iters);
+}
+
+void Report(JsonReporter* reporter, const char* mode, uint64_t iters,
+            double ns_per_op) {
+  RunResult result;
+  result.wall_sec = ns_per_op * static_cast<double>(iters) / 1e9;
+  result.records = iters;
+  char ns_text[32];
+  std::snprintf(ns_text, sizeof(ns_text), "%.2f", ns_per_op);
+  reporter->Record(
+      {{"mode", mode},
+       {"ns_per_op", ns_text},
+       {"rank_checks_compiled",
+        gradoop::common::LockRankCheckingEnabled() ? "1" : "0"}},
+      result);
+  std::printf("%-10s %10.2f ns/op\n", mode, ns_per_op);
+}
+
+}  // namespace
+
+int main() {
+  constexpr uint64_t kIters = 2'000'000;
+
+  // Structural pin: the checker must be compiled out exactly when NDEBUG
+  // is set (unless GRADOOP_FORCE_LOCK_RANK deliberately overrides).
+#if defined(NDEBUG) && !defined(GRADOOP_FORCE_LOCK_RANK_CHECKS)
+  if (gradoop::common::LockRankCheckingEnabled()) {
+    std::fprintf(stderr,
+                 "FAIL: NDEBUG build but lock-rank checks are compiled "
+                 "into Mutex::lock — the release fast path regressed\n");
+    return 1;
+  }
+#else
+  if (!gradoop::common::LockRankCheckingEnabled()) {
+    std::fprintf(stderr,
+                 "FAIL: checked build but lock-rank checks are compiled "
+                 "out — Debug trees would silently stop checking\n");
+    return 1;
+  }
+#endif
+
+  std::printf("lock-rank overhead, %llu lock/unlock pairs per mode "
+              "(rank checks compiled %s)\n",
+              static_cast<unsigned long long>(kIters),
+              gradoop::common::LockRankCheckingEnabled() ? "IN" : "OUT");
+
+  JsonReporter reporter("lock_rank_overhead");
+
+  std::mutex raw;
+  const double raw_ns = MeasureNsPerOp(kIters, [&raw] {
+    raw.lock();
+    g_sink = g_sink + 1;
+    raw.unlock();
+  });
+  Report(&reporter, "raw", kIters, raw_ns);
+
+  gradoop::common::Mutex ranked(LockRank::kDataflow, "bench.lock_rank");
+  const double ranked_ns = MeasureNsPerOp(kIters, [&ranked] {
+    ranked.lock();
+    g_sink = g_sink + 1;
+    ranked.unlock();
+  });
+  Report(&reporter, "ranked", kIters, ranked_ns);
+
+  // The checker round trip in isolation (always compiled, called
+  // explicitly): what a Debug-tree acquisition pays on top of "raw".
+  int tag = 0;
+  const double checker_ns = MeasureNsPerOp(kIters, [&tag] {
+    gradoop::common::RankCheckAcquire(LockRank::kDataflow, "bench.checker",
+                                      &tag);
+    g_sink = g_sink + 1;
+    gradoop::common::RankCheckRelease(LockRank::kDataflow, &tag);
+  });
+  Report(&reporter, "checker", kIters, checker_ns);
+
+  const double ratio = raw_ns > 0.0 ? ranked_ns / raw_ns : 0.0;
+  std::printf("ranked/raw ratio: %.3f (%s)\n", ratio,
+              gradoop::common::LockRankCheckingEnabled()
+                  ? "checked build: ratio includes the rank checker"
+                  : "release contract: hooks compiled out, ranked == raw "
+                    "modulo noise");
+  return 0;
+}

@@ -6,10 +6,13 @@
 #   build-check/tsan   Debug, TSan                     (data-race gate)
 #
 # builds each, runs the full ctest suite in each, and fails on any
-# warning, test failure, or sanitizer report. Run from anywhere:
+# warning, test failure, or sanitizer report. Tool stages (lint,
+# explain, profile, concurrency) reuse the plain tree's binaries. Run
+# from anywhere:
 #
-#   ci/check.sh            # everything
-#   ci/check.sh plain      # just one tree (plain|asan|tsan)
+#   ci/check.sh              # everything
+#   ci/check.sh plain        # just one tree (plain|asan|tsan)
+#   ci/check.sh concurrency  # concurrency lint + -Wthread-safety build
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -18,9 +21,9 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 ONLY="${1:-all}"
 
 case "${ONLY}" in
-  all|plain|asan|tsan|tidy|lint|explain|profile) ;;
+  all|plain|asan|tsan|tidy|lint|explain|profile|concurrency) ;;
   *)
-    echo "usage: ci/check.sh [all|plain|asan|tsan|tidy|lint|explain|profile]" >&2
+    echo "usage: ci/check.sh [all|plain|asan|tsan|tidy|lint|explain|profile|concurrency]" >&2
     echo "unknown tree '${ONLY}'" >&2
     exit 2
     ;;
@@ -29,7 +32,10 @@ esac
 # Abort on the first sanitizer report and exit non-zero so ctest sees it.
 export ASAN_OPTIONS="halt_on_error=1:abort_on_error=1:detect_leaks=1"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
-export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+# detect_deadlocks turns on TSan's lock-order-inversion detector — the
+# dynamic complement of the static lock-rank checker (which also runs in
+# the Debug trees via common/lock_rank.h).
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1:detect_deadlocks=1"
 
 run_tree() {
   local name="$1"; shift
@@ -57,7 +63,11 @@ if [[ "${ONLY}" == "all" || "${ONLY}" == "asan" ]]; then
 fi
 
 if [[ "${ONLY}" == "all" || "${ONLY}" == "tsan" ]]; then
-  run_tree tsan \
+  # The partitioning audit runs here too (not only in the ASan tree):
+  # its counters are shared across concurrently-executing joins, so the
+  # audit's own locking deserves the race detector as much as the
+  # record placement deserves re-hashing.
+  GRADOOP_AUDIT_PARTITIONING=1 run_tree tsan \
     -DCMAKE_BUILD_TYPE=Debug \
     -DGRADOOP_TSAN=ON
 fi
@@ -147,6 +157,57 @@ if [[ "${ONLY}" == "all" || "${ONLY}" == "profile" ]]; then
       exit 1
     fi
   done
+fi
+
+# Concurrency stage (docs/concurrency.md): source-level lint over the
+# whole engine plus, where the toolchain has clang, an engine-wide
+# -Wthread-safety -Werror verification build and a negative compile
+# check proving the GUARDED_BY machinery rejects unguarded access.
+if [[ "${ONLY}" == "all" || "${ONLY}" == "concurrency" ]]; then
+  echo "=== [concurrency] concurrency_lint over src/ ==="
+  if [[ ! -x "${OUT}/plain/tools/concurrency_lint" ]]; then
+    cmake -B "${OUT}/plain" -S "${ROOT}" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGRADOOP_WERROR=ON >/dev/null
+    cmake --build "${OUT}/plain" -j "${JOBS}" --target concurrency_lint
+  fi
+  "${OUT}/plain/tools/concurrency_lint" --root "${ROOT}" src
+  # Exit-code contract, mirroring the cypher_lint --werror test: each
+  # seeded-violation fixture must fail the gate (a lint that silently
+  # stops matching would otherwise keep this stage green forever), and
+  # the clean fixture must keep passing.
+  for fixture in raw_mutex unguarded_atomic detached_thread \
+                 unjustified_escape; do
+    if "${OUT}/plain/tools/concurrency_lint" --root "${ROOT}" \
+        "tests/concurrency_lint_fixtures/${fixture}.cc" >/dev/null 2>&1
+    then
+      echo "concurrency_lint: seeded violation ${fixture}.cc must fail" >&2
+      exit 1
+    fi
+  done
+  "${OUT}/plain/tools/concurrency_lint" --root "${ROOT}" \
+    tests/concurrency_lint_fixtures/clean.cc >/dev/null
+
+  if command -v clang++ >/dev/null 2>&1; then
+    echo "=== [concurrency] clang -Wthread-safety verification build ==="
+    cmake -B "${OUT}/thread-safety" -S "${ROOT}" \
+      -DCMAKE_CXX_COMPILER=clang++ \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGRADOOP_WERROR=ON >/dev/null
+    cmake --build "${OUT}/thread-safety" -j "${JOBS}"
+    # Positive control first (the fixture is a correct TU without the
+    # seed macro), so a failure below can only mean the seeded bug.
+    clang++ -fsyntax-only -std=c++20 -Wthread-safety -Werror \
+      -I"${ROOT}/src" "${ROOT}/tests/compile_fail/guarded_by_violation.cc"
+    if clang++ -fsyntax-only -std=c++20 -Wthread-safety -Werror \
+        -DGRADOOP_EXPECT_THREAD_SAFETY_ERROR \
+        -I"${ROOT}/src" "${ROOT}/tests/compile_fail/guarded_by_violation.cc" \
+        2>/dev/null
+    then
+      echo "thread-safety: unguarded GUARDED_BY access must not compile" >&2
+      exit 1
+    fi
+  else
+    echo "=== [concurrency] clang++ not found, skipping -Wthread-safety verification build ==="
+  fi
 fi
 
 # Optional lint stage: the sanitizer gates above are mandatory, clang-tidy

@@ -1,0 +1,87 @@
+#include "common/lock_rank.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace gradoop::common {
+
+namespace {
+
+struct HeldLock {
+  LockRank rank;
+  const char* name;
+  const void* mutex;
+};
+
+// Per-thread stack of ranked mutexes in acquisition order. Function-local
+// so first use on a thread constructs it lazily; the enforced strict
+// descent means back() always has the minimum held rank.
+std::vector<HeldLock>& HeldStack() {
+  thread_local std::vector<HeldLock> stack;
+  return stack;
+}
+
+[[noreturn]] void AbortOnInversion(LockRank rank, const char* name,
+                                   const std::vector<HeldLock>& held) {
+  std::fprintf(stderr,
+               "lock-rank violation: acquiring \"%s\" (rank %s) would not "
+               "descend strictly below every held lock\nheld by this thread "
+               "(acquisition order):\n",
+               name != nullptr ? name : "?", LockRankName(rank));
+  for (size_t i = 0; i < held.size(); ++i) {
+    std::fprintf(stderr, "  #%zu \"%s\" (rank %s)\n", i,
+                 held[i].name != nullptr ? held[i].name : "?",
+                 LockRankName(held[i].rank));
+  }
+  std::fprintf(stderr,
+               "allowed order: engine > exec > dataflow > telemetry — outer "
+               "layers lock first, leaves last (docs/concurrency.md)\n");
+  std::abort();
+}
+
+}  // namespace
+
+const char* LockRankName(LockRank rank) {
+  switch (rank) {
+    case LockRank::kUnranked:
+      return "unranked";
+    case LockRank::kTelemetry:
+      return "telemetry";
+    case LockRank::kDataflow:
+      return "dataflow";
+    case LockRank::kExec:
+      return "exec";
+    case LockRank::kEngine:
+      return "engine";
+  }
+  return "?";
+}
+
+void RankCheckAcquire(LockRank rank, const char* name, const void* mutex) {
+  if (rank == LockRank::kUnranked) return;
+  std::vector<HeldLock>& held = HeldStack();
+  // Strict descent also rejects same-rank nesting: two locks of one layer
+  // held together would allow an A/B–B/A cycle within the layer (and a
+  // re-entrant self-lock becomes a rank abort instead of a silent hang).
+  if (!held.empty() && static_cast<int>(rank) >=
+                           static_cast<int>(held.back().rank)) {
+    AbortOnInversion(rank, name, held);
+  }
+  held.push_back(HeldLock{rank, name, mutex});
+}
+
+void RankCheckRelease(LockRank rank, const void* mutex) {
+  if (rank == LockRank::kUnranked) return;
+  std::vector<HeldLock>& held = HeldStack();
+  for (size_t i = held.size(); i > 0; --i) {
+    if (held[i - 1].mutex == mutex) {
+      held.erase(held.begin() + static_cast<long>(i - 1));
+      return;
+    }
+  }
+}
+
+size_t RankedLocksHeld() { return HeldStack().size(); }
+
+}  // namespace gradoop::common

@@ -13,6 +13,8 @@
 
 #include <mutex>
 
+#include "common/lock_rank.h"
+
 #if defined(__clang__) && defined(__has_attribute)
 #define GRADOOP_HAS_THREAD_ANNOTATIONS 1
 #define GRADOOP_THREAD_ANNOTATION(x) __attribute__((x))
@@ -40,17 +42,43 @@ namespace gradoop::common {
 // code pairs it with std::condition_variable_any, which accepts any
 // lockable (std::condition_variable requires std::unique_lock —
 // incompatible with an annotated wrapper).
+//
+// Every engine mutex also declares its lock rank (common/lock_rank.h):
+// checked builds abort on any acquisition that violates the engine-wide
+// lock order, release builds compile the hooks out completely. The
+// rank-less constructor yields an unranked, unchecked mutex — meant for
+// scratch/test state only; engine code passes a rank and a stable name
+// for the abort message.
 class GRADOOP_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  explicit Mutex(LockRank rank, const char* name) : rank_(rank), name_(name) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() ACQUIRE() { mu_.lock(); }
-  void unlock() RELEASE() { mu_.unlock(); }
+  void lock() ACQUIRE() {
+#if GRADOOP_LOCK_RANK_CHECKS
+    // Check BEFORE blocking on the lock: an inversion must abort with
+    // both stacks printed, not park the thread in the deadlock it was
+    // about to create.
+    RankCheckAcquire(rank_, name_, this);
+#endif
+    mu_.lock();
+  }
+  void unlock() RELEASE() {
+    mu_.unlock();
+#if GRADOOP_LOCK_RANK_CHECKS
+    RankCheckRelease(rank_, this);
+#endif
+  }
+
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
 
  private:
   std::mutex mu_;
+  LockRank rank_ = LockRank::kUnranked;
+  const char* name_ = "unranked";
 };
 
 // RAII lock for Mutex, visible to the analysis as a scoped capability.

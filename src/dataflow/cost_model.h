@@ -51,7 +51,8 @@ class CostTracker {
   void Reset();
 
  private:
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::LockRank::kDataflow,
+                            "dataflow.cost_tracker"};
   std::vector<StageCost> stages_ GUARDED_BY(mu_);
   double simulated_sec_ GUARDED_BY(mu_) = 0.0;
   uint64_t network_bytes_ GUARDED_BY(mu_) = 0;

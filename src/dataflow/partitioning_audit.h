@@ -90,7 +90,8 @@ class PartitioningAuditStats {
  private:
   PartitioningAuditStats() = default;
 
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::LockRank::kDataflow,
+                            "dataflow.partitioning_audit"};
   uint64_t checks_ GUARDED_BY(mu_) = 0;
   uint64_t records_checked_ GUARDED_BY(mu_) = 0;
   uint64_t misplaced_records_ GUARDED_BY(mu_) = 0;

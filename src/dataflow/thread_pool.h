@@ -56,7 +56,7 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> threads_;
-  common::Mutex mu_;
+  common::Mutex mu_{common::LockRank::kDataflow, "dataflow.thread_pool"};
   // condition_variable_any waits directly on the annotated Mutex; the
   // plain std::condition_variable only accepts std::unique_lock.
   std::condition_variable_any work_ready_;

@@ -73,7 +73,11 @@ class MetricsRegistry {
   static constexpr int kNumShards = 16;
 
   struct Shard {
-    mutable common::Mutex mu;
+    // Leaf rank, same discipline as the tracer shards: recorded into from
+    // under dataflow-layer locks, never holds more than itself, and
+    // Snapshot/Reset visit shards strictly one lock at a time.
+    mutable common::Mutex mu{common::LockRank::kTelemetry,
+                             "telemetry.metrics.shard"};
     std::map<std::string, uint64_t> counters GUARDED_BY(mu);
     std::map<std::string, double> gauges GUARDED_BY(mu);
     std::map<std::string, HistogramData> histograms GUARDED_BY(mu);

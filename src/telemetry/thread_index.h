@@ -11,6 +11,8 @@ namespace gradoop::telemetry {
 // stable host-thread id that is readable in trace viewers (std::thread::id
 // is opaque and non-dense).
 inline uint32_t CurrentThreadIndex() {
+  // ordering: relaxed fetch_add — only uniqueness of the handed-out
+  // indices matters, no other memory is published through the counter.
   static std::atomic<uint32_t> next{0};
   thread_local const uint32_t index =
       next.fetch_add(1, std::memory_order_relaxed);

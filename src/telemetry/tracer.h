@@ -71,7 +71,11 @@ class Tracer {
   static constexpr int kNumShards = 16;
 
   struct Shard {
-    mutable common::Mutex mu;
+    // Leaf rank: span recording happens under locks of every other layer
+    // (pool tasks, cost charges), so nothing may be acquired beneath it.
+    // Collectors hold at most one shard lock at a time.
+    mutable common::Mutex mu{common::LockRank::kTelemetry,
+                             "telemetry.tracer.shard"};
     std::vector<SpanRecord> spans GUARDED_BY(mu);
   };
 
@@ -128,6 +132,9 @@ class Telemetry {
   }
 
  private:
+  // ordering: relaxed loads/stores only — the flag is an independent
+  // on/off switch, it publishes no data; sites that see a stale value
+  // merely record (or skip) one span.
   std::atomic<bool> enabled_{false};
   MetricsRegistry metrics_;
   Tracer tracer_;

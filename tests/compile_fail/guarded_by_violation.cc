@@ -1,0 +1,39 @@
+// Negative compile check for the thread-safety annotations: this TU
+// touches a GUARDED_BY field without holding its mutex, so a Clang
+// toolchain MUST reject it under -Wthread-safety -Werror. ci/check.sh's
+// `concurrency` stage compiles it with
+//
+//   clang++ -fsyntax-only -Wthread-safety -Werror -I src \
+//       tests/compile_fail/guarded_by_violation.cc
+//
+// and fails the gate if the compile unexpectedly SUCCEEDS — proving the
+// annotation machinery actually rejects unguarded access, not just that
+// clean code happens to pass. Never added to any CMake target.
+//
+// Guard the seeded bug behind the macro the stage defines, so opening
+// this file in an IDE with a full compile doesn't drown it in red:
+// without GRADOOP_EXPECT_THREAD_SAFETY_ERROR the TU is correct.
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class GuardedCounter {
+ public:
+  void Add(int v) {
+    gradoop::common::MutexLock lock(mu_);
+    value_ += v;
+  }
+
+#ifdef GRADOOP_EXPECT_THREAD_SAFETY_ERROR
+  // Seeded bug: reads value_ with mu_ not held. -Wthread-safety reports
+  // "reading variable 'value_' requires holding mutex 'mu_'".
+  int Peek() const { return value_; }
+#endif
+
+ private:
+  mutable gradoop::common::Mutex mu_{gradoop::common::LockRank::kDataflow,
+                                     "fixture.guarded_counter"};
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

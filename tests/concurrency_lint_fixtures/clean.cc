@@ -1,0 +1,38 @@
+// Negative-control fixture for tools/concurrency_lint: idiomatic use of
+// every construct the lint polices — annotated ranked mutex, documented
+// atomic, justified analysis escape, and raw primitives appearing only
+// inside comments and string literals. Linting this file must exit 0;
+// CI pins that alongside the seeded-violation fixtures.
+#include <atomic>
+#include <string>
+
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+// Mentioning std::mutex, std::lock_guard or std::condition_variable in
+// a comment is fine; the lint strips comments before matching.
+class CleanCounter {
+ public:
+  void Add(int v) {
+    gradoop::common::MutexLock lock(mu_);
+    value_ += v;
+  }
+
+  // justification: called from the crash handler, where the lock may
+  // already be held by the crashed thread; a torn read is acceptable.
+  int CrashPeek() NO_THREAD_SAFETY_ANALYSIS { return value_; }
+
+  std::string Describe() const {
+    return "uses std::mutex internally";  // string literal, not code
+  }
+
+ private:
+  gradoop::common::Mutex mu_{gradoop::common::LockRank::kDataflow,
+                             "fixture.clean_counter"};
+  int value_ GUARDED_BY(mu_) = 0;
+  // ordering: relaxed — monotonic event tally, publishes nothing.
+  std::atomic<int> events_{0};
+};
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Seeded violation fixture for tools/concurrency_lint (NOT built; CI
+// pins that linting this file exits non-zero). A detached thread
+// outlives every shutdown protocol the engine has.
+#include <thread>
+
+namespace fixture {
+
+inline void FireAndForget() {
+  std::thread t([] {});
+  t.detach();  // CC005
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Seeded violation fixture for tools/concurrency_lint (NOT built; CI
+// pins that linting this file exits non-zero). Raw mutex + raw RAII
+// lock: the engine-wide rule is common::Mutex/common::MutexLock only,
+// so the locking is visible to -Wthread-safety and the rank checker.
+#include <mutex>
+
+namespace fixture {
+
+class Cache {
+ public:
+  void Put(int v) {
+    std::lock_guard<std::mutex> lock(mu_);  // CC002
+    value_ = v;
+  }
+
+ private:
+  std::mutex mu_;  // CC001
+  int value_ = 0;
+};
+
+}  // namespace fixture

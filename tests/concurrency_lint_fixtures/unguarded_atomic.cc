@@ -1,0 +1,15 @@
+// Seeded violation fixture for tools/concurrency_lint (NOT built; CI
+// pins that linting this file exits non-zero). A std::atomic member
+// with no adjacent comment stating the memory-order discipline it
+// relies on — exactly the kind of "it compiles, ship it" atomic the
+// lint exists to flag.
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+struct Stats {
+  std::atomic<uint64_t> hits{0};  // CC004: no discipline stated anywhere near
+};
+
+}  // namespace fixture

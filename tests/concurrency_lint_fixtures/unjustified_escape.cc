@@ -1,0 +1,20 @@
+// Seeded violation fixture for tools/concurrency_lint (NOT built; CI
+// pins that linting this file exits non-zero). Opting a function out of
+// -Wthread-safety is sometimes necessary (init-order, fork handlers)
+// but must carry a "// justification:" comment; this one does not.
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class Counter {
+ public:
+  int UnsafePeek() NO_THREAD_SAFETY_ANALYSIS {  // CC006
+    return value_;
+  }
+
+ private:
+  gradoop::common::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

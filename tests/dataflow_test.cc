@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <numeric>
+#include <thread>
 
 #include "dataflow/bulk_iteration.h"
 #include "dataflow/dataset.h"
@@ -53,6 +54,44 @@ TEST(ThreadPoolTest, StressManyBatchesUnderContention) {
     });
   }
   EXPECT_EQ(sum.load(), 200ull * (63 * 64 / 2));
+}
+
+TEST(ThreadPoolTest, StressShutdownWhileEnqueueing) {
+  // Shutdown racing active submitters: several host threads pump
+  // batches through a shared pool right up to the moment it is
+  // destroyed, so the destructor's shutdown/notify handshake races the
+  // workers' final wait/drain cycles and the submitters' last
+  // batch_done wakeups. The TSan tree of ci/check.sh (with
+  // detect_deadlocks=1) is the build this exists for; the lock-rank
+  // checker also sees every acquisition in Debug trees.
+  constexpr int kIterations = 50;
+  constexpr int kSubmitters = 4;
+  std::atomic<uint64_t> executed{0};  // ordering: relaxed tally, summed
+                                      // only after every thread joined
+  for (int iter = 0; iter < kIterations; ++iter) {
+    std::atomic<bool> stop{false};  // ordering: relaxed on/off flag;
+                                    // joins below give the sync
+    auto pool = std::make_unique<ThreadPool>(4);
+    std::vector<std::thread> submitters;
+    submitters.reserve(kSubmitters);
+    for (int s = 0; s < kSubmitters; ++s) {
+      submitters.emplace_back([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+          pool->RunAndWait(8, [&](int) {
+            executed.fetch_add(1, std::memory_order_relaxed);
+          });
+        }
+      });
+    }
+    stop.store(true, std::memory_order_relaxed);
+    for (std::thread& t : submitters) t.join();
+    // Destroy immediately after the last RunAndWait returns: workers
+    // may still be between their final queue check and the shutdown
+    // wakeup, which is exactly the window under test.
+    pool.reset();
+  }
+  EXPECT_EQ(executed.load() % 8, 0u);
+  EXPECT_GT(executed.load(), 0u);
 }
 
 TEST(DatasetTest, WideShufflePipelineUnderContention) {

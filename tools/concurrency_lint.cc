@@ -1,0 +1,355 @@
+// Concurrency lint: static checks that keep the engine's threading
+// discipline uniform (docs/concurrency.md). Walks C++ sources and
+// rejects:
+//
+//   CC001  raw std::mutex family outside common/thread_annotations.h
+//          (engine code must use the annotated, ranked common::Mutex)
+//   CC002  raw std::lock_guard/unique_lock/scoped_lock/shared_lock
+//          (use common::MutexLock so -Wthread-safety sees the scope)
+//   CC003  std::condition_variable (std::condition_variable_any is the
+//          one that waits on an annotated Mutex, and stays allowed)
+//   CC004  std::atomic member without an adjacent ordering-discipline
+//          comment (same line or the 3 lines above must say which
+//          memory order the site relies on, and why)
+//   CC005  thread .detach() — detached threads outlive every shutdown
+//          protocol; join or pool them
+//   CC006  NO_THREAD_SAFETY_ANALYSIS without an adjacent
+//          "justification:" comment (±2 lines)
+//
+// Matching runs on comment- and string-stripped text (a comment that
+// merely mentions std::mutex is fine); the adjacency rules CC004/CC006
+// inspect the stripped-out comment text. common/thread_annotations.h is
+// exempt wholesale — it is the one place allowed to touch the raw
+// primitives it wraps.
+//
+//   concurrency_lint                      lint ./src
+//   concurrency_lint --root DIR [path..]  lint DIR/path... (files or dirs)
+//
+// Exit status mirrors cypher_lint: 0 = clean, 1 = at least one
+// violation, 2 = usage or I/O error. ci/check.sh's `concurrency` stage
+// runs this over src/ and pins that each seeded fixture under
+// tests/concurrency_lint_fixtures still fails.
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// One source file split into parallel per-line streams: executable text
+// with comments/strings blanked, and the comment text alone.
+struct StrippedFile {
+  std::vector<std::string> code;      // literals/comments replaced by spaces
+  std::vector<std::string> comments;  // comment text, per line
+};
+
+// Minimal C++ lexer state machine: tracks line/block comments, string,
+// char and (delimiter-matched) raw-string literals well enough that a
+// token inside any of them never reaches the rule matchers.
+StrippedFile Strip(const std::string& text) {
+  StrippedFile out;
+  std::string code;
+  std::string comment;
+  enum State { kCode, kLine, kBlock, kString, kChar, kRaw } state = kCode;
+  std::string raw_end;  // )delim" that terminates the active raw string
+  const size_t n = text.size();
+  for (size_t i = 0; i < n; ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      // Line comments end here; every other state carries across lines.
+      if (state == kLine) state = kCode;
+      out.code.push_back(code);
+      out.comments.push_back(comment);
+      code.clear();
+      comment.clear();
+      continue;
+    }
+    switch (state) {
+      case kCode:
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+          state = kLine;
+          ++i;
+        } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+          state = kBlock;
+          ++i;
+        } else if (c == '"') {
+          // R"delim( opens a raw string: scan the delimiter.
+          size_t r = i;
+          bool raw = r >= 1 && text[r - 1] == 'R' &&
+                     (r < 2 || (!std::isalnum(static_cast<unsigned char>(
+                                    text[r - 2])) &&
+                                text[r - 2] != '_'));
+          if (raw) {
+            std::string delim;
+            size_t j = i + 1;
+            while (j < n && text[j] != '(' && text[j] != '\n') {
+              delim.push_back(text[j++]);
+            }
+            if (j < n && text[j] == '(') {
+              raw_end = ")" + delim + "\"";
+              state = kRaw;
+              code.push_back(' ');
+              i = j;
+              break;
+            }
+          }
+          state = kString;
+          code.push_back(' ');
+        } else if (c == '\'') {
+          state = kChar;
+          code.push_back(' ');
+        } else {
+          code.push_back(c);
+        }
+        break;
+      case kLine:
+        comment.push_back(c);
+        break;
+      case kBlock:
+        if (c == '*' && i + 1 < n && text[i + 1] == '/') {
+          state = kCode;
+          ++i;
+        } else {
+          comment.push_back(c);
+        }
+        break;
+      case kString:
+        if (c == '\\' && i + 1 < n) {
+          ++i;
+        } else if (c == '"') {
+          state = kCode;
+        }
+        break;
+      case kChar:
+        if (c == '\\' && i + 1 < n) {
+          ++i;
+        } else if (c == '\'') {
+          state = kCode;
+        }
+        break;
+      case kRaw:
+        if (c == raw_end[0] && text.compare(i, raw_end.size(), raw_end) == 0) {
+          i += raw_end.size() - 1;
+          state = kCode;
+        }
+        break;
+    }
+  }
+  if (!code.empty() || !comment.empty()) {
+    out.code.push_back(code);
+    out.comments.push_back(comment);
+  }
+  return out;
+}
+
+// True when `text` contains `token` ending at a non-identifier boundary
+// (so "std::condition_variable" does not fire on ..._any).
+bool ContainsToken(const std::string& text, const std::string& token) {
+  size_t pos = 0;
+  while ((pos = text.find(token, pos)) != std::string::npos) {
+    const size_t end = pos + token.size();
+    const char next = end < text.size() ? text[end] : '\0';
+    if (!(std::isalnum(static_cast<unsigned char>(next)) || next == '_')) {
+      return true;
+    }
+    pos = end;
+  }
+  return false;
+}
+
+bool CommentMentionsOrdering(const std::string& comment) {
+  static const char* kKeywords[] = {"order",   "relaxed",  "acquire",
+                                    "release", "seq_cst",  "monotonic"};
+  std::string lower = comment;
+  std::transform(lower.begin(), lower.end(), lower.begin(), [](char c) {
+    return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  });
+  for (const char* k : kKeywords) {
+    if (lower.find(k) != std::string::npos) return true;
+  }
+  return false;
+}
+
+struct Violation {
+  std::string file;
+  size_t line;  // 1-based
+  const char* code;
+  std::string message;
+};
+
+void LintFile(const fs::path& path, std::vector<Violation>* out) {
+  if (path.filename() == "thread_annotations.h") return;  // the wrapper
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const StrippedFile stripped = Strip(buffer.str());
+
+  static const std::pair<const char*, const char*> kRawMutex[] = {
+      {"std::mutex", "raw std::mutex"},
+      {"std::timed_mutex", "raw std::timed_mutex"},
+      {"std::recursive_mutex", "raw std::recursive_mutex"},
+      {"std::recursive_timed_mutex", "raw std::recursive_timed_mutex"},
+      {"std::shared_mutex", "raw std::shared_mutex"},
+      {"std::shared_timed_mutex", "raw std::shared_timed_mutex"},
+  };
+  static const std::pair<const char*, const char*> kRawLock[] = {
+      {"std::lock_guard", "raw std::lock_guard"},
+      {"std::unique_lock", "raw std::unique_lock"},
+      {"std::scoped_lock", "raw std::scoped_lock"},
+      {"std::shared_lock", "raw std::shared_lock"},
+  };
+
+  for (size_t i = 0; i < stripped.code.size(); ++i) {
+    const std::string& code = stripped.code[i];
+    const size_t line = i + 1;
+    for (const auto& [token, what] : kRawMutex) {
+      if (ContainsToken(code, token)) {
+        out->push_back({path.string(), line, "CC001",
+                        std::string(what) +
+                            "; use common::Mutex with a LockRank "
+                            "(common/thread_annotations.h)"});
+      }
+    }
+    for (const auto& [token, what] : kRawLock) {
+      if (ContainsToken(code, token)) {
+        out->push_back({path.string(), line, "CC002",
+                        std::string(what) +
+                            "; use common::MutexLock so the scope is "
+                            "visible to -Wthread-safety"});
+      }
+    }
+    if (ContainsToken(code, "std::condition_variable")) {
+      out->push_back({path.string(), line, "CC003",
+                      "std::condition_variable cannot wait on an annotated "
+                      "Mutex; use std::condition_variable_any"});
+    }
+    if (ContainsToken(code, "std::atomic") ||
+        ContainsToken(code, "std::atomic_flag")) {
+      bool documented = false;
+      for (size_t back = 0; back <= 3 && back <= i; ++back) {
+        if (CommentMentionsOrdering(stripped.comments[i - back])) {
+          documented = true;
+          break;
+        }
+      }
+      if (!documented) {
+        out->push_back({path.string(), line, "CC004",
+                        "std::atomic without an adjacent ordering-discipline "
+                        "comment (state the memory order relied on, and "
+                        "why, within the 3 lines above)"});
+      }
+    }
+    {
+      size_t pos = code.find(".detach");
+      while (pos != std::string::npos) {
+        size_t j = pos + std::string(".detach").size();
+        while (j < code.size() && std::isspace(static_cast<unsigned char>(
+                                      code[j]))) {
+          ++j;
+        }
+        if (j < code.size() && code[j] == '(') {
+          out->push_back({path.string(), line, "CC005",
+                          "thread .detach(): detached threads escape every "
+                          "shutdown protocol; join or use the ThreadPool"});
+          break;
+        }
+        pos = code.find(".detach", pos + 1);
+      }
+    }
+    if (ContainsToken(code, "NO_THREAD_SAFETY_ANALYSIS")) {
+      bool justified = false;
+      for (size_t d = 0; d <= 2; ++d) {
+        if (i >= d &&
+            stripped.comments[i - d].find("justification:") !=
+                std::string::npos) {
+          justified = true;
+          break;
+        }
+        if (i + d < stripped.comments.size() &&
+            stripped.comments[i + d].find("justification:") !=
+                std::string::npos) {
+          justified = true;
+          break;
+        }
+      }
+      if (!justified) {
+        out->push_back({path.string(), line, "CC006",
+                        "NO_THREAD_SAFETY_ANALYSIS without a nearby "
+                        "\"// justification: ...\" comment (±2 lines)"});
+      }
+    }
+  }
+}
+
+bool IsCppSource(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+int Usage() {
+  std::cerr << "usage: concurrency_lint [--root DIR] [path ...]\n"
+               "  lints C++ sources (default path: src) for raw\n"
+               "  concurrency primitives; see docs/concurrency.md\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) return Usage();
+      root = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) paths.push_back("src");
+
+  std::vector<fs::path> files;
+  for (const std::string& p : paths) {
+    const fs::path full = fs::path(p).is_absolute() ? fs::path(p) : root / p;
+    std::error_code ec;
+    if (fs::is_directory(full, ec)) {
+      for (const auto& entry :
+           fs::recursive_directory_iterator(full, ec)) {
+        if (entry.is_regular_file() && IsCppSource(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+      if (ec) {
+        std::cerr << "concurrency_lint: cannot walk '" << full.string()
+                  << "': " << ec.message() << "\n";
+        return 2;
+      }
+    } else if (fs::is_regular_file(full, ec)) {
+      files.push_back(full);
+    } else {
+      std::cerr << "concurrency_lint: no such file or directory: '"
+                << full.string() << "'\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Violation> violations;
+  for (const fs::path& file : files) LintFile(file, &violations);
+  for (const Violation& v : violations) {
+    std::cout << v.file << ":" << v.line << ": " << v.code << ": "
+              << v.message << "\n";
+  }
+  std::cout << files.size() << " file(s) checked: " << violations.size()
+            << " violation(s)\n";
+  return violations.empty() ? 0 : 1;
+}
