@@ -1,0 +1,114 @@
+// Pins the cost of per-query memory accounting (docs/memory.md).
+// Accounting is driver-thread-only bookkeeping — a handful of integer
+// adds per operator and per staged join side — so the enabled run must
+// stay at the disabled baseline (ratio ~= 1.0 modulo noise); the
+// disabled run must additionally leave the accountant untouched (the
+// structural pin below: peak stays 0, a timing ratio alone could hide a
+// regression behind noise).
+//
+// Output: median wall ms over `kIters` runs of LDBC Q1 per mode, plus
+// the on/off ratio, mirrored into BENCH_memory_accounting.json (one
+// record per mode, params: mode, sf, workers, query, peak_bytes;
+// wall_ms is the median, the remaining fields come from the median
+// run's tracker).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using gradoop::bench::BenchHarness;
+using gradoop::bench::JsonReporter;
+using gradoop::bench::RunResult;
+
+double MedianWallMs(std::vector<double> wall_ms) {
+  std::sort(wall_ms.begin(), wall_ms.end());
+  return wall_ms[wall_ms.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kIters = 15;
+  constexpr int kWarmup = 3;
+  const double sf = gradoop::bench::MiniSf10();
+  const int workers = 4;
+
+  JsonReporter reporter("memory_accounting");
+  BenchHarness harness;
+  const std::string query = gradoop::ldbc::Query1(
+      harness.FirstName(sf, gradoop::ldbc::Selectivity::kMedium));
+
+  // One engine serves both modes; the toggle is exactly the switch a
+  // user flips (CypherEngine::set_account_memory), so the comparison
+  // isolates the Charge/Release/frame bookkeeping.
+  gradoop::query::CypherEngine& engine = harness.Engine(sf, workers);
+  auto ctx = engine.graph().context();
+  {
+    gradoop::dataflow::ClusterConfig cluster;
+    cluster.num_workers = workers;
+    reporter.set_cluster(cluster);
+  }
+
+  char sf_text[32];
+  std::snprintf(sf_text, sizeof(sf_text), "%.2f", sf);
+
+  std::printf(
+      "memory-accounting overhead, LDBC Q1, sf %.2f, %d workers, %d iters\n",
+      sf, workers, kIters);
+  std::printf("%-10s %12s %14s\n", "accounting", "median [ms]", "peak [B]");
+
+  double median_off = 0.0;
+  double median_on = 0.0;
+  for (const bool enabled : {false, true}) {
+    engine.set_account_memory(enabled);
+    std::vector<double> wall_ms;
+    RunResult last;
+    uint64_t peak = 0;
+    for (int i = 0; i < kWarmup + kIters; ++i) {
+      last = harness.Run(sf, workers, query);
+      if (i >= kWarmup) wall_ms.push_back(last.wall_sec * 1e3);
+      // The engine disables the accountant after each query but leaves
+      // the totals for the gauges; Reset happens at the next Execute.
+      peak = ctx->accountant().peak_bytes();
+    }
+    // Structural pin: with accounting off the accountant must never be
+    // charged — a zero peak proves every site is behind enabled(), which
+    // a wall-clock ratio alone cannot.
+    if (!enabled && peak != 0) {
+      std::fprintf(stderr,
+                   "FAIL: accounting disabled but the accountant recorded "
+                   "a %llu-byte peak — a charge site is not gated on "
+                   "enabled()\n",
+                   static_cast<unsigned long long>(peak));
+      return 1;
+    }
+    if (enabled && peak == 0) {
+      std::fprintf(stderr,
+                   "FAIL: accounting enabled but the measured peak is 0 — "
+                   "the engine no longer enables the accountant per query\n");
+      return 1;
+    }
+    const double median = MedianWallMs(std::move(wall_ms));
+    (enabled ? median_on : median_off) = median;
+    last.wall_sec = median / 1e3;
+    reporter.Record({{"mode", enabled ? "on" : "off"},
+                     {"sf", sf_text},
+                     {"workers", std::to_string(workers)},
+                     {"query", query},
+                     {"peak_bytes", std::to_string(peak)}},
+                    last);
+    std::printf("%-10s %12.3f %14llu\n", enabled ? "on" : "off", median,
+                static_cast<unsigned long long>(peak));
+  }
+  engine.set_account_memory(true);  // the engine default
+
+  std::printf("on/off ratio: %.3f (accounting is integer bookkeeping on "
+              "the driver thread and must stay at the baseline)\n",
+              median_off > 0.0 ? median_on / median_off : 0.0);
+  return 0;
+}

@@ -54,10 +54,12 @@ if [[ "${ONLY}" == "all" || "${ONLY}" == "plain" ]]; then
 fi
 
 if [[ "${ONLY}" == "all" || "${ONLY}" == "asan" ]]; then
-  # The ASan tree also runs with the partitioning audit on: every elided
-  # shuffle in the whole suite re-hashes its records and aborts on the
-  # first one the compile-time analysis misplaced (docs/partitioning.md).
-  GRADOOP_AUDIT_PARTITIONING=1 run_tree asan \
+  # The ASan tree also runs with the partitioning and memory audits on:
+  # every elided shuffle in the whole suite re-hashes its records and
+  # aborts on the first one the compile-time analysis misplaced
+  # (docs/partitioning.md), and every executed operator's measured peak
+  # is checked against its static memory bound (docs/memory.md).
+  GRADOOP_AUDIT_PARTITIONING=1 GRADOOP_AUDIT_MEMORY=1 run_tree asan \
     -DCMAKE_BUILD_TYPE=Debug \
     -DGRADOOP_ASAN=ON -DGRADOOP_UBSAN=ON
 fi
@@ -125,12 +127,26 @@ if [[ "${ONLY}" == "all" || "${ONLY}" == "explain" ]]; then
     echo "cypher_explain: no example plan shows an elided shuffle" >&2
     exit 1
   fi
+  # Memory analysis: every compiled operator carries a mem= bound; pin
+  # one example EXPLAIN output so a rendering or annotation regression
+  # cannot slip through silently (docs/memory.md).
+  if ! "${OUT}/plain/tools/cypher_explain" \
+      "${ROOT}/examples/queries/quickstart.cypher" \
+      | grep -q "mem="
+  then
+    echo "cypher_explain: example plan is missing mem= annotations" >&2
+    exit 1
+  fi
   # ...and the elisions must survive their runtime audit: execute the
   # LDBC set and the example corpus with every elided shuffle re-hashed
   # record-by-record (the audit aborts the process on a misplaced one).
-  GRADOOP_AUDIT_PARTITIONING=1 "${OUT}/plain/tools/cypher_explain" \
+  # The memory audit rides along, checking measured per-operator peaks
+  # against the static bounds over the same corpus.
+  GRADOOP_AUDIT_PARTITIONING=1 GRADOOP_AUDIT_MEMORY=1 \
+    "${OUT}/plain/tools/cypher_explain" \
     --analyze --no-broadcast --ldbc >/dev/null
-  GRADOOP_AUDIT_PARTITIONING=1 "${OUT}/plain/tools/cypher_explain" \
+  GRADOOP_AUDIT_PARTITIONING=1 GRADOOP_AUDIT_MEMORY=1 \
+    "${OUT}/plain/tools/cypher_explain" \
     --analyze --no-broadcast "${ROOT}"/examples/queries/*.cypher >/dev/null
 fi
 
@@ -176,7 +192,7 @@ if [[ "${ONLY}" == "all" || "${ONLY}" == "concurrency" ]]; then
   # stops matching would otherwise keep this stage green forever), and
   # the clean fixture must keep passing.
   for fixture in raw_mutex unguarded_atomic detached_thread \
-                 unjustified_escape; do
+                 unjustified_escape shared_mutex scoped_lock; do
     if "${OUT}/plain/tools/concurrency_lint" --root "${ROOT}" \
         "tests/concurrency_lint_fixtures/${fixture}.cc" >/dev/null 2>&1
     then

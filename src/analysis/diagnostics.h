@@ -31,6 +31,10 @@ inline constexpr char kCodeEdgeRebound[] = "GQL003";
 inline constexpr char kCodeInvalidBounds[] = "GQL004";
 inline constexpr char kCodeElementMisuse[] = "GQL005";
 inline constexpr char kCodeIllTypedComparison[] = "GQL006";
+// Admission control: the plan's static peak-memory bound
+// (query/exec/memory_bound.h) exceeds CypherEngine's
+// max_query_memory_bytes budget; the query is rejected before execution.
+inline constexpr char kCodeMemoryBudgetExceeded[] = "GQL007";
 // Warnings.
 inline constexpr char kCodeUnusedVariable[] = "GQL101";
 inline constexpr char kCodeUnknownLabel[] = "GQL102";

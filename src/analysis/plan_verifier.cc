@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "analysis/type_check.h"
+#include "query/exec/memory_bound.h"
 #include "query/exec/partitioning.h"
 
 namespace gradoop::analysis {
@@ -543,7 +544,8 @@ Status CheckCompiledClauses(const PhysicalOperator& op,
 }
 
 Status VerifyCompiledNode(const cypher::QueryGraph& qg,
-                          const PhysicalOperator& op, int depth) {
+                          const PhysicalOperator& op, int num_workers,
+                          int depth) {
   if (depth > 4096) {
     return Status::Internal(
         "PlanVerifier: compiled plan exceeds maximum depth (cycle?)");
@@ -552,7 +554,8 @@ Status VerifyCompiledNode(const cypher::QueryGraph& qg,
     if (child == nullptr) {
       return CompiledViolation(op, "null child operator");
     }
-    GRADOOP_RETURN_IF_ERROR(VerifyCompiledNode(qg, *child, depth + 1));
+    GRADOOP_RETURN_IF_ERROR(
+        VerifyCompiledNode(qg, *child, num_workers, depth + 1));
   }
   if (!std::isfinite(op.estimated_cardinality()) ||
       op.estimated_cardinality() < 0.0) {
@@ -584,6 +587,25 @@ Status VerifyCompiledNode(const cypher::QueryGraph& qg,
                   " is not derivable (transfer function yields " +
                   derived.ToString() + ")");
     }
+  }
+
+  // Memory claim: mandatory (admission control and the runtime audit both
+  // consume it, so a plan without one never reaches execution) and must be
+  // exactly what the transfer functions yield from the operator and the
+  // children's claims — a claim the verifier cannot reproduce would let an
+  // undersized bound through admission.
+  if (!op.has_memory_bound()) {
+    return CompiledViolation(op,
+                             "missing memory bound claim (plan was not "
+                             "annotated by PlanCompiler)");
+  }
+  const query::exec::MemoryBound derived_mem =
+      query::exec::DeriveMemoryBound(op, num_workers);
+  if (!(op.memory_bound() == derived_mem)) {
+    return CompiledViolation(
+        op, "claimed memory bound [" + op.memory_bound().ToString() +
+                "] is not derivable (transfer function yields [" +
+                derived_mem.ToString() + "])");
   }
 
   switch (op.op_kind()) {
@@ -800,8 +822,9 @@ Status VerifyCompiledNode(const cypher::QueryGraph& qg,
 }  // namespace
 
 Status VerifyCompiledPlan(const cypher::QueryGraph& query_graph,
-                          const query::exec::PhysicalOperator& root) {
-  return VerifyCompiledNode(query_graph, root, 0);
+                          const query::exec::PhysicalOperator& root,
+                          int num_workers) {
+  return VerifyCompiledNode(query_graph, root, num_workers, 0);
 }
 
 }  // namespace gradoop::analysis

@@ -223,6 +223,7 @@ class Dataset {
   template <typename KeyFn>
   Dataset<T> Distinct(KeyFn key, const char* label = "Distinct") const {
     Dataset<T> shuffled = RepartitionByKey(key, label);
+    const uint64_t staged_bytes = ChargeTransient(shuffled);
     using K = std::decay_t<std::invoke_result_t<KeyFn, const T&>>;
     auto out = std::make_shared<Partitions>(num_partitions());
     std::vector<uint64_t> in_counts(num_partitions(), 0);
@@ -239,6 +240,7 @@ class Dataset {
       out_counts[p] = dst.size();
     });
     ChargePerPartition("DistinctLocal", in_counts, out_counts);
+    ctx_->accountant().Release(staged_bytes);
     return Dataset<T>(ctx_, std::move(out));
   }
 
@@ -251,6 +253,7 @@ class Dataset {
     using K = std::decay_t<std::invoke_result_t<KeyFn, const T&>>;
     using A = std::decay_t<std::invoke_result_t<Init, const T&>>;
     Dataset<T> shuffled = RepartitionByKey(key, label);
+    const uint64_t staged_bytes = ChargeTransient(shuffled);
     using OutT = std::pair<K, A>;
     auto out =
         std::make_shared<typename Dataset<OutT>::Partitions>(num_partitions());
@@ -274,6 +277,7 @@ class Dataset {
       out_counts[p] = dst.size();
     });
     ChargePerPartition("ReduceLocal", in_counts, out_counts);
+    ctx_->accountant().Release(staged_bytes);
     return Dataset<OutT>(ctx_, std::move(out));
   }
 
@@ -351,6 +355,11 @@ class Dataset {
       uint64_t moved = 0;
       for (uint64_t b : out_bytes) moved += b;
       ctx_->tracker().AddNetworkBytes(moved);
+      // Every build-side record enters the broadcast exchange once, just
+      // like a record entering a repartition shuffle (ShuffleInto counts
+      // its inputs the same way) — without this the per-operator record
+      // accounting was asymmetric between the two join strategies.
+      ctx_->tracker().AddRecords(static_cast<uint64_t>(all_right.size()));
       if (traced) {
         telemetry::Telemetry& tel = ctx_->telemetry();
         tel.tracer().AddSpan(bc.label, telemetry::kCategoryStage,
@@ -363,6 +372,23 @@ class Dataset {
         tel.metrics().AddCounter("shuffle.bytes", moved);
         tel.metrics().AddCounter("shuffle.bytes.remote", moved);
       }
+    }
+
+    // Memory accounting (driver thread; see memory_accountant.h): the
+    // staged join-side copies exist from here until this call returns.
+    // Charges model the stage's state in the same currency as the static
+    // analysis — serialized record bytes plus a fixed per-table-entry
+    // overhead — rather than tracing host allocations.
+    MemoryAccountant& accountant = ctx_->accountant();
+    uint64_t staged_bytes = 0;
+    if (accountant.enabled()) {
+      for (const auto& part : left_parts) {
+        for (const T& rec : part) staged_bytes += RecordBytes(rec);
+      }
+      for (const auto& part : right_parts) {
+        for (const U& rec : part) staged_bytes += RecordBytes(rec);
+      }
+      accountant.Charge(staged_bytes);
     }
 
     // Phase 2: per-worker build + probe.
@@ -411,6 +437,15 @@ class Dataset {
     ctx_->tracker().AddStage(cost);
     ctx_->tracker().AddRecords(total_in + total_out);
     ctx_->tracker().AddSpilledBytes(spilled);
+    if (accountant.enabled()) {
+      // The per-worker hash tables held one entry per build row; charging
+      // after the stage still registers the momentary high in the peak.
+      uint64_t table_entries = 0;
+      for (const uint64_t n : state_records) table_entries += n;
+      const uint64_t table_bytes = table_entries * kHashTableEntryBytes;
+      accountant.Charge(table_bytes);
+      accountant.Release(staged_bytes + table_bytes);
+    }
     if (ctx_->telemetry().enabled()) {
       auto& metrics = ctx_->telemetry().metrics();
       metrics.AddCounter("stage.count", 1);
@@ -431,6 +466,21 @@ class Dataset {
     uint64_t n = 0;
     for (const auto& part : *partitions_) n += part.size();
     return n;
+  }
+
+  // Charges the serialized bytes of a shuffled intermediate to the memory
+  // accountant and returns them so the caller can Release on completion.
+  // Returns 0 (and reads nothing) when accounting is off.
+  template <typename U>
+  uint64_t ChargeTransient(const Dataset<U>& staged) const {
+    MemoryAccountant& accountant = ctx_->accountant();
+    if (!accountant.enabled()) return 0;
+    uint64_t bytes = 0;
+    for (int i = 0; i < staged.num_partitions(); ++i) {
+      for (const U& rec : staged.partition(i)) bytes += RecordBytes(rec);
+    }
+    accountant.Charge(bytes);
+    return bytes;
   }
 
   // Runs fn(p) for each partition index on the host pool. The label only

@@ -6,6 +6,7 @@
 
 #include "dataflow/cluster_config.h"
 #include "dataflow/cost_model.h"
+#include "dataflow/memory_accountant.h"
 #include "dataflow/thread_pool.h"
 #include "telemetry/tracer.h"
 
@@ -37,6 +38,12 @@ class ExecutionContext {
   telemetry::Telemetry& telemetry() { return telemetry_; }
   const telemetry::Telemetry& telemetry() const { return telemetry_; }
 
+  // Per-query allocation accounting, default-off (a disabled accountant
+  // costs one bool load per site). Enabled by the engine around a query;
+  // driver-thread only — see memory_accountant.h.
+  MemoryAccountant& accountant() { return accountant_; }
+  const MemoryAccountant& accountant() const { return accountant_; }
+
   // Turns on metrics + tracing and hooks the thread pool so every
   // labelled partition task becomes a "task" span (worker id = partition
   // index, thread id = host thread). Not thread-safe against concurrent
@@ -66,6 +73,7 @@ class ExecutionContext {
   CostTracker tracker_;
   ThreadPool pool_;
   telemetry::Telemetry telemetry_;
+  MemoryAccountant accountant_;
 };
 
 using ExecutionContextPtr = std::shared_ptr<ExecutionContext>;

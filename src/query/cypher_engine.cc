@@ -3,9 +3,11 @@
 #include <cassert>
 
 #include "analysis/analyzer.h"
+#include "analysis/diagnostics.h"
 #include "analysis/plan_verifier.h"
 #include "common/timer.h"
 #include "cypher/parser.h"
+#include "query/exec/memory_bound.h"
 #include "query/exec/plan_compiler.h"
 
 namespace gradoop::query {
@@ -18,13 +20,43 @@ EmbeddingSet ApplyDistinct(const EmbeddingSet& input,
                            const cypher::QueryGraph& qg);
 EmbeddingSet ApplyLimit(const EmbeddingSet& input, int64_t limit);
 
-exec::CompileOptions CompileOptionsFrom(const PlannerOptions& planner) {
+exec::CompileOptions CompileOptionsFrom(const PlannerOptions& planner,
+                                        int num_workers,
+                                        const GraphStatistics* statistics) {
   exec::CompileOptions options;
   options.fuse_filters = planner.fuse_filters;
   options.prune_properties = planner.prune_properties;
   options.share_scans = planner.share_scan_results;
   options.elide_shuffles = planner.elide_shuffles;
+  options.num_workers = num_workers;
+  options.statistics = statistics;
   return options;
+}
+
+// GQL007 admission gate: when the engine carries a memory budget, a plan
+// whose static peak bound exceeds it is rejected with a located
+// diagnostic before Open() — no scan, shuffle or join ever runs.
+Status CheckMemoryAdmission(const std::string& query,
+                            const exec::PhysicalOperator& root,
+                            uint64_t budget_bytes) {
+  if (budget_bytes == 0 || !root.has_memory_bound() ||
+      root.memory_bound().peak_bytes <= budget_bytes) {
+    return Status::Ok();
+  }
+  analysis::Diagnostic diag;
+  diag.code = analysis::kCodeMemoryBudgetExceeded;
+  diag.severity = analysis::Severity::kError;
+  diag.message = "plan's static peak-memory bound (" +
+                 std::to_string(root.memory_bound().peak_bytes) +
+                 " bytes) exceeds max_query_memory_bytes (" +
+                 std::to_string(budget_bytes) + " bytes)";
+  // The bound belongs to the whole plan, so the diagnostic anchors at the
+  // start of the query and underlines its first line.
+  const size_t eol = query.find('\n');
+  diag.span = {/*offset=*/0,
+               /*length=*/eol == std::string::npos ? query.size() : eol,
+               /*line=*/1, /*column=*/1};
+  return Status::PlanError(analysis::RenderDiagnostic(diag, query));
 }
 
 }  // namespace
@@ -95,20 +127,51 @@ Result<CypherMatchResult> CypherEngine::Execute(
   // Lower to physical operators: the compiler resolves every column
   // layout, join key and property slot once; the second gate asserts the
   // compiled layouts are mutually consistent before anything runs.
-  exec::PlanCompiler compiler(qg, semantics,
-                              CompileOptionsFrom(planner_options_));
+  const int num_workers = graph_.vertices().context()->num_workers();
+  exec::PlanCompiler compiler(
+      qg, semantics,
+      CompileOptionsFrom(planner_options_, num_workers, &stats_));
   GRADOOP_ASSIGN_OR_RETURN(exec::PhysicalOperatorPtr physical,
                            compiler.Compile(plan));
-  GRADOOP_RETURN_IF_ERROR(analysis::VerifyCompiledPlan(qg, *physical));
+  GRADOOP_RETURN_IF_ERROR(
+      analysis::VerifyCompiledPlan(qg, *physical, num_workers));
+  // Admission control: the static bound gates execution (docs/memory.md).
+  // This runs after the verifier, so the bound it trusts was re-derived.
+  GRADOOP_RETURN_IF_ERROR(
+      CheckMemoryAdmission(query, *physical, max_query_memory_bytes_));
   end_phase("compile");
   ScanCache scan_cache;
   exec::ExecEnv env{&indexed_, planner_options_.share_scan_results
                                    ? &scan_cache
                                    : nullptr};
+  // Per-query accounting window: reset-enable around the execution so the
+  // peaks belong to this query alone; the guard disables on every exit
+  // path (a failed Open/Execute must not leave a stale enabled accountant
+  // charging unrelated dataflow work).
+  dfl::MemoryAccountant& accountant =
+      graph_.vertices().context()->accountant();
+  accountant.Reset();
+  if (account_memory_) accountant.Enable();
+  struct AccountantGuard {
+    dfl::MemoryAccountant* accountant;
+    ~AccountantGuard() { accountant->Disable(); }
+  } accountant_guard{&accountant};
   GRADOOP_RETURN_IF_ERROR(physical->Open(env));
   GRADOOP_ASSIGN_OR_RETURN(EmbeddingSet embeddings, physical->Execute(env));
   if (qg.return_distinct()) embeddings = ApplyDistinct(embeddings, qg);
   if (qg.limit() >= 0) embeddings = ApplyLimit(embeddings, qg.limit());
+  accountant.Disable();
+  if (traced) {
+    tel.metrics().SetGauge("memory.bytes.peak",
+                           static_cast<double>(accountant.peak_bytes()));
+    tel.metrics().SetGauge("memory.bytes.current",
+                           static_cast<double>(accountant.current_bytes()));
+  }
+  // Runtime audit (CI): measured per-operator peaks vs the static model.
+  // Aborts the process on a violation — see memory_bound.h.
+  if (exec::MemoryAuditEnabled()) {
+    exec::AuditCompiledPlanMemory(*physical, num_workers);
+  }
   end_phase("execute");
   CypherMatchResult result;
   result.query_graph = std::move(qg);
@@ -154,12 +217,19 @@ Result<std::string> CypherEngine::Explain(const std::string& query,
                            PlanQuery(qg, stats_, planner_options_));
   GRADOOP_RETURN_IF_ERROR(analysis::VerifyPlan(qg, plan));
   // EXPLAIN shows what would run, so it renders the compiled plan (fused
-  // filters, pruned projections and all), verified like a real execution.
-  exec::PlanCompiler compiler(qg, semantics,
-                              CompileOptionsFrom(planner_options_));
+  // filters, pruned projections and all), verified like a real execution —
+  // including the admission gate, so a budgeted engine EXPLAINs the same
+  // rejection Execute() would produce.
+  const int num_workers = graph_.vertices().context()->num_workers();
+  exec::PlanCompiler compiler(
+      qg, semantics,
+      CompileOptionsFrom(planner_options_, num_workers, &stats_));
   GRADOOP_ASSIGN_OR_RETURN(exec::PhysicalOperatorPtr physical,
                            compiler.Compile(plan));
-  GRADOOP_RETURN_IF_ERROR(analysis::VerifyCompiledPlan(qg, *physical));
+  GRADOOP_RETURN_IF_ERROR(
+      analysis::VerifyCompiledPlan(qg, *physical, num_workers));
+  GRADOOP_RETURN_IF_ERROR(
+      CheckMemoryAdmission(query, *physical, max_query_memory_bytes_));
   return physical->ToString();
 }
 

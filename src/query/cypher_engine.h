@@ -54,6 +54,22 @@ class CypherEngine {
   const GraphStatistics& statistics() const { return stats_; }
   PlannerOptions& planner_options() { return planner_options_; }
 
+  // Memory admission budget (docs/memory.md): when non-zero, Execute()
+  // rejects any plan whose static peak-memory bound exceeds the budget
+  // with a located GQL007 diagnostic, before anything runs. 0 = unlimited
+  // (the default — all queries admitted, byte-identical behavior).
+  void set_max_query_memory_bytes(uint64_t bytes) {
+    max_query_memory_bytes_ = bytes;
+  }
+  uint64_t max_query_memory_bytes() const { return max_query_memory_bytes_; }
+
+  // Per-query memory accounting (dataflow/memory_accountant.h): feeds the
+  // mem= actuals in EXPLAIN ANALYZE, the memory.bytes.* telemetry gauges
+  // and the GRADOOP_AUDIT_MEMORY runtime audit. On by default; benchmarks
+  // turn it off to measure its overhead.
+  void set_account_memory(bool on) { account_memory_ = on; }
+  bool account_memory() const { return account_memory_; }
+
   // Parses, plans, compiles and executes `query`, returning the
   // embeddings plus the logical and compiled plans. The primary entry
   // point for benchmarks and tests.
@@ -92,6 +108,8 @@ class CypherEngine {
   epgm::IndexedLogicalGraph indexed_;
   GraphStatistics stats_;
   PlannerOptions planner_options_;
+  uint64_t max_query_memory_bytes_ = 0;  // 0 = unlimited
+  bool account_memory_ = true;
 };
 
 // Compatibility wrapper for tests that construct logical plans manually:

@@ -83,6 +83,12 @@ Result<EmbeddingSet> PhysicalOperator::Execute(const ExecEnv& env) {
   telemetry::Telemetry& tel = env.graph->context()->telemetry();
   const bool traced = tel.enabled();
   const double span_begin_us = traced ? tel.tracer().NowMicros() : 0.0;
+  // Frame per subtree: the frame delta (popped below) is this subtree's
+  // own resident peak, the runtime counterpart of MemoryBound::peak_bytes.
+  // Execute recursion is driver-thread only, so frames strictly nest.
+  dataflow::MemoryAccountant& accountant =
+      env.graph->context()->accountant();
+  accountant.PushFrame();
   Timer total_timer;
   std::vector<EmbeddingSet> inputs;
   inputs.reserve(children_.size());
@@ -110,6 +116,18 @@ Result<EmbeddingSet> PhysicalOperator::Execute(const ExecEnv& env) {
       stats_.property_bytes += e.prop_data().size();
     }
   }
+  // Lifetime accounting, mirroring the static interval model: the own
+  // output becomes resident while every input output still is (the "all
+  // held" moment the model's final term prices), then the inputs die with
+  // the `inputs` vector when this call returns. The root's output stays
+  // charged until the engine resets the accountant.
+  if (accountant.enabled()) {
+    accountant.Charge(stats_.output_bytes);
+    for (const PhysicalOperatorPtr& child : children_) {
+      accountant.Release(child->stats().output_bytes);
+    }
+  }
+  stats_.actual_peak_bytes = accountant.PopFrame();
   stats_.executed = true;
   stats_.total_wall_sec = total_timer.ElapsedSeconds();
   if (traced) {
@@ -135,6 +153,12 @@ std::string PhysicalOperator::ToString(const RenderOptions& options,
     out += " +filter(" + ClauseList(fused_clauses_) + ")";
   }
   out += " ~" + CardString(estimated_cardinality_);
+  if (has_memory_bound_) {
+    out += " mem=" + std::to_string(memory_bound_.peak_bytes) + "B";
+    if (options.actuals && stats_.executed) {
+      out += "/" + std::to_string(stats_.actual_peak_bytes) + "B";
+    }
+  }
   if (options.actuals && stats_.executed) {
     out += " rows=" + std::to_string(stats_.actual_rows);
   }

@@ -13,6 +13,7 @@
 #include "dataflow/dataset.h"
 #include "epgm/indexed_logical_graph.h"
 #include "query/embedding_meta_data.h"
+#include "query/exec/memory_bound.h"
 #include "query/exec/partitioning.h"
 #include "query/match_semantics.h"
 #include "query/operators.h"
@@ -44,6 +45,10 @@ struct OperatorStats {
   uint64_t spilled_bytes = 0;   // spill bytes charged while it ran
   uint64_t output_bytes = 0;    // serialized size of the output embeddings
   uint64_t property_bytes = 0;  // property payload share of output_bytes
+  // Measured resident peak of this operator's subtree (accountant frame
+  // delta; dataflow/memory_accountant.h). 0 when accounting was off. The
+  // runtime counterpart of MemoryBound::peak_bytes.
+  uint64_t actual_peak_bytes = 0;
 };
 
 // Everything an operator needs at run time. Column layouts are NOT here:
@@ -113,6 +118,17 @@ class PhysicalOperator {
     has_output_partitioning_ = true;
   }
 
+  // Memory-footprint claim of the subtree rooted here, stamped bottom-up
+  // by PlanCompiler from DeriveMemoryBound and independently re-derived
+  // by VerifyCompiledPlan (which, unlike for partitioning, REJECTS a
+  // missing claim on compiled plans — admission control depends on it).
+  bool has_memory_bound() const { return has_memory_bound_; }
+  const MemoryBound& memory_bound() const { return memory_bound_; }
+  void set_memory_bound(MemoryBound b) {
+    memory_bound_ = b;
+    has_memory_bound_ = true;
+  }
+
   struct RenderOptions {
     bool actuals = false;  // append rows=<actual cardinality>
     bool timing = false;   // append wall/net/spill (non-deterministic)
@@ -144,6 +160,8 @@ class PhysicalOperator {
   OperatorStats stats_;
   PartitioningProperty output_partitioning_;
   bool has_output_partitioning_ = false;
+  MemoryBound memory_bound_;
+  bool has_memory_bound_ = false;
 };
 
 // --- one class per plan kind -----------------------------------------
@@ -326,6 +344,15 @@ class ExpandOp final : public PhysicalOperator {
   int start_column() const { return start_column_; }
   int bound_end_column() const { return bound_end_column_; }
   bool reverse() const { return reverse_; }
+  const cypher::QueryEdge& query_edge() const { return query_edge_; }
+
+  // Estimated rows of the edge dataset each expansion hop joins against,
+  // stamped by PlanCompiler from the graph statistics (0 when compiled
+  // without statistics, e.g. the ExecutePlan compat path). Trusted
+  // operator data for the memory transfer function, like the cardinality
+  // estimate.
+  uint64_t edge_input_estimate() const { return edge_input_estimate_; }
+  void set_edge_input_estimate(uint64_t rows) { edge_input_estimate_ = rows; }
 
  protected:
   Result<EmbeddingSet> Run(const ExecEnv& env,
@@ -336,6 +363,7 @@ class ExpandOp final : public PhysicalOperator {
   int start_column_ = -1;
   int bound_end_column_ = -1;
   bool reverse_ = false;
+  uint64_t edge_input_estimate_ = 0;
 };
 
 // Standalone filter stage; only compiled when filter fusion is disabled

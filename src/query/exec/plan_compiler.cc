@@ -3,6 +3,8 @@
 #include <memory>
 #include <utility>
 
+#include "query/graph_statistics.h"
+
 namespace gradoop::query::exec {
 
 namespace {
@@ -143,6 +145,16 @@ PhysicalOperatorPtr PlanCompiler::Annotate(PhysicalOperatorPtr op) const {
   // reads only the operator kind, keys, strategy and the children's
   // claims, never the elision flags.
   op->set_output_partitioning(DerivePartitioning(*op));
+  // Expansion hops join against the full edge dataset, whose size neither
+  // the cardinality estimate nor the children's bounds capture — stamp it
+  // from the statistics before the memory transfer function prices it.
+  if (op->op_kind() == PhysOpKind::kExpand &&
+      options_.statistics != nullptr) {
+    auto& expand = static_cast<ExpandOp&>(*op);
+    expand.set_edge_input_estimate(
+        options_.statistics->EdgeCountByLabels(expand.query_edge().types));
+  }
+  op->set_memory_bound(DeriveMemoryBound(*op, options_.num_workers));
   return op;
 }
 

@@ -11,6 +11,10 @@
 #include "query/exec/physical_operator.h"
 #include "query/plan.h"
 
+namespace gradoop::query {
+class GraphStatistics;
+}  // namespace gradoop::query
+
 namespace gradoop::query::exec {
 
 // Compile-time passes applied while lowering the logical plan.
@@ -33,6 +37,14 @@ struct CompileOptions {
   // skips its shuffle. Partitioning properties are annotated regardless;
   // this only gates acting on them (ablation / A-B testing).
   bool elide_shuffles = true;
+  // Worker count the memory analysis prices broadcast replication at;
+  // must equal the executing ClusterConfig::num_workers (the engine
+  // passes its context's value; the default matches ClusterConfig's).
+  int num_workers = 4;
+  // Graph statistics for the memory analysis' expand transfer function
+  // (how many edge rows each expansion hop stages). Null compiles fine —
+  // the estimate is 0 and only the audited/budgeted paths care.
+  const GraphStatistics* statistics = nullptr;
 };
 
 // Lowers a logical PlanNode tree into compiled physical operators,
@@ -61,11 +73,12 @@ class PlanCompiler {
       const PlanNodePtr& node, std::vector<cypher::CnfClause> residual,
       double residual_estimate);
 
-  // Bottom-up partitioning analysis: grants shuffle elisions to
-  // repartition joins whose input is already hash-partitioned on the
-  // join key (when options_.elide_shuffles), then stamps the operator's
-  // own output-partitioning claim via DerivePartitioning. Called on every
-  // compiled operator; children carry their claims already.
+  // Bottom-up analyses: grants shuffle elisions to repartition joins
+  // whose input is already hash-partitioned on the join key (when
+  // options_.elide_shuffles), then stamps the operator's own
+  // output-partitioning claim via DerivePartitioning and its memory claim
+  // via DeriveMemoryBound. Called on every compiled operator; children
+  // carry their claims already.
   PhysicalOperatorPtr Annotate(PhysicalOperatorPtr op) const;
 
   // Every property a clause set reads must resolve in `meta`.

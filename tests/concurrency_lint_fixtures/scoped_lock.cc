@@ -1,0 +1,22 @@
+// Seeded violation fixture for tools/concurrency_lint (NOT built; CI
+// pins that linting this file exits non-zero). std::scoped_lock over a
+// std::recursive_mutex: both the recursive primitive (CC001 — recursion
+// also defeats the rank checker's self-deadlock guarantee) and the raw
+// RAII guard (CC002) must be flagged.
+#include <mutex>
+
+namespace fixture {
+
+class Journal {
+ public:
+  void Append(int v) {
+    std::scoped_lock lock(mu_);  // CC002
+    entries_ += v;
+  }
+
+ private:
+  std::recursive_mutex mu_;  // CC001
+  int entries_ = 0;
+};
+
+}  // namespace fixture

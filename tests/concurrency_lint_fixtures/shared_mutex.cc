@@ -1,0 +1,22 @@
+// Seeded violation fixture for tools/concurrency_lint (NOT built; CI
+// pins that linting this file exits non-zero). Reader-writer variants
+// are still raw primitives: std::shared_mutex members and
+// std::shared_lock guards bypass common::Mutex just like std::mutex
+// does, so CC001/CC002 must catch them too.
+#include <shared_mutex>
+
+namespace fixture {
+
+class Registry {
+ public:
+  int Get() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);  // CC002
+    return value_;
+  }
+
+ private:
+  mutable std::shared_mutex mu_;  // CC001
+  int value_ = 0;
+};
+
+}  // namespace fixture

@@ -340,6 +340,9 @@ TEST(VerifyCompiledPlanTest, RejectsVertexScanWithExtraIdColumn) {
   meta.AddIdColumn("b", query::EntryType::kVertex);
   query::exec::VertexScanOp scan(meta, 1.0, query::MorphismSetting::Neo4j(),
                                  {}, qg.vertices()[0], {});
+  // Memory claims are mandatory; stamp a derivable one so the verifier
+  // reaches the layout check this test is about.
+  scan.set_memory_bound(query::exec::DeriveMemoryBound(scan));
   const Status s = VerifyCompiledPlan(qg, scan);
   ASSERT_FALSE(s.ok());
   EXPECT_NE(s.message().find("one id column"), std::string::npos) << s;
@@ -357,12 +360,15 @@ TEST(VerifyCompiledPlanTest, RejectsJoinKeyColumnsDisagreeingWithChildren) {
   };
   auto left = make_scan("a", 0);
   auto right = make_scan("a", 0);
+  left->set_memory_bound(query::exec::DeriveMemoryBound(*left));
+  right->set_memory_bound(query::exec::DeriveMemoryBound(*right));
   auto merged = query::EmbeddingMetaData::Merge(left->output_meta(),
                                                 right->output_meta());
   // Key column 1 does not hold `a` on either side (both bind it at 0).
   query::exec::JoinOp join(merged, 1.0, query::MorphismSetting::Neo4j(), {},
                            left, right, {"a"}, {1}, {1},
                            dataflow::JoinStrategy::kRepartition);
+  join.set_memory_bound(query::exec::DeriveMemoryBound(join));
   const Status s = VerifyCompiledPlan(qg, join);
   ASSERT_FALSE(s.ok());
   EXPECT_NE(s.message().find("key columns"), std::string::npos) << s;
@@ -380,6 +386,8 @@ TEST(VerifyCompiledPlanTest, RejectsFilterThatChangesLayout) {
   widened.AddIdColumn("b", query::EntryType::kVertex);
   query::exec::FilterOp filter(widened, 1.0, query::MorphismSetting::Neo4j(),
                                child, {});
+  child->set_memory_bound(query::exec::DeriveMemoryBound(*child));
+  filter.set_memory_bound(query::exec::DeriveMemoryBound(filter));
   const Status s = VerifyCompiledPlan(qg, filter);
   ASSERT_FALSE(s.ok());
   EXPECT_NE(s.message().find("changed the column layout"), std::string::npos)

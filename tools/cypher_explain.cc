@@ -41,6 +41,10 @@ int Usage() {
          "                     repartitions; shows shuffle elisions the\n"
          "                     partitioning analysis proves)\n"
          "      --no-elide     disable shuffle elision (ablation)\n"
+         "      --max-memory BYTES\n"
+         "                     reject plans whose static peak-memory\n"
+         "                     bound exceeds BYTES (GQL007 admission,\n"
+         "                     docs/memory.md); 0 = unlimited\n"
          "  -                  read one query from stdin\n";
   return 2;
 }
@@ -51,6 +55,7 @@ int main(int argc, char** argv) {
   bool analyze = false;
   bool ldbc = false;
   double scale_factor = 0.05;
+  unsigned long long max_memory_bytes = 0;
   gradoop::query::PlannerOptions planner_options;
   std::vector<std::pair<std::string, std::string>> inputs;  // name, query
   std::vector<std::string> files;
@@ -76,6 +81,14 @@ int main(int argc, char** argv) {
       planner_options.allow_broadcast = false;
     } else if (arg == "--no-elide") {
       planner_options.elide_shuffles = false;
+    } else if (arg == "--max-memory") {
+      const char* text = next();
+      if (text == nullptr) return Usage();
+      try {
+        max_memory_bytes = std::stoull(text);
+      } catch (...) {
+        return Usage();
+      }
     } else if (arg == "--sf") {
       const char* text = next();
       if (text == nullptr) return Usage();
@@ -122,6 +135,7 @@ int main(int argc, char** argv) {
       gradoop::ldbc::LdbcGenerator(cfg).Generate(
           gradoop::dataflow::MakeContext()),
       planner_options);
+  engine.set_max_query_memory_bytes(max_memory_bytes);
 
   int failures = 0;
   for (const auto& [name, query] : inputs) {
