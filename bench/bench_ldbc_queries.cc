@@ -1,14 +1,17 @@
 // Per-query shuffle accounting for the six LDBC benchmark queries: how
 // many exchanges each query runs, how many bytes enter them, and how
-// much of that the partitioning analysis elides. Three planner modes:
+// much of that the partitioning analysis elides. Five modes:
 //
 //   default      broadcast joins allowed (the paper's configuration)
 //   repartition  broadcast disabled, shuffle elision on — the mode the
 //                partitioning analysis was built for
 //   no-elide     broadcast disabled, elision off (ablation baseline)
+//   batch        like default, executed by the columnar batch engine
+//   batch-repart like repartition, batch engine (docs/vectorized.md)
 //
 // The repartition-vs-no-elide delta in shuffle_bytes is the analysis's
-// measured win; CI archives BENCH_ldbc_queries.json alongside the other
+// measured win, and the default-vs-batch wall-clock delta the vectorized
+// kernels'; CI archives BENCH_ldbc_queries.json alongside the other
 // benchmark artifacts.
 #include <cstdio>
 #include <string>
@@ -44,14 +47,18 @@ int main() {
   const std::string first_name = gradoop::ldbc::PickFirstName(
       elements, gradoop::ldbc::Selectivity::kMedium);
 
+  using Engine = gradoop::query::PlannerOptions::ExecutionEngine;
   struct Mode {
     const char* name;
     bool allow_broadcast;
     bool elide_shuffles;
+    Engine engine;
   };
-  const Mode modes[] = {{"default", true, true},
-                        {"repartition", false, true},
-                        {"no-elide", false, false}};
+  const Mode modes[] = {{"default", true, true, Engine::kRow},
+                        {"repartition", false, true, Engine::kRow},
+                        {"no-elide", false, false, Engine::kRow},
+                        {"batch", true, true, Engine::kBatch},
+                        {"batch-repart", false, true, Engine::kBatch}};
 
   std::printf("%-8s %-12s %9s %9s %8s %11s %7s %11s\n", "query", "mode",
               "matches", "sim [s]", "shuffles", "bytes", "elided",
@@ -68,6 +75,7 @@ int main() {
     gradoop::query::PlannerOptions options;
     options.allow_broadcast = mode.allow_broadcast;
     options.elide_shuffles = mode.elide_shuffles;
+    options.engine = mode.engine;
     gradoop::query::CypherEngine engine(graph, options);
 
     for (int q = 0; q < 6; ++q) {

@@ -58,7 +58,9 @@ if [[ "${ONLY}" == "all" || "${ONLY}" == "asan" ]]; then
   # every elided shuffle in the whole suite re-hashes its records and
   # aborts on the first one the compile-time analysis misplaced
   # (docs/partitioning.md), and every executed operator's measured peak
-  # is checked against its static memory bound (docs/memory.md).
+  # is checked against its static memory bound (docs/memory.md). The
+  # batch engine's columnar kernels run under the sanitizers here too,
+  # via batch_engine_test and the fuzz suite's batch ablation.
   GRADOOP_AUDIT_PARTITIONING=1 GRADOOP_AUDIT_MEMORY=1 run_tree asan \
     -DCMAKE_BUILD_TYPE=Debug \
     -DGRADOOP_ASAN=ON -DGRADOOP_UBSAN=ON
@@ -137,17 +139,33 @@ if [[ "${ONLY}" == "all" || "${ONLY}" == "explain" ]]; then
     echo "cypher_explain: example plan is missing mem= annotations" >&2
     exit 1
   fi
+  # Batch engine (docs/vectorized.md): every compiled operator carries a
+  # verifier-checked batch-layout claim, rendered as batch=<n>; pin one
+  # example EXPLAIN so an annotation or rendering regression cannot slip
+  # through silently.
+  if ! "${OUT}/plain/tools/cypher_explain" --engine batch \
+      "${ROOT}/examples/queries/quickstart.cypher" \
+      | grep -q "batch="
+  then
+    echo "cypher_explain: example plan is missing batch= annotations" >&2
+    exit 1
+  fi
   # ...and the elisions must survive their runtime audit: execute the
   # LDBC set and the example corpus with every elided shuffle re-hashed
   # record-by-record (the audit aborts the process on a misplaced one).
   # The memory audit rides along, checking measured per-operator peaks
-  # against the static bounds over the same corpus.
-  GRADOOP_AUDIT_PARTITIONING=1 GRADOOP_AUDIT_MEMORY=1 \
-    "${OUT}/plain/tools/cypher_explain" \
-    --analyze --no-broadcast --ldbc >/dev/null
-  GRADOOP_AUDIT_PARTITIONING=1 GRADOOP_AUDIT_MEMORY=1 \
-    "${OUT}/plain/tools/cypher_explain" \
-    --analyze --no-broadcast "${ROOT}"/examples/queries/*.cypher >/dev/null
+  # against the static bounds over the same corpus. Both engines run
+  # under the audits — the batch kernels' scatter placement and memory
+  # accounting honor the same claims the row engine is held to.
+  for engine in row batch; do
+    GRADOOP_AUDIT_PARTITIONING=1 GRADOOP_AUDIT_MEMORY=1 \
+      "${OUT}/plain/tools/cypher_explain" \
+      --analyze --no-broadcast --engine "${engine}" --ldbc >/dev/null
+    GRADOOP_AUDIT_PARTITIONING=1 GRADOOP_AUDIT_MEMORY=1 \
+      "${OUT}/plain/tools/cypher_explain" \
+      --analyze --no-broadcast --engine "${engine}" \
+      "${ROOT}"/examples/queries/*.cypher >/dev/null
+  done
 fi
 
 # Telemetry stage: profile two LDBC queries with the engine's tracing

@@ -545,7 +545,7 @@ Status CheckCompiledClauses(const PhysicalOperator& op,
 
 Status VerifyCompiledNode(const cypher::QueryGraph& qg,
                           const PhysicalOperator& op, int num_workers,
-                          int depth) {
+                          int batch_size, int depth) {
   if (depth > 4096) {
     return Status::Internal(
         "PlanVerifier: compiled plan exceeds maximum depth (cycle?)");
@@ -555,7 +555,7 @@ Status VerifyCompiledNode(const cypher::QueryGraph& qg,
       return CompiledViolation(op, "null child operator");
     }
     GRADOOP_RETURN_IF_ERROR(
-        VerifyCompiledNode(qg, *child, num_workers, depth + 1));
+        VerifyCompiledNode(qg, *child, num_workers, batch_size, depth + 1));
   }
   if (!std::isfinite(op.estimated_cardinality()) ||
       op.estimated_cardinality() < 0.0) {
@@ -606,6 +606,24 @@ Status VerifyCompiledNode(const cypher::QueryGraph& qg,
         op, "claimed memory bound [" + op.memory_bound().ToString() +
                 "] is not derivable (transfer function yields [" +
                 derived_mem.ToString() + "])");
+  }
+
+  // Batch-layout claim: mandatory like the memory bound (the vectorized
+  // kernels materialize exactly this columnar shape, and a tampered
+  // layout would make them read id payloads as path-pool offsets) and
+  // must be exactly what DeriveBatchLayout yields from the output meta.
+  if (!op.has_batch_layout()) {
+    return CompiledViolation(op,
+                             "missing batch layout claim (plan was not "
+                             "annotated by PlanCompiler)");
+  }
+  const query::exec::BatchLayout derived_layout =
+      query::exec::DeriveBatchLayout(meta, batch_size);
+  if (!(op.batch_layout() == derived_layout)) {
+    return CompiledViolation(
+        op, "claimed batch layout [" + op.batch_layout().ToString() +
+                "] is not derivable (transfer function yields [" +
+                derived_layout.ToString() + "])");
   }
 
   switch (op.op_kind()) {
@@ -823,8 +841,8 @@ Status VerifyCompiledNode(const cypher::QueryGraph& qg,
 
 Status VerifyCompiledPlan(const cypher::QueryGraph& query_graph,
                           const query::exec::PhysicalOperator& root,
-                          int num_workers) {
-  return VerifyCompiledNode(query_graph, root, num_workers, 0);
+                          int num_workers, int batch_size) {
+  return VerifyCompiledNode(query_graph, root, num_workers, batch_size, 0);
 }
 
 }  // namespace gradoop::analysis

@@ -95,15 +95,18 @@ Status VerifyCandidatePlan(const cypher::QueryGraph& query_graph,
 // merge layouts preserve the left columns while rebasing the right,
 // expansions start from a vertex column and append the path (and fresh
 // end) columns, and all fused filter clauses resolve to projected
-// property columns. Partitioning and memory claims must both be
-// re-derivable from the operator alone; memory claims are mandatory on
-// every operator (a missing one means the plan skipped PlanCompiler's
-// annotation pass, so nothing downstream — admission, audit — can trust
-// it). `num_workers` must match the CompileOptions::num_workers the plan
-// was compiled with. Run by the engine between compilation and execution.
+// property columns. Partitioning, memory and batch-layout claims must
+// all be re-derivable from the operator alone; memory and batch-layout
+// claims are mandatory on every operator (a missing one means the plan
+// skipped PlanCompiler's annotation pass, so nothing downstream —
+// admission, audit, the vectorized kernels — can trust it).
+// `num_workers` must match the CompileOptions::num_workers the plan was
+// compiled with, and `batch_size` its CompileOptions::batch_size. Run by
+// the engine between compilation and execution.
 Status VerifyCompiledPlan(const cypher::QueryGraph& query_graph,
                           const query::exec::PhysicalOperator& root,
-                          int num_workers = 4);
+                          int num_workers = 4,
+                          int batch_size = query::exec::kDefaultBatchSize);
 
 // Stable operator name for diagnostics ("ScanVertices", "JoinEmbeddings",
 // ...).

@@ -37,6 +37,14 @@ struct JoinShuffleHints {
   bool right_prepartitioned = false;
 };
 
+// Per-partition state a ZipPartitions callback built transiently (its
+// hash table, for a join): priced by the spill model and charged to the
+// memory accountant exactly like HashJoin's build side.
+struct ZipPartitionStats {
+  uint64_t state_bytes = 0;
+  uint64_t state_records = 0;
+};
+
 // A distributed dataset: `num_workers` partitions, partition i owned by
 // simulated worker i. Transformations execute eagerly on the host thread
 // pool and charge the simulated cluster cost model of the shared
@@ -440,6 +448,208 @@ class Dataset {
     if (accountant.enabled()) {
       // The per-worker hash tables held one entry per build row; charging
       // after the stage still registers the momentary high in the peak.
+      uint64_t table_entries = 0;
+      for (const uint64_t n : state_records) table_entries += n;
+      const uint64_t table_bytes = table_entries * kHashTableEntryBytes;
+      accountant.Charge(table_bytes);
+      accountant.Release(staged_bytes + table_bytes);
+    }
+    if (ctx_->telemetry().enabled()) {
+      auto& metrics = ctx_->telemetry().metrics();
+      metrics.AddCounter("stage.count", 1);
+      metrics.AddCounter("stage.records_in", total_in);
+      if (spilled > 0) metrics.AddCounter("spill.bytes", spilled);
+      for (const uint64_t n : work) {
+        metrics.Observe("stage.partition_records", static_cast<double>(n));
+      }
+    }
+    return Dataset<Out>(ctx_, std::move(out));
+  }
+
+  // Key-directed exchange where the caller splits each record into
+  // per-target fragments: `splitter(record, source_partition, &frags)`
+  // appends (target, fragment) pairs. The columnar batch engine scatters
+  // through this — the fragments are sub-batches holding only the
+  // selected rows routed to each worker, so a filtered batch never
+  // serializes its dead rows into the exchange. Accounting mirrors
+  // ShuffleInto: every fragment enters the exchange, only fragments
+  // landing on a different worker are billed as network traffic, and the
+  // shuffle.* telemetry counters cover the fragment bytes.
+  template <typename Splitter>
+  Dataset<T> ScatterShuffle(Splitter splitter,
+                            const char* label = "Scatter") const {
+    const bool traced = ctx_->telemetry().enabled();
+    const double span_begin_us =
+        traced ? ctx_->telemetry().tracer().NowMicros() : 0.0;
+    const int p = num_partitions();
+    auto out = std::make_shared<Partitions>(p);
+    std::vector<uint64_t> out_bytes(p, 0), in_bytes(p, 0);
+    std::vector<uint64_t> in_counts(p, 0);
+    uint64_t moved = 0;
+    uint64_t exchanged = 0;
+    std::vector<std::pair<int, T>> frags;
+    for (int i = 0; i < p; ++i) {
+      in_counts[i] = (*partitions_)[i].size();
+      for (const T& rec : (*partitions_)[i]) {
+        frags.clear();
+        splitter(rec, i, &frags);
+        for (auto& [target, frag] : frags) {
+          assert(target >= 0 && target < p);
+          const uint64_t b = (traced || target != i) ? RecordBytes(frag) : 0;
+          if (traced) exchanged += b;
+          if (target != i) {
+            out_bytes[i] += b;
+            in_bytes[target] += b;
+            moved += b;
+          }
+          (*out)[target].push_back(std::move(frag));
+        }
+      }
+    }
+    const auto& cfg = ctx_->config();
+    StageCost cost;
+    cost.label = std::string(label) + "/Shuffle";
+    double worst = 0.0;
+    for (int i = 0; i < p; ++i) {
+      worst = std::max(
+          worst, static_cast<double>(in_counts[i]) * cfg.seconds_per_record);
+    }
+    cost.compute_sec = worst;
+    cost.network_sec = ShuffleSeconds(out_bytes, in_bytes, cfg);
+    cost.latency_sec = cfg.stage_latency_sec;
+    ctx_->tracker().AddStage(cost);
+    ctx_->tracker().AddNetworkBytes(moved);
+    uint64_t total = 0;
+    for (uint64_t n : in_counts) total += n;
+    ctx_->tracker().AddRecords(total);
+    if (traced) {
+      telemetry::Telemetry& tel = ctx_->telemetry();
+      tel.tracer().AddSpan(
+          cost.label, telemetry::kCategoryStage, span_begin_us,
+          tel.tracer().NowMicros(), /*worker=*/-1,
+          {{"bytes", static_cast<double>(exchanged)},
+           {"remote_bytes", static_cast<double>(moved)},
+           {"records", static_cast<double>(total)}});
+      tel.metrics().AddCounter("shuffle.count", 1);
+      tel.metrics().AddCounter("shuffle.bytes", exchanged);
+      tel.metrics().AddCounter("shuffle.bytes.remote", moved);
+    }
+    return Dataset<T>(ctx_, std::move(out));
+  }
+
+  // Every worker receives every record — the standalone counterpart of
+  // the broadcast exchange HashJoin's kBroadcast strategy performs
+  // inline, with identical network accounting and telemetry. The batch
+  // join kernels broadcast whole column batches through this.
+  Dataset<T> Replicate(const char* label = "Replicate") const {
+    const int p = num_partitions();
+    const bool traced = ctx_->telemetry().enabled();
+    const double span_begin_us =
+        traced ? ctx_->telemetry().tracer().NowMicros() : 0.0;
+    std::vector<T> all;
+    for (int i = 0; i < p; ++i) {
+      all.insert(all.end(), (*partitions_)[i].begin(),
+                 (*partitions_)[i].end());
+    }
+    auto out = std::make_shared<Partitions>();
+    out->assign(p, all);
+    // Network: worker w sends its partition to the (p-1) others and
+    // receives everyone else's (the HashJoin broadcast formula).
+    std::vector<uint64_t> out_bytes(p, 0), in_bytes(p, 0);
+    uint64_t total_bytes = 0;
+    for (int i = 0; i < p; ++i) {
+      uint64_t b = 0;
+      for (const T& rec : (*partitions_)[i]) b += RecordBytes(rec);
+      out_bytes[i] = b * (p - 1);
+      total_bytes += b;
+    }
+    for (int i = 0; i < p; ++i) {
+      uint64_t own = 0;
+      for (const T& rec : (*partitions_)[i]) own += RecordBytes(rec);
+      in_bytes[i] = total_bytes - own;
+    }
+    StageCost bc;
+    bc.label = std::string(label) + "/Broadcast";
+    bc.network_sec = ShuffleSeconds(out_bytes, in_bytes, ctx_->config());
+    bc.latency_sec = ctx_->config().stage_latency_sec;
+    ctx_->tracker().AddStage(bc);
+    uint64_t moved = 0;
+    for (uint64_t b : out_bytes) moved += b;
+    ctx_->tracker().AddNetworkBytes(moved);
+    ctx_->tracker().AddRecords(static_cast<uint64_t>(all.size()));
+    if (traced) {
+      telemetry::Telemetry& tel = ctx_->telemetry();
+      tel.tracer().AddSpan(bc.label, telemetry::kCategoryStage,
+                           span_begin_us, tel.tracer().NowMicros(),
+                           /*worker=*/-1,
+                           {{"bytes", static_cast<double>(moved)}});
+      tel.metrics().AddCounter("shuffle.count", 1);
+      tel.metrics().AddCounter("shuffle.bytes", moved);
+      tel.metrics().AddCounter("shuffle.bytes.remote", moved);
+    }
+    return Dataset<T>(ctx_, std::move(out));
+  }
+
+  // Narrow binary per-partition transform over co-partitioned datasets —
+  // the build+probe phase of a join whose exchange already ran.
+  // `fn(partition, left_records, right_records, &out, &stats)` reports
+  // the transient state it built (hash-table bytes and entries) through
+  // `stats`, so the stage is priced exactly like HashJoin's BuildProbe:
+  // both staged inputs charge the accountant for the stage's duration,
+  // the spill model sees the per-partition state, and the table entries
+  // charge kHashTableEntryBytes each before everything releases.
+  template <typename Out, typename U, typename F>
+  Dataset<Out> ZipPartitions(const Dataset<U>& right, F fn,
+                             const char* label = "Zip") const {
+    const int p = num_partitions();
+    assert(p == right.num_partitions());
+    auto out = std::make_shared<typename Dataset<Out>::Partitions>(p);
+    MemoryAccountant& accountant = ctx_->accountant();
+    uint64_t staged_bytes = 0;
+    if (accountant.enabled()) {
+      for (int i = 0; i < p; ++i) {
+        for (const T& rec : (*partitions_)[i]) {
+          staged_bytes += RecordBytes(rec);
+        }
+        for (const U& rec : right.partition(i)) {
+          staged_bytes += RecordBytes(rec);
+        }
+      }
+      accountant.Charge(staged_bytes);
+    }
+    std::vector<uint64_t> work(p, 0);
+    std::vector<uint64_t> out_counts(p, 0);
+    std::vector<uint64_t> state_bytes(p, 0);
+    std::vector<uint64_t> state_records(p, 0);
+    const std::string stage_label = std::string(label) + "/BuildProbe";
+    RunPerPartition(stage_label.c_str(), [&](int part) {
+      ZipPartitionStats st;
+      fn(part, (*partitions_)[part], right.partition(part), &(*out)[part],
+         &st);
+      work[part] = (*partitions_)[part].size() + right.partition(part).size();
+      out_counts[part] = (*out)[part].size();
+      state_bytes[part] = st.state_bytes;
+      state_records[part] = st.state_records;
+    });
+    const auto& cfg = ctx_->config();
+    StageCost cost;
+    cost.label = stage_label;
+    uint64_t total_in = 0, total_out = 0;
+    double worst = 0.0;
+    for (int i = 0; i < p; ++i) {
+      worst = std::max(worst, static_cast<double>(work[i] + out_counts[i]) *
+                                  cfg.seconds_per_record);
+      total_in += work[i];
+      total_out += out_counts[i];
+    }
+    cost.compute_sec = worst;
+    uint64_t spilled = 0;
+    cost.spill_sec = SpillSeconds(state_bytes, state_records, cfg, &spilled);
+    cost.latency_sec = cfg.stage_latency_sec;
+    ctx_->tracker().AddStage(cost);
+    ctx_->tracker().AddRecords(total_in + total_out);
+    ctx_->tracker().AddSpilledBytes(spilled);
+    if (accountant.enabled()) {
       uint64_t table_entries = 0;
       for (const uint64_t n : state_records) table_entries += n;
       const uint64_t table_bytes = table_entries * kHashTableEntryBytes;

@@ -7,6 +7,7 @@
 #include "analysis/plan_verifier.h"
 #include "common/timer.h"
 #include "cypher/parser.h"
+#include "query/batch_operators.h"
 #include "query/exec/memory_bound.h"
 #include "query/exec/plan_compiler.h"
 
@@ -30,6 +31,7 @@ exec::CompileOptions CompileOptionsFrom(const PlannerOptions& planner,
   options.elide_shuffles = planner.elide_shuffles;
   options.num_workers = num_workers;
   options.statistics = statistics;
+  options.batch_size = planner.batch_size;
   return options;
 }
 
@@ -133,17 +135,18 @@ Result<CypherMatchResult> CypherEngine::Execute(
       CompileOptionsFrom(planner_options_, num_workers, &stats_));
   GRADOOP_ASSIGN_OR_RETURN(exec::PhysicalOperatorPtr physical,
                            compiler.Compile(plan));
-  GRADOOP_RETURN_IF_ERROR(
-      analysis::VerifyCompiledPlan(qg, *physical, num_workers));
+  GRADOOP_RETURN_IF_ERROR(analysis::VerifyCompiledPlan(
+      qg, *physical, num_workers, planner_options_.batch_size));
   // Admission control: the static bound gates execution (docs/memory.md).
   // This runs after the verifier, so the bound it trusts was re-derived.
   GRADOOP_RETURN_IF_ERROR(
       CheckMemoryAdmission(query, *physical, max_query_memory_bytes_));
   end_phase("compile");
   ScanCache scan_cache;
-  exec::ExecEnv env{&indexed_, planner_options_.share_scan_results
-                                   ? &scan_cache
-                                   : nullptr};
+  BatchScanCache batch_scan_cache;
+  const bool share_scans = planner_options_.share_scan_results;
+  exec::ExecEnv env{&indexed_, share_scans ? &scan_cache : nullptr,
+                    share_scans ? &batch_scan_cache : nullptr};
   // Per-query accounting window: reset-enable around the execution so the
   // peaks belong to this query alone; the guard disables on every exit
   // path (a failed Open/Execute must not leave a stale enabled accountant
@@ -157,7 +160,19 @@ Result<CypherMatchResult> CypherEngine::Execute(
     ~AccountantGuard() { accountant->Disable(); }
   } accountant_guard{&accountant};
   GRADOOP_RETURN_IF_ERROR(physical->Open(env));
-  GRADOOP_ASSIGN_OR_RETURN(EmbeddingSet embeddings, physical->Execute(env));
+  // Both engines run the same compiled (and verified) plan. The batch
+  // engine flows columnar EmbeddingBatches through every operator and
+  // converts back to rows once at the root — outside any operator's
+  // accounting frame — so DISTINCT/LIMIT and the result surface stay
+  // row-based and byte-identical either way (docs/vectorized.md).
+  auto run_root = [&]() -> Result<EmbeddingSet> {
+    if (planner_options_.engine != PlannerOptions::ExecutionEngine::kBatch) {
+      return physical->Execute(env);
+    }
+    GRADOOP_ASSIGN_OR_RETURN(BatchSet batches, physical->ExecuteBatch(env));
+    return BatchesToRows(batches);
+  };
+  GRADOOP_ASSIGN_OR_RETURN(EmbeddingSet embeddings, run_root());
   if (qg.return_distinct()) embeddings = ApplyDistinct(embeddings, qg);
   if (qg.limit() >= 0) embeddings = ApplyLimit(embeddings, qg.limit());
   accountant.Disable();
@@ -226,11 +241,17 @@ Result<std::string> CypherEngine::Explain(const std::string& query,
       CompileOptionsFrom(planner_options_, num_workers, &stats_));
   GRADOOP_ASSIGN_OR_RETURN(exec::PhysicalOperatorPtr physical,
                            compiler.Compile(plan));
-  GRADOOP_RETURN_IF_ERROR(
-      analysis::VerifyCompiledPlan(qg, *physical, num_workers));
+  GRADOOP_RETURN_IF_ERROR(analysis::VerifyCompiledPlan(
+      qg, *physical, num_workers, planner_options_.batch_size));
   GRADOOP_RETURN_IF_ERROR(
       CheckMemoryAdmission(query, *physical, max_query_memory_bytes_));
-  return physical->ToString();
+  // Under the batch engine EXPLAIN additionally renders each operator's
+  // batch-layout claim (batch=<n>); row-engine output is unchanged so
+  // existing goldens stay byte-stable.
+  exec::PhysicalOperator::RenderOptions render;
+  render.batch_layout =
+      planner_options_.engine == PlannerOptions::ExecutionEngine::kBatch;
+  return physical->ToString(render);
 }
 
 Result<std::string> CypherEngine::ExplainAnalyze(
@@ -240,7 +261,11 @@ Result<std::string> CypherEngine::ExplainAnalyze(
   if (result.physical == nullptr) {
     return std::string("EmptyResult (unsatisfiable)\n");
   }
-  return result.physical->ToString({.actuals = true, .timing = true});
+  return result.physical->ToString(
+      {.actuals = true,
+       .timing = true,
+       .batch_layout = planner_options_.engine ==
+                       PlannerOptions::ExecutionEngine::kBatch});
 }
 
 Result<EmbeddingSet> ExecutePlan(const PlanNodePtr& plan,

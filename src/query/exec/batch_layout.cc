@@ -1,0 +1,35 @@
+#include "query/exec/batch_layout.h"
+
+#include "query/embedding.h"
+#include "query/embedding_meta_data.h"
+
+namespace gradoop::query::exec {
+
+std::string BatchLayout::ToString() const {
+  std::string out = "batch=" + std::to_string(batch_size) + " cols=";
+  for (const uint8_t flag : column_flags) {
+    out += flag == Embedding::kPathFlag ? 'P' : 'I';
+  }
+  out += " props=" + std::to_string(property_columns);
+  return out;
+}
+
+BatchLayout DeriveBatchLayout(const EmbeddingMetaData& meta, int batch_size) {
+  BatchLayout layout;
+  layout.batch_size = batch_size;
+  layout.column_flags.assign(
+      static_cast<size_t>(meta.id_column_count()), Embedding::kIdFlag);
+  // Only columns bound to a path variable hold PATH entries. A merged
+  // layout's duplicate column of a shared variable stays kIdFlag: shared
+  // variables are join keys, and path bindings cannot be joined on.
+  for (const std::string& var : meta.Variables()) {
+    if (meta.TypeOf(var) == EntryType::kPath) {
+      layout.column_flags[static_cast<size_t>(meta.IdColumn(var))] =
+          Embedding::kPathFlag;
+    }
+  }
+  layout.property_columns = meta.property_column_count();
+  return layout;
+}
+
+}  // namespace gradoop::query::exec

@@ -1,0 +1,46 @@
+#ifndef GRADOOP_QUERY_EXEC_BATCH_LAYOUT_H_
+#define GRADOOP_QUERY_EXEC_BATCH_LAYOUT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gradoop::query {
+class EmbeddingMetaData;
+}  // namespace gradoop::query
+
+namespace gradoop::query::exec {
+
+// Rows per EmbeddingBatch unless the engine/tooling overrides it.
+inline constexpr int kDefaultBatchSize = 1024;
+
+// Compile-time claim about the columnar batch layout of one operator's
+// output (docs/vectorized.md): how many rows a batch holds at most, which
+// id columns carry PATH offsets instead of plain identifiers, and how many
+// property columns follow. PlanCompiler stamps it bottom-up next to the
+// partitioning and memory claims; the batch kernels size their column
+// buffers from it, and VerifyCompiledPlan re-derives it from the compiled
+// EmbeddingMetaData alone and rejects any mismatch — a tampered layout
+// would make the vectorized kernels read id payloads as path offsets.
+struct BatchLayout {
+  int batch_size = 0;
+  // Per id column: Embedding::kIdFlag or Embedding::kPathFlag. Duplicate
+  // columns of shared join variables carry kIdFlag (path bindings are
+  // never join keys, so a duplicated column always holds an identifier).
+  std::vector<uint8_t> column_flags;
+  int property_columns = 0;
+
+  bool operator==(const BatchLayout& other) const = default;
+
+  // "batch=1024 cols=IIP props=2" (I = id column, P = path column).
+  std::string ToString() const;
+};
+
+// Derives the batch layout of `meta` — the transfer function both the
+// compiler (to stamp) and the verifier (to check) call.
+BatchLayout DeriveBatchLayout(const EmbeddingMetaData& meta,
+                              int batch_size = kDefaultBatchSize);
+
+}  // namespace gradoop::query::exec
+
+#endif  // GRADOOP_QUERY_EXEC_BATCH_LAYOUT_H_

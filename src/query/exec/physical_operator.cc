@@ -145,6 +145,70 @@ Result<EmbeddingSet> PhysicalOperator::Execute(const ExecEnv& env) {
   return out;
 }
 
+Result<BatchSet> PhysicalOperator::ExecuteBatch(const ExecEnv& env) {
+  telemetry::Telemetry& tel = env.graph->context()->telemetry();
+  const bool traced = tel.enabled();
+  const double span_begin_us = traced ? tel.tracer().NowMicros() : 0.0;
+  // Identical frame choreography to Execute: the audit compares the same
+  // byte currency against the same static bounds in both engines.
+  dataflow::MemoryAccountant& accountant =
+      env.graph->context()->accountant();
+  accountant.PushFrame();
+  Timer total_timer;
+  std::vector<BatchSet> inputs;
+  inputs.reserve(children_.size());
+  uint64_t input_rows = 0;
+  for (const PhysicalOperatorPtr& child : children_) {
+    GRADOOP_ASSIGN_OR_RETURN(BatchSet input, child->ExecuteBatch(env));
+    input_rows += child->stats().actual_rows;
+    inputs.push_back(std::move(input));
+  }
+  const dataflow::CostTracker& tracker = env.graph->context()->tracker();
+  const uint64_t network_before = tracker.NetworkBytes();
+  const uint64_t spilled_before = tracker.SpilledBytes();
+  Timer self_timer;
+  GRADOOP_ASSIGN_OR_RETURN(BatchSet out, RunBatch(env, std::move(inputs)));
+  stats_.self_wall_sec = self_timer.ElapsedSeconds();
+  stats_.network_bytes = tracker.NetworkBytes() - network_before;
+  stats_.spilled_bytes = tracker.SpilledBytes() - spilled_before;
+  for (int p = 0; p < out.data.num_partitions(); ++p) {
+    for (const EmbeddingBatch& b : out.data.partition(p)) {
+      ++stats_.batches;
+      stats_.actual_rows += b.ActiveRows();
+      stats_.output_bytes += b.SerializedSize();
+      stats_.property_bytes += b.property_pool_bytes();
+    }
+  }
+  stats_.selectivity =
+      input_rows > 0
+          ? static_cast<double>(stats_.actual_rows) /
+                static_cast<double>(input_rows)
+          : 1.0;
+  if (accountant.enabled()) {
+    accountant.Charge(stats_.output_bytes);
+    for (const PhysicalOperatorPtr& child : children_) {
+      accountant.Release(child->stats().output_bytes);
+    }
+  }
+  stats_.actual_peak_bytes = accountant.PopFrame();
+  stats_.executed = true;
+  stats_.total_wall_sec = total_timer.ElapsedSeconds();
+  if (traced) {
+    tel.tracer().AddSpan(
+        Describe(), telemetry::kCategoryOperator, span_begin_us,
+        tel.tracer().NowMicros(), /*worker=*/-1,
+        {{"rows", static_cast<double>(stats_.actual_rows)},
+         {"estimated_rows", estimated_cardinality_},
+         {"batches", static_cast<double>(stats_.batches)},
+         {"self_ms", stats_.self_wall_sec * 1e3}});
+    tel.metrics().AddCounter("operator.count", 1);
+    tel.metrics().AddCounter("operator.rows", stats_.actual_rows);
+    tel.metrics().AddCounter("batch.count", stats_.batches);
+    tel.metrics().AddCounter("batch.rows", stats_.actual_rows);
+  }
+  return out;
+}
+
 std::string PhysicalOperator::ToString(const RenderOptions& options,
                                        int indent) const {
   std::string out(2 * static_cast<size_t>(indent), ' ');
@@ -159,8 +223,18 @@ std::string PhysicalOperator::ToString(const RenderOptions& options,
       out += "/" + std::to_string(stats_.actual_peak_bytes) + "B";
     }
   }
+  if (options.batch_layout && has_batch_layout_) {
+    out += " batch=" + std::to_string(batch_layout_.batch_size);
+  }
   if (options.actuals && stats_.executed) {
     out += " rows=" + std::to_string(stats_.actual_rows);
+    if (stats_.batches > 0) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), " batches=%llu sel=%.2f",
+                    static_cast<unsigned long long>(stats_.batches),
+                    stats_.selectivity);
+      out += buf;
+    }
   }
   if (options.timing && stats_.executed) {
     char buf[128];
@@ -200,6 +274,14 @@ Result<EmbeddingSet> VertexScanOp::Run(const ExecEnv& env,
       predicates_, output_meta_, fused_clauses_);
 }
 
+Result<BatchSet> VertexScanOp::RunBatch(const ExecEnv& env,
+                                        std::vector<BatchSet> inputs) {
+  (void)inputs;
+  return ScanVerticesBatch(VertexScanInput(*env.graph, query_vertex_.labels),
+                           query_vertex_, predicates_, output_meta_,
+                           fused_clauses_, RuntimeBatchSize());
+}
+
 // --- EdgeScanOp --------------------------------------------------------
 
 std::string EdgeScanOp::Describe() const {
@@ -236,6 +318,27 @@ Result<EmbeddingSet> EdgeScanOp::Run(const ExecEnv& env,
   return scanned;
 }
 
+Result<BatchSet> EdgeScanOp::RunBatch(const ExecEnv& env,
+                                      std::vector<BatchSet> inputs) {
+  (void)inputs;
+  // Same recurring-subquery reuse as the row path, against the columnar
+  // cache (the signature already excludes variable names).
+  if (env.batch_scan_cache != nullptr && !signature_.empty()) {
+    auto it = env.batch_scan_cache->find(signature_);
+    if (it != env.batch_scan_cache->end()) {
+      return BatchSet{it->second, output_meta_};
+    }
+  }
+  BatchSet scanned = ScanEdgesBatch(
+      EdgeScanInput(*env.graph, query_edge_.types), query_edge_, predicates_,
+      semantics_, self_loop_, output_meta_, fused_clauses_,
+      RuntimeBatchSize());
+  if (env.batch_scan_cache != nullptr && !signature_.empty()) {
+    env.batch_scan_cache->emplace(signature_, scanned.data);
+  }
+  return scanned;
+}
+
 // --- JoinOp ------------------------------------------------------------
 
 std::string JoinOp::Describe() const {
@@ -258,6 +361,15 @@ Result<EmbeddingSet> JoinOp::Run(const ExecEnv& env,
   return JoinEmbeddings(inputs[0], inputs[1], left_columns_, right_columns_,
                         output_meta_, semantics_, strategy_, fused_clauses_,
                         {elide_left_shuffle_, elide_right_shuffle_});
+}
+
+Result<BatchSet> JoinOp::RunBatch(const ExecEnv& env,
+                                  std::vector<BatchSet> inputs) {
+  (void)env;
+  return JoinBatches(inputs[0], inputs[1], left_columns_, right_columns_,
+                     output_meta_, semantics_, strategy_, fused_clauses_,
+                     {elide_left_shuffle_, elide_right_shuffle_},
+                     RuntimeBatchSize());
 }
 
 // --- ValueJoinOp -------------------------------------------------------
@@ -287,6 +399,16 @@ Result<EmbeddingSet> ValueJoinOp::Run(const ExecEnv& env,
                              {elide_left_shuffle_, elide_right_shuffle_});
 }
 
+Result<BatchSet> ValueJoinOp::RunBatch(const ExecEnv& env,
+                                       std::vector<BatchSet> inputs) {
+  (void)env;
+  return ValueJoinBatches(inputs[0], inputs[1], left_key_columns_,
+                          right_key_columns_, output_meta_, semantics_,
+                          strategy_, fused_clauses_,
+                          {elide_left_shuffle_, elide_right_shuffle_},
+                          RuntimeBatchSize());
+}
+
 // --- ExpandOp ----------------------------------------------------------
 
 std::string ExpandOp::Describe() const {
@@ -305,6 +427,16 @@ Result<EmbeddingSet> ExpandOp::Run(const ExecEnv& env,
                           reverse_, semantics_, fused_clauses_);
 }
 
+Result<BatchSet> ExpandOp::RunBatch(const ExecEnv& env,
+                                    std::vector<BatchSet> inputs) {
+  return ExpandBatches(inputs[0],
+                       EdgeScanInput(*env.graph, query_edge_.types),
+                       start_column_, bound_end_column_, output_meta_,
+                       query_edge_.lower_bound, query_edge_.upper_bound,
+                       reverse_, semantics_, fused_clauses_,
+                       RuntimeBatchSize());
+}
+
 // --- FilterOp ----------------------------------------------------------
 
 std::string FilterOp::Describe() const {
@@ -315,6 +447,12 @@ Result<EmbeddingSet> FilterOp::Run(const ExecEnv& env,
                                    std::vector<EmbeddingSet> inputs) {
   (void)env;
   return SelectEmbeddings(inputs[0], clauses_);
+}
+
+Result<BatchSet> FilterOp::RunBatch(const ExecEnv& env,
+                                    std::vector<BatchSet> inputs) {
+  (void)env;
+  return SelectBatches(inputs[0], clauses_);
 }
 
 }  // namespace gradoop::query::exec

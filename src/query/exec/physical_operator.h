@@ -12,7 +12,9 @@
 #include "cypher/query_graph.h"
 #include "dataflow/dataset.h"
 #include "epgm/indexed_logical_graph.h"
+#include "query/batch_operators.h"
 #include "query/embedding_meta_data.h"
+#include "query/exec/batch_layout.h"
 #include "query/exec/memory_bound.h"
 #include "query/exec/partitioning.h"
 #include "query/match_semantics.h"
@@ -27,6 +29,10 @@ namespace gradoop::query {
 // (PlannerOptions::share_scan_results).
 using ScanCache = std::map<std::string, dataflow::Dataset<Embedding>>;
 
+// The batch engine's counterpart, caching columnar edge-scan results
+// under the same signatures (the two caches never mix representations).
+using BatchScanCache = std::map<std::string, dataflow::Dataset<EmbeddingBatch>>;
+
 namespace exec {
 
 // Runtime statistics one compiled operator records per execution — the
@@ -34,6 +40,11 @@ namespace exec {
 struct OperatorStats {
   bool executed = false;
   uint64_t actual_rows = 0;     // output cardinality
+  // Batch-engine execution only: number of column batches produced, and
+  // output rows per input row (1.0 on leaves). Zero / unset under the
+  // row engine, which is how the renderer tells the two apart.
+  uint64_t batches = 0;
+  double selectivity = 0.0;
   // Wall time of this operator's own kernel (Run + stats collection),
   // excluding the children's Execute calls...
   double self_wall_sec = 0.0;
@@ -56,6 +67,8 @@ struct OperatorStats {
 struct ExecEnv {
   const epgm::IndexedLogicalGraph* graph = nullptr;
   ScanCache* scan_cache = nullptr;  // non-null enables edge-scan sharing
+  // Batch-engine scan sharing; only consulted by ExecuteBatch.
+  BatchScanCache* batch_scan_cache = nullptr;
 };
 
 enum class PhysOpKind {
@@ -94,6 +107,12 @@ class PhysicalOperator {
   // Executes children, then this operator's kernel, recording statistics.
   Result<EmbeddingSet> Execute(const ExecEnv& env);
 
+  // Columnar execution of the same compiled plan: children and kernel run
+  // batch-at-a-time (RunBatch), with identical accounting choreography —
+  // frames, charges and counter deltas — so memory audits and admission
+  // hold unchanged. Additionally records batches and selectivity.
+  Result<BatchSet> ExecuteBatch(const ExecEnv& env);
+
   const EmbeddingMetaData& output_meta() const { return output_meta_; }
   double estimated_cardinality() const { return estimated_cardinality_; }
   const MorphismSetting& semantics() const { return semantics_; }
@@ -129,9 +148,24 @@ class PhysicalOperator {
     has_memory_bound_ = true;
   }
 
+  // Batch-layout claim of the output representation, stamped by
+  // PlanCompiler from DeriveBatchLayout and independently re-derived by
+  // VerifyCompiledPlan (mandatory on compiled plans, like the memory
+  // bound — a tampered layout would make the vectorized kernels read id
+  // payloads as path offsets).
+  bool has_batch_layout() const { return has_batch_layout_; }
+  const BatchLayout& batch_layout() const { return batch_layout_; }
+  void set_batch_layout(BatchLayout layout) {
+    batch_layout_ = std::move(layout);
+    has_batch_layout_ = true;
+  }
+
   struct RenderOptions {
     bool actuals = false;  // append rows=<actual cardinality>
     bool timing = false;   // append wall/net/spill (non-deterministic)
+    // Append batch=<n> from the batch-layout claim (EXPLAIN under
+    // --engine=batch; row-engine output stays byte-stable without it).
+    bool batch_layout = false;
   };
   // Indented operator-tree rendering (EXPLAIN / EXPLAIN ANALYZE output).
   std::string ToString(const RenderOptions& options, int indent = 0) const;
@@ -152,6 +186,18 @@ class PhysicalOperator {
   virtual Result<EmbeddingSet> Run(const ExecEnv& env,
                                    std::vector<EmbeddingSet> inputs) = 0;
 
+  // Columnar kernel invocation (the vectorized twin of Run).
+  virtual Result<BatchSet> RunBatch(const ExecEnv& env,
+                                    std::vector<BatchSet> inputs) = 0;
+
+  // Batch capacity the vectorized kernels build to: the compiled claim's
+  // size, or the default on hand-assembled (un-annotated) trees.
+  int RuntimeBatchSize() const {
+    return has_batch_layout_ && batch_layout_.batch_size > 0
+               ? batch_layout_.batch_size
+               : kDefaultBatchSize;
+  }
+
   EmbeddingMetaData output_meta_;
   double estimated_cardinality_ = 0.0;
   MorphismSetting semantics_;
@@ -162,6 +208,8 @@ class PhysicalOperator {
   bool has_output_partitioning_ = false;
   MemoryBound memory_bound_;
   bool has_memory_bound_ = false;
+  BatchLayout batch_layout_;
+  bool has_batch_layout_ = false;
 };
 
 // --- one class per plan kind -----------------------------------------
@@ -185,6 +233,8 @@ class VertexScanOp final : public PhysicalOperator {
  protected:
   Result<EmbeddingSet> Run(const ExecEnv& env,
                            std::vector<EmbeddingSet> inputs) override;
+  Result<BatchSet> RunBatch(const ExecEnv& env,
+                            std::vector<BatchSet> inputs) override;
 
  private:
   cypher::QueryVertex query_vertex_;
@@ -216,6 +266,8 @@ class EdgeScanOp final : public PhysicalOperator {
  protected:
   Result<EmbeddingSet> Run(const ExecEnv& env,
                            std::vector<EmbeddingSet> inputs) override;
+  Result<BatchSet> RunBatch(const ExecEnv& env,
+                            std::vector<BatchSet> inputs) override;
 
  private:
   cypher::QueryEdge query_edge_;
@@ -262,6 +314,8 @@ class JoinOp final : public PhysicalOperator {
  protected:
   Result<EmbeddingSet> Run(const ExecEnv& env,
                            std::vector<EmbeddingSet> inputs) override;
+  Result<BatchSet> RunBatch(const ExecEnv& env,
+                            std::vector<BatchSet> inputs) override;
 
  private:
   std::vector<std::string> join_variables_;
@@ -314,6 +368,8 @@ class ValueJoinOp final : public PhysicalOperator {
  protected:
   Result<EmbeddingSet> Run(const ExecEnv& env,
                            std::vector<EmbeddingSet> inputs) override;
+  Result<BatchSet> RunBatch(const ExecEnv& env,
+                            std::vector<BatchSet> inputs) override;
 
  private:
   std::vector<std::string> key_descriptions_;  // "a.x=b.y", for rendering
@@ -357,6 +413,8 @@ class ExpandOp final : public PhysicalOperator {
  protected:
   Result<EmbeddingSet> Run(const ExecEnv& env,
                            std::vector<EmbeddingSet> inputs) override;
+  Result<BatchSet> RunBatch(const ExecEnv& env,
+                            std::vector<BatchSet> inputs) override;
 
  private:
   cypher::QueryEdge query_edge_;
@@ -385,6 +443,8 @@ class FilterOp final : public PhysicalOperator {
  protected:
   Result<EmbeddingSet> Run(const ExecEnv& env,
                            std::vector<EmbeddingSet> inputs) override;
+  Result<BatchSet> RunBatch(const ExecEnv& env,
+                            std::vector<BatchSet> inputs) override;
 
  private:
   std::vector<cypher::CnfClause> clauses_;

@@ -155,6 +155,10 @@ PhysicalOperatorPtr PlanCompiler::Annotate(PhysicalOperatorPtr op) const {
         options_.statistics->EdgeCountByLabels(expand.query_edge().types));
   }
   op->set_memory_bound(DeriveMemoryBound(*op, options_.num_workers));
+  // Batch-layout claim: the columnar shape ExecuteBatch materializes —
+  // re-derived (and rejected on mismatch) by VerifyCompiledPlan.
+  op->set_batch_layout(
+      DeriveBatchLayout(op->output_meta(), options_.batch_size));
   return op;
 }
 

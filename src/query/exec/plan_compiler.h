@@ -45,6 +45,10 @@ struct CompileOptions {
   // (how many edge rows each expansion hop stages). Null compiles fine —
   // the estimate is 0 and only the audited/budgeted paths care.
   const GraphStatistics* statistics = nullptr;
+  // Rows per column batch the vectorized kernels build to; stamped into
+  // every operator's BatchLayout claim (used only when the engine
+  // executes the plan with ExecuteBatch, but always verified).
+  int batch_size = kDefaultBatchSize;
 };
 
 // Lowers a logical PlanNode tree into compiled physical operators,

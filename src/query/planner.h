@@ -2,6 +2,7 @@
 #define GRADOOP_QUERY_PLANNER_H_
 
 #include "common/result.h"
+#include "query/exec/batch_layout.h"
 #include "query/graph_statistics.h"
 #include "query/plan.h"
 
@@ -43,6 +44,18 @@ struct PlannerOptions {
   // break join-order cost ties toward the shuffle-free candidate. Off =
   // ablation baseline for the elision A/B tests.
   bool elide_shuffles = true;
+
+  // Execution engine: row-at-a-time Embedding kernels (the default), or
+  // the columnar EmbeddingBatch kernels (docs/vectorized.md). Both
+  // execute the same compiled plan and produce byte-identical results;
+  // batch_size is the rows-per-batch capacity the vectorized kernels
+  // build to (stamped into the plan's BatchLayout claims either way).
+  enum class ExecutionEngine {
+    kRow,
+    kBatch,
+  };
+  ExecutionEngine engine = ExecutionEngine::kRow;
+  int batch_size = exec::kDefaultBatchSize;
 
   // Default selectivity assumed per predicate clause, by comparison class.
   double equality_selectivity = 0.05;

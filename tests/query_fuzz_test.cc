@@ -154,6 +154,13 @@ TEST_P(QueryFuzzTest, RandomQueriesMatchOracle) {
   unelided_options.elide_shuffles = false;
   CypherEngine audited_engine(graph, repartition_options);
   CypherEngine unelided_engine(graph, unelided_options);
+  // Engine ablation: the columnar batch engine runs the same plans
+  // through the vectorized kernels. A tiny batch size forces every
+  // kernel across its flush boundaries on these small graphs.
+  PlannerOptions batch_options;
+  batch_options.engine = PlannerOptions::ExecutionEngine::kBatch;
+  batch_options.batch_size = 4;
+  CypherEngine batch_engine(graph, batch_options);
   NaiveMatcher oracle(g.vertices, g.edges);
   GraphStatistics stats = GraphStatistics::Compute(graph);
   Random rng(seed * 7919 + 13);
@@ -203,11 +210,14 @@ TEST_P(QueryFuzzTest, RandomQueriesMatchOracle) {
     auto audited = audited_engine.Execute(query, semantics);
     unsetenv("GRADOOP_AUDIT_PARTITIONING");
     auto unelided = unelided_engine.Execute(query, semantics);
+    auto batched = batch_engine.Execute(query, semantics);
     ASSERT_TRUE(audited.ok()) << "query: " << query << " seed=" << seed
                               << " -> " << audited.status();
     ASSERT_TRUE(unelided.ok()) << "query: " << query << " seed=" << seed
                                << " -> " << unelided.status();
-    for (auto* variant : {&audited, &unelided}) {
+    ASSERT_TRUE(batched.ok()) << "query: " << query << " seed=" << seed
+                              << " -> " << batched.status();
+    for (auto* variant : {&audited, &unelided, &batched}) {
       std::vector<NaiveBinding> bindings;
       for (const Embedding& e : variant->value().embeddings.data.Collect()) {
         bindings.push_back(ToBinding(e, variant->value().embeddings.meta));

@@ -41,6 +41,12 @@ int Usage() {
          "                     repartitions; shows shuffle elisions the\n"
          "                     partitioning analysis proves)\n"
          "      --no-elide     disable shuffle elision (ablation)\n"
+         "      --engine row|batch\n"
+         "                     execution engine: row-at-a-time kernels\n"
+         "                     (default) or columnar batches\n"
+         "                     (docs/vectorized.md); batch plans render\n"
+         "                     batch=<n> per operator\n"
+         "      --batch-size N rows per column batch (default 1024)\n"
          "      --max-memory BYTES\n"
          "                     reject plans whose static peak-memory\n"
          "                     bound exceeds BYTES (GQL007 admission,\n"
@@ -81,6 +87,33 @@ int main(int argc, char** argv) {
       planner_options.allow_broadcast = false;
     } else if (arg == "--no-elide") {
       planner_options.elide_shuffles = false;
+    } else if (arg == "--engine") {
+      const char* text = next();
+      if (text == nullptr) return Usage();
+      const std::string engine = text;
+      if (engine == "row") {
+        planner_options.engine =
+            gradoop::query::PlannerOptions::ExecutionEngine::kRow;
+      } else if (engine == "batch") {
+        planner_options.engine =
+            gradoop::query::PlannerOptions::ExecutionEngine::kBatch;
+      } else {
+        std::cerr << "cypher_explain: unknown engine '" << engine
+                  << "' (expected row or batch)\n";
+        return Usage();
+      }
+    } else if (arg == "--batch-size") {
+      const char* text = next();
+      if (text == nullptr) return Usage();
+      try {
+        planner_options.batch_size = std::stoi(text);
+      } catch (...) {
+        return Usage();
+      }
+      if (planner_options.batch_size <= 0) {
+        std::cerr << "cypher_explain: --batch-size must be positive\n";
+        return Usage();
+      }
     } else if (arg == "--max-memory") {
       const char* text = next();
       if (text == nullptr) return Usage();

@@ -49,6 +49,11 @@ int Usage() {
          "      --ldbc-q N     profile LDBC query N (1..6)\n"
          "      --sf FACTOR    LDBC generator scale factor (default 0.05)\n"
          "      --workers N    simulated cluster size (default 4)\n"
+         "      --engine row|batch\n"
+         "                     execution engine (docs/vectorized.md);\n"
+         "                     batch profiles carry per-operator batch\n"
+         "                     counts and selectivities\n"
+         "      --batch-size N rows per column batch (default 1024)\n"
          "      --out DIR      artifact directory (default .)\n";
   return 2;
 }
@@ -123,6 +128,7 @@ void PrintSummary(const gradoop::telemetry::QueryProfile& profile) {
 int main(int argc, char** argv) {
   double scale_factor = 0.05;
   int workers = 0;  // 0 = ClusterConfig default
+  gradoop::query::PlannerOptions planner_options;
   std::string out_dir = ".";
   std::vector<std::pair<std::string, std::string>> inputs;  // name, query
   std::vector<std::string> files;
@@ -167,6 +173,33 @@ int main(int argc, char** argv) {
         return Usage();
       }
       if (workers <= 0) return Usage();
+    } else if (arg == "--engine") {
+      const char* text = next();
+      if (text == nullptr) return Usage();
+      const std::string engine = text;
+      if (engine == "row") {
+        planner_options.engine =
+            gradoop::query::PlannerOptions::ExecutionEngine::kRow;
+      } else if (engine == "batch") {
+        planner_options.engine =
+            gradoop::query::PlannerOptions::ExecutionEngine::kBatch;
+      } else {
+        std::cerr << "cypher_profile: unknown engine '" << engine
+                  << "' (expected row or batch)\n";
+        return Usage();
+      }
+    } else if (arg == "--batch-size") {
+      const char* text = next();
+      if (text == nullptr) return Usage();
+      try {
+        planner_options.batch_size = std::stoi(text);
+      } catch (...) {
+        return Usage();
+      }
+      if (planner_options.batch_size <= 0) {
+        std::cerr << "cypher_profile: --batch-size must be positive\n";
+        return Usage();
+      }
     } else if (arg == "--out") {
       const char* text = next();
       if (text == nullptr) return Usage();
@@ -197,7 +230,7 @@ int main(int argc, char** argv) {
   gradoop::ldbc::LdbcConfig cfg;
   cfg.scale_factor = scale_factor;
   gradoop::query::CypherEngine engine(
-      gradoop::ldbc::LdbcGenerator(cfg).Generate(ctx));
+      gradoop::ldbc::LdbcGenerator(cfg).Generate(ctx), planner_options);
 
   // Enabled only now: graph generation and index construction stay out
   // of every query's trace.
