@@ -1,0 +1,98 @@
+// Pins the cost of the query flight recorder. Recording happens only on
+// traced queries (telemetry on), so the disabled row measures the
+// default path — one relaxed atomic load per query, no profile built,
+// no ring touched — and must stay at the no-telemetry baseline. The
+// enabled row pays profile construction (plan walk + metrics snapshot)
+// plus one ring append under the telemetry-ranked recorder mutex, which
+// is the whole per-query price of always-on flight recording.
+//
+// Output: median wall ms over `iters` runs of LDBC Q1 per mode, the
+// on/off ratio, and the recorder occupancy after the enabled runs
+// (entries retained, bytes, evictions), mirrored into
+// BENCH_flight_recorder.json (one record per mode; params: mode, sf,
+// workers, query; wall_ms is the median).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using gradoop::bench::BenchHarness;
+using gradoop::bench::JsonReporter;
+using gradoop::bench::RunResult;
+
+double MedianWallMs(std::vector<double> wall_ms) {
+  std::sort(wall_ms.begin(), wall_ms.end());
+  return wall_ms[wall_ms.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kIters = 15;
+  constexpr int kWarmup = 3;
+  const double sf = gradoop::bench::MiniSf10();
+  const int workers = 4;
+
+  JsonReporter reporter("flight_recorder");
+  BenchHarness harness;
+  const std::string query = gradoop::ldbc::Query1(
+      harness.FirstName(sf, gradoop::ldbc::Selectivity::kMedium));
+
+  gradoop::query::CypherEngine& engine = harness.Engine(sf, workers);
+  auto ctx = engine.graph().context();
+  {
+    gradoop::dataflow::ClusterConfig cluster;
+    cluster.num_workers = workers;
+    reporter.set_cluster(cluster);
+  }
+
+  char sf_text[32];
+  std::snprintf(sf_text, sizeof(sf_text), "%.2f", sf);
+
+  std::printf("flight recorder, LDBC Q1, sf %.2f, %d workers, %d iters\n",
+              sf, workers, kIters);
+  std::printf("%-10s %12s %10s\n", "recording", "median [ms]", "entries");
+
+  double median_off = 0.0;
+  double median_on = 0.0;
+  for (const bool enabled : {false, true}) {
+    if (enabled) {
+      ctx->EnableTelemetry();
+    } else {
+      ctx->DisableTelemetry();
+    }
+    ctx->flight_recorder().Clear();
+    std::vector<double> wall_ms;
+    RunResult last;
+    for (int i = 0; i < kWarmup + kIters; ++i) {
+      ctx->telemetry().ResetData();
+      last = harness.Run(sf, workers, query);
+      if (i >= kWarmup) wall_ms.push_back(last.wall_sec * 1e3);
+    }
+    const double median = MedianWallMs(std::move(wall_ms));
+    (enabled ? median_on : median_off) = median;
+    last.wall_sec = median / 1e3;
+    reporter.Record({{"mode", enabled ? "on" : "off"},
+                     {"sf", sf_text},
+                     {"workers", std::to_string(workers)},
+                     {"query", query}},
+                    last);
+    std::printf("%-10s %12.3f %10zu\n", enabled ? "on" : "off", median,
+                ctx->flight_recorder().size());
+  }
+  const size_t entries = ctx->flight_recorder().size();
+  const size_t retained = ctx->flight_recorder().retained_bytes();
+  const size_t dropped = ctx->flight_recorder().dropped();
+  ctx->DisableTelemetry();
+
+  std::printf("recorder: %zu entries, %zu bytes retained, %zu evicted\n",
+              entries, retained, dropped);
+  std::printf("on/off ratio: %.3f (off is the default: no profile is "
+              "built and the ring is never touched)\n",
+              median_off > 0.0 ? median_on / median_off : 0.0);
+  return 0;
+}

@@ -7,7 +7,8 @@
 #
 # builds each, runs the full ctest suite in each, and fails on any
 # warning, test failure, or sanitizer report. Tool stages (lint,
-# explain, profile, concurrency) reuse the plain tree's binaries. Run
+# explain, profile, observability, concurrency) reuse the plain tree's
+# binaries (observability additionally runs the ASan-tree profiler). Run
 # from anywhere:
 #
 #   ci/check.sh              # everything
@@ -21,9 +22,9 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 ONLY="${1:-all}"
 
 case "${ONLY}" in
-  all|plain|asan|tsan|tidy|lint|explain|profile|concurrency) ;;
+  all|plain|asan|tsan|tidy|lint|explain|profile|observability|concurrency) ;;
   *)
-    echo "usage: ci/check.sh [all|plain|asan|tsan|tidy|lint|explain|profile|concurrency]" >&2
+    echo "usage: ci/check.sh [all|plain|asan|tsan|tidy|lint|explain|profile|observability|concurrency]" >&2
     echo "unknown tree '${ONLY}'" >&2
     exit 2
     ;;
@@ -191,6 +192,76 @@ if [[ "${ONLY}" == "all" || "${ONLY}" == "profile" ]]; then
       exit 1
     fi
   done
+fi
+
+# Observability stage (docs/observability.md): exercise the flight
+# recorder and query log over the LDBC corpus under ASan with the
+# partitioning/memory audits on (cypher_profile schema-validates the
+# recorder export and every JSONL line before exiting), pin the plan-
+# quality annotations in EXPLAIN ANALYZE for both engines, and gate a
+# fresh bench_ldbc_queries run against the committed baseline with
+# cypher_stats --baseline (matches exact; modeled fields within
+# tolerance; wall clock reported, never gated).
+if [[ "${ONLY}" == "all" || "${ONLY}" == "observability" ]]; then
+  echo "=== [observability] flight recorder + query log under ASan ==="
+  # Always reconfigure + rebuild the targets — both are incremental, so
+  # an up-to-date tree costs seconds, but a stale tree (configured
+  # before a target existed, or holding binaries from an earlier
+  # checkout) can never run against current sources.
+  cmake -B "${OUT}/asan" -S "${ROOT}" \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DGRADOOP_ASAN=ON -DGRADOOP_UBSAN=ON >/dev/null
+  cmake --build "${OUT}/asan" -j "${JOBS}" --target cypher_profile \
+    >/dev/null
+  OBS_DIR="${OUT}/observability-artifacts"
+  mkdir -p "${OBS_DIR}"
+  rm -f "${OBS_DIR}/query_log.jsonl"
+  GRADOOP_AUDIT_PARTITIONING=1 GRADOOP_AUDIT_MEMORY=1 \
+    "${OUT}/asan/tools/cypher_profile" --ldbc \
+    --flight-recorder "${OBS_DIR}/flight_recorder.json" \
+    --query-log "${OBS_DIR}/query_log.jsonl" --slow-ms 10000 \
+    --out "${OBS_DIR}" >/dev/null
+  for artifact in flight_recorder.json query_log.jsonl; do
+    if [[ ! -s "${OBS_DIR}/${artifact}" ]]; then
+      echo "cypher_profile: missing or empty ${artifact}" >&2
+      exit 1
+    fi
+  done
+
+  echo "=== [observability] qerror= plan annotations, both engines ==="
+  cmake -B "${OUT}/plain" -S "${ROOT}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGRADOOP_WERROR=ON >/dev/null
+  cmake --build "${OUT}/plain" -j "${JOBS}" \
+    --target cypher_explain cypher_stats bench_ldbc_queries \
+    concurrency_lint >/dev/null
+  # Every executed operator must carry qerror= and sel= in EXPLAIN
+  # ANALYZE on both engines — the per-plan face of the telemetry.
+  for engine in row batch; do
+    ANALYZE="$("${OUT}/plain/tools/cypher_explain" --analyze \
+      --engine "${engine}" --ldbc)"
+    for annotation in "qerror=" "sel="; do
+      plan_lines="$(printf '%s\n' "${ANALYZE}" | grep -c "rows=")"
+      annotated="$(printf '%s\n' "${ANALYZE}" | grep -c "${annotation}")"
+      if [[ "${plan_lines}" -eq 0 || "${plan_lines}" -ne "${annotated}" ]]
+      then
+        echo "cypher_explain: ${engine} engine has ${annotated}/${plan_lines} operators with ${annotation}" >&2
+        exit 1
+      fi
+    done
+  done
+
+  echo "=== [observability] cypher_stats baseline gate ==="
+  (cd "${OBS_DIR}" && "${OUT}/plain/bench/bench_ldbc_queries" >/dev/null)
+  "${OUT}/plain/tools/cypher_stats" --baseline \
+    "${ROOT}/bench/baselines/BENCH_ldbc_queries.json" \
+    "${OBS_DIR}/BENCH_ldbc_queries.json"
+  # The aggregate report must render from the run's own artifacts.
+  "${OUT}/plain/tools/cypher_stats" \
+    "${OBS_DIR}/flight_recorder.json" \
+    "${OBS_DIR}/BENCH_ldbc_queries.json" | grep -q "worst misestimates"
+
+  echo "=== [observability] concurrency_lint over src/telemetry ==="
+  "${OUT}/plain/tools/concurrency_lint" --root "${ROOT}" src/telemetry
 fi
 
 # Concurrency stage (docs/concurrency.md): source-level lint over the

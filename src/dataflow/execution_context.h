@@ -8,6 +8,8 @@
 #include "dataflow/cost_model.h"
 #include "dataflow/memory_accountant.h"
 #include "dataflow/thread_pool.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/query_log.h"
 #include "telemetry/tracer.h"
 
 namespace gradoop::dataflow {
@@ -44,6 +46,17 @@ class ExecutionContext {
   MemoryAccountant& accountant() { return accountant_; }
   const MemoryAccountant& accountant() const { return accountant_; }
 
+  // Retained query history and the structured JSONL query log. The
+  // engine records into both after each execution, but only while
+  // telemetry is enabled — so with telemetry off neither costs anything
+  // beyond the usual relaxed enabled() load.
+  telemetry::FlightRecorder& flight_recorder() { return flight_recorder_; }
+  const telemetry::FlightRecorder& flight_recorder() const {
+    return flight_recorder_;
+  }
+  telemetry::QueryLog& query_log() { return query_log_; }
+  const telemetry::QueryLog& query_log() const { return query_log_; }
+
   // Turns on metrics + tracing and hooks the thread pool so every
   // labelled partition task becomes a "task" span (worker id = partition
   // index, thread id = host thread). Not thread-safe against concurrent
@@ -74,6 +87,8 @@ class ExecutionContext {
   ThreadPool pool_;
   telemetry::Telemetry telemetry_;
   MemoryAccountant accountant_;
+  telemetry::FlightRecorder flight_recorder_;
+  telemetry::QueryLog query_log_;
 };
 
 using ExecutionContextPtr = std::shared_ptr<ExecutionContext>;

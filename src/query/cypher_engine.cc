@@ -10,6 +10,9 @@
 #include "query/batch_operators.h"
 #include "query/exec/memory_bound.h"
 #include "query/exec/plan_compiler.h"
+#include "query/query_profile.h"
+#include "telemetry/metrics_registry.h"
+#include "telemetry/query_log.h"
 
 namespace gradoop::query {
 
@@ -59,6 +62,34 @@ Status CheckMemoryAdmission(const std::string& query,
                /*length=*/eol == std::string::npos ? query.size() : eol,
                /*line=*/1, /*column=*/1};
   return Status::PlanError(analysis::RenderDiagnostic(diag, query));
+}
+
+// Per-operator plan-quality telemetry, observed right after execution so
+// the figures land in the same metrics snapshot the query profile
+// captures: every operator's cardinality Q-error into the "plan.qerror"
+// histogram (ratio bounds — most estimates land within a small factor),
+// and, where both sides exist, the measured-peak / claimed-peak memory
+// accuracy into "plan.mem.accuracy". Returns the plan's worst Q-error.
+double ObservePlanQuality(const exec::PhysicalOperator& op,
+                          telemetry::MetricsRegistry& metrics) {
+  double max_qerror = telemetry::QError(
+      op.estimated_cardinality(),
+      static_cast<double>(op.stats().actual_rows));
+  metrics.ObserveWith("plan.qerror", max_qerror,
+                      telemetry::MetricsRegistry::RatioBounds());
+  if (op.has_memory_bound() && op.memory_bound().peak_bytes > 0 &&
+      op.stats().actual_peak_bytes > 0) {
+    metrics.ObserveWith(
+        "plan.mem.accuracy",
+        static_cast<double>(op.stats().actual_peak_bytes) /
+            static_cast<double>(op.memory_bound().peak_bytes),
+        telemetry::MetricsRegistry::RatioBounds());
+  }
+  for (const exec::PhysicalOperatorPtr& child : op.children()) {
+    const double child_qerror = ObservePlanQuality(*child, metrics);
+    if (child_qerror > max_qerror) max_qerror = child_qerror;
+  }
+  return max_qerror;
 }
 
 }  // namespace
@@ -117,6 +148,10 @@ Result<CypherMatchResult> CypherEngine::Execute(
         EmbeddingMetaData()};
     result.phases = std::move(phases);
     result.total_wall_sec = total_timer.ElapsedSeconds();
+    result.engine =
+        planner_options_.engine == PlannerOptions::ExecutionEngine::kBatch
+            ? "batch"
+            : "row";
     return result;
   }
   GRADOOP_ASSIGN_OR_RETURN(PlanNodePtr plan,
@@ -195,6 +230,29 @@ Result<CypherMatchResult> CypherEngine::Execute(
   result.embeddings = std::move(embeddings);
   result.phases = std::move(phases);
   result.total_wall_sec = total_timer.ElapsedSeconds();
+  result.engine =
+      planner_options_.engine == PlannerOptions::ExecutionEngine::kBatch
+          ? "batch"
+          : "row";
+  if (traced) {
+    // Observability tail, telemetry-on only: plan-quality metrics first
+    // (so they land in the snapshot the profile captures), then the
+    // profile itself into the flight recorder and the query log.
+    const double max_qerror =
+        ObservePlanQuality(*result.physical, tel.metrics());
+    tel.metrics().SetGauge("plan.qerror.max", max_qerror);
+    for (const telemetry::PhaseProfile& phase : result.phases) {
+      tel.metrics().ObserveWith(
+          "phase.wall_us." + phase.name, phase.wall_sec * 1e6,
+          telemetry::MetricsRegistry::MicroLatencyBounds());
+    }
+    dataflow::ExecutionContext& ctx = *graph_.vertices().context();
+    telemetry::QueryProfile profile = BuildQueryProfile(
+        "q_" + telemetry::QueryTextHash(query).substr(0, 8), query, result,
+        ctx);
+    ctx.query_log().Record(profile);
+    ctx.flight_recorder().Record(std::move(profile));
+  }
   return result;
 }
 

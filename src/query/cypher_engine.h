@@ -33,6 +33,9 @@ struct CypherMatchResult {
   // span in the trace.
   std::vector<telemetry::PhaseProfile> phases;
   double total_wall_sec = 0.0;
+  // Which execution engine produced the embeddings ("row" | "batch"),
+  // echoed into query profiles and the query log.
+  std::string engine = "row";
 };
 
 // The Cypher pattern-matching operator of the EPGM (§3). Owns the indexed

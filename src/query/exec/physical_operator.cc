@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/timer.h"
+#include "telemetry/query_profile.h"
 
 namespace gradoop::query::exec {
 
@@ -92,8 +93,10 @@ Result<EmbeddingSet> PhysicalOperator::Execute(const ExecEnv& env) {
   Timer total_timer;
   std::vector<EmbeddingSet> inputs;
   inputs.reserve(children_.size());
+  uint64_t input_rows = 0;
   for (const PhysicalOperatorPtr& child : children_) {
     GRADOOP_ASSIGN_OR_RETURN(EmbeddingSet input, child->Execute(env));
+    input_rows += child->stats().actual_rows;
     inputs.push_back(std::move(input));
   }
   // The simulated dataflow is eager: every transformation has completed
@@ -116,6 +119,13 @@ Result<EmbeddingSet> PhysicalOperator::Execute(const ExecEnv& env) {
       stats_.property_bytes += e.prop_data().size();
     }
   }
+  // Same selectivity definition as the batch path, so sel= and the
+  // plan-quality telemetry read identically under either engine.
+  stats_.selectivity =
+      input_rows > 0
+          ? static_cast<double>(stats_.actual_rows) /
+                static_cast<double>(input_rows)
+          : 1.0;
   // Lifetime accounting, mirroring the static interval model: the own
   // output becomes resident while every input output still is (the "all
   // held" moment the model's final term prices), then the inputs die with
@@ -228,13 +238,21 @@ std::string PhysicalOperator::ToString(const RenderOptions& options,
   }
   if (options.actuals && stats_.executed) {
     out += " rows=" + std::to_string(stats_.actual_rows);
+    // Plan quality inline: the cardinality Q-error of the estimate two
+    // tokens to the left, and the measured selectivity — both engines.
+    // batches= stays batch-only (the row engine produces none).
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), " qerror=%.2f",
+                  telemetry::QError(estimated_cardinality_,
+                                    static_cast<double>(stats_.actual_rows)));
+    out += buf;
     if (stats_.batches > 0) {
-      char buf[48];
-      std::snprintf(buf, sizeof(buf), " batches=%llu sel=%.2f",
-                    static_cast<unsigned long long>(stats_.batches),
-                    stats_.selectivity);
+      std::snprintf(buf, sizeof(buf), " batches=%llu",
+                    static_cast<unsigned long long>(stats_.batches));
       out += buf;
     }
+    std::snprintf(buf, sizeof(buf), " sel=%.2f", stats_.selectivity);
+    out += buf;
   }
   if (options.timing && stats_.executed) {
     char buf[128];

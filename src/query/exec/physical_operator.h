@@ -40,10 +40,12 @@ namespace exec {
 struct OperatorStats {
   bool executed = false;
   uint64_t actual_rows = 0;     // output cardinality
-  // Batch-engine execution only: number of column batches produced, and
-  // output rows per input row (1.0 on leaves). Zero / unset under the
-  // row engine, which is how the renderer tells the two apart.
+  // Number of column batches produced — batch-engine execution only;
+  // zero under the row engine, which is how the renderer tells the two
+  // apart.
   uint64_t batches = 0;
+  // Output rows per input row (1.0 on leaves), recorded by BOTH engines
+  // so plan-quality telemetry is engine-agnostic.
   double selectivity = 0.0;
   // Wall time of this operator's own kernel (Run + stats collection),
   // excluding the children's Execute calls...

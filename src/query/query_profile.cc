@@ -14,6 +14,12 @@ void AppendOperators(const exec::PhysicalOperator& op, int depth,
   profile.depth = depth;
   profile.estimated_rows = op.estimated_cardinality();
   profile.actual_rows = stats.actual_rows;
+  profile.qerror = telemetry::QError(op.estimated_cardinality(),
+                                     static_cast<double>(stats.actual_rows));
+  profile.selectivity = stats.selectivity;
+  profile.actual_peak_bytes = stats.actual_peak_bytes;
+  profile.claimed_peak_bytes =
+      op.has_memory_bound() ? op.memory_bound().peak_bytes : 0;
   profile.self_wall_sec = stats.self_wall_sec;
   profile.total_wall_sec = stats.total_wall_sec;
   profile.network_bytes = stats.network_bytes;
@@ -48,8 +54,12 @@ telemetry::QueryProfile BuildQueryProfile(
   profile.records = ctx.tracker().TotalRecords();
   profile.num_workers = ctx.num_workers();
   profile.phases = result.phases;
+  profile.engine = result.engine;
   if (result.physical != nullptr) {
     AppendOperators(*result.physical, 0, &profile.operators);
+    for (const telemetry::OperatorProfile& op : profile.operators) {
+      if (op.qerror > profile.max_qerror) profile.max_qerror = op.qerror;
+    }
   }
   profile.workers = telemetry::ComputeWorkerBusy(
       ctx.telemetry().tracer().CollectSpans(), ctx.num_workers());

@@ -1,0 +1,171 @@
+#include "telemetry/flight_recorder.h"
+
+#include <fstream>
+#include <utility>
+
+namespace gradoop::telemetry {
+
+using common::MutexLock;
+
+namespace {
+
+uint64_t StringBytes(const std::string& s) {
+  return sizeof(std::string) + s.capacity();
+}
+
+uint64_t HistogramBytes(const HistogramSnapshot& h) {
+  return sizeof(HistogramSnapshot) + h.bounds.capacity() * sizeof(double) +
+         h.counts.capacity() * sizeof(uint64_t);
+}
+
+}  // namespace
+
+uint64_t ApproxProfileBytes(const QueryProfile& profile) {
+  uint64_t bytes = sizeof(QueryProfile);
+  bytes += StringBytes(profile.name) + StringBytes(profile.query) +
+           StringBytes(profile.engine);
+  for (const PhaseProfile& p : profile.phases) {
+    bytes += sizeof(PhaseProfile) + StringBytes(p.name);
+  }
+  for (const OperatorProfile& op : profile.operators) {
+    bytes += sizeof(OperatorProfile) + StringBytes(op.name) +
+             StringBytes(op.describe);
+  }
+  bytes += profile.workers.capacity() * sizeof(WorkerBusy);
+  // Map nodes carry ~3 pointers + color on top of the payload.
+  constexpr uint64_t kMapNodeOverhead = 4 * sizeof(void*);
+  for (const auto& [key, value] : profile.metrics.counters) {
+    (void)value;
+    bytes += kMapNodeOverhead + StringBytes(key) + sizeof(uint64_t);
+  }
+  for (const auto& [key, value] : profile.metrics.gauges) {
+    (void)value;
+    bytes += kMapNodeOverhead + StringBytes(key) + sizeof(double);
+  }
+  for (const auto& [key, h] : profile.metrics.histograms) {
+    bytes += kMapNodeOverhead + StringBytes(key) + HistogramBytes(h);
+  }
+  return bytes;
+}
+
+void FlightRecorder::Record(QueryProfile profile) {
+  const uint64_t bytes = ApproxProfileBytes(profile);
+  MutexLock lock(mu_);
+  entries_.push_back(Entry{std::move(profile), bytes});
+  retained_bytes_ += bytes;
+  EvictLocked();
+}
+
+void FlightRecorder::EvictLocked() {
+  // The newest profile survives unconditionally: a recorder whose budget
+  // is smaller than one profile still answers "what ran last".
+  while (entries_.size() > 1 &&
+         (retained_bytes_ > byte_budget_ || entries_.size() > capacity_)) {
+    retained_bytes_ -= entries_.front().bytes;
+    entries_.pop_front();
+    ++dropped_;
+  }
+}
+
+std::vector<QueryProfile> FlightRecorder::Snapshot() const {
+  MutexLock lock(mu_);
+  std::vector<QueryProfile> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.profile);
+  return out;
+}
+
+size_t FlightRecorder::size() const {
+  MutexLock lock(mu_);
+  return entries_.size();
+}
+
+uint64_t FlightRecorder::retained_bytes() const {
+  MutexLock lock(mu_);
+  return retained_bytes_;
+}
+
+uint64_t FlightRecorder::dropped() const {
+  MutexLock lock(mu_);
+  return dropped_;
+}
+
+void FlightRecorder::Clear() {
+  MutexLock lock(mu_);
+  entries_.clear();
+  retained_bytes_ = 0;
+  dropped_ = 0;
+}
+
+uint64_t FlightRecorder::byte_budget() const {
+  MutexLock lock(mu_);
+  return byte_budget_;
+}
+
+void FlightRecorder::set_byte_budget(uint64_t bytes) {
+  MutexLock lock(mu_);
+  byte_budget_ = bytes;
+  EvictLocked();
+}
+
+size_t FlightRecorder::capacity() const {
+  MutexLock lock(mu_);
+  return capacity_;
+}
+
+void FlightRecorder::set_capacity(size_t entries) {
+  MutexLock lock(mu_);
+  capacity_ = entries == 0 ? 1 : entries;
+  EvictLocked();
+}
+
+std::string FlightRecorder::ExportJson() const {
+  // Copy out under the lock, serialize outside it: ToJson allocates
+  // freely and there is no reason to hold a leaf mutex across that.
+  std::vector<QueryProfile> queries = Snapshot();
+  uint64_t retained = 0;
+  uint64_t budget = 0;
+  uint64_t dropped_count = 0;
+  {
+    MutexLock lock(mu_);
+    retained = retained_bytes_;
+    budget = byte_budget_;
+    dropped_count = dropped_;
+  }
+  std::string out = "{\n";
+  out += "  \"schema_version\": 1,\n";
+  out += "  \"byte_budget\": " + std::to_string(budget) + ",\n";
+  out += "  \"retained_bytes\": " + std::to_string(retained) + ",\n";
+  out += "  \"dropped\": " + std::to_string(dropped_count) + ",\n";
+  out += "  \"queries\": [";
+  for (size_t i = 0; i < queries.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    std::string profile_json = queries[i].ToJson();
+    while (!profile_json.empty() && profile_json.back() == '\n') {
+      profile_json.pop_back();
+    }
+    out += profile_json;
+  }
+  out += "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+bool WriteFlightRecorderExport(const std::string& path,
+                               const FlightRecorder& recorder,
+                               std::string* error) {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot write '" + path + "'";
+    return false;
+  }
+  out << recorder.ExportJson();
+  out.close();
+  if (!out) {
+    if (error != nullptr) *error = "write to '" + path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace gradoop::telemetry

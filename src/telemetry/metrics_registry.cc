@@ -21,6 +21,25 @@ const std::vector<double>& MetricsRegistry::DefaultHistogramBounds() {
   return bounds;
 }
 
+const std::vector<double>& MetricsRegistry::MicroLatencyBounds() {
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    double bound = 1.0;  // 1us, 2us, 4us, ..., ~2.1s
+    for (int i = 0; i < 22; ++i) {
+      b.push_back(bound);
+      bound *= 2.0;
+    }
+    return b;
+  }();
+  return bounds;
+}
+
+const std::vector<double>& MetricsRegistry::RatioBounds() {
+  static const std::vector<double> bounds = {
+      1.0, 1.1, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0, 25.0, 100.0, 1000.0, 10000.0};
+  return bounds;
+}
+
 MetricsRegistry::Shard& MetricsRegistry::LocalShard() {
   return shards_[CurrentThreadIndex() % kNumShards];
 }

@@ -59,6 +59,15 @@ class MetricsRegistry {
 
   // Power-of-4 microsecond-scale bounds: 1us .. ~16.8s in 13 buckets.
   static const std::vector<double>& DefaultHistogramBounds();
+  // Fine-grained power-of-2 microsecond bounds: 1us .. ~2.1s in 22
+  // buckets, for phase-latency histograms where whole sub-millisecond
+  // phases would otherwise collapse into one or two power-of-4 buckets.
+  static const std::vector<double>& MicroLatencyBounds();
+  // Ratio bounds for plan-quality (Q-error, memory accuracy) histograms:
+  // 1 .. 10000 with dense low-end resolution, since most estimates land
+  // within a small factor of the truth and that is the region worth
+  // resolving.
+  static const std::vector<double>& RatioBounds();
 
  private:
   struct HistogramData {

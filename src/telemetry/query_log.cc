@@ -1,0 +1,126 @@
+#include "telemetry/query_log.h"
+
+#include <cstdio>
+
+#include "telemetry/trace_export.h"
+
+namespace gradoop::telemetry {
+
+using common::MutexLock;
+
+namespace {
+
+std::string Seconds(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string QueryTextHash(const std::string& query) {
+  // FNV-1a 64: tiny, dependency-free, stable across platforms.
+  uint64_t hash = 1469598103934665603ull;
+  for (const char c : query) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+QueryLogEntry MakeQueryLogEntry(const QueryProfile& profile,
+                                double slow_threshold_sec) {
+  QueryLogEntry entry;
+  entry.query_hash = QueryTextHash(profile.query);
+  entry.name = profile.name;
+  entry.engine = profile.engine;
+  entry.matches = profile.matches;
+  entry.total_wall_sec = profile.total_wall_sec;
+  entry.max_qerror = profile.max_qerror;
+  auto gauge = profile.metrics.gauges.find("memory.bytes.peak");
+  if (gauge != profile.metrics.gauges.end() && gauge->second > 0.0) {
+    entry.peak_memory_bytes = static_cast<uint64_t>(gauge->second);
+  }
+  entry.shuffle_bytes = profile.network_bytes;
+  entry.slow = slow_threshold_sec > 0.0 &&
+               profile.total_wall_sec >= slow_threshold_sec;
+  entry.phases = profile.phases;
+  return entry;
+}
+
+std::string QueryLogLine(const QueryLogEntry& entry) {
+  std::string out = "{\"schema_version\": 1";
+  out += ", \"query_hash\": \"" + JsonEscape(entry.query_hash) + "\"";
+  out += ", \"name\": \"" + JsonEscape(entry.name) + "\"";
+  out += ", \"engine\": \"" + JsonEscape(entry.engine) + "\"";
+  out += ", \"matches\": " + std::to_string(entry.matches);
+  out += ", \"wall_sec\": " + Seconds(entry.total_wall_sec);
+  out += ", \"max_qerror\": " + JsonNumber(entry.max_qerror);
+  out += ", \"peak_memory_bytes\": " + std::to_string(entry.peak_memory_bytes);
+  out += ", \"shuffle_bytes\": " + std::to_string(entry.shuffle_bytes);
+  out += std::string(", \"slow\": ") + (entry.slow ? "true" : "false");
+  out += ", \"phases\": [";
+  for (size_t i = 0; i < entry.phases.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "{\"name\": \"" + JsonEscape(entry.phases[i].name) +
+           "\", \"wall_sec\": " + Seconds(entry.phases[i].wall_sec) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void QueryLog::Record(const QueryProfile& profile) {
+  double threshold = 0.0;
+  {
+    MutexLock lock(mu_);
+    threshold = slow_threshold_sec_;
+  }
+  // Serialize outside the lock; only the append itself is guarded.
+  Append(MakeQueryLogEntry(profile, threshold));
+}
+
+void QueryLog::Append(const QueryLogEntry& entry) {
+  std::string line = QueryLogLine(entry);
+  MutexLock lock(mu_);
+  if (sink_.is_open()) sink_ << line << '\n' << std::flush;
+  lines_.push_back(std::move(line));
+  while (lines_.size() > kMaxRetainedLines) lines_.pop_front();
+}
+
+std::vector<std::string> QueryLog::Lines() const {
+  MutexLock lock(mu_);
+  return {lines_.begin(), lines_.end()};
+}
+
+size_t QueryLog::size() const {
+  MutexLock lock(mu_);
+  return lines_.size();
+}
+
+void QueryLog::Clear() {
+  MutexLock lock(mu_);
+  lines_.clear();
+}
+
+double QueryLog::slow_threshold_sec() const {
+  MutexLock lock(mu_);
+  return slow_threshold_sec_;
+}
+
+void QueryLog::set_slow_threshold_sec(double seconds) {
+  MutexLock lock(mu_);
+  slow_threshold_sec_ = seconds;
+}
+
+bool QueryLog::SetPath(const std::string& path) {
+  MutexLock lock(mu_);
+  if (sink_.is_open()) sink_.close();
+  if (path.empty()) return true;
+  sink_.open(path, std::ios::app);
+  return sink_.is_open();
+}
+
+}  // namespace gradoop::telemetry

@@ -25,6 +25,15 @@ std::string Seconds(double value) {
 
 }  // namespace
 
+double QError(double estimated, double actual) {
+  // Clamping both sides to >= 1 makes the metric zero-safe: row counts
+  // are integers, so a sub-one "cardinality" carries no information and
+  // 0-vs-0 must read as a perfect estimate, not 0/0.
+  const double est = estimated < 1.0 ? 1.0 : estimated;
+  const double act = actual < 1.0 ? 1.0 : actual;
+  return est > act ? est / act : act / est;
+}
+
 double QueryProfile::WorkerImbalanceRatio() const {
   return WorkerImbalance(workers);
 }
@@ -34,6 +43,8 @@ std::string QueryProfile::ToJson() const {
   out += "  \"schema_version\": 1,\n";
   out += "  \"name\": " + Quoted(name) + ",\n";
   out += "  \"query\": " + Quoted(query) + ",\n";
+  out += "  \"engine\": " + Quoted(engine) + ",\n";
+  out += "  \"max_qerror\": " + JsonNumber(max_qerror) + ",\n";
   out += "  \"matches\": " + U64(matches) + ",\n";
   out += "  \"total_wall_sec\": " + Seconds(total_wall_sec) + ",\n";
   out += "  \"simulated_sec\": " + Seconds(simulated_sec) + ",\n";
@@ -61,6 +72,10 @@ std::string QueryProfile::ToJson() const {
            ", \"depth\": " + std::to_string(op.depth) +
            ", \"estimated_rows\": " + JsonNumber(op.estimated_rows) +
            ", \"actual_rows\": " + U64(op.actual_rows) +
+           ", \"qerror\": " + JsonNumber(op.qerror) +
+           ", \"selectivity\": " + JsonNumber(op.selectivity) +
+           ", \"actual_peak_bytes\": " + U64(op.actual_peak_bytes) +
+           ", \"claimed_peak_bytes\": " + U64(op.claimed_peak_bytes) +
            ", \"self_wall_sec\": " + Seconds(op.self_wall_sec) +
            ", \"total_wall_sec\": " + Seconds(op.total_wall_sec) +
            ", \"network_bytes\": " + U64(op.network_bytes) +

@@ -10,6 +10,14 @@
 
 namespace gradoop::telemetry {
 
+// Cardinality Q-error (Moerkotte et al.): the multiplicative distance
+// between an estimate and the measured actual, max(est,act)/min(est,act).
+// Both sides are clamped to >= 1 first, so an exact estimate (including
+// the 0-estimated/0-actual case) is exactly 1.0 and a zero on either
+// side degrades to the other side's magnitude instead of dividing by
+// zero. Always >= 1.0; 1.0 means the planner was right.
+double QError(double estimated, double actual);
+
 // Wall time of one engine phase (parse, analyze, plan, compile, execute).
 struct PhaseProfile {
   std::string name;
@@ -26,6 +34,14 @@ struct OperatorProfile {
   int depth = 0;
   double estimated_rows = 0.0;
   uint64_t actual_rows = 0;
+  // Plan-quality signals: cardinality Q-error of this operator's estimate
+  // (QError above, >= 1.0), output rows per input row (1.0 on leaves),
+  // and the measured vs statically claimed subtree memory peaks (0 when
+  // accounting was off / the claim is absent).
+  double qerror = 1.0;
+  double selectivity = 0.0;
+  uint64_t actual_peak_bytes = 0;
+  uint64_t claimed_peak_bytes = 0;
   double self_wall_sec = 0.0;
   double total_wall_sec = 0.0;
   uint64_t network_bytes = 0;
@@ -40,6 +56,10 @@ struct OperatorProfile {
 struct QueryProfile {
   std::string name;          // artifact name ("ldbc_Q1")
   std::string query;         // the Cypher text
+  std::string engine = "row";  // execution engine: "row" | "batch"
+  // Worst per-operator cardinality Q-error of the executed plan (>= 1.0
+  // once anything executed; 0 when the plan is empty/unsatisfiable).
+  double max_qerror = 0.0;
   uint64_t matches = 0;
   double total_wall_sec = 0.0;   // host wall clock of the whole run
   double simulated_sec = 0.0;    // CostTracker simulated cluster time

@@ -1,0 +1,399 @@
+#include "telemetry/stats_report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "telemetry/json.h"
+
+namespace gradoop::telemetry {
+
+namespace {
+
+double NumberOr(const json::ValuePtr& object, const char* key,
+                double fallback) {
+  if (object == nullptr) return fallback;
+  const json::ValuePtr v = object->Get(key);
+  return v != nullptr && v->is_number() ? v->AsDouble() : fallback;
+}
+
+uint64_t U64Or(const json::ValuePtr& object, const char* key) {
+  const double value = NumberOr(object, key, 0.0);
+  return value <= 0.0 ? 0 : static_cast<uint64_t>(value);
+}
+
+std::string StringOr(const json::ValuePtr& object, const char* key,
+                     const std::string& fallback) {
+  if (object == nullptr) return fallback;
+  const json::ValuePtr v = object->Get(key);
+  return v != nullptr && v->is_string() ? v->AsString() : fallback;
+}
+
+// Tolerant profile reconstruction: the strict shape checks live in
+// telemetry/validate.cc; the report only needs the fields it prints.
+QueryProfile ParseProfileObject(const json::ValuePtr& root) {
+  QueryProfile profile;
+  profile.name = StringOr(root, "name", "");
+  profile.query = StringOr(root, "query", "");
+  profile.engine = StringOr(root, "engine", "row");
+  profile.max_qerror = NumberOr(root, "max_qerror", 0.0);
+  profile.matches = U64Or(root, "matches");
+  profile.total_wall_sec = NumberOr(root, "total_wall_sec", 0.0);
+  profile.simulated_sec = NumberOr(root, "simulated_sec", 0.0);
+  profile.network_bytes = U64Or(root, "network_bytes");
+  profile.spilled_bytes = U64Or(root, "spilled_bytes");
+  const json::ValuePtr phases = root->Get("phases");
+  if (phases != nullptr && phases->is_array()) {
+    for (const json::ValuePtr& phase : phases->AsArray()) {
+      profile.phases.push_back({StringOr(phase, "name", "?"),
+                                NumberOr(phase, "wall_sec", 0.0)});
+    }
+  }
+  const json::ValuePtr operators = root->Get("operators");
+  if (operators != nullptr && operators->is_array()) {
+    for (const json::ValuePtr& op : operators->AsArray()) {
+      OperatorProfile parsed;
+      parsed.name = StringOr(op, "name", "?");
+      parsed.describe = StringOr(op, "describe", parsed.name);
+      parsed.depth = static_cast<int>(NumberOr(op, "depth", 0.0));
+      parsed.estimated_rows = NumberOr(op, "estimated_rows", 0.0);
+      parsed.actual_rows = U64Or(op, "actual_rows");
+      parsed.qerror = NumberOr(op, "qerror", 1.0);
+      parsed.selectivity = NumberOr(op, "selectivity", 0.0);
+      parsed.actual_peak_bytes = U64Or(op, "actual_peak_bytes");
+      parsed.claimed_peak_bytes = U64Or(op, "claimed_peak_bytes");
+      parsed.self_wall_sec = NumberOr(op, "self_wall_sec", 0.0);
+      parsed.total_wall_sec = NumberOr(op, "total_wall_sec", 0.0);
+      profile.operators.push_back(std::move(parsed));
+    }
+  }
+  return profile;
+}
+
+bool IngestBenchReport(const json::ValuePtr& root, StatsInput* input,
+                       std::string* error) {
+  const std::string bench = StringOr(root, "bench", "bench");
+  const json::ValuePtr records = root->Get("records");
+  if (records == nullptr || !records->is_array()) {
+    if (error != nullptr) *error = "bench report has no records array";
+    return false;
+  }
+  for (const json::ValuePtr& record : records->AsArray()) {
+    BenchRecord parsed;
+    parsed.bench = bench;
+    const json::ValuePtr params = record->Get("params");
+    if (params != nullptr && params->is_object()) {
+      for (const auto& [key, value] : params->AsObject()) {
+        if (value->is_string()) parsed.params[key] = value->AsString();
+      }
+    }
+    parsed.matches = U64Or(record, "matches");
+    parsed.wall_ms = NumberOr(record, "wall_ms", 0.0);
+    parsed.simulated_sec = NumberOr(record, "simulated_sec", 0.0);
+    parsed.network_bytes = U64Or(record, "network_bytes");
+    parsed.spilled_bytes = U64Or(record, "spilled_bytes");
+    parsed.records = U64Or(record, "records");
+    parsed.shuffle_count = U64Or(record, "shuffle_count");
+    parsed.shuffle_bytes = U64Or(record, "shuffle_bytes");
+    parsed.shuffle_elided_count = U64Or(record, "shuffle_elided_count");
+    parsed.shuffle_elided_bytes = U64Or(record, "shuffle_elided_bytes");
+    input->bench_records.push_back(std::move(parsed));
+  }
+  return true;
+}
+
+std::string ParamsKey(const std::map<std::string, std::string>& params) {
+  std::string key;
+  for (const auto& [name, value] : params) {
+    key += name + "=" + value + ";";
+  }
+  return key;
+}
+
+std::string Format(const char* fmt, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, value);
+  return buf;
+}
+
+// One percentile table row: label padded to 28, count, p50/p95/p99.
+void AppendPercentileRow(std::string* out, const std::string& label,
+                         const std::vector<double>& values) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "  %-28s %5zu %8s %8s %8s\n",
+                label.c_str(), values.size(),
+                Format("%.3f", Percentile(values, 50)).c_str(),
+                Format("%.3f", Percentile(values, 95)).c_str(),
+                Format("%.3f", Percentile(values, 99)).c_str());
+  *out += buf;
+}
+
+}  // namespace
+
+bool IngestStatsArtifact(const std::string& json_text, StatsInput* input,
+                         std::string* error) {
+  auto parsed = json::Parse(json_text);
+  if (!parsed.ok()) {
+    if (error != nullptr) *error = parsed.status().message();
+    return false;
+  }
+  const json::ValuePtr root = parsed.value();
+  if (!root->is_object()) {
+    if (error != nullptr) *error = "artifact root is not an object";
+    return false;
+  }
+  const json::ValuePtr queries = root->Get("queries");
+  if (queries != nullptr && queries->is_array()) {
+    for (const json::ValuePtr& query : queries->AsArray()) {
+      input->profiles.push_back(ParseProfileObject(query));
+    }
+    return true;
+  }
+  if (root->Get("operators") != nullptr) {
+    input->profiles.push_back(ParseProfileObject(root));
+    return true;
+  }
+  if (root->Get("records") != nullptr) {
+    return IngestBenchReport(root, input, error);
+  }
+  if (error != nullptr) {
+    *error = "unrecognized artifact (no queries/operators/records)";
+  }
+  return false;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  if (p <= 0.0) return values.front();
+  if (p >= 100.0) return values.back();
+  // Nearest-rank: the smallest value with at least p% of the sample at
+  // or below it.
+  const size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(values.size())));
+  return values[rank == 0 ? 0 : rank - 1];
+}
+
+std::string RenderStatsReport(const StatsInput& input, size_t worst_count) {
+  std::string out;
+  size_t row_profiles = 0;
+  for (const QueryProfile& profile : input.profiles) {
+    if (profile.engine != "batch") ++row_profiles;
+  }
+  out += "profiles: " + std::to_string(input.profiles.size()) + " (row " +
+         std::to_string(row_profiles) + ", batch " +
+         std::to_string(input.profiles.size() - row_profiles) + "), " +
+         "bench records: " + std::to_string(input.bench_records.size()) +
+         "\n";
+
+  // --- phase latency percentiles, in first-seen phase order ---
+  std::vector<std::string> phase_order;
+  std::map<std::string, std::vector<double>> phase_ms;
+  for (const QueryProfile& profile : input.profiles) {
+    for (const PhaseProfile& phase : profile.phases) {
+      if (phase_ms.find(phase.name) == phase_ms.end()) {
+        phase_order.push_back(phase.name);
+      }
+      phase_ms[phase.name].push_back(phase.wall_sec * 1e3);
+    }
+  }
+  if (!phase_ms.empty()) {
+    out += "\nphase latency [ms]             count      p50      p95      "
+           "p99\n";
+    for (const std::string& name : phase_order) {
+      AppendPercentileRow(&out, name, phase_ms[name]);
+    }
+  }
+
+  // --- per-operator-type self time and Q-error ---
+  std::map<std::string, std::vector<double>> op_self_ms;
+  std::map<std::string, std::vector<double>> op_qerror;
+  for (const QueryProfile& profile : input.profiles) {
+    for (const OperatorProfile& op : profile.operators) {
+      op_self_ms[op.name].push_back(op.self_wall_sec * 1e3);
+      op_qerror[op.name].push_back(op.qerror);
+    }
+  }
+  if (!op_self_ms.empty()) {
+    out += "\noperator self time [ms]        count      p50      p95      "
+           "p99\n";
+    for (const auto& [name, values] : op_self_ms) {
+      AppendPercentileRow(&out, name, values);
+    }
+    out += "\noperator Q-error               count      p50      p95      "
+           "max\n";
+    for (const auto& [name, values] : op_qerror) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf), "  %-28s %5zu %8s %8s %8s\n",
+                    name.c_str(), values.size(),
+                    Format("%.2f", Percentile(values, 50)).c_str(),
+                    Format("%.2f", Percentile(values, 95)).c_str(),
+                    Format("%.2f", *std::max_element(values.begin(),
+                                                     values.end()))
+                        .c_str());
+      out += buf;
+    }
+  }
+
+  // --- worst misestimates, with the plan line that produced them ---
+  struct Misestimate {
+    double qerror;
+    double estimated;
+    uint64_t actual;
+    std::string profile_name;
+    std::string engine;
+    std::string describe;
+  };
+  std::vector<Misestimate> worst;
+  for (const QueryProfile& profile : input.profiles) {
+    for (const OperatorProfile& op : profile.operators) {
+      worst.push_back({op.qerror, op.estimated_rows, op.actual_rows,
+                       profile.name, profile.engine, op.describe});
+    }
+  }
+  std::stable_sort(worst.begin(), worst.end(),
+                   [](const Misestimate& a, const Misestimate& b) {
+                     return a.qerror > b.qerror;
+                   });
+  if (!worst.empty()) {
+    out += "\nworst misestimates\n";
+    for (size_t i = 0; i < worst.size() && i < worst_count; ++i) {
+      const Misestimate& m = worst[i];
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    "  qerror=%.2f est=%.0f act=%llu ", m.qerror,
+                    m.estimated,
+                    static_cast<unsigned long long>(m.actual));
+      out += buf;
+      out += "[" + m.profile_name + "/" + m.engine + "] " + m.describe +
+             "\n";
+    }
+  }
+
+  // --- row vs batch, from bench records sweeping an engine mode ---
+  // Records pair on identical params minus "mode"; the row mode and its
+  // batch twin compare wall clock (the vectorization win) and matches
+  // (which must agree — the engines are differential-tested equal).
+  const std::pair<const char*, const char*> mode_pairs[] = {
+      {"default", "batch"}, {"repartition", "batch-repart"}};
+  std::map<std::string, std::map<std::string, const BenchRecord*>> by_key;
+  for (const BenchRecord& record : input.bench_records) {
+    auto mode = record.params.find("mode");
+    if (mode == record.params.end()) continue;
+    std::map<std::string, std::string> rest = record.params;
+    rest.erase("mode");
+    by_key[record.bench + "|" + ParamsKey(rest)][mode->second] = &record;
+  }
+  std::string engine_rows;
+  for (const auto& [key, modes] : by_key) {
+    (void)key;
+    for (const auto& [row_mode, batch_mode] : mode_pairs) {
+      auto row_it = modes.find(row_mode);
+      auto batch_it = modes.find(batch_mode);
+      if (row_it == modes.end() || batch_it == modes.end()) continue;
+      const BenchRecord& row = *row_it->second;
+      const BenchRecord& batch = *batch_it->second;
+      auto query = row.params.find("query");
+      char buf[200];
+      std::snprintf(
+          buf, sizeof(buf), "  %-10s %-12s row %9.3fms  batch %9.3fms  "
+          "speedup %5.2fx%s\n",
+          query != row.params.end() ? query->second.c_str() : "?",
+          row_mode, row.wall_ms, batch.wall_ms,
+          batch.wall_ms > 0.0 ? row.wall_ms / batch.wall_ms : 0.0,
+          row.matches == batch.matches ? "" : "  MATCHES DIFFER");
+      engine_rows += buf;
+    }
+  }
+  if (!engine_rows.empty()) {
+    out += "\nrow vs batch (bench modes)\n" + engine_rows;
+  }
+  return out;
+}
+
+int DiffBenchBaseline(const StatsInput& baseline, const StatsInput& current,
+                      const BaselineDiffOptions& options,
+                      std::string* report) {
+  auto key_of = [](const BenchRecord& record) {
+    return record.bench + "|" + ParamsKey(record.params);
+  };
+  std::map<std::string, const BenchRecord*> current_by_key;
+  for (const BenchRecord& record : current.bench_records) {
+    current_by_key[key_of(record)] = &record;
+  }
+  int regressions = 0;
+  auto note = [&](const std::string& line) {
+    if (report != nullptr) *report += line + "\n";
+  };
+  std::set<std::string> seen;
+  for (const BenchRecord& base : baseline.bench_records) {
+    const std::string key = key_of(base);
+    seen.insert(key);
+    auto it = current_by_key.find(key);
+    if (it == current_by_key.end()) {
+      ++regressions;
+      note("FAIL " + key + ": record missing from current run");
+      continue;
+    }
+    const BenchRecord& cur = *it->second;
+    if (cur.matches != base.matches) {
+      ++regressions;
+      note("FAIL " + key + ": matches " + std::to_string(base.matches) +
+           " -> " + std::to_string(cur.matches) + " (must be identical)");
+    }
+    // Deterministic-but-modeled fields gate with tolerance; wall clock is
+    // machine noise and only reported.
+    struct Field {
+      const char* name;
+      double base;
+      double cur;
+      double floor;  // denominator floor, absorbs zero baselines
+    };
+    const Field fields[] = {
+        {"simulated_sec", base.simulated_sec, cur.simulated_sec, 1e-9},
+        {"shuffle_bytes", static_cast<double>(base.shuffle_bytes),
+         static_cast<double>(cur.shuffle_bytes), 1.0},
+    };
+    for (const Field& field : fields) {
+      const double denom = field.base > field.floor ? field.base
+                                                    : field.floor;
+      const double drift = (field.cur - field.base) / denom;
+      if (drift > options.tolerance) {
+        ++regressions;
+        note("FAIL " + key + ": " + field.name + " " +
+             Format("%.6g", field.base) + " -> " +
+             Format("%.6g", field.cur) + " (+" +
+             Format("%.1f", drift * 100.0) + "%, tolerance " +
+             Format("%.1f", options.tolerance * 100.0) + "%)");
+      } else if (drift < -options.tolerance) {
+        note("note " + key + ": " + field.name + " improved " +
+             Format("%.6g", field.base) + " -> " +
+             Format("%.6g", field.cur) +
+             " (consider refreshing the baseline)");
+      }
+    }
+    if (base.wall_ms > 0.0 && cur.wall_ms > 0.0) {
+      const double drift = (cur.wall_ms - base.wall_ms) / base.wall_ms;
+      if (drift > options.tolerance) {
+        note("warn " + key + ": wall_ms " + Format("%.3f", base.wall_ms) +
+             " -> " + Format("%.3f", cur.wall_ms) +
+             " (not gated: wall clock)");
+      }
+    }
+  }
+  for (const BenchRecord& cur : current.bench_records) {
+    if (seen.find(key_of(cur)) == seen.end()) {
+      note("note " + key_of(cur) + ": new record (not in baseline)");
+    }
+  }
+  note(regressions == 0
+           ? "baseline diff OK (" +
+                 std::to_string(baseline.bench_records.size()) +
+                 " records compared)"
+           : "baseline diff found " + std::to_string(regressions) +
+                 " regression(s)");
+  return regressions;
+}
+
+}  // namespace gradoop::telemetry

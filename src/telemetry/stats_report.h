@@ -1,0 +1,76 @@
+#ifndef GRADOOP_TELEMETRY_STATS_REPORT_H_
+#define GRADOOP_TELEMETRY_STATS_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/query_profile.h"
+
+namespace gradoop::telemetry {
+
+// Aggregation layer behind tools/cypher_stats: ingests the engine's own
+// JSON artifacts (flight-recorder exports, single QueryProfile files,
+// BENCH_*.json reports), renders the cross-run statistics report, and
+// diffs two bench artifacts for the CI regression gate.
+
+// One record of a BENCH_*.json artifact (bench/bench_common.h schema).
+struct BenchRecord {
+  std::string bench;  // artifact name ("ldbc_queries")
+  std::map<std::string, std::string> params;
+  uint64_t matches = 0;
+  double wall_ms = 0.0;
+  double simulated_sec = 0.0;
+  uint64_t network_bytes = 0;
+  uint64_t spilled_bytes = 0;
+  uint64_t records = 0;
+  uint64_t shuffle_count = 0;
+  uint64_t shuffle_bytes = 0;
+  uint64_t shuffle_elided_count = 0;
+  uint64_t shuffle_elided_bytes = 0;
+};
+
+// Everything ingested so far. Profiles keep only the fields the report
+// reads back out of the JSON (identity, phases, operators, plan
+// quality); histograms and worker arrays stay in the artifacts.
+struct StatsInput {
+  std::vector<QueryProfile> profiles;
+  std::vector<BenchRecord> bench_records;
+};
+
+// Parses one artifact and appends its contents to `input`. The document
+// kind is auto-detected: an object with "queries" is a flight-recorder
+// export, with "operators" a single query profile, with "records" a
+// BENCH_*.json report. Returns false + *error on parse/shape failure.
+bool IngestStatsArtifact(const std::string& json_text, StatsInput* input,
+                         std::string* error);
+
+// Nearest-rank percentile (p in [0,100]) of `values`; 0 when empty.
+double Percentile(std::vector<double> values, double p);
+
+// The aggregate report: per-phase and per-operator-type latency
+// percentiles, plan-quality (Q-error) summary, the `worst_count` worst
+// misestimates with their plan lines, and a row-vs-batch comparison
+// from bench records that sweep an engine mode.
+std::string RenderStatsReport(const StatsInput& input,
+                              size_t worst_count = 5);
+
+struct BaselineDiffOptions {
+  // Relative tolerance on the deterministic-but-modeled fields
+  // (simulated_sec, shuffle_bytes). Matches must be exactly equal.
+  double tolerance = 0.10;
+};
+
+// Diffs `current` bench records against `baseline`, matched by bench
+// name + params. Appends a human-readable diff to *report and returns
+// the number of regressions: match-count mismatches, tolerance
+// violations, and records missing from `current`. Wall-clock deltas are
+// reported but never gate (they are machine noise). 0 = gate passes.
+int DiffBenchBaseline(const StatsInput& baseline, const StatsInput& current,
+                      const BaselineDiffOptions& options,
+                      std::string* report);
+
+}  // namespace gradoop::telemetry
+
+#endif  // GRADOOP_TELEMETRY_STATS_REPORT_H_

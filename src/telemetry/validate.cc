@@ -15,6 +15,110 @@ bool NonNegativeNumber(const json::ValuePtr& v) {
   return v != nullptr && v->is_number() && v->AsDouble() >= 0.0;
 }
 
+bool EngineName(const json::ValuePtr& v) {
+  return v != nullptr && v->is_string() &&
+         (v->AsString() == "row" || v->AsString() == "batch");
+}
+
+// The query-profile object check, shared between the standalone profile
+// document and each element of a flight-recorder export's "queries".
+bool ValidateQueryProfileObject(const json::ValuePtr& root,
+                                std::string* error) {
+  if (!root->is_object()) return Fail(error, "root is not an object");
+
+  const json::ValuePtr version = root->Get("schema_version");
+  if (version == nullptr || !version->is_number() ||
+      version->AsDouble() != 1.0) {
+    return Fail(error, "schema_version missing or not 1");
+  }
+  for (const char* key : {"name", "query"}) {
+    const json::ValuePtr v = root->Get(key);
+    if (v == nullptr || !v->is_string()) {
+      return Fail(error, std::string("missing string field '") + key + "'");
+    }
+  }
+  if (!EngineName(root->Get("engine"))) {
+    return Fail(error, "engine missing or not row|batch");
+  }
+  for (const char* key :
+       {"max_qerror", "matches", "total_wall_sec", "simulated_sec",
+        "network_bytes", "spilled_bytes", "records", "num_workers",
+        "worker_imbalance"}) {
+    if (!NonNegativeNumber(root->Get(key))) {
+      return Fail(error,
+                  std::string("missing non-negative field '") + key + "'");
+    }
+  }
+
+  const json::ValuePtr phases = root->Get("phases");
+  if (phases == nullptr || !phases->is_array() ||
+      phases->AsArray().empty()) {
+    return Fail(error, "phases missing or empty");
+  }
+  for (const json::ValuePtr& phase : phases->AsArray()) {
+    const json::ValuePtr name = phase->Get("name");
+    if (name == nullptr || !name->is_string()) {
+      return Fail(error, "phase without name");
+    }
+    if (!NonNegativeNumber(phase->Get("wall_sec"))) {
+      return Fail(error, "phase '" + name->AsString() +
+                             "' has no non-negative wall_sec");
+    }
+  }
+
+  const json::ValuePtr operators = root->Get("operators");
+  if (operators == nullptr || !operators->is_array()) {
+    return Fail(error, "operators missing");
+  }
+  for (const json::ValuePtr& op : operators->AsArray()) {
+    const json::ValuePtr name = op->Get("name");
+    if (name == nullptr || !name->is_string()) {
+      return Fail(error, "operator without name");
+    }
+    for (const char* key :
+         {"actual_rows", "estimated_rows", "selectivity",
+          "actual_peak_bytes", "claimed_peak_bytes", "self_wall_sec",
+          "total_wall_sec"}) {
+      if (!NonNegativeNumber(op->Get(key))) {
+        return Fail(error, "operator '" + name->AsString() +
+                               "' missing non-negative '" + key + "'");
+      }
+    }
+    // A Q-error below 1 is arithmetically impossible (max/min of two
+    // clamped positives), so its presence doubles as an emitter check.
+    const json::ValuePtr qerror = op->Get("qerror");
+    if (qerror == nullptr || !qerror->is_number() ||
+        qerror->AsDouble() < 1.0) {
+      return Fail(error,
+                  "operator '" + name->AsString() + "' has no qerror >= 1");
+    }
+    // Self time cannot exceed cumulative time (epsilon for clock jitter
+    // between the two Timer reads).
+    if (op->Get("self_wall_sec")->AsDouble() >
+        op->Get("total_wall_sec")->AsDouble() + 1e-6) {
+      return Fail(error, "operator '" + name->AsString() +
+                             "' has self_wall_sec > total_wall_sec");
+    }
+  }
+
+  const json::ValuePtr workers = root->Get("workers");
+  if (workers == nullptr || !workers->is_array()) {
+    return Fail(error, "workers missing");
+  }
+  const json::ValuePtr num_workers = root->Get("num_workers");
+  if (workers->AsArray().size() !=
+      static_cast<size_t>(num_workers->AsDouble())) {
+    return Fail(error, "workers array size != num_workers");
+  }
+  for (const json::ValuePtr& w : workers->AsArray()) {
+    if (!NonNegativeNumber(w->Get("busy_sec")) ||
+        !NonNegativeNumber(w->Get("tasks"))) {
+      return Fail(error, "worker entry missing busy_sec/tasks");
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 bool ValidateChromeTrace(const std::string& json_text, std::string* error) {
@@ -67,83 +171,88 @@ bool ValidateChromeTrace(const std::string& json_text, std::string* error) {
 bool ValidateQueryProfile(const std::string& json_text, std::string* error) {
   auto parsed = json::Parse(json_text);
   if (!parsed.ok()) return Fail(error, parsed.status().message());
+  return ValidateQueryProfileObject(parsed.value(), error);
+}
+
+bool ValidateFlightRecorderExport(const std::string& json_text,
+                                  std::string* error) {
+  auto parsed = json::Parse(json_text);
+  if (!parsed.ok()) return Fail(error, parsed.status().message());
   const json::ValuePtr root = parsed.value();
   if (!root->is_object()) return Fail(error, "root is not an object");
-
   const json::ValuePtr version = root->Get("schema_version");
   if (version == nullptr || !version->is_number() ||
       version->AsDouble() != 1.0) {
     return Fail(error, "schema_version missing or not 1");
   }
-  for (const char* key : {"name", "query"}) {
-    const json::ValuePtr v = root->Get(key);
-    if (v == nullptr || !v->is_string()) {
-      return Fail(error, std::string("missing string field '") + key + "'");
-    }
-  }
-  for (const char* key :
-       {"matches", "total_wall_sec", "simulated_sec", "network_bytes",
-        "spilled_bytes", "records", "num_workers", "worker_imbalance"}) {
+  for (const char* key : {"byte_budget", "retained_bytes", "dropped"}) {
     if (!NonNegativeNumber(root->Get(key))) {
       return Fail(error,
                   std::string("missing non-negative field '") + key + "'");
     }
   }
+  const json::ValuePtr queries = root->Get("queries");
+  if (queries == nullptr || !queries->is_array()) {
+    return Fail(error, "queries missing");
+  }
+  for (size_t i = 0; i < queries->AsArray().size(); ++i) {
+    std::string inner;
+    if (!ValidateQueryProfileObject(queries->AsArray()[i], &inner)) {
+      return Fail(error,
+                  "queries[" + std::to_string(i) + "]: " + inner);
+    }
+  }
+  return true;
+}
 
+bool ValidateQueryLogLine(const std::string& line, std::string* error) {
+  auto parsed = json::Parse(line);
+  if (!parsed.ok()) return Fail(error, parsed.status().message());
+  const json::ValuePtr root = parsed.value();
+  if (!root->is_object()) return Fail(error, "record is not an object");
+  const json::ValuePtr version = root->Get("schema_version");
+  if (version == nullptr || !version->is_number() ||
+      version->AsDouble() != 1.0) {
+    return Fail(error, "schema_version missing or not 1");
+  }
+  const json::ValuePtr hash = root->Get("query_hash");
+  if (hash == nullptr || !hash->is_string() ||
+      hash->AsString().size() != 16) {
+    return Fail(error, "query_hash missing or not 16 chars");
+  }
+  for (const char c : hash->AsString()) {
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) {
+      return Fail(error, "query_hash is not lowercase hex");
+    }
+  }
+  const json::ValuePtr name = root->Get("name");
+  if (name == nullptr || !name->is_string()) {
+    return Fail(error, "missing string field 'name'");
+  }
+  if (!EngineName(root->Get("engine"))) {
+    return Fail(error, "engine missing or not row|batch");
+  }
+  for (const char* key : {"matches", "wall_sec", "max_qerror",
+                          "peak_memory_bytes", "shuffle_bytes"}) {
+    if (!NonNegativeNumber(root->Get(key))) {
+      return Fail(error,
+                  std::string("missing non-negative field '") + key + "'");
+    }
+  }
+  const json::ValuePtr slow = root->Get("slow");
+  if (slow == nullptr || !slow->is_bool()) {
+    return Fail(error, "missing boolean field 'slow'");
+  }
   const json::ValuePtr phases = root->Get("phases");
   if (phases == nullptr || !phases->is_array() ||
       phases->AsArray().empty()) {
     return Fail(error, "phases missing or empty");
   }
   for (const json::ValuePtr& phase : phases->AsArray()) {
-    const json::ValuePtr name = phase->Get("name");
-    if (name == nullptr || !name->is_string()) {
-      return Fail(error, "phase without name");
-    }
-    if (!NonNegativeNumber(phase->Get("wall_sec"))) {
-      return Fail(error, "phase '" + name->AsString() +
-                             "' has no non-negative wall_sec");
-    }
-  }
-
-  const json::ValuePtr operators = root->Get("operators");
-  if (operators == nullptr || !operators->is_array()) {
-    return Fail(error, "operators missing");
-  }
-  for (const json::ValuePtr& op : operators->AsArray()) {
-    const json::ValuePtr name = op->Get("name");
-    if (name == nullptr || !name->is_string()) {
-      return Fail(error, "operator without name");
-    }
-    for (const char* key : {"actual_rows", "estimated_rows",
-                            "self_wall_sec", "total_wall_sec"}) {
-      if (!NonNegativeNumber(op->Get(key))) {
-        return Fail(error, "operator '" + name->AsString() +
-                               "' missing non-negative '" + key + "'");
-      }
-    }
-    // Self time cannot exceed cumulative time (epsilon for clock jitter
-    // between the two Timer reads).
-    if (op->Get("self_wall_sec")->AsDouble() >
-        op->Get("total_wall_sec")->AsDouble() + 1e-6) {
-      return Fail(error, "operator '" + name->AsString() +
-                             "' has self_wall_sec > total_wall_sec");
-    }
-  }
-
-  const json::ValuePtr workers = root->Get("workers");
-  if (workers == nullptr || !workers->is_array()) {
-    return Fail(error, "workers missing");
-  }
-  const json::ValuePtr num_workers = root->Get("num_workers");
-  if (workers->AsArray().size() !=
-      static_cast<size_t>(num_workers->AsDouble())) {
-    return Fail(error, "workers array size != num_workers");
-  }
-  for (const json::ValuePtr& w : workers->AsArray()) {
-    if (!NonNegativeNumber(w->Get("busy_sec")) ||
-        !NonNegativeNumber(w->Get("tasks"))) {
-      return Fail(error, "worker entry missing busy_sec/tasks");
+    const json::ValuePtr phase_name = phase->Get("name");
+    if (phase_name == nullptr || !phase_name->is_string() ||
+        !NonNegativeNumber(phase->Get("wall_sec"))) {
+      return Fail(error, "phase entry missing name/wall_sec");
     }
   }
   return true;

@@ -17,15 +17,28 @@ namespace gradoop::telemetry {
 // monotonic timestamps are part of the contract).
 //
 // ValidateQueryProfile: well-formed JSON with schema_version 1, the
-// required scalar fields, a non-empty "phases" array with non-negative
-// wall times in monotonic span order, "operators" entries whose
-// self_wall_sec <= total_wall_sec, and a "workers" array sized to
-// num_workers.
+// required scalar fields (including the plan-quality surface: engine
+// "row"|"batch", max_qerror, per-operator qerror >= 1), a non-empty
+// "phases" array with non-negative wall times in monotonic span order,
+// "operators" entries whose self_wall_sec <= total_wall_sec, and a
+// "workers" array sized to num_workers.
 //
-// Both return true on success; on failure *error (if non-null) gets a
+// ValidateFlightRecorderExport: schema_version 1, non-negative
+// byte_budget / retained_bytes / dropped, and a "queries" array whose
+// every element passes the full query-profile check.
+//
+// ValidateQueryLogLine: one JSONL record (telemetry/query_log.h) —
+// schema_version 1, a 16-hex-digit query_hash, engine "row"|"batch",
+// non-negative scalar fields, boolean slow, and a non-empty phases
+// array.
+//
+// All return true on success; on failure *error (if non-null) gets a
 // one-line reason.
 bool ValidateChromeTrace(const std::string& json_text, std::string* error);
 bool ValidateQueryProfile(const std::string& json_text, std::string* error);
+bool ValidateFlightRecorderExport(const std::string& json_text,
+                                  std::string* error);
+bool ValidateQueryLogLine(const std::string& line, std::string* error);
 
 }  // namespace gradoop::telemetry
 

@@ -71,6 +71,7 @@ TEST(ThreadPoolTest, StressShutdownWhileEnqueueing) {
   for (int iter = 0; iter < kIterations; ++iter) {
     std::atomic<bool> stop{false};  // ordering: relaxed on/off flag;
                                     // joins below give the sync
+    const uint64_t before = executed.load(std::memory_order_relaxed);
     auto pool = std::make_unique<ThreadPool>(4);
     std::vector<std::thread> submitters;
     submitters.reserve(kSubmitters);
@@ -82,6 +83,13 @@ TEST(ThreadPoolTest, StressShutdownWhileEnqueueing) {
           });
         }
       });
+    }
+    // Let at least one batch land before pulling the plug — on a loaded
+    // machine the submitters may not have been scheduled yet, and an
+    // all-idle iteration exercises nothing (and breaks the executed > 0
+    // assertion below).
+    while (executed.load(std::memory_order_relaxed) == before) {
+      std::this_thread::yield();
     }
     stop.store(true, std::memory_order_relaxed);
     for (std::thread& t : submitters) t.join();

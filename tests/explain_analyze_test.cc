@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -67,18 +68,22 @@ TEST(ExplainAnalyzeTest, ExplainMatchesAnalyzeTreeShape) {
   for (GoldenCase& c : Cases()) {
     auto explain = engine.Explain(c.query);
     ASSERT_TRUE(explain.ok()) << c.label << " -> " << explain.status();
-    // Remove " rows=<n>" annotations and the "/<actual>B" halves of the
-    // mem= annotations to recover the EXPLAIN rendering.
+    // Remove the execution-only annotations (" rows=", " qerror=",
+    // " sel=") and the "/<actual>B" halves of the mem= annotations to
+    // recover the EXPLAIN rendering.
     std::string stripped = AnalyzeDeterministic(engine, c.query);
     const std::string& expected = explain.value();
-    size_t pos;
-    while ((pos = stripped.find(" rows=")) != std::string::npos) {
-      size_t end = pos + 6;
-      while (end < stripped.size() && stripped[end] != ' ' &&
-             stripped[end] != '\n') {
-        ++end;
+    for (const char* key : {" rows=", " qerror=", " sel="}) {
+      const size_t key_len = std::strlen(key);
+      size_t pos;
+      while ((pos = stripped.find(key)) != std::string::npos) {
+        size_t end = pos + key_len;
+        while (end < stripped.size() && stripped[end] != ' ' &&
+               stripped[end] != '\n') {
+          ++end;
+        }
+        stripped.erase(pos, end - pos);
       }
-      stripped.erase(pos, end - pos);
     }
     size_t mem = 0;
     while ((mem = stripped.find("mem=", mem)) != std::string::npos) {
@@ -105,6 +110,8 @@ TEST(ExplainAnalyzeTest, ExplainAnalyzeReportsEstimatesAndActuals) {
   // the timing annotations only ANALYZE carries.
   EXPECT_NE(rendered.value().find("~"), std::string::npos);
   EXPECT_NE(rendered.value().find("rows="), std::string::npos);
+  EXPECT_NE(rendered.value().find("qerror="), std::string::npos);
+  EXPECT_NE(rendered.value().find("sel="), std::string::npos);
   EXPECT_NE(rendered.value().find("self="), std::string::npos);
   EXPECT_NE(rendered.value().find("total="), std::string::npos);
 }
@@ -121,86 +128,86 @@ TEST(ExplainAnalyzeTest, UnsatisfiableQueryShortCircuits) {
 std::vector<GoldenCase>& Cases() {
   static std::vector<GoldenCase> cases = {
       {"ldbc_q1", ldbc::Query1("Alice"),
-       R"(JoinEmbeddings(on message, broadcast) ~35 mem=119315B/95251B rows=35
-  ScanVertices(message:Comment|Post) ~700 mem=48300B/36680B rows=700
-  JoinEmbeddings(on person, broadcast) ~35 mem=58190B/58571B rows=35
-    ScanEdges(  __e0:hasCreator) ~700 mem=27300B/27300B rows=700
-    ScanVertices(person:Person) ~5 mem=105B/231B rows=11
+       R"(JoinEmbeddings(on message, broadcast) ~35 mem=119315B/95251B rows=35 qerror=1.00 sel=0.05
+  ScanVertices(message:Comment|Post) ~700 mem=48300B/36680B rows=700 qerror=1.00 sel=1.00
+  JoinEmbeddings(on person, broadcast) ~35 mem=58190B/58571B rows=35 qerror=1.00 sel=0.05
+    ScanEdges(  __e0:hasCreator) ~700 mem=27300B/27300B rows=700 qerror=1.00 sel=1.00
+    ScanVertices(person:Person) ~5 mem=105B/231B rows=11 qerror=2.20 sel=1.00
 )"},
       {"ldbc_q2", ldbc::Query2("Alice"),
-       R"(JoinEmbeddings(on post, broadcast) ~385 mem=420450B/169062B rows=35
-  ExpandEmbeddings(  __e1*0..10) ~385 mem=209420B/95251B rows=68
-    JoinEmbeddings(on message, broadcast) ~35 mem=119315B/95251B rows=35
-      ScanVertices(message:Comment|Post) ~700 mem=48300B/36680B rows=700
-      JoinEmbeddings(on person, broadcast) ~35 mem=58190B/58571B rows=35
-        ScanEdges(  __e0:hasCreator) ~700 mem=27300B/27300B rows=700
-        ScanVertices(person:Person) ~5 mem=105B/231B rows=11
-  ScanVertices(post:Post) ~300 mem=20700B/15190B rows=300
+       R"(JoinEmbeddings(on post, broadcast) ~385 mem=420450B/169062B rows=35 qerror=11.00 sel=0.10
+  ExpandEmbeddings(  __e1*0..10) ~385 mem=209420B/95251B rows=68 qerror=5.66 sel=1.94
+    JoinEmbeddings(on message, broadcast) ~35 mem=119315B/95251B rows=35 qerror=1.00 sel=0.05
+      ScanVertices(message:Comment|Post) ~700 mem=48300B/36680B rows=700 qerror=1.00 sel=1.00
+      JoinEmbeddings(on person, broadcast) ~35 mem=58190B/58571B rows=35 qerror=1.00 sel=0.05
+        ScanEdges(  __e0:hasCreator) ~700 mem=27300B/27300B rows=700 qerror=1.00 sel=1.00
+        ScanVertices(person:Person) ~5 mem=105B/231B rows=11 qerror=2.20 sel=1.00
+  ScanVertices(post:Post) ~300 mem=20700B/15190B rows=300 qerror=1.00 sel=1.00
 )"},
       {"ldbc_q3", ldbc::Query3("Alice"),
-       R"(JoinEmbeddings(on post, broadcast) ~23 mem=395516B/558292B rows=15
-  ScanVertices(post:Post) ~300 mem=13500B/11290B rows=300
-  ExpandEmbeddings(  __e2*1..10) ~23 mem=382016B/547002B rows=23
-    JoinEmbeddings(on p1, broadcast) ~691 mem=341466B/547002B rows=1178
-      ScanEdges(  __e3:hasCreator) ~700 mem=27300B/27300B rows=700
-      JoinEmbeddings(on comment, broadcast) ~99 mem=167775B/519702B rows=428
-        ScanVertices(comment:Comment) ~400 mem=8400B/8400B rows=400
-        JoinEmbeddings(on p2, broadcast) ~99 mem=90030B/105602B rows=522
-          ScanEdges(  __e1:hasCreator) ~700 mem=27300B/27300B rows=700
-          JoinEmbeddings(on p2, broadcast) ~14 mem=33686B/34798B rows=39
-            ScanVertices(p2:Person) ~100 mem=6900B/4922B rows=100
-            JoinEmbeddings(on p1, broadcast) ~14 mem=26786B/27557B rows=39
-              ScanEdges(  __e0:knows) ~282 mem=10998B/10998B rows=282
-              ScanVertices(p1:Person) ~5 mem=345B/549B rows=11
+       R"(JoinEmbeddings(on post, broadcast) ~23 mem=395516B/558292B rows=15 qerror=1.54 sel=0.05
+  ScanVertices(post:Post) ~300 mem=13500B/11290B rows=300 qerror=1.00 sel=1.00
+  ExpandEmbeddings(  __e2*1..10) ~23 mem=382016B/547002B rows=23 qerror=1.00 sel=0.02
+    JoinEmbeddings(on p1, broadcast) ~691 mem=341466B/547002B rows=1178 qerror=1.71 sel=1.04
+      ScanEdges(  __e3:hasCreator) ~700 mem=27300B/27300B rows=700 qerror=1.00 sel=1.00
+      JoinEmbeddings(on comment, broadcast) ~99 mem=167775B/519702B rows=428 qerror=4.34 sel=0.46
+        ScanVertices(comment:Comment) ~400 mem=8400B/8400B rows=400 qerror=1.00 sel=1.00
+        JoinEmbeddings(on p2, broadcast) ~99 mem=90030B/105602B rows=522 qerror=5.29 sel=0.71
+          ScanEdges(  __e1:hasCreator) ~700 mem=27300B/27300B rows=700 qerror=1.00 sel=1.00
+          JoinEmbeddings(on p2, broadcast) ~14 mem=33686B/34798B rows=39 qerror=2.77 sel=0.28
+            ScanVertices(p2:Person) ~100 mem=6900B/4922B rows=100 qerror=1.00 sel=1.00
+            JoinEmbeddings(on p1, broadcast) ~14 mem=26786B/27557B rows=39 qerror=2.77 sel=0.13
+              ScanEdges(  __e0:knows) ~282 mem=10998B/10998B rows=282 qerror=1.00 sel=1.00
+              ScanVertices(p1:Person) ~5 mem=345B/549B rows=11 qerror=2.20 sel=1.00
 )"},
       {"ldbc_q4", ldbc::Query4(),
-       R"(JoinEmbeddings(on tag, broadcast) ~199 mem=224800B/116814B rows=156
-  JoinEmbeddings(on person, broadcast) ~199 mem=166564B/82120B rows=156
-    ScanEdges(  __e1:hasInterest) ~463 mem=18057B/18057B rows=463
-    JoinEmbeddings(on uni, broadcast) ~43 mem=75220B/50110B rows=36
-      JoinEmbeddings(on person, broadcast) ~43 mem=75220B/50110B rows=36
-        ScanEdges(  __e2:studyAt) ~79 mem=3081B/3081B rows=79
-        JoinEmbeddings(on city, broadcast) ~43 mem=63883B/42474B rows=43
-          ScanVertices(city:City) ~50 mem=2250B/1841B rows=50
-          JoinEmbeddings(on person, broadcast) ~43 mem=58798B/40633B rows=43
-            ScanEdges(  __e0:isLocatedIn) ~100 mem=3900B/3900B rows=100
-            JoinEmbeddings(on forum, broadcast) ~43 mem=38998B/29237B rows=43
-              JoinEmbeddings(on person, broadcast) ~43 mem=38998B/29237B rows=43
-                ScanVertices(person:Person) ~100 mem=6900B/4922B rows=100
-                ScanEdges(  __e3:hasMember|hasModerator) ~43 mem=1677B/1677B rows=43
-              ScanVertices(forum:Forum) ~5 mem=225B/185B rows=5
-      ScanVertices(uni:University) ~20 mem=900B/716B rows=20
-  ScanVertices(tag:Tag) ~100 mem=4500B/3780B rows=100
+       R"(JoinEmbeddings(on tag, broadcast) ~199 mem=224800B/116814B rows=156 qerror=1.28 sel=0.61
+  JoinEmbeddings(on person, broadcast) ~199 mem=166564B/82120B rows=156 qerror=1.28 sel=0.31
+    ScanEdges(  __e1:hasInterest) ~463 mem=18057B/18057B rows=463 qerror=1.00 sel=1.00
+    JoinEmbeddings(on uni, broadcast) ~43 mem=75220B/50110B rows=36 qerror=1.19 sel=0.64
+      JoinEmbeddings(on person, broadcast) ~43 mem=75220B/50110B rows=36 qerror=1.19 sel=0.30
+        ScanEdges(  __e2:studyAt) ~79 mem=3081B/3081B rows=79 qerror=1.00 sel=1.00
+        JoinEmbeddings(on city, broadcast) ~43 mem=63883B/42474B rows=43 qerror=1.00 sel=0.46
+          ScanVertices(city:City) ~50 mem=2250B/1841B rows=50 qerror=1.00 sel=1.00
+          JoinEmbeddings(on person, broadcast) ~43 mem=58798B/40633B rows=43 qerror=1.00 sel=0.30
+            ScanEdges(  __e0:isLocatedIn) ~100 mem=3900B/3900B rows=100 qerror=1.00 sel=1.00
+            JoinEmbeddings(on forum, broadcast) ~43 mem=38998B/29237B rows=43 qerror=1.00 sel=0.90
+              JoinEmbeddings(on person, broadcast) ~43 mem=38998B/29237B rows=43 qerror=1.00 sel=0.30
+                ScanVertices(person:Person) ~100 mem=6900B/4922B rows=100 qerror=1.00 sel=1.00
+                ScanEdges(  __e3:hasMember|hasModerator) ~43 mem=1677B/1677B rows=43 qerror=1.00 sel=1.00
+              ScanVertices(forum:Forum) ~5 mem=225B/185B rows=5 qerror=1.00 sel=1.00
+      ScanVertices(uni:University) ~20 mem=900B/716B rows=20 qerror=1.00 sel=1.00
+  ScanVertices(tag:Tag) ~100 mem=4500B/3780B rows=100 qerror=1.00 sel=1.00
 )"},
       {"ldbc_q5", ldbc::Query5(),
-       R"(JoinEmbeddings(on p1,p3, broadcast) ~22 mem=527256B/430400B rows=164
-  JoinEmbeddings(on p2, broadcast) ~795 mem=432048B/223700B rows=886
-    JoinEmbeddings(on p1, broadcast) ~282 mem=116068B/72206B rows=282
-      ScanEdges(  __e0:knows) ~282 mem=10998B/10998B rows=282
-      ScanVertices(p1:Person) ~100 mem=6900B/4922B rows=100
-    JoinEmbeddings(on p2, broadcast) ~282 mem=116068B/72206B rows=282
-      ScanEdges(  __e1:knows) ~282 mem=10998B/10998B rows=282
-      ScanVertices(p2:Person) ~100 mem=6900B/4922B rows=100
-  JoinEmbeddings(on p3, broadcast) ~282 mem=116068B/72206B rows=282
-    ScanEdges(  __e2:knows) ~282 mem=10998B/10998B rows=282
-    ScanVertices(p3:Person) ~100 mem=6900B/4922B rows=100
+       R"(JoinEmbeddings(on p1,p3, broadcast) ~22 mem=527256B/430400B rows=164 qerror=7.31 sel=0.14
+  JoinEmbeddings(on p2, broadcast) ~795 mem=432048B/223700B rows=886 qerror=1.11 sel=1.57
+    JoinEmbeddings(on p1, broadcast) ~282 mem=116068B/72206B rows=282 qerror=1.00 sel=0.74
+      ScanEdges(  __e0:knows) ~282 mem=10998B/10998B rows=282 qerror=1.00 sel=1.00
+      ScanVertices(p1:Person) ~100 mem=6900B/4922B rows=100 qerror=1.00 sel=1.00
+    JoinEmbeddings(on p2, broadcast) ~282 mem=116068B/72206B rows=282 qerror=1.00 sel=0.74
+      ScanEdges(  __e1:knows) ~282 mem=10998B/10998B rows=282 qerror=1.00 sel=1.00
+      ScanVertices(p2:Person) ~100 mem=6900B/4922B rows=100 qerror=1.00 sel=1.00
+  JoinEmbeddings(on p3, broadcast) ~282 mem=116068B/72206B rows=282 qerror=1.00 sel=0.74
+    ScanEdges(  __e2:knows) ~282 mem=10998B/10998B rows=282 qerror=1.00 sel=1.00
+    ScanVertices(p3:Person) ~100 mem=6900B/4922B rows=100 qerror=1.00 sel=1.00
 )"},
       {"ldbc_q6", ldbc::Query6(),
-       R"(JoinEmbeddings(on p2, broadcast) ~280 mem=640240B/543972B rows=1354
-  JoinEmbeddings(on t2, broadcast) ~463 mem=122050B/80614B rows=463
-    ScanEdges(  __e3:hasInterest) ~463 mem=18057B/18057B rows=463
-    ScanVertices(t2:Tag) ~100 mem=4500B/3780B rows=100
-  JoinEmbeddings(on p1,t1, broadcast) ~60 mem=606904B/513962B rows=293
-    JoinEmbeddings(on p2, broadcast) ~1306 mem=458358B/229216B rows=1261
-      ScanEdges(  __e2:hasInterest) ~463 mem=18057B/18057B rows=463
-      JoinEmbeddings(on p2, broadcast) ~282 mem=121954B/79388B rows=282
-        JoinEmbeddings(on p1, broadcast) ~282 mem=116068B/72206B rows=282
-          ScanEdges(  __e0:knows) ~282 mem=10998B/10998B rows=282
-          ScanVertices(p1:Person) ~100 mem=6900B/4922B rows=100
-        ScanVertices(p2:Person) ~100 mem=2100B/2100B rows=100
-    JoinEmbeddings(on t1, broadcast) ~463 mem=96538B/72214B rows=463
-      ScanEdges(  __e1:hasInterest) ~463 mem=18057B/18057B rows=463
-      ScanVertices(t1:Tag) ~100 mem=2100B/2100B rows=100
+       R"(JoinEmbeddings(on p2, broadcast) ~280 mem=640240B/543972B rows=1354 qerror=4.84 sel=1.79
+  JoinEmbeddings(on t2, broadcast) ~463 mem=122050B/80614B rows=463 qerror=1.00 sel=0.82
+    ScanEdges(  __e3:hasInterest) ~463 mem=18057B/18057B rows=463 qerror=1.00 sel=1.00
+    ScanVertices(t2:Tag) ~100 mem=4500B/3780B rows=100 qerror=1.00 sel=1.00
+  JoinEmbeddings(on p1,t1, broadcast) ~60 mem=606904B/513962B rows=293 qerror=4.85 sel=0.17
+    JoinEmbeddings(on p2, broadcast) ~1306 mem=458358B/229216B rows=1261 qerror=1.04 sel=1.69
+      ScanEdges(  __e2:hasInterest) ~463 mem=18057B/18057B rows=463 qerror=1.00 sel=1.00
+      JoinEmbeddings(on p2, broadcast) ~282 mem=121954B/79388B rows=282 qerror=1.00 sel=0.74
+        JoinEmbeddings(on p1, broadcast) ~282 mem=116068B/72206B rows=282 qerror=1.00 sel=0.74
+          ScanEdges(  __e0:knows) ~282 mem=10998B/10998B rows=282 qerror=1.00 sel=1.00
+          ScanVertices(p1:Person) ~100 mem=6900B/4922B rows=100 qerror=1.00 sel=1.00
+        ScanVertices(p2:Person) ~100 mem=2100B/2100B rows=100 qerror=1.00 sel=1.00
+    JoinEmbeddings(on t1, broadcast) ~463 mem=96538B/72214B rows=463 qerror=1.00 sel=0.82
+      ScanEdges(  __e1:hasInterest) ~463 mem=18057B/18057B rows=463 qerror=1.00 sel=1.00
+      ScanVertices(t1:Tag) ~100 mem=2100B/2100B rows=100 qerror=1.00 sel=1.00
 )"},
   };
   return cases;

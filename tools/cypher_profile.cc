@@ -54,7 +54,14 @@ int Usage() {
          "                     batch profiles carry per-operator batch\n"
          "                     counts and selectivities\n"
          "      --batch-size N rows per column batch (default 1024)\n"
-         "      --out DIR      artifact directory (default .)\n";
+         "      --out DIR      artifact directory (default .)\n"
+         "      --flight-recorder PATH\n"
+         "                     export the context's flight recorder (all\n"
+         "                     profiled queries) as one JSON file\n"
+         "      --query-log PATH\n"
+         "                     append the structured JSONL query log to\n"
+         "                     PATH (one record per executed query)\n"
+         "      --slow-ms N    flag log entries slower than N ms\n";
   return 2;
 }
 
@@ -130,6 +137,9 @@ int main(int argc, char** argv) {
   int workers = 0;  // 0 = ClusterConfig default
   gradoop::query::PlannerOptions planner_options;
   std::string out_dir = ".";
+  std::string flight_recorder_path;
+  std::string query_log_path;
+  double slow_ms = 0.0;
   std::vector<std::pair<std::string, std::string>> inputs;  // name, query
   std::vector<std::string> files;
 
@@ -204,6 +214,23 @@ int main(int argc, char** argv) {
       const char* text = next();
       if (text == nullptr) return Usage();
       out_dir = text;
+    } else if (arg == "--flight-recorder") {
+      const char* text = next();
+      if (text == nullptr) return Usage();
+      flight_recorder_path = text;
+    } else if (arg == "--query-log") {
+      const char* text = next();
+      if (text == nullptr) return Usage();
+      query_log_path = text;
+    } else if (arg == "--slow-ms") {
+      const char* text = next();
+      if (text == nullptr) return Usage();
+      try {
+        slow_ms = std::stod(text);
+      } catch (...) {
+        return Usage();
+      }
+      if (slow_ms < 0.0) return Usage();
     } else if (!arg.empty() && arg[0] == '-') {
       return Usage();
     } else {
@@ -235,6 +262,16 @@ int main(int argc, char** argv) {
   // Enabled only now: graph generation and index construction stay out
   // of every query's trace.
   ctx->EnableTelemetry();
+  // With telemetry on the engine records every execution into the
+  // context's flight recorder and query log; the knobs below only
+  // configure the sinks and the slow-query threshold.
+  ctx->query_log().set_slow_threshold_sec(slow_ms / 1e3);
+  if (!query_log_path.empty() &&
+      !ctx->query_log().SetPath(query_log_path)) {
+    std::cerr << "cypher_profile: cannot open query log '" << query_log_path
+              << "'\n";
+    return 2;
+  }
 
   int failures = 0;
   for (const auto& [name, query] : inputs) {
@@ -285,6 +322,33 @@ int main(int argc, char** argv) {
     PrintSummary(profile);
     std::printf("  -> %s\n  -> %s\n", trace_path.c_str(),
                 profile_path.c_str());
+  }
+  // Export-and-validate the run-wide artifacts: the flight recorder's
+  // retained history and the query log's JSONL records — same contract
+  // as the per-query exports, an invalid artifact fails the run.
+  std::string error;
+  if (!flight_recorder_path.empty()) {
+    const std::string recorder_json = ctx->flight_recorder().ExportJson();
+    if (!gradoop::telemetry::ValidateFlightRecorderExport(recorder_json,
+                                                          &error)) {
+      std::cerr << "flight recorder export invalid: " << error << "\n";
+      ++failures;
+    } else if (!WriteFile(flight_recorder_path, recorder_json)) {
+      std::cerr << "cannot write '" << flight_recorder_path << "'\n";
+      return 2;
+    } else {
+      std::printf("  -> %s (%zu queries, %llu bytes retained)\n",
+                  flight_recorder_path.c_str(), ctx->flight_recorder().size(),
+                  static_cast<unsigned long long>(
+                      ctx->flight_recorder().retained_bytes()));
+    }
+  }
+  for (const std::string& line : ctx->query_log().Lines()) {
+    if (!gradoop::telemetry::ValidateQueryLogLine(line, &error)) {
+      std::cerr << "query log line invalid: " << error << "\n";
+      ++failures;
+      break;
+    }
   }
   std::printf("%zu quer%s profiled: %d failure(s)\n", inputs.size(),
               inputs.size() == 1 ? "y" : "ies", failures);

@@ -1,0 +1,121 @@
+// cypher_stats: aggregate the engine's observability artifacts and gate
+// bench regressions.
+//
+//   cypher_stats [--worst N] FILE...
+//       Ingest any mix of flight-recorder exports, PROFILE_*.json query
+//       profiles and BENCH_*.json reports, and print the aggregate
+//       report: per-phase and per-operator latency percentiles
+//       (p50/p95/p99), the plan-quality (Q-error) summary, the worst
+//       misestimates with their plan lines, and a row-vs-batch engine
+//       comparison from bench records.
+//
+//   cypher_stats --baseline BASE.json CURRENT.json [--tolerance T]
+//       Diff two BENCH_*.json artifacts. Matches must be identical;
+//       simulated_sec and shuffle_bytes may drift up to T (relative,
+//       default 0.10). Exits 1 past tolerance — the CI perf/plan-quality
+//       regression gate (ci/check.sh observability).
+//
+// Exit codes: 0 success, 1 baseline regressions, 2 usage/parse errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/stats_report.h"
+
+namespace {
+
+using gradoop::telemetry::BaselineDiffOptions;
+using gradoop::telemetry::DiffBenchBaseline;
+using gradoop::telemetry::IngestStatsArtifact;
+using gradoop::telemetry::RenderStatsReport;
+using gradoop::telemetry::StatsInput;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: cypher_stats [--worst N] FILE...\n"
+      "       cypher_stats --baseline BASE.json CURRENT.json"
+      " [--tolerance T]\n");
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool IngestFile(const std::string& path, StatsInput* input) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    std::fprintf(stderr, "cypher_stats: cannot read '%s'\n", path.c_str());
+    return false;
+  }
+  std::string error;
+  if (!IngestStatsArtifact(text, input, &error)) {
+    std::fprintf(stderr, "cypher_stats: %s: %s\n", path.c_str(),
+                 error.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool baseline_mode = false;
+  double tolerance = 0.10;
+  size_t worst = 5;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--baseline") == 0) {
+      baseline_mode = true;
+    } else if (std::strcmp(arg, "--tolerance") == 0 && i + 1 < argc) {
+      tolerance = std::atof(argv[++i]);
+    } else if (std::strcmp(arg, "--worst") == 0 && i + 1 < argc) {
+      worst = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (arg[0] == '-') {
+      return Usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  if (baseline_mode) {
+    if (files.size() != 2) return Usage();
+    StatsInput baseline;
+    StatsInput current;
+    if (!IngestFile(files[0], &baseline) ||
+        !IngestFile(files[1], &current)) {
+      return 2;
+    }
+    if (baseline.bench_records.empty()) {
+      std::fprintf(stderr, "cypher_stats: '%s' has no bench records\n",
+                   files[0].c_str());
+      return 2;
+    }
+    BaselineDiffOptions options;
+    options.tolerance = tolerance;
+    std::string report;
+    const int regressions =
+        DiffBenchBaseline(baseline, current, options, &report);
+    std::fputs(report.c_str(), stdout);
+    return regressions == 0 ? 0 : 1;
+  }
+
+  if (files.empty()) return Usage();
+  StatsInput input;
+  for (const std::string& file : files) {
+    if (!IngestFile(file, &input)) return 2;
+  }
+  std::fputs(RenderStatsReport(input, worst).c_str(), stdout);
+  return 0;
+}
