@@ -1,0 +1,109 @@
+// Pins the cost of the cancellation checkpoint (common/cancellation.h).
+// The contract: a disabled token — neither cancelled, nor under a
+// deadline, nor carrying an injected checkpoint — costs one relaxed
+// atomic load per CheckCancelled() call, so kernel loops can poll every
+// record without a measurable tax. The armed slow path (deadline set)
+// additionally pays the poll counter and a strided clock read; it only
+// runs while a query actually has a deadline or a cancel in flight.
+//
+// Output: ns/op per mode over `kIters` poll calls, mirrored into
+// BENCH_cancellation_overhead.json (params: mode, disabled_ratio on the
+// final row; wall_ms is the whole measured loop, records the iteration
+// count). The "disabled" mode is measured against a raw relaxed atomic
+// load baseline — the ratio is reported, the hard gate lives in
+// tests/cancellation_test.cc's structural checks, not in a timing
+// threshold.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "common/cancellation.h"
+#include "common/timer.h"
+
+namespace {
+
+using gradoop::bench::JsonReporter;
+using gradoop::bench::RunResult;
+
+// Keeps the measured loops from being optimized to nothing without
+// adding measurable work of their own.
+volatile uint64_t g_sink = 0;
+
+template <typename Fn>
+double MeasureNsPerOp(uint64_t iters, Fn&& op) {
+  gradoop::Timer timer;
+  for (uint64_t i = 0; i < iters; ++i) op();
+  return timer.ElapsedSeconds() * 1e9 / static_cast<double>(iters);
+}
+
+void Report(JsonReporter* reporter, const char* mode, uint64_t iters,
+            double ns_per_op, double disabled_ratio = 0.0) {
+  RunResult result;
+  result.wall_sec = ns_per_op * static_cast<double>(iters) / 1e9;
+  result.records = iters;
+  char ns_text[32];
+  std::snprintf(ns_text, sizeof(ns_text), "%.2f", ns_per_op);
+  std::map<std::string, std::string> params = {{"mode", mode},
+                                               {"ns_per_op", ns_text}};
+  if (disabled_ratio > 0.0) {
+    char ratio_text[32];
+    std::snprintf(ratio_text, sizeof(ratio_text), "%.3f", disabled_ratio);
+    params["disabled_ratio"] = ratio_text;
+  }
+  reporter->Record(std::move(params), result);
+  std::printf("%-10s %10.2f ns/op\n", mode, ns_per_op);
+}
+
+}  // namespace
+
+int main() {
+  constexpr uint64_t kIters = 20'000'000;
+
+  std::printf("cancellation checkpoint overhead, %llu polls per mode\n",
+              static_cast<unsigned long long>(kIters));
+
+  JsonReporter reporter("cancellation_overhead");
+
+  // Baseline: the one relaxed load the disabled fast path is specified
+  // to cost (cancellation.h's CheckCancelled contract).
+  // ordering: relaxed — bench-local flag, measures the load alone.
+  std::atomic<bool> raw_flag{false};
+  const double raw_ns = MeasureNsPerOp(kIters, [&raw_flag] {
+    if (raw_flag.load(std::memory_order_relaxed)) g_sink = g_sink + 1;
+  });
+  Report(&reporter, "raw_load", kIters, raw_ns);
+
+  // Disabled token: the per-record cost every kernel loop pays whether
+  // or not the query carries a deadline. Must match raw_load.
+  gradoop::common::CancellationToken disabled;
+  const double disabled_ns = MeasureNsPerOp(kIters, [&disabled] {
+    if (disabled.CheckCancelled()) g_sink = g_sink + 1;
+  });
+
+  // Armed token (far-future deadline, never trips): the slow path's
+  // fetch_add plus a clock read every kDeadlineCheckStride polls.
+  gradoop::common::CancellationToken armed;
+  armed.SetDeadline(std::chrono::steady_clock::now() +
+                    std::chrono::hours(24));
+  const double armed_ns = MeasureNsPerOp(kIters, [&armed] {
+    if (armed.CheckCancelled()) g_sink = g_sink + 1;
+  });
+
+  const double ratio = raw_ns > 0.0 ? disabled_ns / raw_ns : 0.0;
+  Report(&reporter, "disabled", kIters, disabled_ns, ratio);
+  Report(&reporter, "armed", kIters, armed_ns);
+
+  std::printf(
+      "disabled/raw ratio: %.3f (contract: one relaxed load, ~1.0)\n",
+      ratio);
+  if (armed.cancelled()) {
+    std::fprintf(stderr,
+                 "FAIL: a 24h deadline tripped during the benchmark\n");
+    return 1;
+  }
+  return 0;
+}

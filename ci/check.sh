@@ -45,7 +45,11 @@ run_tree() {
   echo "=== [${name}] build ==="
   cmake --build "${OUT}/${name}" -j "${JOBS}"
   echo "=== [${name}] test ==="
-  ctest --test-dir "${OUT}/${name}" --output-on-failure -j "${JOBS}"
+  # Global 300s ceiling: a test that hangs (a loop that stopped polling
+  # its cancellation token, a deadlocked wait) fails instead of stalling
+  # CI; stress suites carry tighter per-test TIMEOUTs in tests/.
+  ctest --test-dir "${OUT}/${name}" --output-on-failure -j "${JOBS}" \
+    --timeout 300
 }
 
 if [[ "${ONLY}" == "all" || "${ONLY}" == "plain" ]]; then
@@ -65,6 +69,22 @@ if [[ "${ONLY}" == "all" || "${ONLY}" == "asan" ]]; then
   GRADOOP_AUDIT_PARTITIONING=1 GRADOOP_AUDIT_MEMORY=1 run_tree asan \
     -DCMAKE_BUILD_TYPE=Debug \
     -DGRADOOP_ASAN=ON -DGRADOOP_UBSAN=ON
+  # Cancellation audit (docs/cancellation.md): every LDBC and example
+  # query runs twice on each engine — once with a cancel injected at a
+  # randomized poll checkpoint (the unwind must surface GQL008, stay
+  # within the plan's claimed checkpoint interval and drain the memory
+  # accountant; the audit aborts otherwise) and once clean — under the
+  # sanitizers.
+  echo "=== [asan] injected-cancellation audit over LDBC + examples ==="
+  cmake --build "${OUT}/asan" -j "${JOBS}" --target cypher_explain \
+    >/dev/null
+  for engine in row batch; do
+    GRADOOP_AUDIT_CANCELLATION=1 "${OUT}/asan/tools/cypher_explain" \
+      --analyze --engine "${engine}" --ldbc >/dev/null
+    GRADOOP_AUDIT_CANCELLATION=1 "${OUT}/asan/tools/cypher_explain" \
+      --analyze --engine "${engine}" \
+      "${ROOT}"/examples/queries/*.cypher >/dev/null
+  done
 fi
 
 if [[ "${ONLY}" == "all" || "${ONLY}" == "tsan" ]]; then
@@ -233,7 +253,7 @@ if [[ "${ONLY}" == "all" || "${ONLY}" == "observability" ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGRADOOP_WERROR=ON >/dev/null
   cmake --build "${OUT}/plain" -j "${JOBS}" \
     --target cypher_explain cypher_stats bench_ldbc_queries \
-    concurrency_lint >/dev/null
+    bench_vectorized_kernels concurrency_lint >/dev/null
   # Every executed operator must carry qerror= and sel= in EXPLAIN
   # ANALYZE on both engines — the per-plan face of the telemetry.
   for engine in row batch; do
@@ -255,6 +275,13 @@ if [[ "${ONLY}" == "all" || "${ONLY}" == "observability" ]]; then
   "${OUT}/plain/tools/cypher_stats" --baseline \
     "${ROOT}/bench/baselines/BENCH_ldbc_queries.json" \
     "${OBS_DIR}/BENCH_ldbc_queries.json"
+  # The vectorized-kernel benchmark is gated the same way: matches are
+  # exact, modeled fields within tolerance, wall clock never gated.
+  (cd "${OBS_DIR}" && "${OUT}/plain/bench/bench_vectorized_kernels" \
+    >/dev/null)
+  "${OUT}/plain/tools/cypher_stats" --baseline \
+    "${ROOT}/bench/baselines/BENCH_vectorized_kernels.json" \
+    "${OBS_DIR}/BENCH_vectorized_kernels.json"
   # The aggregate report must render from the run's own artifacts.
   "${OUT}/plain/tools/cypher_stats" \
     "${OBS_DIR}/flight_recorder.json" \
@@ -281,7 +308,8 @@ if [[ "${ONLY}" == "all" || "${ONLY}" == "concurrency" ]]; then
   # stops matching would otherwise keep this stage green forever), and
   # the clean fixture must keep passing.
   for fixture in raw_mutex unguarded_atomic detached_thread \
-                 unjustified_escape shared_mutex scoped_lock; do
+                 unjustified_escape shared_mutex scoped_lock \
+                 unpolled_loop undeadlined_wait; do
     if "${OUT}/plain/tools/concurrency_lint" --root "${ROOT}" \
         "tests/concurrency_lint_fixtures/${fixture}.cc" >/dev/null 2>&1
     then

@@ -35,6 +35,10 @@ inline constexpr char kCodeIllTypedComparison[] = "GQL006";
 // (query/exec/memory_bound.h) exceeds CypherEngine's
 // max_query_memory_bytes budget; the query is rejected before execution.
 inline constexpr char kCodeMemoryBudgetExceeded[] = "GQL007";
+// The query was cancelled (CypherEngine Cancel() handle) or exceeded its
+// per-query deadline (set_query_deadline); execution unwound at a
+// cancellation checkpoint (docs/cancellation.md).
+inline constexpr char kCodeQueryCancelled[] = "GQL008";
 // Warnings.
 inline constexpr char kCodeUnusedVariable[] = "GQL101";
 inline constexpr char kCodeUnknownLabel[] = "GQL102";

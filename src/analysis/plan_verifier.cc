@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "analysis/type_check.h"
+#include "query/exec/interruptibility.h"
 #include "query/exec/memory_bound.h"
 #include "query/exec/partitioning.h"
 
@@ -624,6 +625,32 @@ Status VerifyCompiledNode(const cypher::QueryGraph& qg,
         op, "claimed batch layout [" + op.batch_layout().ToString() +
                 "] is not derivable (transfer function yields [" +
                 derived_layout.ToString() + "])");
+  }
+
+  // Interruptibility claim: mandatory — deadline propagation and the
+  // cancellation audit both rely on every kernel loop checkpointing at
+  // the claimed interval. An unbounded interval (a loop with no poll,
+  // e.g. an Expand recursion or hash-build loop that never checks) is
+  // rejected outright; a bounded claim must be exactly what the
+  // transfer function yields.
+  if (!op.has_interruptibility()) {
+    return CompiledViolation(op,
+                             "missing interruptibility claim (plan was "
+                             "not annotated by PlanCompiler)");
+  }
+  if (!op.interruptibility().bounded()) {
+    return CompiledViolation(
+        op,
+        "unbounded checkpoint interval [" + op.interruptibility().ToString() +
+            "] — a kernel loop processes rows without a cancellation poll");
+  }
+  const query::exec::Interruptibility derived_poll =
+      query::exec::DeriveInterruptibility(op);
+  if (!(op.interruptibility() == derived_poll)) {
+    return CompiledViolation(
+        op, "claimed interruptibility [" + op.interruptibility().ToString() +
+                "] is not derivable (transfer function yields [" +
+                derived_poll.ToString() + "])");
   }
 
   switch (op.op_kind()) {

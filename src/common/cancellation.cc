@@ -1,0 +1,115 @@
+#include "common/cancellation.h"
+
+namespace gradoop::common {
+
+const char* CancelReasonName(CancelReason reason) {
+  switch (reason) {
+    case CancelReason::kNone:
+      return "none";
+    case CancelReason::kExplicit:
+      return "cancelled";
+    case CancelReason::kDeadline:
+      return "deadline";
+    case CancelReason::kInjected:
+      return "injected";
+  }
+  return "unknown";
+}
+
+bool CancellationToken::CancelledOrExpired() {
+  if (cancelled_.load(std::memory_order_relaxed)) return true;
+  const int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+  if (deadline != 0 && NowNs() >= deadline) {
+    Trip(CancelReason::kDeadline);
+    return true;
+  }
+  return false;
+}
+
+void CancellationToken::SetDeadline(
+    std::chrono::steady_clock::time_point deadline) {
+  deadline_ns_.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         deadline.time_since_epoch())
+                         .count(),
+                     std::memory_order_relaxed);
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void CancellationToken::InjectCancelAfter(uint64_t polls) {
+  inject_after_.store(polls, std::memory_order_relaxed);
+  if (polls != 0) armed_.store(true, std::memory_order_relaxed);
+}
+
+void CancellationToken::Reset() {
+  armed_.store(false, std::memory_order_relaxed);
+  trip_claim_.store(false, std::memory_order_relaxed);
+  cancelled_.store(false, std::memory_order_relaxed);
+  reason_.store(static_cast<int>(CancelReason::kNone),
+                std::memory_order_relaxed);
+  polls_.store(0, std::memory_order_relaxed);
+  trip_poll_.store(0, std::memory_order_relaxed);
+  inject_after_.store(0, std::memory_order_relaxed);
+  deadline_ns_.store(0, std::memory_order_relaxed);
+  trip_ns_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t CancellationToken::polls_after_trip() const {
+  if (!cancelled_.load(std::memory_order_relaxed)) return 0;
+  const uint64_t total = polls_.load(std::memory_order_relaxed);
+  const uint64_t at_trip = trip_poll_.load(std::memory_order_relaxed);
+  return total > at_trip ? total - at_trip : 0;
+}
+
+double CancellationToken::SecondsSinceTrip() const {
+  const int64_t tripped_at = trip_ns_.load(std::memory_order_relaxed);
+  if (tripped_at == 0) return 0.0;
+  return static_cast<double>(NowNs() - tripped_at) * 1e-9;
+}
+
+bool CancellationToken::PollSlow() {
+  const uint64_t n = polls_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (cancelled_.load(std::memory_order_relaxed)) return true;
+  const uint64_t inject = inject_after_.load(std::memory_order_relaxed);
+  if (inject != 0 && n >= inject) {
+    Trip(CancelReason::kInjected);
+    return true;
+  }
+  const int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+  if (deadline != 0 &&
+      (n == 1 || n % kDeadlineCheckStride == 0) &&
+      NowNs() >= deadline) {
+    Trip(CancelReason::kDeadline);
+    return true;
+  }
+  return false;
+}
+
+void CancellationToken::Trip(CancelReason reason) {
+  // First tripper wins: reason/trip metadata are written exactly once,
+  // before cancelled_ flips, so readers of reason() after observing
+  // cancelled() see consistent values (relaxed is fine — every field is
+  // written by the single winning CAS owner).
+  bool expected = false;
+  // relaxed CAS: the latch carries no payload other than these fields.
+  if (!trip_claim_.compare_exchange_strong(expected, true,
+                                           std::memory_order_relaxed)) {
+    return;
+  }
+  reason_.store(static_cast<int>(reason), std::memory_order_relaxed);
+  trip_poll_.store(polls_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  // A deadline trip backdates to the deadline itself, not the poll that
+  // noticed it: SecondsSinceTrip() then measures how far execution
+  // overran the deadline, which is exactly the overrun an unpolled loop
+  // causes — the cancellation audit's latency budget catches it even
+  // though the loop never touched the poll counters.
+  const int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+  trip_ns_.store(reason == CancelReason::kDeadline && deadline != 0
+                     ? deadline
+                     : NowNs(),
+                 std::memory_order_relaxed);
+  armed_.store(true, std::memory_order_relaxed);
+  cancelled_.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace gradoop::common

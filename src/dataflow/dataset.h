@@ -109,6 +109,8 @@ class Dataset {
     std::vector<T> out;
     std::vector<uint64_t> out_bytes(num_partitions(), 0);
     for (int i = 0; i < num_partitions(); ++i) {
+      // cancellation: driver-side gather of an already-materialized result;
+      // every producing kernel upstream polled, and sinks run post-query.
       for (const T& rec : (*partitions_)[i]) {
         if (i != 0) out_bytes[i] += RecordBytes(rec);
         out.push_back(rec);
@@ -134,11 +136,15 @@ class Dataset {
     auto out = std::make_shared<typename Dataset<U>::Partitions>(
         num_partitions());
     std::vector<uint64_t> in_counts(num_partitions(), 0);
+    common::CancellationToken& cancel = ctx_->cancellation();
     RunPerPartition(label, [&](int p) {
       const auto& src = (*partitions_)[p];
       auto& dst = (*out)[p];
       dst.reserve(src.size());
-      for (const T& rec : src) dst.push_back(fn(rec));
+      for (const T& rec : src) {
+        if (cancel.CheckCancelled()) break;
+        dst.push_back(fn(rec));
+      }
       in_counts[p] = src.size();
     });
     ChargePerPartition(label, in_counts, in_counts);
@@ -154,10 +160,14 @@ class Dataset {
         num_partitions());
     std::vector<uint64_t> in_counts(num_partitions(), 0);
     std::vector<uint64_t> out_counts(num_partitions(), 0);
+    common::CancellationToken& cancel = ctx_->cancellation();
     RunPerPartition(label, [&](int p) {
       const auto& src = (*partitions_)[p];
       auto& dst = (*out)[p];
-      for (const T& rec : src) fn(rec, &dst);
+      for (const T& rec : src) {
+        if (cancel.CheckCancelled()) break;
+        fn(rec, &dst);
+      }
       in_counts[p] = src.size();
       out_counts[p] = dst.size();
     });
@@ -190,10 +200,12 @@ class Dataset {
     auto out = std::make_shared<Partitions>(num_partitions());
     std::vector<uint64_t> in_counts(num_partitions(), 0);
     std::vector<uint64_t> out_counts(num_partitions(), 0);
+    common::CancellationToken& cancel = ctx_->cancellation();
     RunPerPartition(label, [&](int p) {
       const auto& src = (*partitions_)[p];
       auto& dst = (*out)[p];
       for (const T& rec : src) {
+        if (cancel.CheckCancelled()) break;
         if (pred(rec)) dst.push_back(rec);
       }
       in_counts[p] = src.size();
@@ -236,12 +248,14 @@ class Dataset {
     auto out = std::make_shared<Partitions>(num_partitions());
     std::vector<uint64_t> in_counts(num_partitions(), 0);
     std::vector<uint64_t> out_counts(num_partitions(), 0);
+    common::CancellationToken& cancel = ctx_->cancellation();
     RunPerPartition("DistinctLocal", [&](int p) {
       const auto& src = shuffled.partition(p);
       auto& dst = (*out)[p];
       std::unordered_map<K, bool> seen;
       seen.reserve(src.size());
       for (const T& rec : src) {
+        if (cancel.CheckCancelled()) break;
         if (seen.emplace(key(rec), true).second) dst.push_back(rec);
       }
       in_counts[p] = src.size();
@@ -267,10 +281,12 @@ class Dataset {
         std::make_shared<typename Dataset<OutT>::Partitions>(num_partitions());
     std::vector<uint64_t> in_counts(num_partitions(), 0);
     std::vector<uint64_t> out_counts(num_partitions(), 0);
+    common::CancellationToken& cancel = ctx_->cancellation();
     RunPerPartition("ReduceLocal", [&](int p) {
       const auto& src = shuffled.partition(p);
       std::unordered_map<K, A> groups;
       for (const T& rec : src) {
+        if (cancel.CheckCancelled()) break;
         auto it = groups.find(key(rec));
         if (it == groups.end()) {
           groups.emplace(key(rec), init(rec));
@@ -346,12 +362,15 @@ class Dataset {
       uint64_t total_bytes = 0;
       for (int i = 0; i < p; ++i) {
         uint64_t b = 0;
+        // cancellation: cost-model byte walk over the staged build side;
+        // the build/probe loops below poll once per record.
         for (const U& rec : right.partition(i)) b += RecordBytes(rec);
         out_bytes[i] = b * (p - 1);
         total_bytes += b;
       }
       for (int i = 0; i < p; ++i) {
         uint64_t own = 0;
+        // cancellation: cost-model byte walk (see above).
         for (const U& rec : right.partition(i)) own += RecordBytes(rec);
         in_bytes[i] = total_bytes - own;
       }
@@ -390,6 +409,8 @@ class Dataset {
     MemoryAccountant& accountant = ctx_->accountant();
     uint64_t staged_bytes = 0;
     if (accountant.enabled()) {
+      // cancellation: accounting byte walk over staged inputs; only runs
+      // with memory accounting on, and the join loops below poll.
       for (const auto& part : left_parts) {
         for (const T& rec : part) staged_bytes += RecordBytes(rec);
       }
@@ -405,6 +426,7 @@ class Dataset {
     std::vector<uint64_t> state_bytes(p, 0);
     std::vector<uint64_t> state_records(p, 0);
     const std::string build_probe_label = std::string(label) + "/BuildProbe";
+    common::CancellationToken& cancel = ctx_->cancellation();
     RunPerPartition(build_probe_label.c_str(), [&](int part) {
       const auto& lsrc = left_parts[part];
       const auto& rsrc = right_parts[part];
@@ -412,12 +434,15 @@ class Dataset {
       table.reserve(rsrc.size());
       uint64_t bytes = 0;
       for (const U& rec : rsrc) {
+        if (cancel.CheckCancelled()) break;
         table.emplace(key_right(rec), &rec);
         bytes += RecordBytes(rec);
       }
       auto& dst = (*out)[part];
       for (const T& lrec : lsrc) {
+        if (cancel.CheckCancelled()) break;
         auto [it, end] = table.equal_range(key_left(lrec));
+        // cancellation: matches of one probe row; outer loop polls per row.
         for (; it != end; ++it) joiner(lrec, *it->second, &dst);
       }
       work[part] = lsrc.size() + rsrc.size();
@@ -488,9 +513,11 @@ class Dataset {
     uint64_t moved = 0;
     uint64_t exchanged = 0;
     std::vector<std::pair<int, T>> frags;
+    common::CancellationToken& cancel = ctx_->cancellation();
     for (int i = 0; i < p; ++i) {
       in_counts[i] = (*partitions_)[i].size();
       for (const T& rec : (*partitions_)[i]) {
+        if (cancel.CheckCancelled()) break;
         frags.clear();
         splitter(rec, i, &frags);
         for (auto& [target, frag] : frags) {
@@ -559,12 +586,14 @@ class Dataset {
     uint64_t total_bytes = 0;
     for (int i = 0; i < p; ++i) {
       uint64_t b = 0;
+      // cancellation: cost-model byte walk; the consuming kernel polls.
       for (const T& rec : (*partitions_)[i]) b += RecordBytes(rec);
       out_bytes[i] = b * (p - 1);
       total_bytes += b;
     }
     for (int i = 0; i < p; ++i) {
       uint64_t own = 0;
+      // cancellation: cost-model byte walk (see above).
       for (const T& rec : (*partitions_)[i]) own += RecordBytes(rec);
       in_bytes[i] = total_bytes - own;
     }
@@ -608,9 +637,12 @@ class Dataset {
     uint64_t staged_bytes = 0;
     if (accountant.enabled()) {
       for (int i = 0; i < p; ++i) {
+        // cancellation: accounting byte walk; the zip callback's kernel
+        // loops poll once per record.
         for (const T& rec : (*partitions_)[i]) {
           staged_bytes += RecordBytes(rec);
         }
+        // cancellation: accounting byte walk (see above).
         for (const U& rec : right.partition(i)) {
           staged_bytes += RecordBytes(rec);
         }
@@ -674,6 +706,7 @@ class Dataset {
 
   uint64_t CountLocal() const {
     uint64_t n = 0;
+    // cancellation: O(partitions) size walk, no per-record work.
     for (const auto& part : *partitions_) n += part.size();
     return n;
   }
@@ -687,6 +720,7 @@ class Dataset {
     if (!accountant.enabled()) return 0;
     uint64_t bytes = 0;
     for (int i = 0; i < staged.num_partitions(); ++i) {
+      // cancellation: accounting byte walk; the consuming kernel polls.
       for (const U& rec : staged.partition(i)) bytes += RecordBytes(rec);
     }
     accountant.Charge(bytes);
@@ -771,9 +805,11 @@ class Dataset {
     uint64_t exchanged = 0;
     using K = std::decay_t<std::invoke_result_t<KeyFn, const Rec&>>;
     std::hash<K> hasher;
+    common::CancellationToken& cancel = ctx_->cancellation();
     for (int i = 0; i < p; ++i) {
       in_counts[i] = src[i].size();
       for (const Rec& rec : src[i]) {
+        if (cancel.CheckCancelled()) break;
         const int target = static_cast<int>(hasher(key(rec)) % p);
         // Only the cost model distinguishes local from remote delivery;
         // the shuffle.bytes counter (Flink's numBytesOut) covers every
@@ -849,6 +885,8 @@ class Dataset {
     *dst = src;
     if (ctx_->telemetry().enabled()) {
       uint64_t bytes = 0, records = 0;
+      // cancellation: telemetry byte walk over an adopted (zero-copy)
+      // shuffle; the join kernel consuming the adopted layout polls.
       for (const auto& part : src) {
         records += part.size();
         for (const Rec& rec : part) bytes += RecordBytes(rec);

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "common/cancellation.h"
 #include "dataflow/cluster_config.h"
 #include "dataflow/cost_model.h"
 #include "dataflow/memory_accountant.h"
@@ -46,6 +47,15 @@ class ExecutionContext {
   MemoryAccountant& accountant() { return accountant_; }
   const MemoryAccountant& accountant() const { return accountant_; }
 
+  // Per-query cooperative cancellation. Kernel loops poll it at the
+  // checkpoints the interruptibility analysis claims; the engine arms a
+  // deadline / exposes a Cancel() handle and resets it per query.
+  // Default-off cost is one relaxed load per checkpoint.
+  common::CancellationToken& cancellation() { return cancellation_; }
+  const common::CancellationToken& cancellation() const {
+    return cancellation_;
+  }
+
   // Retained query history and the structured JSONL query log. The
   // engine records into both after each execution, but only while
   // telemetry is enabled — so with telemetry off neither costs anything
@@ -87,6 +97,7 @@ class ExecutionContext {
   ThreadPool pool_;
   telemetry::Telemetry telemetry_;
   MemoryAccountant accountant_;
+  common::CancellationToken cancellation_;
   telemetry::FlightRecorder flight_recorder_;
   telemetry::QueryLog query_log_;
 };

@@ -51,6 +51,10 @@ class MemoryAccountant {
   uint64_t current_bytes() const { return current_; }
   uint64_t peak_bytes() const { return peak_; }
 
+  // Open frames. 0 between queries; the cancellation audit asserts an
+  // unwound query popped every frame it pushed.
+  size_t frame_depth() const { return frames_.size(); }
+
   void Charge(uint64_t bytes) {
     if (!enabled_) return;
     current_ += bytes;

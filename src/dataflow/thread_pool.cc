@@ -31,6 +31,11 @@ void ThreadPool::set_task_hook(TaskHook hook) {
   task_hook_ = std::move(hook);
 }
 
+int ThreadPool::pending_tasks() const {
+  MutexLock lock(mu_);
+  return pending_;
+}
+
 void ThreadPool::RunAndWait(int n, const std::function<void(int)>& task,
                             const char* label) {
   if (n <= 0) return;
@@ -68,9 +73,14 @@ void ThreadPool::RunAndWait(int n, const std::function<void(int)>& task,
   work_ready_.notify_all();
   // Explicit wait loops (not the predicate-lambda overload): the lambda
   // would read guarded fields from a context the thread-safety analysis
-  // cannot see the lock in. wait() releases and reacquires mu_.
+  // cannot see the lock in. wait_for releases and reacquires mu_; the
+  // bounded wait is the pool-side cancellation checkpoint — a wedged
+  // task can never park the driver forever without a periodic wakeup
+  // that a watchdog or deadline layer can observe (CC008).
   MutexLock lock(mu_);
-  while (pending_ != 0) batch_done_.wait(mu_);
+  while (pending_ != 0) {
+    batch_done_.wait_for(mu_, std::chrono::milliseconds(50));
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -78,7 +88,11 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> job;
     {
       MutexLock lock(mu_);
-      while (!shutdown_ && queue_.empty()) work_ready_.wait(mu_);
+      // Bounded idle wait, same CC008 discipline as the batch wait: a
+      // missed notify degrades to a 50ms hiccup instead of a hang.
+      while (!shutdown_ && queue_.empty()) {
+        work_ready_.wait_for(mu_, std::chrono::milliseconds(50));
+      }
       if (queue_.empty()) {
         if (shutdown_) return;
         continue;

@@ -39,6 +39,11 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
 
+  // Tasks submitted but not yet finished. 0 whenever no RunAndWait is in
+  // flight — the cancellation audit asserts this after an unwound query
+  // to prove no partition task leaked past its batch.
+  int pending_tasks() const;
+
   // Installs (or, with nullptr, removes) the per-task tracing hook. Not
   // called concurrently with RunAndWait; each batch snapshots the hook
   // once at submission.
@@ -56,7 +61,8 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> threads_;
-  common::Mutex mu_{common::LockRank::kDataflow, "dataflow.thread_pool"};
+  mutable common::Mutex mu_{common::LockRank::kDataflow,
+                            "dataflow.thread_pool"};
   // condition_variable_any waits directly on the annotated Mutex; the
   // plain std::condition_variable only accepts std::unique_lock.
   std::condition_variable_any work_ready_;

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/cancellation.h"
 #include "dataflow/partitioning_audit.h"
 #include "query/exec/batch_layout.h"
 
@@ -231,6 +232,8 @@ BatchDataset AdoptBatches(const BatchDataset& data, const RowKeyFn& key_of,
     uint64_t misplaced = 0;
     std::string key;
     for (int i = 0; i < p; ++i) {
+      // cancellation: opt-in partitioning audit must re-hash every row
+      // even while unwinding — a partial check could miss the violation.
       for (const EmbeddingBatch& b : data.partition(i)) {
         const uint32_t active = b.ActiveRows();
         for (uint32_t j = 0; j < active; ++j) {
@@ -261,6 +264,7 @@ BatchDataset AdoptBatches(const BatchDataset& data, const RowKeyFn& key_of,
     uint64_t bytes = 0;
     uint64_t records = 0;
     for (int i = 0; i < p; ++i) {
+      // cancellation: telemetry byte walk, O(batches) with no row work.
       for (const EmbeddingBatch& b : data.partition(i)) {
         records += b.ActiveRows();
         bytes += b.SerializedSize();
@@ -323,11 +327,13 @@ void BuildProbeMerge(const std::vector<EmbeddingBatch>& left_batches,
                      const std::vector<EmbeddingBatch>& right_batches,
                      LeftKeyFn left_key, RightKeyFn right_key,
                      const MergeParams& mp, std::vector<EmbeddingBatch>* dst,
-                     dfl::ZipPartitionStats* st) {
+                     dfl::ZipPartitionStats* st,
+                     common::CancellationToken& cancel) {
   // Build over the right side (HashJoin's build side), one entry per
   // active row addressed as (batch, row).
   std::unordered_multimap<Key, std::pair<uint32_t, uint32_t>, Hash> table;
   uint64_t build_rows = 0;
+  // cancellation: O(batches) size prepass; the build loop below polls.
   for (const EmbeddingBatch& b : right_batches) build_rows += b.ActiveRows();
   table.reserve(build_rows);
   // Presence filter in front of the multimap: on selective joins most
@@ -345,6 +351,7 @@ void BuildProbeMerge(const std::vector<EmbeddingBatch>& left_batches,
   }
   const Hash key_hash;
   for (uint32_t bi = 0; bi < right_batches.size(); ++bi) {
+    if (cancel.CheckCancelled()) break;
     const EmbeddingBatch& b = right_batches[bi];
     const uint32_t active = b.ActiveRows();
     for (uint32_t i = 0; i < active; ++i) {
@@ -355,6 +362,7 @@ void BuildProbeMerge(const std::vector<EmbeddingBatch>& left_batches,
     }
   }
   st->state_records = build_rows;
+  // cancellation: O(batches) accounting byte walk, no per-row work.
   for (const EmbeddingBatch& b : right_batches) {
     st->state_bytes += b.SerializedSize();
   }
@@ -369,6 +377,7 @@ void BuildProbeMerge(const std::vector<EmbeddingBatch>& left_batches,
   const bool no_residual = mp.residual.empty();
   std::vector<EmbeddingBatch::MergePair> pairs;
   for (const EmbeddingBatch& lb : left_batches) {
+    if (cancel.CheckCancelled()) break;
     const uint32_t active = lb.ActiveRows();
     for (uint32_t i = 0; i < active; ++i) {
       const uint32_t lrow = lb.ActiveRow(i);
@@ -454,6 +463,7 @@ BatchSet ExchangeAndMerge(const BatchSet& left, const BatchSet& right,
     // replicates to every worker.
     right_exchanged = right.data.Replicate(label);
   }
+  common::CancellationToken& cancel = left.data.context()->cancellation();
   auto data = left_exchanged.ZipPartitions<EmbeddingBatch>(
       right_exchanged,
       [&](int /*partition*/, const std::vector<EmbeddingBatch>& ls,
@@ -471,7 +481,7 @@ BatchSet ExchangeAndMerge(const BatchSet& left, const BatchSet& right,
               [rc](const EmbeddingBatch& b, uint32_t row) {
                 return b.IdAt(rc, row);
               },
-              mp, dst, st);
+              mp, dst, st, cancel);
           return;
         }
         if (id_join && left_columns.size() == 2) {
@@ -487,7 +497,7 @@ BatchSet ExchangeAndMerge(const BatchSet& left, const BatchSet& right,
               [rc0, rc1](const EmbeddingBatch& b, uint32_t row) {
                 return std::make_pair(b.IdAt(rc0, row), b.IdAt(rc1, row));
               },
-              mp, dst, st);
+              mp, dst, st, cancel);
           return;
         }
         auto materialize = [](const RowKeyFn& key_of) {
@@ -498,7 +508,8 @@ BatchSet ExchangeAndMerge(const BatchSet& left, const BatchSet& right,
           };
         };
         BuildProbeMerge<std::string>(ls, rs, materialize(left_key_of),
-                                     materialize(right_key_of), mp, dst, st);
+                                     materialize(right_key_of), mp, dst, st,
+                                     cancel);
       },
       label);
   return {std::move(data), mp.merged_meta};
@@ -510,12 +521,14 @@ BatchSet RowsToBatches(const EmbeddingSet& rows, int batch_size) {
   assert(batch_size > 0);
   std::vector<uint8_t> flags = FlagsOf(rows.meta);
   const int props = rows.meta.property_column_count();
+  common::CancellationToken& cancel = rows.data.context()->cancellation();
   auto data = rows.data.MapPartition<EmbeddingBatch>(
-      [flags = std::move(flags), props, batch_size](
+      [flags = std::move(flags), props, batch_size, &cancel](
           int /*partition*/, const std::vector<Embedding>& src,
           std::vector<EmbeddingBatch>* out) {
         EmbeddingBatch builder(flags, props);
         for (const Embedding& e : src) {
+          if (cancel.CheckCancelled()) break;
           builder.AppendRow(e);
           if (static_cast<int>(builder.num_rows()) >= batch_size) {
             out->push_back(std::move(builder));
@@ -552,13 +565,15 @@ BatchSet ScanVerticesBatch(const dataflow::Dataset<epgm::Vertex>& vertices,
       ProjectedKeys(meta, query_vertex.variable);
   std::vector<uint8_t> flags = FlagsOf(meta);
   const int props = meta.property_column_count();
+  common::CancellationToken& cancel = vertices.context()->cancellation();
   auto data = vertices.MapPartition<EmbeddingBatch>(
       [query_vertex, predicates, projected, meta, residual,
-       flags = std::move(flags), props, batch_size](
+       flags = std::move(flags), props, batch_size, &cancel](
           int /*partition*/, const std::vector<epgm::Vertex>& src,
           std::vector<EmbeddingBatch>* out) {
         EmbeddingBatch builder(flags, props);
         for (const epgm::Vertex& v : src) {
+          if (cancel.CheckCancelled()) break;
           if (!query_vertex.MatchesLabel(v.label)) continue;
           const auto resolver =
               ElementResolver(query_vertex.variable, v.properties);
@@ -603,11 +618,13 @@ BatchSet ScanEdgesBatch(const dataflow::Dataset<epgm::Edge>& edges,
   const bool any_direction = query_edge.any_direction;
   std::vector<uint8_t> flags = FlagsOf(meta);
   const int props = meta.property_column_count();
+  common::CancellationToken& cancel = edges.context()->cancellation();
   auto data = edges.MapPartition<EmbeddingBatch>(
       [query_edge, predicates, projected, self_loop, any_direction,
        drop_data_self_loops, meta, residual, flags = std::move(flags), props,
-       batch_size](int /*partition*/, const std::vector<epgm::Edge>& src,
-                   std::vector<EmbeddingBatch>* out) {
+       batch_size,
+       &cancel](int /*partition*/, const std::vector<epgm::Edge>& src,
+                std::vector<EmbeddingBatch>* out) {
         EmbeddingBatch builder(flags, props);
         auto emit = [&](const epgm::Edge& edge, uint64_t source,
                         uint64_t target) {
@@ -631,6 +648,7 @@ BatchSet ScanEdgesBatch(const dataflow::Dataset<epgm::Edge>& edges,
           }
         };
         for (const epgm::Edge& edge : src) {
+          if (cancel.CheckCancelled()) break;
           if (!query_edge.MatchesType(edge.label)) continue;
           if (self_loop && edge.source_id != edge.target_id) continue;
           if (drop_data_self_loops && edge.source_id == edge.target_id) {

@@ -1,13 +1,18 @@
 #include "query/cypher_engine.h"
 
 #include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 
 #include "analysis/analyzer.h"
 #include "analysis/diagnostics.h"
 #include "analysis/plan_verifier.h"
+#include "common/cancellation.h"
 #include "common/timer.h"
 #include "cypher/parser.h"
 #include "query/batch_operators.h"
+#include "query/exec/interruptibility.h"
 #include "query/exec/memory_bound.h"
 #include "query/exec/plan_compiler.h"
 #include "query/query_profile.h"
@@ -64,6 +69,31 @@ Status CheckMemoryAdmission(const std::string& query,
   return Status::PlanError(analysis::RenderDiagnostic(diag, query));
 }
 
+// GQL008: a tripped cancellation token unwinds to a located diagnostic,
+// the same shape as the GQL007 admission gate's so both terminal
+// outcomes render identically. Cancellation belongs to the whole query,
+// so the span anchors at its first line; the message attributes the trip
+// to the engine phase that observed it, plus the tripping operator's own
+// message when execution supplied one.
+Status CancelledStatus(const std::string& query,
+                       common::CancellationToken& token, const char* phase,
+                       const std::string& detail) {
+  analysis::Diagnostic diag;
+  diag.code = analysis::kCodeQueryCancelled;
+  diag.severity = analysis::Severity::kError;
+  diag.message =
+      std::string(token.reason() == common::CancelReason::kDeadline
+                      ? "query timed out"
+                      : "query cancelled") +
+      " during " + phase + " phase";
+  if (!detail.empty()) diag.message += " (" + detail + ")";
+  const size_t eol = query.find('\n');
+  diag.span = {/*offset=*/0,
+               /*length=*/eol == std::string::npos ? query.size() : eol,
+               /*line=*/1, /*column=*/1};
+  return Status::ExecutionError(analysis::RenderDiagnostic(diag, query));
+}
+
 // Per-operator plan-quality telemetry, observed right after execution so
 // the figures land in the same metrics snapshot the query profile
 // captures: every operator's cardinality Q-error into the "plan.qerror"
@@ -99,12 +129,66 @@ CypherEngine::CypherEngine(epgm::LogicalGraph graph,
     : graph_(std::move(graph)),
       indexed_(epgm::IndexedLogicalGraph::Build(graph_)),
       stats_(GraphStatistics::Compute(graph_)),
-      planner_options_(planner_options) {}
+      planner_options_(planner_options),
+      audit_random_(exec::CancellationAuditSeed()) {}
+
+void CypherEngine::Cancel() { cancellation().RequestCancel(); }
+
+common::CancellationToken& CypherEngine::cancellation() {
+  return graph_.vertices().context()->cancellation();
+}
 
 Result<CypherMatchResult> CypherEngine::Execute(
     const std::string& query, const MorphismSetting& semantics) {
-  telemetry::Telemetry& tel = graph_.vertices().context()->telemetry();
+  if (exec::CancellationAuditEnabled() && audit_inject_checkpoint_ == 0) {
+    // Audit probe (docs/cancellation.md): run the query once with the
+    // token armed to trip at a randomized checkpoint count. If the trip
+    // fires, the probe MUST unwind to an error — an injected cancel that
+    // the engine swallows means some path ignores its token. Queries
+    // that finish before the checkpoint simply never trip. The clean
+    // re-run below gives the caller the real result either way.
+    audit_inject_checkpoint_ = 1 + audit_random_.NextUint64(512);
+    Result<CypherMatchResult> probe = ExecuteInternal(query, semantics);
+    audit_inject_checkpoint_ = 0;
+    common::CancellationToken& token = cancellation();
+    const bool tripped = token.cancelled();
+    exec::CancellationAuditStats::Instance().RecordInjection(tripped);
+    if (tripped && probe.ok()) {
+      std::fprintf(stderr,
+                   "[gradoop] cancellation audit FAILED: injected cancel "
+                   "(reason=%s, at poll %llu) was swallowed — the query "
+                   "completed normally\n",
+                   common::CancelReasonName(token.reason()),
+                   static_cast<unsigned long long>(token.trip_poll()));
+      std::abort();
+    }
+  }
+  return ExecuteInternal(query, semantics);
+}
+
+Result<CypherMatchResult> CypherEngine::ExecuteInternal(
+    const std::string& query, const MorphismSetting& semantics) {
+  dataflow::ExecutionContext& ctx = *graph_.vertices().context();
+  telemetry::Telemetry& tel = ctx.telemetry();
   const bool traced = tel.enabled();
+  const std::string engine_name =
+      planner_options_.engine == PlannerOptions::ExecutionEngine::kBatch
+          ? "batch"
+          : "row";
+  // Arm the cancellation window for this query: fresh token, then the
+  // deadline (if any) and the audit's injected checkpoint (if probing).
+  // Every kernel loop downstream polls this token (docs/cancellation.md).
+  common::CancellationToken& cancel = ctx.cancellation();
+  cancel.Reset();
+  if (query_deadline_sec_ > 0.0) {
+    cancel.SetDeadline(
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(query_deadline_sec_)));
+  }
+  if (audit_inject_checkpoint_ != 0) {
+    cancel.InjectCancelAfter(audit_inject_checkpoint_);
+  }
   std::vector<telemetry::PhaseProfile> phases;
   Timer total_timer;
   Timer phase_timer;
@@ -121,10 +205,39 @@ Result<CypherMatchResult> CypherEngine::Execute(
     }
     phase_timer.Restart();
   };
+  // Terminal cancel path: counts and logs the cancellation (telemetry-on
+  // only, like the success tail), then renders the GQL008 diagnostic.
+  // `phase_name` is the engine phase during which the trip was observed.
+  auto cancelled = [&](const char* phase_name, const std::string& detail,
+                       uint64_t peak_memory_bytes) -> Status {
+    if (traced) {
+      tel.metrics().AddCounter("query.cancelled", 1);
+      tel.metrics().ObserveWith(
+          "query.cancel.latency_us", cancel.SecondsSinceTrip() * 1e6,
+          telemetry::MetricsRegistry::MicroLatencyBounds());
+      telemetry::QueryLogEntry entry;
+      entry.query_hash = telemetry::QueryTextHash(query);
+      entry.name = "q_" + entry.query_hash.substr(0, 8);
+      entry.engine = engine_name;
+      entry.total_wall_sec = total_timer.ElapsedSeconds();
+      entry.peak_memory_bytes = peak_memory_bytes;
+      entry.cancelled_phase = phase_name;
+      entry.cancel_reason = common::CancelReasonName(cancel.reason());
+      entry.phases = phases;
+      // The phase being unwound never ended; record its partial time so
+      // the log's phase list is never empty (the validator requires it).
+      if (entry.phases.empty() || entry.phases.back().name != phase_name) {
+        entry.phases.push_back({phase_name, phase_timer.ElapsedSeconds()});
+      }
+      ctx.query_log().Append(entry);
+    }
+    return CancelledStatus(query, cancel, phase_name, detail);
+  };
 
   GRADOOP_ASSIGN_OR_RETURN(cypher::CypherQuery ast,
                            cypher::ParseCypher(query));
   end_phase("parse");
+  if (cancel.CancelledOrExpired()) return cancelled("parse", "", 0);
   // Semantic analysis gate: scope/kind/bound errors reject the query with
   // located diagnostics; the surviving AST carries the constant-folded
   // WHERE, and statically unsatisfiable queries skip planning entirely.
@@ -138,6 +251,7 @@ Result<CypherMatchResult> CypherEngine::Execute(
   GRADOOP_ASSIGN_OR_RETURN(cypher::QueryGraph qg,
                            cypher::QueryGraph::Build(ast));
   end_phase("analyze");
+  if (cancel.CancelledOrExpired()) return cancelled("analyze", "", 0);
   if (sema.unsatisfiable || qg.unsatisfiable()) {
     // Statically empty match set (contradictory labels or predicates): no
     // plan is built, compiled or executed.
@@ -148,10 +262,11 @@ Result<CypherMatchResult> CypherEngine::Execute(
         EmbeddingMetaData()};
     result.phases = std::move(phases);
     result.total_wall_sec = total_timer.ElapsedSeconds();
-    result.engine =
-        planner_options_.engine == PlannerOptions::ExecutionEngine::kBatch
-            ? "batch"
-            : "row";
+    result.engine = engine_name;
+    // Disarm before returning: a deadline left armed would trip polls in
+    // unrelated dataflow work after the query (e.g. Match()'s collection
+    // build) and silently truncate it.
+    cancel.Reset();
     return result;
   }
   GRADOOP_ASSIGN_OR_RETURN(PlanNodePtr plan,
@@ -161,6 +276,7 @@ Result<CypherMatchResult> CypherEngine::Execute(
   // bug, not a user error.
   GRADOOP_RETURN_IF_ERROR(analysis::VerifyPlan(qg, plan));
   end_phase("plan");
+  if (cancel.CancelledOrExpired()) return cancelled("plan", "", 0);
   // Lower to physical operators: the compiler resolves every column
   // layout, join key and property slot once; the second gate asserts the
   // compiled layouts are mutually consistent before anything runs.
@@ -177,6 +293,7 @@ Result<CypherMatchResult> CypherEngine::Execute(
   GRADOOP_RETURN_IF_ERROR(
       CheckMemoryAdmission(query, *physical, max_query_memory_bytes_));
   end_phase("compile");
+  if (cancel.CancelledOrExpired()) return cancelled("compile", "", 0);
   ScanCache scan_cache;
   BatchScanCache batch_scan_cache;
   const bool share_scans = planner_options_.share_scan_results;
@@ -207,9 +324,33 @@ Result<CypherMatchResult> CypherEngine::Execute(
     GRADOOP_ASSIGN_OR_RETURN(BatchSet batches, physical->ExecuteBatch(env));
     return BatchesToRows(batches);
   };
-  GRADOOP_ASSIGN_OR_RETURN(EmbeddingSet embeddings, run_root());
+  // Execution unwind: the operator that observed the trip returned an
+  // error, which converts to GQL008 only when the token actually tripped
+  // (other failures pass through untouched). The injected-cancel audit
+  // runs here, while the compiled plan is still alive and the accountant
+  // still holds this query's window.
+  auto cancelled_execute = [&](const std::string& detail) -> Status {
+    if (physical->stats().executed) {
+      // The root produced its output before a later boundary observed the
+      // trip; release it so the audit sees a drained accountant.
+      accountant.Release(physical->stats().output_bytes);
+    }
+    if (exec::CancellationAuditEnabled()) {
+      exec::AuditCancelledQuery(*physical, ctx);
+    }
+    const uint64_t cancelled_peak = accountant.peak_bytes();
+    accountant.Disable();
+    return cancelled("execute", detail, cancelled_peak);
+  };
+  Result<EmbeddingSet> run = run_root();
+  if (!run.ok()) {
+    if (cancel.cancelled()) return cancelled_execute(run.status().message());
+    return run.status();
+  }
+  EmbeddingSet embeddings = std::move(run).value();
   if (qg.return_distinct()) embeddings = ApplyDistinct(embeddings, qg);
   if (qg.limit() >= 0) embeddings = ApplyLimit(embeddings, qg.limit());
+  if (cancel.CancelledOrExpired()) return cancelled_execute("");
   accountant.Disable();
   if (traced) {
     tel.metrics().SetGauge("memory.bytes.peak",
@@ -230,10 +371,11 @@ Result<CypherMatchResult> CypherEngine::Execute(
   result.embeddings = std::move(embeddings);
   result.phases = std::move(phases);
   result.total_wall_sec = total_timer.ElapsedSeconds();
-  result.engine =
-      planner_options_.engine == PlannerOptions::ExecutionEngine::kBatch
-          ? "batch"
-          : "row";
+  result.engine = engine_name;
+  // Disarm before the observability tail and the caller's follow-up
+  // dataflow work (e.g. Match()'s collection build): a deadline left
+  // armed would trip their polls and silently truncate results.
+  cancel.Reset();
   if (traced) {
     // Observability tail, telemetry-on only: plan-quality metrics first
     // (so they land in the snapshot the profile captures), then the
@@ -246,7 +388,6 @@ Result<CypherMatchResult> CypherEngine::Execute(
           "phase.wall_us." + phase.name, phase.wall_sec * 1e6,
           telemetry::MetricsRegistry::MicroLatencyBounds());
     }
-    dataflow::ExecutionContext& ctx = *graph_.vertices().context();
     telemetry::QueryProfile profile = BuildQueryProfile(
         "q_" + telemetry::QueryTextHash(query).substr(0, 8), query, result,
         ctx);

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/random.h"
 #include "common/result.h"
 #include "cypher/query_graph.h"
 #include "epgm/indexed_logical_graph.h"
@@ -14,6 +15,10 @@
 #include "query/plan.h"
 #include "query/planner.h"
 #include "telemetry/query_profile.h"
+
+namespace gradoop::common {
+class CancellationToken;
+}  // namespace gradoop::common
 
 namespace gradoop::query {
 
@@ -73,6 +78,23 @@ class CypherEngine {
   void set_account_memory(bool on) { account_memory_ = on; }
   bool account_memory() const { return account_memory_; }
 
+  // Wall-clock deadline for each subsequent query, in seconds measured
+  // from the start of the Execute() call; 0 disables (the default). A
+  // query that outlives its deadline unwinds cooperatively — every kernel
+  // loop polls the context's CancellationToken — to a located GQL008
+  // "query timed out" diagnostic (docs/cancellation.md).
+  void set_query_deadline(double seconds) { query_deadline_sec_ = seconds; }
+  double query_deadline_sec() const { return query_deadline_sec_; }
+
+  // Requests cooperative cancellation of the currently running query.
+  // Safe to call from any thread — the token is all-atomic; the running
+  // query unwinds to a GQL008 "query cancelled" diagnostic at its next
+  // checkpoint. A no-op between queries (Execute() re-arms the token).
+  void Cancel();
+
+  // The engine's cancellation token, owned by the execution context.
+  common::CancellationToken& cancellation();
+
   // Parses, plans, compiles and executes `query`, returning the
   // embeddings plus the logical and compiled plans. The primary entry
   // point for benchmarks and tests.
@@ -107,12 +129,25 @@ class CypherEngine {
       const MorphismSetting& semantics = MorphismSetting::Neo4j());
 
  private:
+  // The whole pipeline. Execute() wraps it with the injected-cancel audit
+  // probe (GRADOOP_AUDIT_CANCELLATION): a first run armed to trip at a
+  // randomized checkpoint must surface GQL008, then a clean re-run
+  // produces the caller's real result.
+  Result<CypherMatchResult> ExecuteInternal(const std::string& query,
+                                            const MorphismSetting& semantics);
+
   epgm::LogicalGraph graph_;
   epgm::IndexedLogicalGraph indexed_;
   GraphStatistics stats_;
   PlannerOptions planner_options_;
   uint64_t max_query_memory_bytes_ = 0;  // 0 = unlimited
   bool account_memory_ = true;
+  double query_deadline_sec_ = 0.0;  // 0 = no deadline
+  // Injected-cancel audit state: the randomized poll checkpoint the
+  // current probe run arms (0 = none) and the deterministic stream the
+  // checkpoints are drawn from (seeded in the constructor).
+  Random audit_random_;
+  uint64_t audit_inject_checkpoint_ = 0;
 };
 
 // Compatibility wrapper for tests that construct logical plans manually:

@@ -118,6 +118,7 @@ void EmbeddingBatch::AppendRowCells(const EmbeddingBatch& src, uint32_t row,
       PushId(col_offset + c, src.PayloadAt(c, row));
     }
   }
+  // cancellation: one row's cells, bounded by the layout's column count.
   for (int c = 0; c < src.num_property_columns(); ++c) {
     PushPropertyEncoded(src.PropertyCellAt(c, row));
   }

@@ -84,20 +84,44 @@ Result<EmbeddingSet> PhysicalOperator::Execute(const ExecEnv& env) {
   telemetry::Telemetry& tel = env.graph->context()->telemetry();
   const bool traced = tel.enabled();
   const double span_begin_us = traced ? tel.tracer().NowMicros() : 0.0;
+  common::CancellationToken& cancel = env.graph->context()->cancellation();
+  // Boundary check before any child runs: a trip observed here skips the
+  // whole subtree. CancelledOrExpired reads the clock, so a deadline is
+  // noticed at the latest one operator after it passes even if no kernel
+  // checkpoint fires in between.
+  if (cancel.CancelledOrExpired()) {
+    return Status::ExecutionError("query cancelled at " + Describe());
+  }
   // Frame per subtree: the frame delta (popped below) is this subtree's
   // own resident peak, the runtime counterpart of MemoryBound::peak_bytes.
   // Execute recursion is driver-thread only, so frames strictly nest.
   dataflow::MemoryAccountant& accountant =
       env.graph->context()->accountant();
   accountant.PushFrame();
+  // Error unwind: release what executed children still held and pop this
+  // frame, so a cancelled query drains the accountant to zero (the
+  // cancellation audit asserts exactly that). Each failing ancestor
+  // repeats this, balancing the whole path to the root.
+  auto unwind = [&](Status status) {
+    if (accountant.enabled()) {
+      for (const PhysicalOperatorPtr& child : children_) {
+        if (child->stats().executed) {
+          accountant.Release(child->stats().output_bytes);
+        }
+      }
+    }
+    accountant.PopFrame();
+    return status;
+  };
   Timer total_timer;
   std::vector<EmbeddingSet> inputs;
   inputs.reserve(children_.size());
   uint64_t input_rows = 0;
   for (const PhysicalOperatorPtr& child : children_) {
-    GRADOOP_ASSIGN_OR_RETURN(EmbeddingSet input, child->Execute(env));
+    Result<EmbeddingSet> input = child->Execute(env);
+    if (!input.ok()) return unwind(input.status());
     input_rows += child->stats().actual_rows;
-    inputs.push_back(std::move(input));
+    inputs.push_back(std::move(input).value());
   }
   // The simulated dataflow is eager: every transformation has completed
   // (and charged the tracker) by the time Run returns, so counter deltas
@@ -106,13 +130,24 @@ Result<EmbeddingSet> PhysicalOperator::Execute(const ExecEnv& env) {
   const uint64_t network_before = tracker.NetworkBytes();
   const uint64_t spilled_before = tracker.SpilledBytes();
   Timer self_timer;
-  GRADOOP_ASSIGN_OR_RETURN(EmbeddingSet out, Run(env, std::move(inputs)));
+  Result<EmbeddingSet> run = Run(env, std::move(inputs));
+  if (!run.ok()) return unwind(run.status());
+  // Post-kernel check: kernels drop out of their loops when the token
+  // trips but still return partial batches; rejecting here attributes the
+  // cancellation to the operator whose kernel observed it.
+  if (cancel.CancelledOrExpired()) {
+    return unwind(
+        Status::ExecutionError("query cancelled at " + Describe()));
+  }
+  EmbeddingSet out = std::move(run).value();
   stats_.self_wall_sec = self_timer.ElapsedSeconds();
   stats_.network_bytes = tracker.NetworkBytes() - network_before;
   stats_.spilled_bytes = tracker.SpilledBytes() - spilled_before;
   // Partition sizes are read directly — Count() would charge an extra
   // dataflow stage to the query being measured.
   for (int p = 0; p < out.data.num_partitions(); ++p) {
+    // cancellation: stats byte walk over this operator's own output;
+    // the boundary check above already rejected a tripped token.
     for (const Embedding& e : out.data.partition(p)) {
       ++stats_.actual_rows;
       stats_.output_bytes += e.SerializedSize();
@@ -159,29 +194,53 @@ Result<BatchSet> PhysicalOperator::ExecuteBatch(const ExecEnv& env) {
   telemetry::Telemetry& tel = env.graph->context()->telemetry();
   const bool traced = tel.enabled();
   const double span_begin_us = traced ? tel.tracer().NowMicros() : 0.0;
+  common::CancellationToken& cancel = env.graph->context()->cancellation();
+  // Same boundary choreography as Execute (see there).
+  if (cancel.CancelledOrExpired()) {
+    return Status::ExecutionError("query cancelled at " + Describe());
+  }
   // Identical frame choreography to Execute: the audit compares the same
   // byte currency against the same static bounds in both engines.
   dataflow::MemoryAccountant& accountant =
       env.graph->context()->accountant();
   accountant.PushFrame();
+  auto unwind = [&](Status status) {
+    if (accountant.enabled()) {
+      for (const PhysicalOperatorPtr& child : children_) {
+        if (child->stats().executed) {
+          accountant.Release(child->stats().output_bytes);
+        }
+      }
+    }
+    accountant.PopFrame();
+    return status;
+  };
   Timer total_timer;
   std::vector<BatchSet> inputs;
   inputs.reserve(children_.size());
   uint64_t input_rows = 0;
   for (const PhysicalOperatorPtr& child : children_) {
-    GRADOOP_ASSIGN_OR_RETURN(BatchSet input, child->ExecuteBatch(env));
+    Result<BatchSet> input = child->ExecuteBatch(env);
+    if (!input.ok()) return unwind(input.status());
     input_rows += child->stats().actual_rows;
-    inputs.push_back(std::move(input));
+    inputs.push_back(std::move(input).value());
   }
   const dataflow::CostTracker& tracker = env.graph->context()->tracker();
   const uint64_t network_before = tracker.NetworkBytes();
   const uint64_t spilled_before = tracker.SpilledBytes();
   Timer self_timer;
-  GRADOOP_ASSIGN_OR_RETURN(BatchSet out, RunBatch(env, std::move(inputs)));
+  Result<BatchSet> run = RunBatch(env, std::move(inputs));
+  if (!run.ok()) return unwind(run.status());
+  if (cancel.CancelledOrExpired()) {
+    return unwind(
+        Status::ExecutionError("query cancelled at " + Describe()));
+  }
+  BatchSet out = std::move(run).value();
   stats_.self_wall_sec = self_timer.ElapsedSeconds();
   stats_.network_bytes = tracker.NetworkBytes() - network_before;
   stats_.spilled_bytes = tracker.SpilledBytes() - spilled_before;
   for (int p = 0; p < out.data.num_partitions(); ++p) {
+    // cancellation: stats byte walk (see Execute).
     for (const EmbeddingBatch& b : out.data.partition(p)) {
       ++stats_.batches;
       stats_.actual_rows += b.ActiveRows();

@@ -15,6 +15,7 @@
 #include "query/batch_operators.h"
 #include "query/embedding_meta_data.h"
 #include "query/exec/batch_layout.h"
+#include "query/exec/interruptibility.h"
 #include "query/exec/memory_bound.h"
 #include "query/exec/partitioning.h"
 #include "query/match_semantics.h"
@@ -150,6 +151,20 @@ class PhysicalOperator {
     has_memory_bound_ = true;
   }
 
+  // Interruptibility claim of the subtree rooted here, stamped bottom-up
+  // by PlanCompiler from DeriveInterruptibility and independently
+  // re-derived by VerifyCompiledPlan (mandatory on compiled plans; an
+  // unbounded claim — a kernel loop with no cancellation poll — is
+  // rejected outright, see docs/cancellation.md).
+  bool has_interruptibility() const { return has_interruptibility_; }
+  const Interruptibility& interruptibility() const {
+    return interruptibility_;
+  }
+  void set_interruptibility(Interruptibility claim) {
+    interruptibility_ = claim;
+    has_interruptibility_ = true;
+  }
+
   // Batch-layout claim of the output representation, stamped by
   // PlanCompiler from DeriveBatchLayout and independently re-derived by
   // VerifyCompiledPlan (mandatory on compiled plans, like the memory
@@ -210,6 +225,8 @@ class PhysicalOperator {
   bool has_output_partitioning_ = false;
   MemoryBound memory_bound_;
   bool has_memory_bound_ = false;
+  Interruptibility interruptibility_;
+  bool has_interruptibility_ = false;
   BatchLayout batch_layout_;
   bool has_batch_layout_ = false;
 };

@@ -159,6 +159,10 @@ PhysicalOperatorPtr PlanCompiler::Annotate(PhysicalOperatorPtr op) const {
   // re-derived (and rejected on mismatch) by VerifyCompiledPlan.
   op->set_batch_layout(
       DeriveBatchLayout(op->output_meta(), options_.batch_size));
+  // Interruptibility claim: the subtree's worst checkpoint interval —
+  // re-derived by VerifyCompiledPlan, which also rejects unbounded
+  // intervals (a kernel loop with no cancellation poll).
+  op->set_interruptibility(DeriveInterruptibility(*op));
   return op;
 }
 

@@ -10,6 +10,8 @@ namespace gradoop::query {
 GraphStatistics GraphStatistics::Compute(const epgm::LogicalGraph& graph) {
   GraphStatistics stats;
   for (int p = 0; p < graph.vertices().num_partitions(); ++p) {
+    // cancellation: one-time statistics build at graph load, before any
+    // query (and its token) exists.
     for (const epgm::Vertex& v : graph.vertices().partition(p)) {
       ++stats.vertex_count_;
       ++stats.vertex_label_count_[v.label];
@@ -19,6 +21,7 @@ GraphStatistics GraphStatistics::Compute(const epgm::LogicalGraph& graph) {
   std::map<std::string, std::unordered_set<epgm::GradoopId>> sources_by_label,
       targets_by_label;
   for (int p = 0; p < graph.edges().num_partitions(); ++p) {
+    // cancellation: one-time statistics build (see above).
     for (const epgm::Edge& e : graph.edges().partition(p)) {
       ++stats.edge_count_;
       ++stats.edge_label_count_[e.label];

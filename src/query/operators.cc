@@ -339,8 +339,13 @@ EmbeddingSet ExpandEmbeddings(const EmbeddingSet& input,
         "ExpandEmitZero"));
   }
 
+  common::CancellationToken& cancel = input.data.context()->cancellation();
   for (int k = 1; k <= upper_bound; ++k) {
+    // Each hop runs a full join stage, so one boundary check per hop
+    // bounds the loop's cancel latency to one stage.
+    if (cancel.CancelledOrExpired()) break;
     uint64_t frontier_size = 0;
+    // cancellation: O(partitions) size walk, no per-record work.
     for (int p = 0; p < frontier.num_partitions(); ++p) {
       frontier_size += frontier.partition(p).size();
     }
@@ -407,6 +412,8 @@ EmbeddingSet ExpandEmbeddings(const EmbeddingSet& input,
   }
   dataflow::Dataset<Embedding> results =
       dataflow::Dataset<Embedding>::Empty(input.data.context());
+  // cancellation: folds at most upper_bound per-hop result handles;
+  // Union is a pure partition splice with no per-record work.
   for (const auto& part : emitted) results = results.Union(part);
   return {std::move(results), result_meta};
 }

@@ -266,6 +266,7 @@ class Planner {
                                      : stats_.DistinctSourceByLabels(e.types)));
     const double fanout = edge_count / distinct;
     double paths = e.lower_bound == 0 ? 1.0 : 0.0;
+    // cancellation: planning-time loop bounded by the query's hop range.
     for (int k = std::max(1, e.lower_bound); k <= e.upper_bound; ++k) {
       paths += std::pow(fanout, k);
     }

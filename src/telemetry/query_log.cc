@@ -62,6 +62,11 @@ std::string QueryLogLine(const QueryLogEntry& entry) {
   out += ", \"peak_memory_bytes\": " + std::to_string(entry.peak_memory_bytes);
   out += ", \"shuffle_bytes\": " + std::to_string(entry.shuffle_bytes);
   out += std::string(", \"slow\": ") + (entry.slow ? "true" : "false");
+  if (!entry.cancelled_phase.empty()) {
+    out += ", \"cancelled_phase\": \"" + JsonEscape(entry.cancelled_phase) +
+           "\"";
+    out += ", \"cancel_reason\": \"" + JsonEscape(entry.cancel_reason) + "\"";
+  }
   out += ", \"phases\": [";
   for (size_t i = 0; i < entry.phases.size(); ++i) {
     if (i > 0) out += ", ";
@@ -115,12 +120,16 @@ void QueryLog::set_slow_threshold_sec(double seconds) {
   slow_threshold_sec_ = seconds;
 }
 
-bool QueryLog::SetPath(const std::string& path) {
+Status QueryLog::SetPath(const std::string& path) {
   MutexLock lock(mu_);
   if (sink_.is_open()) sink_.close();
-  if (path.empty()) return true;
+  if (path.empty()) return Status::Ok();
   sink_.open(path, std::ios::app);
-  return sink_.is_open();
+  if (!sink_.is_open()) {
+    return Status::InvalidArgument(
+        "query log sink '" + path + "' cannot be opened for append");
+  }
+  return Status::Ok();
 }
 
 }  // namespace gradoop::telemetry

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "common/thread_annotations.h"
 #include "telemetry/query_profile.h"
 
@@ -32,6 +33,12 @@ struct QueryLogEntry {
   uint64_t peak_memory_bytes = 0;
   uint64_t shuffle_bytes = 0;
   bool slow = false;
+  // Cancellation attribution: the engine phase during which the query's
+  // token was observed tripped and why ("cancelled" | "deadline" |
+  // "injected"); both empty for queries that ran to completion, and the
+  // JSON fields are omitted so completed-query lines are byte-stable.
+  std::string cancelled_phase;
+  std::string cancel_reason;
   std::vector<PhaseProfile> phases;
 };
 
@@ -75,8 +82,8 @@ class QueryLog {
   void set_slow_threshold_sec(double seconds);
 
   // JSONL sink file, opened for append; empty path closes the sink.
-  // Returns false when the file cannot be opened.
-  bool SetPath(const std::string& path);
+  // A non-OK status names the path that could not be opened.
+  Status SetPath(const std::string& path);
 
  private:
   mutable common::Mutex mu_{common::LockRank::kTelemetry,

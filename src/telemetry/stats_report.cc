@@ -132,7 +132,8 @@ void AppendPercentileRow(std::string* out, const std::string& label,
 }  // namespace
 
 bool IngestStatsArtifact(const std::string& json_text, StatsInput* input,
-                         std::string* error) {
+                         std::string* error, bool* unknown_schema) {
+  if (unknown_schema != nullptr) *unknown_schema = false;
   auto parsed = json::Parse(json_text);
   if (!parsed.ok()) {
     if (error != nullptr) *error = parsed.status().message();
@@ -140,6 +141,8 @@ bool IngestStatsArtifact(const std::string& json_text, StatsInput* input,
   }
   const json::ValuePtr root = parsed.value();
   if (!root->is_object()) {
+    // Well-formed JSON, just not one of ours — schema, not syntax.
+    if (unknown_schema != nullptr) *unknown_schema = true;
     if (error != nullptr) *error = "artifact root is not an object";
     return false;
   }
@@ -157,6 +160,7 @@ bool IngestStatsArtifact(const std::string& json_text, StatsInput* input,
   if (root->Get("records") != nullptr) {
     return IngestBenchReport(root, input, error);
   }
+  if (unknown_schema != nullptr) *unknown_schema = true;
   if (error != nullptr) {
     *error = "unrecognized artifact (no queries/operators/records)";
   }

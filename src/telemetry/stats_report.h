@@ -43,8 +43,13 @@ struct StatsInput {
 // kind is auto-detected: an object with "queries" is a flight-recorder
 // export, with "operators" a single query profile, with "records" a
 // BENCH_*.json report. Returns false + *error on parse/shape failure.
+// When the artifact is well-formed JSON but matches none of the known
+// schemas, *unknown_schema (if given) is additionally set to true so
+// callers can downgrade the failure to a skip-with-warning
+// (cypher_stats does, unless --strict).
 bool IngestStatsArtifact(const std::string& json_text, StatsInput* input,
-                         std::string* error);
+                         std::string* error,
+                         bool* unknown_schema = nullptr);
 
 // Nearest-rank percentile (p in [0,100]) of `values`; 0 when empty.
 double Percentile(std::vector<double> values, double p);

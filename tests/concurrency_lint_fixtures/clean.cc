@@ -35,4 +35,21 @@ class CleanCounter {
   std::atomic<int> events_{0};
 };
 
+struct Token {
+  bool CheckCancelled() { return false; }
+};
+
+// Both idiomatic ways to satisfy CC007: a stream loop that polls the
+// token, and one whose boundedness is justified instead.
+inline int SumStream(const int* src, int n, Token& cancel) {
+  int total = 0;
+  for (int i = 0; i < n && src != nullptr; ++i) {
+    if (cancel.CheckCancelled()) break;
+    total += src[i];
+  }
+  // cancellation: O(1) — reads a single element, no per-record work.
+  for (int i = 0; i < 1 && src != nullptr; ++i) total += src[0];
+  return total;
+}
+
 }  // namespace fixture

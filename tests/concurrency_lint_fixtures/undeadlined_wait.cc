@@ -1,0 +1,27 @@
+// Seeded violation fixture for tools/concurrency_lint (NOT built; CI
+// pins that linting this file exits non-zero). A deadline-less
+// condition-variable .wait( — the sleeper can never observe a cancelled
+// token, so a cancelled query would hang on it forever. CC008 demands a
+// bounded wait_for/wait_until loop (thread_pool.cc is the pattern) or a
+// "// cancellation:" justification (docs/cancellation.md).
+#include <condition_variable>
+
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class Latch {
+ public:
+  void Await() {
+    gradoop::common::MutexLock lock(mu_);
+    cv_.wait(lock, [this]() REQUIRES(mu_) { return done_; });  // CC008
+  }
+
+ private:
+  gradoop::common::Mutex mu_{gradoop::common::LockRank::kDataflow,
+                             "fixture.latch"};
+  std::condition_variable_any cv_;
+  bool done_ GUARDED_BY(mu_) = false;
+};
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Seeded violation fixture for tools/concurrency_lint (NOT built; CI
+// pins that linting this file exits non-zero). A kernel loop over a
+// dataset stream (`src`) that never polls the CancellationToken and
+// carries no "// cancellation:" justification — the unbounded
+// checkpoint interval CC007 exists to flag: a query cancelled mid-loop
+// would run this to completion (docs/cancellation.md).
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct Record {
+  uint64_t id;
+};
+
+uint64_t SumIds(const std::vector<Record>& src) {
+  uint64_t total = 0;
+  for (const Record& rec : src) {  // CC007: no poll, no justification
+    total += rec.id;
+  }
+  return total;
+}
+
+}  // namespace fixture

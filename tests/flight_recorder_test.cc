@@ -207,10 +207,10 @@ TEST(QueryLogTest, SinkFileReceivesLines) {
   const std::string path = ::testing::TempDir() + "query_log_test.jsonl";
   std::remove(path.c_str());
   QueryLog log;
-  ASSERT_TRUE(log.SetPath(path));
+  ASSERT_TRUE(log.SetPath(path).ok());
   log.Record(PaddedProfile("q_a", 8));
   log.Record(PaddedProfile("q_b", 8));
-  ASSERT_TRUE(log.SetPath(""));  // close the sink
+  ASSERT_TRUE(log.SetPath("").ok());  // close the sink
   std::ifstream in(path);
   ASSERT_TRUE(in.good());
   std::string line;

@@ -9,6 +9,7 @@
 #include "ldbc/ldbc_generator.h"
 #include "ldbc/queries.h"
 #include "query/cypher_engine.h"
+#include "query/exec/interruptibility.h"
 #include "query/exec/plan_compiler.h"
 #include "query/operators.h"
 #include "query/planner.h"
@@ -340,10 +341,12 @@ TEST(VerifyCompiledPlanTest, RejectsVertexScanWithExtraIdColumn) {
   meta.AddIdColumn("b", query::EntryType::kVertex);
   query::exec::VertexScanOp scan(meta, 1.0, query::MorphismSetting::Neo4j(),
                                  {}, qg.vertices()[0], {});
-  // Memory and batch-layout claims are mandatory; stamp derivable ones so
-  // the verifier reaches the layout check this test is about.
+  // Memory, batch-layout and interruptibility claims are mandatory; stamp
+  // derivable ones so the verifier reaches the layout check this test is
+  // about.
   scan.set_memory_bound(query::exec::DeriveMemoryBound(scan));
   scan.set_batch_layout(query::exec::DeriveBatchLayout(scan.output_meta()));
+  scan.set_interruptibility(query::exec::DeriveInterruptibility(scan));
   const Status s = VerifyCompiledPlan(qg, scan);
   ASSERT_FALSE(s.ok());
   EXPECT_NE(s.message().find("one id column"), std::string::npos) << s;
@@ -366,6 +369,8 @@ TEST(VerifyCompiledPlanTest, RejectsJoinKeyColumnsDisagreeingWithChildren) {
   left->set_batch_layout(query::exec::DeriveBatchLayout(left->output_meta()));
   right->set_batch_layout(
       query::exec::DeriveBatchLayout(right->output_meta()));
+  left->set_interruptibility(query::exec::DeriveInterruptibility(*left));
+  right->set_interruptibility(query::exec::DeriveInterruptibility(*right));
   auto merged = query::EmbeddingMetaData::Merge(left->output_meta(),
                                                 right->output_meta());
   // Key column 1 does not hold `a` on either side (both bind it at 0).
@@ -374,6 +379,7 @@ TEST(VerifyCompiledPlanTest, RejectsJoinKeyColumnsDisagreeingWithChildren) {
                            dataflow::JoinStrategy::kRepartition);
   join.set_memory_bound(query::exec::DeriveMemoryBound(join));
   join.set_batch_layout(query::exec::DeriveBatchLayout(join.output_meta()));
+  join.set_interruptibility(query::exec::DeriveInterruptibility(join));
   const Status s = VerifyCompiledPlan(qg, join);
   ASSERT_FALSE(s.ok());
   EXPECT_NE(s.message().find("key columns"), std::string::npos) << s;
@@ -397,6 +403,8 @@ TEST(VerifyCompiledPlanTest, RejectsFilterThatChangesLayout) {
       query::exec::DeriveBatchLayout(child->output_meta()));
   filter.set_batch_layout(
       query::exec::DeriveBatchLayout(filter.output_meta()));
+  child->set_interruptibility(query::exec::DeriveInterruptibility(*child));
+  filter.set_interruptibility(query::exec::DeriveInterruptibility(filter));
   const Status s = VerifyCompiledPlan(qg, filter);
   ASSERT_FALSE(s.ok());
   EXPECT_NE(s.message().find("changed the column layout"), std::string::npos)

@@ -15,6 +15,15 @@
 //          protocol; join or pool them
 //   CC006  NO_THREAD_SAFETY_ANALYSIS without an adjacent
 //          "justification:" comment (±2 lines)
+//   CC007  kernel loop (a for/while under src/query or src/dataflow whose
+//          header names a dataset/batch stream: src, lsrc, rsrc,
+//          partition, frontier, ...) with no CheckCancelled /
+//          CancelledOrExpired poll in its body and no
+//          "// cancellation: <why bounded>" comment nearby
+//          (docs/cancellation.md)
+//   CC008  blocking .wait( without a deadline (wait_for/wait_until) or a
+//          "// cancellation:" justification — an unbounded wait can never
+//          observe a cancelled token
 //
 // Matching runs on comment- and string-stripped text (a comment that
 // merely mentions std::mutex is fine); the adjacency rules CC004/CC006
@@ -163,6 +172,24 @@ bool ContainsToken(const std::string& text, const std::string& token) {
   return false;
 }
 
+// Like ContainsToken, but requires an identifier boundary on BOTH sides,
+// so "lsrc" does not match token "src" and "num_partitions" does not
+// match token "partition".
+bool ContainsWholeToken(const std::string& text, const std::string& token) {
+  size_t pos = 0;
+  while ((pos = text.find(token, pos)) != std::string::npos) {
+    const char prev = pos > 0 ? text[pos - 1] : '\0';
+    const size_t end = pos + token.size();
+    const char next = end < text.size() ? text[end] : '\0';
+    const auto ident = [](char c) {
+      return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+    };
+    if (!ident(prev) && !ident(next)) return true;
+    pos = end;
+  }
+  return false;
+}
+
 bool CommentMentionsOrdering(const std::string& comment) {
   static const char* kKeywords[] = {"order",   "relaxed",  "acquire",
                                     "release", "seq_cst",  "monotonic"};
@@ -182,6 +209,181 @@ struct Violation {
   const char* code;
   std::string message;
 };
+
+// --- cancellation safety (CC007/CC008, docs/cancellation.md) ----------
+
+// CC007 only applies where kernel loops live — the query and dataflow
+// layers (plus the lint's own seeded fixtures). Everything else (epgm
+// loaders, tools, telemetry) runs outside a query's cancellation window.
+bool InCancellationScope(const fs::path& path) {
+  const std::string p = path.generic_string();
+  return p.find("/query/") != std::string::npos ||
+         p.find("/dataflow/") != std::string::npos ||
+         p.find("concurrency_lint_fixtures") != std::string::npos;
+}
+
+// Identifiers that name a dataset/batch stream when they appear in a loop
+// header: such a loop iterates driver-scale records, so its body must
+// poll the CancellationToken — or carry a "// cancellation: <why this
+// loop is bounded>" justification within 3 lines above or inside it.
+const char* kStreamTokens[] = {
+    "src",           "lsrc",     "rsrc",        "partitions_",
+    "partition",     "frontier", "upper_bound", "left_batches",
+    "right_batches", "emitted",
+};
+
+struct TextPos {
+  size_t line;  // 0-based index into StrippedFile streams
+  size_t col;
+};
+
+// Scans the balanced "(...)" whose '(' is at `at`, appending its text to
+// *text and leaving *end just past the ')'. False when no balanced group
+// closes within `max_lines` (preprocessor soup — skip the candidate).
+bool ScanBalanced(const StrippedFile& s, TextPos at, char open, char close,
+                  size_t max_lines, std::string* text, TextPos* end) {
+  int depth = 0;
+  for (size_t line = at.line; line < s.code.size(); ++line) {
+    if (line - at.line > max_lines) return false;
+    const std::string& code = s.code[line];
+    for (size_t col = line == at.line ? at.col : 0; col < code.size();
+         ++col) {
+      const char c = code[col];
+      if (c == open) {
+        ++depth;
+      } else if (c == close) {
+        if (--depth == 0) {
+          *end = {line, col + 1};
+          return true;
+        }
+      } else if (depth > 0) {
+        text->push_back(c);
+      }
+    }
+    text->push_back('\n');
+  }
+  return false;
+}
+
+// The loop body after a header ending at `at`: a braced block, or a
+// single statement up to ';'. Appends the body text and records the last
+// body line (for the justification-comment window).
+void ScanLoopBody(const StrippedFile& s, TextPos at, std::string* text,
+                  size_t* last_line) {
+  *last_line = at.line;
+  // Find the first non-space character after the header.
+  for (size_t line = at.line; line < s.code.size(); ++line) {
+    const std::string& code = s.code[line];
+    for (size_t col = line == at.line ? at.col : 0; col < code.size();
+         ++col) {
+      const char c = code[col];
+      if (std::isspace(static_cast<unsigned char>(c))) continue;
+      if (c == '{') {
+        TextPos end;
+        if (ScanBalanced(s, {line, col}, '{', '}', 2000, text, &end)) {
+          *last_line = end.line;
+        }
+        return;
+      }
+      // Unbraced body: one statement, through the first ';'.
+      for (size_t l2 = line; l2 < s.code.size() && l2 < line + 20; ++l2) {
+        const std::string& c2 = s.code[l2];
+        const size_t start = l2 == line ? col : 0;
+        const size_t semi = c2.find(';', start);
+        text->append(c2, start,
+                     semi == std::string::npos ? std::string::npos
+                                               : semi + 1 - start);
+        text->push_back('\n');
+        if (semi != std::string::npos) {
+          *last_line = l2;
+          return;
+        }
+      }
+      *last_line = line;
+      return;
+    }
+  }
+}
+
+// True when a "// cancellation: ..." justification appears within
+// `above` lines above `first` or on any line in [first, last].
+bool HasCancellationJustification(const StrippedFile& s, size_t first,
+                                  size_t last, size_t above) {
+  const size_t lo = first > above ? first - above : 0;
+  const size_t hi = std::min(last, s.comments.size() - 1);
+  for (size_t i = lo; i <= hi; ++i) {
+    if (s.comments[i].find("cancellation:") != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void LintCancellationLoops(const fs::path& path, const StrippedFile& s,
+                           std::vector<Violation>* out) {
+  if (!InCancellationScope(path)) return;
+  static const char* kKeywords[] = {"for", "while"};
+  for (size_t i = 0; i < s.code.size(); ++i) {
+    const std::string& code = s.code[i];
+    for (const char* keyword : kKeywords) {
+      const size_t klen = std::string(keyword).size();
+      size_t pos = 0;
+      while ((pos = code.find(keyword, pos)) != std::string::npos) {
+        const char prev = pos > 0 ? code[pos - 1] : '\0';
+        const char next =
+            pos + klen < code.size() ? code[pos + klen] : '\0';
+        const auto ident = [](char c) {
+          return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+        };
+        if (ident(prev) || ident(next)) {
+          pos += klen;
+          continue;
+        }
+        // Find the header's '('.
+        size_t paren = pos + klen;
+        while (paren < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[paren]))) {
+          ++paren;
+        }
+        if (paren >= code.size() || code[paren] != '(') {
+          pos += klen;
+          continue;
+        }
+        std::string header;
+        TextPos header_end;
+        if (!ScanBalanced(s, {i, paren}, '(', ')', 10, &header,
+                          &header_end)) {
+          pos += klen;
+          continue;
+        }
+        bool streams = false;
+        for (const char* token : kStreamTokens) {
+          if (ContainsWholeToken(header, token)) {
+            streams = true;
+            break;
+          }
+        }
+        if (streams) {
+          std::string body;
+          size_t body_last = header_end.line;
+          ScanLoopBody(s, header_end, &body, &body_last);
+          const bool polls = ContainsToken(body, "CheckCancelled") ||
+                             ContainsToken(body, "CancelledOrExpired");
+          if (!polls &&
+              !HasCancellationJustification(s, i, body_last, 3)) {
+            out->push_back(
+                {path.string(), i + 1, "CC007",
+                 "loop over a dataset/batch stream with no CheckCancelled/"
+                 "CancelledOrExpired poll; poll the token or justify with "
+                 "\"// cancellation: <why bounded>\" (docs/"
+                 "cancellation.md)"});
+          }
+        }
+        pos = header_end.line == i ? header_end.col : code.size();
+      }
+    }
+  }
+}
 
 void LintFile(const fs::path& path, std::vector<Violation>* out) {
   if (path.filename() == "thread_annotations.h") return;  // the wrapper
@@ -284,7 +486,18 @@ void LintFile(const fs::path& path, std::vector<Violation>* out) {
                         "\"// justification: ...\" comment (±2 lines)"});
       }
     }
+    // CC008: a deadline-less .wait( can sleep forever and never observe a
+    // cancelled token; use wait_for/wait_until in a loop (thread_pool.cc
+    // is the pattern) or justify why the wait is externally bounded.
+    if (code.find(".wait(") != std::string::npos &&
+        !HasCancellationJustification(stripped, i, i, 3)) {
+      out->push_back({path.string(), line, "CC008",
+                      "blocking .wait( without a deadline; use a bounded "
+                      "wait_for/wait_until loop or justify with "
+                      "\"// cancellation: ...\" (docs/cancellation.md)"});
+    }
   }
+  LintCancellationLoops(path, stripped, out);
 }
 
 bool IsCppSource(const fs::path& path) {

@@ -266,11 +266,13 @@ int main(int argc, char** argv) {
   // context's flight recorder and query log; the knobs below only
   // configure the sinks and the slow-query threshold.
   ctx->query_log().set_slow_threshold_sec(slow_ms / 1e3);
-  if (!query_log_path.empty() &&
-      !ctx->query_log().SetPath(query_log_path)) {
-    std::cerr << "cypher_profile: cannot open query log '" << query_log_path
-              << "'\n";
-    return 2;
+  if (!query_log_path.empty()) {
+    const gradoop::Status sink =
+        ctx->query_log().SetPath(query_log_path);
+    if (!sink.ok()) {
+      std::cerr << "cypher_profile: " << sink.message() << "\n";
+      return 2;
+    }
   }
 
   int failures = 0;

@@ -1,13 +1,15 @@
 // cypher_stats: aggregate the engine's observability artifacts and gate
 // bench regressions.
 //
-//   cypher_stats [--worst N] FILE...
+//   cypher_stats [--worst N] [--strict] FILE...
 //       Ingest any mix of flight-recorder exports, PROFILE_*.json query
 //       profiles and BENCH_*.json reports, and print the aggregate
 //       report: per-phase and per-operator latency percentiles
 //       (p50/p95/p99), the plan-quality (Q-error) summary, the worst
 //       misestimates with their plan lines, and a row-vs-batch engine
-//       comparison from bench records.
+//       comparison from bench records. Files that are valid JSON but
+//       match no known artifact schema are skipped with a warning;
+//       under --strict they fail the run instead.
 //
 //   cypher_stats --baseline BASE.json CURRENT.json [--tolerance T]
 //       Diff two BENCH_*.json artifacts. Matches must be identical;
@@ -15,7 +17,8 @@
 //       default 0.10). Exits 1 past tolerance — the CI perf/plan-quality
 //       regression gate (ci/check.sh observability).
 //
-// Exit codes: 0 success, 1 baseline regressions, 2 usage/parse errors.
+// Exit codes: 0 success, 1 baseline regressions, 2 usage/parse errors
+// (including unknown-schema files under --strict).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,7 +40,7 @@ using gradoop::telemetry::StatsInput;
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: cypher_stats [--worst N] FILE...\n"
+      "usage: cypher_stats [--worst N] [--strict] FILE...\n"
       "       cypher_stats --baseline BASE.json CURRENT.json"
       " [--tolerance T]\n");
   return 2;
@@ -52,25 +55,35 @@ bool ReadFile(const std::string& path, std::string* out) {
   return true;
 }
 
-bool IngestFile(const std::string& path, StatsInput* input) {
+enum class Ingest { kOk, kError, kUnknownSchema };
+
+Ingest IngestFile(const std::string& path, StatsInput* input) {
   std::string text;
   if (!ReadFile(path, &text)) {
     std::fprintf(stderr, "cypher_stats: cannot read '%s'\n", path.c_str());
-    return false;
+    return Ingest::kError;
   }
   std::string error;
-  if (!IngestStatsArtifact(text, input, &error)) {
+  bool unknown_schema = false;
+  if (!IngestStatsArtifact(text, input, &error, &unknown_schema)) {
+    if (unknown_schema) {
+      std::fprintf(stderr,
+                   "cypher_stats: warning: skipping '%s': %s\n",
+                   path.c_str(), error.c_str());
+      return Ingest::kUnknownSchema;
+    }
     std::fprintf(stderr, "cypher_stats: %s: %s\n", path.c_str(),
                  error.c_str());
-    return false;
+    return Ingest::kError;
   }
-  return true;
+  return Ingest::kOk;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool baseline_mode = false;
+  bool strict = false;
   double tolerance = 0.10;
   size_t worst = 5;
   std::vector<std::string> files;
@@ -78,6 +91,8 @@ int main(int argc, char** argv) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--baseline") == 0) {
       baseline_mode = true;
+    } else if (std::strcmp(arg, "--strict") == 0) {
+      strict = true;
     } else if (std::strcmp(arg, "--tolerance") == 0 && i + 1 < argc) {
       tolerance = std::atof(argv[++i]);
     } else if (std::strcmp(arg, "--worst") == 0 && i + 1 < argc) {
@@ -93,8 +108,10 @@ int main(int argc, char** argv) {
     if (files.size() != 2) return Usage();
     StatsInput baseline;
     StatsInput current;
-    if (!IngestFile(files[0], &baseline) ||
-        !IngestFile(files[1], &current)) {
+    // Both sides of a baseline diff must be real bench artifacts; an
+    // unknown schema here is a hard error, not a skippable input.
+    if (IngestFile(files[0], &baseline) != Ingest::kOk ||
+        IngestFile(files[1], &current) != Ingest::kOk) {
       return 2;
     }
     if (baseline.bench_records.empty()) {
@@ -113,8 +130,24 @@ int main(int argc, char** argv) {
 
   if (files.empty()) return Usage();
   StatsInput input;
+  size_t skipped = 0;
   for (const std::string& file : files) {
-    if (!IngestFile(file, &input)) return 2;
+    switch (IngestFile(file, &input)) {
+      case Ingest::kOk:
+        break;
+      case Ingest::kError:
+        return 2;
+      case Ingest::kUnknownSchema:
+        ++skipped;
+        break;
+    }
+  }
+  if (skipped > 0 && strict) {
+    std::fprintf(stderr,
+                 "cypher_stats: --strict: %zu file(s) matched no known "
+                 "artifact schema\n",
+                 skipped);
+    return 2;
   }
   std::fputs(RenderStatsReport(input, worst).c_str(), stdout);
   return 0;
